@@ -1,0 +1,325 @@
+package bitcolor
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/reorder"
+	"bitcolor/internal/resources"
+	"bitcolor/internal/sim"
+)
+
+// Graph is a compressed-sparse-row graph (paper §2.1).
+type Graph = graph.CSR
+
+// Edge is one undirected edge.
+type Edge = graph.Edge
+
+// VertexID is a dense vertex index.
+type VertexID = graph.VertexID
+
+// Result is a coloring outcome.
+type Result = coloring.Result
+
+// SimConfig parameterizes the accelerator simulator.
+type SimConfig = sim.Config
+
+// SimResult is a simulated accelerator run.
+type SimResult = sim.Result
+
+// ResourceUsage is one point of the FPGA resource model.
+type ResourceUsage = resources.Usage
+
+// MaxColorsDefault is the paper's palette size (1024).
+const MaxColorsDefault = coloring.MaxColorsDefault
+
+// NewGraph builds an undirected simple graph over n vertices; self loops
+// and duplicate edges are dropped, adjacency lists come out sorted.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdgeList(n, edges)
+}
+
+// LoadGraph reads a graph from disk: SNAP-style edge lists (any text
+// extension), DIMACS coloring instances (".col") or the binary CSR
+// format produced by SaveGraph (".bcsr").
+func LoadGraph(path string) (*Graph, error) {
+	switch {
+	case strings.HasSuffix(path, ".bcsr"):
+		return graph.LoadBinaryFile(path)
+	case strings.HasSuffix(path, ".col"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadDIMACS(f)
+	default:
+		return graph.LoadEdgeListFile(path)
+	}
+}
+
+// SaveGraph writes the graph in binary CSR format.
+func SaveGraph(path string, g *Graph) error {
+	return graph.SaveBinaryFile(path, g)
+}
+
+// Generate builds one of the paper's datasets (Table 3 abbreviation:
+// EF, GD, CD, CA, CL, RC, RP, RT, CO, CF) as a scaled synthetic stand-in.
+func Generate(abbrev string, seed int64) (*Graph, error) {
+	d, err := gen.ByAbbrev(abbrev)
+	if err != nil {
+		return nil, err
+	}
+	return d.Build(seed)
+}
+
+// Datasets lists the Table 3 abbreviations.
+func Datasets() []string { return gen.Abbrevs() }
+
+// Preprocess applies the paper's preprocessing: degree-based-grouping
+// reordering (descending degree) and ascending edge sorting. The
+// returned graph is what the accelerator expects; colors assigned to it
+// map back to the original IDs through the permutation available from
+// PreprocessWithPermutation.
+func Preprocess(g *Graph) (*Graph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	out, _ := reorder.DBG(g)
+	return out, nil
+}
+
+// PreprocessWithPermutation is Preprocess returning the vertex renaming:
+// NewID[old] gives the reordered index of an original vertex.
+func PreprocessWithPermutation(g *Graph) (*Graph, []VertexID, error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	out, p := reorder.DBG(g)
+	return out, p.NewID, nil
+}
+
+// Engine selects a software coloring algorithm.
+type Engine int
+
+// The implemented software engines.
+const (
+	// EngineGreedy is the paper's Algorithm 1 (flag-array color scan).
+	EngineGreedy Engine = iota
+	// EngineBitwise is the paper's Algorithm 2 with uncolored-vertex
+	// pruning: identical colors to EngineGreedy, O(1) Stage 1.
+	EngineBitwise
+	// EngineDSATUR is Brélaz's saturation heuristic.
+	EngineDSATUR
+	// EngineWelshPowell colors in descending-degree order.
+	EngineWelshPowell
+	// EngineSmallestLast colors in degeneracy order.
+	EngineSmallestLast
+	// EngineJonesPlassmann is parallel independent-set coloring (the
+	// GPU baseline's algorithm).
+	EngineJonesPlassmann
+	// EngineLubyMIS extracts one maximal independent set per color.
+	EngineLubyMIS
+	// EngineRLF is Leighton's Recursive Largest First: best quality of
+	// the implemented heuristics, highest cost.
+	EngineRLF
+	// EngineSpeculative is Gebremedhin–Manne shared-memory parallel
+	// coloring: speculate, detect conflicts, retry — the multicore host
+	// baseline.
+	EngineSpeculative
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineGreedy:
+		return "greedy"
+	case EngineBitwise:
+		return "bitwise"
+	case EngineDSATUR:
+		return "dsatur"
+	case EngineWelshPowell:
+		return "welshpowell"
+	case EngineSmallestLast:
+		return "smallestlast"
+	case EngineJonesPlassmann:
+		return "jonesplassmann"
+	case EngineLubyMIS:
+		return "lubymis"
+	case EngineRLF:
+		return "rlf"
+	case EngineSpeculative:
+		return "speculative"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine resolves an engine name as used by the CLIs.
+func ParseEngine(name string) (Engine, error) {
+	for _, e := range []Engine{
+		EngineGreedy, EngineBitwise, EngineDSATUR, EngineWelshPowell,
+		EngineSmallestLast, EngineJonesPlassmann, EngineLubyMIS, EngineRLF,
+		EngineSpeculative,
+	} {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("bitcolor: unknown engine %q", name)
+}
+
+// ColorOptions configure Color.
+type ColorOptions struct {
+	// Engine selects the algorithm (default EngineBitwise).
+	Engine Engine
+	// MaxColors bounds the palette (default MaxColorsDefault).
+	MaxColors int
+	// Seed feeds the randomized engines (JP, Luby).
+	Seed int64
+	// Workers bounds Jones–Plassmann's parallelism (<=0: GOMAXPROCS).
+	Workers int
+}
+
+// Color runs a software coloring engine on g and returns a verified
+// proper coloring.
+func Color(g *Graph, opts ColorOptions) (*Result, error) {
+	if opts.MaxColors <= 0 {
+		opts.MaxColors = MaxColorsDefault
+	}
+	var (
+		res *Result
+		err error
+	)
+	switch opts.Engine {
+	case EngineGreedy:
+		res, err = coloring.Greedy(g, opts.MaxColors)
+	case EngineBitwise:
+		res, err = coloring.BitwiseGreedy(g, opts.MaxColors, true)
+	case EngineDSATUR:
+		res, err = coloring.DSATUR(g, opts.MaxColors)
+	case EngineWelshPowell:
+		res, err = coloring.WelshPowell(g, opts.MaxColors)
+	case EngineSmallestLast:
+		res, err = coloring.SmallestLast(g, opts.MaxColors)
+	case EngineJonesPlassmann:
+		res, _, err = coloring.JonesPlassmann(g, opts.MaxColors, opts.Seed, opts.Workers)
+	case EngineLubyMIS:
+		res, _, err = coloring.LubyMIS(g, opts.MaxColors, opts.Seed)
+	case EngineRLF:
+		res, err = coloring.RLF(g, opts.MaxColors)
+	case EngineSpeculative:
+		res, _, err = coloring.Speculative(g, opts.MaxColors, opts.Workers)
+	default:
+		return nil, fmt.Errorf("bitcolor: unknown engine %v", opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := coloring.Verify(g, res.Colors); err != nil {
+		return nil, fmt.Errorf("bitcolor: engine %v produced an invalid coloring: %w", opts.Engine, err)
+	}
+	return res, nil
+}
+
+// Verify checks that colors is a proper coloring of g.
+func Verify(g *Graph, colors []uint16) error { return coloring.Verify(g, colors) }
+
+// ImproveOptions configure Improve.
+type ImproveOptions struct {
+	// IteratedRounds of Culberson iterated greedy (0 skips the phase).
+	IteratedRounds int
+	// KempePasses of Kempe-chain top-color elimination.
+	KempePasses int
+	// TabuIters enables a TabuCol color-count reduction with this many
+	// moves per attempted k (0 skips the phase).
+	TabuIters int
+	// Equitable rebalances class sizes after reduction.
+	Equitable bool
+	// MaxColors bounds the palette (default MaxColorsDefault).
+	MaxColors int
+	// Seed feeds the randomized phases.
+	Seed int64
+}
+
+// Improve post-processes a proper coloring without ever increasing its
+// color count: iterated greedy re-coloring, Kempe-chain elimination of
+// the top color, and optional equitable rebalancing.
+func Improve(g *Graph, initial *Result, opts ImproveOptions) (*Result, error) {
+	if err := coloring.Verify(g, initial.Colors); err != nil {
+		return nil, fmt.Errorf("bitcolor: Improve needs a proper initial coloring: %w", err)
+	}
+	if opts.MaxColors <= 0 {
+		opts.MaxColors = MaxColorsDefault
+	}
+	cur := initial
+	if opts.IteratedRounds > 0 {
+		improved, err := coloring.IteratedGreedy(g, cur, opts.IteratedRounds, opts.Seed, opts.MaxColors)
+		if err != nil {
+			return nil, err
+		}
+		cur = improved
+	}
+	for i := 0; i < opts.KempePasses; i++ {
+		next := coloring.KempeReduce(g, cur)
+		if next.NumColors == cur.NumColors {
+			cur = next
+			break
+		}
+		cur = next
+	}
+	if opts.TabuIters > 0 {
+		cur = coloring.TabuColReduce(g, cur, opts.Seed, opts.TabuIters)
+	}
+	if opts.Equitable {
+		cur = coloring.Equitable(g, cur, 1)
+	}
+	if err := coloring.Verify(g, cur.Colors); err != nil {
+		return nil, fmt.Errorf("bitcolor: Improve produced an invalid coloring: %w", err)
+	}
+	return cur, nil
+}
+
+// DefaultSimConfig is the paper's accelerator configuration with P
+// engines (power of two, up to 16 on the U200).
+func DefaultSimConfig(parallelism int) SimConfig { return sim.DefaultConfig(parallelism) }
+
+// Simulate runs the BitColor accelerator simulator on g. The graph
+// should come from Preprocess; Simulate verifies the result before
+// returning it.
+func Simulate(g *Graph, cfg SimConfig) (*SimResult, error) { return sim.Run(g, cfg) }
+
+// EstimateResources evaluates the FPGA resource model at the given
+// parallelism (Fig 14).
+func EstimateResources(parallelism int) (ResourceUsage, error) {
+	return resources.DefaultModel().Estimate(parallelism)
+}
+
+// SimulateJonesPlassmann runs independent-set coloring on the BitColor
+// substrate (same engines, cache and channels; synchronous rounds
+// instead of the conflict table) — the §2.4 comparison point. The
+// returned result carries round and edge-work counts.
+func SimulateJonesPlassmann(g *Graph, cfg SimConfig, seed int64) (*sim.RoundsResult, error) {
+	return sim.RunJonesPlassmann(g, cfg, seed)
+}
+
+// Dynamic maintains a proper coloring of a growing graph (streaming
+// vertex/edge insertion with local repair).
+type Dynamic = coloring.DynamicColoring
+
+// NewDynamic starts an empty dynamic coloring with the given palette
+// bound (<=0 uses MaxColorsDefault).
+func NewDynamic(maxColors int) *Dynamic {
+	return coloring.NewDynamicColoring(maxColors)
+}
+
+// SimulateBFS runs level-synchronous BFS on the BitColor substrate —
+// the generality demonstration of §2.4: the high-degree cache and read
+// merging apply to any per-vertex-state traversal, not just coloring.
+func SimulateBFS(g *Graph, cfg SimConfig, source VertexID) (*sim.BFSResult, error) {
+	return sim.RunBFS(g, cfg, source)
+}

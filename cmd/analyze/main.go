@@ -1,0 +1,102 @@
+// Command analyze characterizes a graph the way the paper's §3 does:
+// degree structure, neighborhood overlap ratio (Fig 3b), color-read reuse
+// distances, hot-vertex read share and block locality — the measurements
+// that motivate each of BitColor's optimizations.
+//
+// Usage:
+//
+//	analyze -dataset CL
+//	analyze -input graph.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bitcolor"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+	"bitcolor/internal/reorder"
+	"bitcolor/internal/trace"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "graph file (edge list or .bcsr)")
+		dataset = flag.String("dataset", "", "synthetic dataset abbreviation")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *input, *dataset, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out *os.File, input, dataset string, seed int64) error {
+	var (
+		g   *bitcolor.Graph
+		err error
+	)
+	switch {
+	case input != "":
+		g, err = bitcolor.LoadGraph(input)
+	case dataset != "":
+		g, err = bitcolor.Generate(dataset, seed)
+	default:
+		return fmt.Errorf("need -input FILE or -dataset ABBREV")
+	}
+	if err != nil {
+		return err
+	}
+
+	stats := graph.ComputeStats(g)
+	fmt.Fprintf(out, "graph: %s\n", stats)
+	labels, comps := graph.ConnectedComponents(g)
+	_ = labels
+	_, degeneracy := graph.KCore(g)
+	fmt.Fprintf(out, "components: %d, degeneracy: %d (greedy needs <= %d colors in smallest-last order)\n",
+		comps, degeneracy, degeneracy+1)
+
+	prepared, _ := reorder.DBG(g)
+	fmt.Fprintf(out, "\nafter DBG reordering (the accelerator's view):\n")
+
+	// §3.1.2 / Fig 3(b): why recency caching fails.
+	series, err := trace.OverlapSeries(prepared, []int{1, 4, 16})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  neighborhood overlap (iv=1/4/16): %.2f%% / %.2f%% / %.2f%% (paper avg: 4.96%%)\n",
+		100*series[0], 100*series[1], 100*series[2])
+	hist := trace.MeasureReuse(prepared)
+	window := int64(prepared.NumVertices()) / 8
+	fmt.Fprintf(out, "  cold reads: %.1f%%; short-reuse (window %d): %.1f%% of reuses\n",
+		100*float64(hist.Cold)/float64(max64(hist.Total, 1)), window,
+		100*hist.ShortReuseFraction(window))
+
+	// §3.2.2: why degree caching works.
+	hot := trace.HotVertexReadShare(prepared, 1.0/8)
+	fmt.Fprintf(out, "  top-1/8 vertices absorb %.1f%% of color reads (HDC capture)\n", 100*hot)
+
+	// §3.2.2(2): why edge sorting + read merge works.
+	reuse := trace.BlockReuse(prepared, mem.ColorsPerBlock)
+	fmt.Fprintf(out, "  consecutive reads sharing a %d-color DRAM block: %.1f%% (MGR capture)\n",
+		mem.ColorsPerBlock, 100*reuse)
+
+	// §3.2.2(3): why pruning works (exactly half the directed edges point
+	// up in index order on a simple symmetric graph).
+	fmt.Fprintf(out, "  prunable neighbor visits (index above source): 50.0%% by construction\n")
+
+	// Spread: how far apart consecutive color reads land.
+	fmt.Fprintf(out, "  access spread (mean |Δindex| / n): %.4f (0=sequential, ~0.33=uniform random)\n",
+		trace.AccessSpread(prepared))
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

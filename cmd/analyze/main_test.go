@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitcolor"
+)
+
+func TestRunDataset(t *testing.T) {
+	if err := run(os.Stdout, "", "EF", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	g, err := bitcolor.Generate("EF", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bcsr")
+	if err := bitcolor.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, path, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(os.Stdout, "", "", 1); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run(os.Stdout, "/nope", "", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// Command benchsuite regenerates the paper's evaluation: every table and
+// figure of §5, printed as aligned text tables with the paper's reported
+// values in the titles for comparison.
+//
+// Usage:
+//
+//	benchsuite                 # full scaled datasets, every experiment
+//	benchsuite -exp fig12      # one experiment
+//	benchsuite -small          # fast reduced datasets
+//	benchsuite -datasets EF,GD # restrict datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bitcolor/internal/experiments"
+	"bitcolor/internal/gen"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.Names(), " | ")+" | all")
+		small    = flag.Bool("small", false, "use the reduced test-size datasets")
+		datasets = flag.String("datasets", "", "comma-separated dataset abbreviations (default: all ten)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		csv      = flag.Bool("csv", false, "emit tables as CSV")
+	)
+	flag.Parse()
+	if err := run(*exp, *small, *datasets, *seed, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, small bool, datasets string, seed int64, csv bool) error {
+	ctx := experiments.NewContext(os.Stdout)
+	if small {
+		ctx = experiments.NewSmallContext(os.Stdout)
+	}
+	ctx.Seed = seed
+	ctx.CSV = csv
+	if datasets != "" {
+		keep := map[string]bool{}
+		for _, a := range strings.Split(datasets, ",") {
+			keep[strings.TrimSpace(strings.ToUpper(a))] = true
+		}
+		var filtered []gen.Dataset
+		for _, d := range ctx.Datasets {
+			if keep[d.Abbrev] {
+				filtered = append(filtered, d)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no datasets match %q", datasets)
+		}
+		ctx.Datasets = filtered
+	}
+
+	start := time.Now()
+	defer func() {
+		fmt.Printf("\ntotal suite time: %v\n", time.Since(start).Round(time.Millisecond))
+	}()
+
+	if exp == "all" {
+		return experiments.RunAll(ctx)
+	}
+	runner, ok := experiments.RunnerRegistry()[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (have: %s)", exp, strings.Join(experiments.Names(), ", "))
+	}
+	return runner(ctx)
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("fig14", true, "", 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithDatasetFilter(t *testing.T) {
+	if err := run("table4", true, "EF,RC", 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run("fig14", true, "", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nonsense", true, "", 1, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run("fig14", true, "ZZ", 1, false); err == nil {
+		t.Fatal("empty dataset filter accepted")
+	}
+}

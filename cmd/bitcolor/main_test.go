@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bitcolor"
+)
+
+func TestRunSoftwareEngine(t *testing.T) {
+	if err := run("", "EF", "bitwise", 0, 0, 1024, 1, false, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAcceleratorEngine(t *testing.T) {
+	if err := run("", "EF", "accelerator", 4, 0, 1024, 1, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit cache size.
+	if err := run("", "EF", "accelerator", 2, 512, 1024, 1, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	g, err := bitcolor.Generate("EF", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bcsr")
+	if err := bitcolor.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", "greedy", 0, 0, 1024, 1, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoPreprocess(t *testing.T) {
+	if err := run("", "EF", "dsatur", 0, 0, 1024, 1, true, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tl.csv")
+	if err := run("", "EF", "accelerator", 2, 512, 1024, 1, false, false, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "pe,vertex,start,end") {
+		t.Fatal("timeline CSV malformed")
+	}
+}
+
+func TestRunColorsOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "colors.txt")
+	if err := run("", "EF", "bitwise", 0, 0, 1024, 1, false, false, "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "0 ") {
+		t.Fatalf("colors file malformed: %q", string(data[:10]))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "bitwise", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run("x.txt", "EF", "bitwise", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+		t.Fatal("both input and dataset accepted")
+	}
+	if err := run("", "EF", "quantum", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	if err := run("", "XX", "bitwise", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+	if err := run("/nonexistent/file.txt", "", "bitwise", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

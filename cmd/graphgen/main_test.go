@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bitcolor"
+)
+
+func TestRunNamedDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ef.bcsr")
+	if err := run("EF", out, dir, 1, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bitcolor.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty graph written")
+	}
+}
+
+func TestRunEdgeListOutput(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ef.txt")
+	if err := run("EF", out, dir, 1, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bitcolor.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges written")
+	}
+}
+
+func TestRunRMAT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rmat.bcsr")
+	if err := run("", out, ".", 3, 8, 6); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bitcolor.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 {
+		t.Fatalf("rmat scale 8 vertices = %d", g.NumVertices())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", ".", 1, 0, 8); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+	if err := run("", "", ".", 1, 5, 8); err == nil {
+		t.Fatal("rmat without out accepted")
+	}
+	if err := run("XX", "x.bcsr", ".", 1, 0, 8); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func TestMainPackageCompiles(t *testing.T) {
+	// Guards against accidentally breaking the flag wiring; main itself
+	// is exercised via `go build`.
+	if os.Getenv("NEVER_SET") == "1" {
+		main()
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all ten full-size datasets")
+	}
+	dir := t.TempDir()
+	if err := run("all", "", dir, 1, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	for _, abbrev := range bitcolor.Datasets() {
+		path := filepath.Join(dir, strings.ToLower(abbrev)+".bcsr")
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("%s not written: %v", abbrev, err)
+		}
+	}
+}
+
+func TestWriteErrorPropagates(t *testing.T) {
+	if err := run("EF", "/nonexistent-dir/x.bcsr", ".", 1, 0, 8); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

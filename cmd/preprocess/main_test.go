@@ -1,0 +1,57 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bitcolor"
+)
+
+func TestRunDatasetWithTiming(t *testing.T) {
+	if err := run("", "EF", "", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dbg.bcsr")
+	if err := run("", "EF", out, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bitcolor.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty output")
+	}
+	// The written graph must carry the DBG invariant.
+	for v := 1; v < g.NumVertices(); v++ {
+		if g.Degree(bitcolor.VertexID(v)) > g.Degree(bitcolor.VertexID(v-1)) {
+			t.Fatal("output not degree-descending")
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	g, err := bitcolor.Generate("EF", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "in.bcsr")
+	if err := bitcolor.SaveGraph(in, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", "", 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", 1, false); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run("/nope.txt", "", "", 1, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

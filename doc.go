@@ -1,0 +1,29 @@
+// Package bitcolor is a pure-Go reproduction of BitColor (Fan et al.,
+// ICPP 2023): an FPGA accelerator for large-scale greedy graph coloring
+// built on parallel bit-wise processing engines.
+//
+// The package offers three levels of use:
+//
+//   - Software coloring. Color runs any of the implemented algorithms —
+//     the paper's basic greedy (Algorithm 1) and bit-wise greedy
+//     (Algorithm 2), plus DSATUR, Welsh–Powell, smallest-last,
+//     Jones–Plassmann and Luby-MIS baselines — on a CSR graph.
+//
+//   - Accelerator simulation. Simulate runs the full BitColor design on
+//     a cycle-approximate discrete-event model: parallel BWPEs, the
+//     multi-port high-degree vertex cache, per-engine DRAM channels with
+//     read merging, the data conflict table and the degree-aware task
+//     dispatcher. Every paper optimization (HDC, BWC, MGR, PUV) can be
+//     toggled.
+//
+//   - Evaluation. The cmd/benchsuite binary and the benchmarks in
+//     bench_test.go regenerate every table and figure of the paper's
+//     evaluation section; EXPERIMENTS.md records paper-vs-measured.
+//
+// A minimal session:
+//
+//	g, _ := bitcolor.Generate("GD", 1)          // synthetic gemsec-Deezer stand-in
+//	g, _ = bitcolor.Preprocess(g)               // DBG reorder + edge sort
+//	res, _ := bitcolor.Simulate(g, bitcolor.DefaultSimConfig(16))
+//	fmt.Println(res.NumColors, res.TotalCycles, res.MCVps)
+package bitcolor

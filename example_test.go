@@ -1,0 +1,39 @@
+package bitcolor_test
+
+import (
+	"fmt"
+
+	"bitcolor"
+)
+
+// ExampleColor colors a small scheduling conflict graph.
+func ExampleColor() {
+	g, _ := bitcolor.NewGraph(4, []bitcolor.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0},
+	})
+	res, _ := bitcolor.Color(g, bitcolor.ColorOptions{Engine: bitcolor.EngineBitwise})
+	fmt.Println("colors used:", res.NumColors)
+	// Output: colors used: 2
+}
+
+// ExampleSimulate runs the accelerator on a triangle.
+func ExampleSimulate() {
+	g, _ := bitcolor.NewGraph(3, []bitcolor.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+	})
+	cfg := bitcolor.DefaultSimConfig(2)
+	res, _ := bitcolor.Simulate(g, cfg)
+	fmt.Println("colors:", res.NumColors, "proper:", bitcolor.Verify(g, res.Colors) == nil)
+	// Output: colors: 3 proper: true
+}
+
+// ExampleNewDynamic maintains a coloring online.
+func ExampleNewDynamic() {
+	d := bitcolor.NewDynamic(8)
+	a, b, c := d.AddVertex(), d.AddVertex(), d.AddVertex()
+	_ = d.AddEdge(a, b)
+	_ = d.AddEdge(b, c)
+	_ = d.AddEdge(a, c) // closing the triangle forces a third color
+	fmt.Println("colors in use:", d.NumColorsInUse())
+	// Output: colors in use: 3
+}

@@ -1,0 +1,60 @@
+// Quickstart: generate a graph, preprocess it, color it three ways —
+// software basic greedy, software bit-wise greedy, and the simulated
+// BitColor accelerator — and check the results agree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bitcolor"
+)
+
+func main() {
+	// A gemsec-Deezer-like social network stand-in (~24K vertices).
+	g, err := bitcolor.Generate("GD", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d undirected edges\n",
+		g.NumVertices(), g.UndirectedEdgeCount())
+
+	// BitColor's preprocessing: degree-based-grouping reorder + edge sort.
+	prepared, err := bitcolor.Preprocess(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Software: the paper's Algorithm 1.
+	basic, err := bitcolor.Color(prepared, bitcolor.ColorOptions{Engine: bitcolor.EngineGreedy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("basic greedy:   %d colors\n", basic.NumColors)
+
+	// Software: the paper's Algorithm 2 (bit-wise, with pruning).
+	bw, err := bitcolor.Color(prepared, bitcolor.ColorOptions{Engine: bitcolor.EngineBitwise})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bit-wise greedy: %d colors (Stage 1 in O(1))\n", bw.NumColors)
+
+	// Hardware: the full accelerator at 8 engines.
+	cfg := bitcolor.DefaultSimConfig(8)
+	cfg.CacheVertices = prepared.NumVertices() // graph fits the 512K cache
+	sim, err := bitcolor.Simulate(prepared, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accelerator:    %d colors in %d cycles (%.2f MCV/s at 200 MHz)\n",
+		sim.NumColors, sim.TotalCycles, sim.MCVps)
+
+	// All three agree vertex by vertex: the hardware implements the exact
+	// greedy semantics.
+	for v := range basic.Colors {
+		if basic.Colors[v] != bw.Colors[v] || bw.Colors[v] != sim.Colors[v] {
+			log.Fatalf("vertex %d: results disagree", v)
+		}
+	}
+	fmt.Println("all three colorings are identical ✓")
+}

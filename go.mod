@@ -1,0 +1,3 @@
+module bitcolor
+
+go 1.22

@@ -1,0 +1,177 @@
+// Package bitops provides the bit-level primitives behind BitColor's
+// bit-wise processing engines: a dynamic bit set used as the color state
+// vector, the one-cycle first-free-color operation
+// (^state) & (state + 1), and the Num2Bit / Bit2Num conversion tables that
+// the hardware uses to move between 16-bit color numbers and one-hot color
+// bit strings (paper §3.2.1, Fig 4).
+package bitops
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// BitSet is a growable bit vector. The zero value is an empty set.
+//
+// In BitColor a BitSet models the color-state register of one bit-wise
+// processing engine: bit i set means color i is already used by a colored
+// neighbor of the vertex currently being processed.
+type BitSet struct {
+	words []uint64
+}
+
+// NewBitSet returns a BitSet with capacity for at least n bits, all zero.
+func NewBitSet(n int) *BitSet {
+	if n < 0 {
+		n = 0
+	}
+	return &BitSet{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// grow ensures bit index i is addressable.
+func (b *BitSet) grow(i int) {
+	need := i/wordBits + 1
+	if need <= len(b.words) {
+		return
+	}
+	w := make([]uint64, need)
+	copy(w, b.words)
+	b.words = w
+}
+
+// Set sets bit i to 1.
+func (b *BitSet) Set(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitops: Set negative index %d", i))
+	}
+	b.grow(i)
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0.
+func (b *BitSet) Clear(i int) {
+	if i < 0 || i/wordBits >= len(b.words) {
+		return
+	}
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is 1.
+func (b *BitSet) Test(i int) bool {
+	if i < 0 || i/wordBits >= len(b.words) {
+		return false
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset clears every bit while keeping capacity. This models the single-
+// cycle register clear between vertices in the BWPE (as opposed to the
+// O(colors) flag-array wipe of the basic algorithm).
+func (b *BitSet) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// OrWith ors other into b, growing b as needed. This is the Stage-0
+// Bit-OR accumulation: Color_state = a1 | a2 | ... | an.
+func (b *BitSet) OrWith(other *BitSet) {
+	if len(other.words) > len(b.words) {
+		b.grow(len(other.words)*wordBits - 1)
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// OrBit sets bit i; it is OrWith with a one-hot operand and is the common
+// fast path when the neighbor color arrives as a color number.
+func (b *BitSet) OrBit(i int) { b.Set(i) }
+
+// FirstZero returns the index of the lowest zero bit, i.e. the first free
+// color under the greedy strategy. It is the software rendering of the
+// paper's one-cycle Color_result = (~Color_state) & (Color_state + 1):
+// per 64-bit word, ^w & (w+1) isolates the lowest zero bit.
+func (b *BitSet) FirstZero() int {
+	for i, w := range b.words {
+		if w != ^uint64(0) {
+			// ^w & (w+1) is one-hot at the lowest zero bit of w.
+			isolated := ^w & (w + 1)
+			return i*wordBits + bits.TrailingZeros64(isolated)
+		}
+	}
+	return len(b.words) * wordBits
+}
+
+// Count returns the number of set bits.
+func (b *BitSet) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Len returns the current bit capacity.
+func (b *BitSet) Len() int { return len(b.words) * wordBits }
+
+// Clone returns a deep copy.
+func (b *BitSet) Clone() *BitSet {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &BitSet{words: w}
+}
+
+// Equal reports whether two bit sets contain the same bits (capacity is
+// ignored; trailing zero words compare equal).
+func (b *BitSet) Equal(other *BitSet) bool {
+	long, short := b.words, other.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if long[i] != w {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as the positions of set bits, e.g. "{0,3,17}".
+func (b *BitSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for i, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&sb, "%d", i*wordBits+bit)
+			w &= w - 1
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// FirstFree64 is the raw single-word form of the paper's Stage-1 operation
+// for color states that fit in 64 bits: it returns the one-hot isolation of
+// the lowest zero bit, exactly (~state) & (state + 1).
+func FirstFree64(state uint64) uint64 { return ^state & (state + 1) }
+
+// FirstFreeIndex64 returns the index of the lowest zero bit of state
+// (64 if state is all ones).
+func FirstFreeIndex64(state uint64) int {
+	return bits.TrailingZeros64(FirstFree64(state))
+}

@@ -1,0 +1,263 @@
+package bitops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetSetTestClear(t *testing.T) {
+	b := NewBitSet(10)
+	if b.Test(3) {
+		t.Fatal("fresh bitset has bit 3 set")
+	}
+	b.Set(3)
+	if !b.Test(3) {
+		t.Fatal("bit 3 not set after Set")
+	}
+	b.Clear(3)
+	if b.Test(3) {
+		t.Fatal("bit 3 still set after Clear")
+	}
+}
+
+func TestBitSetGrowsOnSet(t *testing.T) {
+	b := NewBitSet(0)
+	b.Set(1000)
+	if !b.Test(1000) {
+		t.Fatal("bit 1000 not set after growth")
+	}
+	if b.Test(999) || b.Test(1001) {
+		t.Fatal("adjacent bits spuriously set")
+	}
+}
+
+func TestBitSetTestOutOfRange(t *testing.T) {
+	b := NewBitSet(8)
+	if b.Test(-1) || b.Test(1<<20) {
+		t.Fatal("out-of-range Test must report false")
+	}
+	b.Clear(1 << 20) // must not panic or grow
+	if b.Len() > 64 {
+		t.Fatal("Clear grew the set")
+	}
+}
+
+func TestBitSetSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1) did not panic")
+		}
+	}()
+	NewBitSet(4).Set(-1)
+}
+
+func TestFirstZero(t *testing.T) {
+	cases := []struct {
+		set  []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{0}, 1},
+		{[]int{0, 1, 2}, 3},
+		{[]int{1, 2, 3}, 0},
+		{[]int{0, 1, 3}, 2},
+	}
+	for _, c := range cases {
+		b := NewBitSet(8)
+		for _, i := range c.set {
+			b.Set(i)
+		}
+		if got := b.FirstZero(); got != c.want {
+			t.Errorf("set %v: FirstZero = %d, want %d", c.set, got, c.want)
+		}
+	}
+}
+
+func TestFirstZeroFullWordBoundary(t *testing.T) {
+	b := NewBitSet(128)
+	for i := 0; i < 64; i++ {
+		b.Set(i)
+	}
+	if got := b.FirstZero(); got != 64 {
+		t.Fatalf("FirstZero across word boundary = %d, want 64", got)
+	}
+	b.Set(64)
+	b.Set(65)
+	if got := b.FirstZero(); got != 66 {
+		t.Fatalf("FirstZero = %d, want 66", got)
+	}
+}
+
+func TestFirstZeroAllOnes(t *testing.T) {
+	b := NewBitSet(64)
+	for i := 0; i < 64; i++ {
+		b.Set(i)
+	}
+	if got := b.FirstZero(); got != 64 {
+		t.Fatalf("FirstZero on saturated set = %d, want capacity 64", got)
+	}
+}
+
+func TestOrWith(t *testing.T) {
+	a := NewBitSet(8)
+	a.Set(1)
+	b := NewBitSet(256)
+	b.Set(200)
+	a.OrWith(b)
+	if !a.Test(1) || !a.Test(200) {
+		t.Fatal("OrWith lost bits")
+	}
+	if !b.Test(200) || b.Test(1) {
+		t.Fatal("OrWith mutated operand")
+	}
+}
+
+func TestResetKeepsCapacity(t *testing.T) {
+	b := NewBitSet(256)
+	b.Set(200)
+	n := b.Len()
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+	if b.Len() != n {
+		t.Fatal("Reset changed capacity")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewBitSet(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Test(6) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Test(5) {
+		t.Fatal("Clone lost bit 5")
+	}
+}
+
+func TestEqualIgnoresCapacity(t *testing.T) {
+	a := NewBitSet(8)
+	b := NewBitSet(1024)
+	a.Set(3)
+	b.Set(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("equal sets with different capacity compare unequal")
+	}
+	b.Set(700)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("unequal sets compare equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := NewBitSet(8)
+	b.Set(0)
+	b.Set(3)
+	if got := b.String(); got != "{0,3}" {
+		t.Fatalf("String = %q, want {0,3}", got)
+	}
+	if got := NewBitSet(8).String(); got != "{}" {
+		t.Fatalf("empty String = %q, want {}", got)
+	}
+}
+
+func TestFirstFree64(t *testing.T) {
+	cases := []struct {
+		state uint64
+		want  int
+	}{
+		{0, 0},
+		{0b1, 1},
+		{0b11, 2},
+		{0b1011, 2},
+		{^uint64(0), 64},
+		{^uint64(0) >> 1, 63},
+	}
+	for _, c := range cases {
+		if got := FirstFreeIndex64(c.state); got != c.want {
+			t.Errorf("FirstFreeIndex64(%b) = %d, want %d", c.state, got, c.want)
+		}
+		if c.want < 64 {
+			if oh := FirstFree64(c.state); oh != 1<<uint(c.want) {
+				t.Errorf("FirstFree64(%b) = %b, not one-hot at %d", c.state, oh, c.want)
+			}
+		}
+	}
+}
+
+// Property: FirstZero agrees with a naive linear scan.
+func TestFirstZeroMatchesNaive(t *testing.T) {
+	f := func(words []uint64) bool {
+		if len(words) > 8 {
+			words = words[:8]
+		}
+		b := &BitSet{words: append([]uint64(nil), words...)}
+		naive := 0
+		for naive < len(words)*64 && b.Test(naive) {
+			naive++
+		}
+		return b.FirstZero() == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Or of two sets contains exactly the union of their bits.
+func TestOrWithIsUnion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := NewBitSet(0), NewBitSet(0)
+		member := map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x))
+			member[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			member[int(y)] = true
+		}
+		a.OrWith(b)
+		for i := range member {
+			if !a.Test(i) {
+				return false
+			}
+		}
+		return a.Count() == len(member)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFirstZero(b *testing.B) {
+	s := NewBitSet(1024)
+	for i := 0; i < 777; i++ {
+		s.Set(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.FirstZero() != 777 {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+func BenchmarkNaiveFirstZero(b *testing.B) {
+	s := NewBitSet(1024)
+	for i := 0; i < 777; i++ {
+		s.Set(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j := 0
+		for s.Test(j) {
+			j++
+		}
+		if j != 777 {
+			b.Fatal("wrong answer")
+		}
+	}
+}

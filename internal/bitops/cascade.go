@@ -1,0 +1,107 @@
+package bitops
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CascadedCompressor is the structural model of the paper's Bit Color
+// Compression Scheme (Fig 4): a one-hot color bit string is compressed
+// to its color number by three cascaded multiplexer stages instead of a
+// logarithm LUT. Each stage selects the non-zero group among its inputs
+// and emits the group index bits; the concatenated indices form the
+// color number.
+//
+// For the paper's 1024-bit strings the stages split as
+// 1024 → 8×128 → 128 → 8×16 → 16 → 16×1, producing 3 + 3 + 4 = 10 index
+// bits in three pipeline cycles. The functional Compress in ColorCodec
+// is the behavioural shortcut; this type exists to validate the
+// hardware scheme and to account its exact structure (mux counts for
+// the resource model).
+type CascadedCompressor struct {
+	width int // total bits, a power of two >= 64
+	// stage group widths: stage1 selects among width/128 groups of 128
+	// (generalized below), etc.
+	groups [3]int
+}
+
+// NewCascadedCompressor builds a compressor for one-hot strings of the
+// given width. Width must be a power of two between 8 and 65536.
+func NewCascadedCompressor(width int) *CascadedCompressor {
+	if width < 8 || width > 65536 || bits.OnesCount(uint(width)) != 1 {
+		panic(fmt.Sprintf("bitops: cascade width %d must be a power of two in [8,65536]", width))
+	}
+	c := &CascadedCompressor{width: width}
+	// Split the log2(width) index bits into three near-equal fields,
+	// matching Fig 4's three mux stages.
+	total := bits.Len(uint(width)) - 1 // log2(width)
+	base := total / 3
+	rem := total % 3
+	for i := 0; i < 3; i++ {
+		c.groups[i] = base
+		if i < rem {
+			c.groups[i]++
+		}
+	}
+	return c
+}
+
+// StageBits returns the index bits produced by each of the three stages.
+func (c *CascadedCompressor) StageBits() [3]int { return c.groups }
+
+// MuxCount returns the number of 2:1-equivalent multiplexers the cascade
+// needs, for the resource model: each stage selecting among 2^k groups of
+// w bits costs (2^k - 1) * w two-input muxes.
+func (c *CascadedCompressor) MuxCount() int64 {
+	var total int64
+	w := c.width
+	for _, k := range c.groups {
+		groupCount := 1 << uint(k)
+		groupWidth := w / groupCount
+		total += int64(groupCount-1) * int64(groupWidth)
+		w = groupWidth
+	}
+	return total
+}
+
+// Compress converts a one-hot bit string to its color number by walking
+// the three stages exactly as the hardware does, returning the color
+// number (1-based) and the stage cycle count (always CompressCycles).
+// It panics on non-one-hot input like ColorCodec.Compress.
+func (c *CascadedCompressor) Compress(state *BitSet) (uint16, int) {
+	// Materialize the one-hot string into a local word view of exactly
+	// `width` bits, verifying one-hotness on the way.
+	idx := -1
+	for i, w := range state.words {
+		if w == 0 {
+			continue
+		}
+		if idx != -1 || w&(w-1) != 0 {
+			panic("bitops: cascade input is not one-hot")
+		}
+		idx = i*wordBits + bits.TrailingZeros64(w)
+	}
+	if idx == -1 {
+		panic("bitops: cascade input is zero")
+	}
+	if idx >= c.width {
+		panic(fmt.Sprintf("bitops: one-hot bit %d exceeds cascade width %d", idx, c.width))
+	}
+	// Stage walk: at each stage the remaining window is divided into
+	// 2^k groups; the group holding the hot bit contributes its index
+	// bits (MSB-first fields), and the window narrows to that group.
+	number := 0
+	lo, hi := 0, c.width
+	for _, k := range c.groups {
+		groupCount := 1 << uint(k)
+		groupWidth := (hi - lo) / groupCount
+		group := (idx - lo) / groupWidth
+		number = number<<uint(k) | group
+		lo += group * groupWidth
+		hi = lo + groupWidth
+	}
+	if hi-lo != 1 || lo != idx {
+		panic("bitops: cascade stage walk lost the hot bit")
+	}
+	return uint16(number + 1), CompressCycles
+}

@@ -1,0 +1,108 @@
+package bitops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCascadeMatchesFunctionalCompress(t *testing.T) {
+	for _, width := range []int{8, 64, 256, 1024} {
+		cas := NewCascadedCompressor(width)
+		codec := NewColorCodec(width)
+		for num := uint16(1); int(num) <= width; num++ {
+			oh := codec.OneHot(num)
+			got, cycles := cas.Compress(oh)
+			if got != num {
+				t.Fatalf("width %d: cascade(%d) = %d", width, num, got)
+			}
+			if cycles != CompressCycles {
+				t.Fatalf("cycles = %d", cycles)
+			}
+		}
+	}
+}
+
+func TestCascadeStageBitsSumToLog(t *testing.T) {
+	cases := map[int][3]int{
+		1024: {4, 3, 3}, // 10 bits: the paper's 1024-color configuration
+		64:   {2, 2, 2},
+		256:  {3, 3, 2},
+	}
+	for width, want := range cases {
+		c := NewCascadedCompressor(width)
+		if c.StageBits() != want {
+			t.Errorf("width %d: stage bits %v, want %v", width, c.StageBits(), want)
+		}
+	}
+}
+
+func TestCascadeMuxCount(t *testing.T) {
+	// 1024 bits, stages 16/8/8: (16-1)*64 + (8-1)*8 + (8-1)*1 = 1023
+	// 2:1-mux equivalents — exactly width-1, the information-theoretic
+	// floor for a full selection tree.
+	c := NewCascadedCompressor(1024)
+	if got := c.MuxCount(); got != 1023 {
+		t.Fatalf("mux count = %d, want 1023", got)
+	}
+}
+
+func TestCascadeRejectsBadInput(t *testing.T) {
+	c := NewCascadedCompressor(64)
+	for name, build := range map[string]func() *BitSet{
+		"zero":    func() *BitSet { return NewBitSet(64) },
+		"two":     func() *BitSet { b := NewBitSet(64); b.Set(1); b.Set(5); return b },
+		"outside": func() *BitSet { b := NewBitSet(128); b.Set(100); return b },
+	} {
+		b := build()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s input did not panic", name)
+				}
+			}()
+			c.Compress(b)
+		}()
+	}
+}
+
+func TestCascadeRejectsBadWidth(t *testing.T) {
+	for _, w := range []int{0, 7, 100, 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d accepted", w)
+				}
+			}()
+			NewCascadedCompressor(w)
+		}()
+	}
+}
+
+// Property: cascade and codec agree for random one-hot positions at the
+// paper's width.
+func TestCascadeAgreesWithCodecProperty(t *testing.T) {
+	cas := NewCascadedCompressor(1024)
+	codec := NewColorCodec(1024)
+	f := func(raw uint16) bool {
+		num := raw%1024 + 1
+		oh := codec.OneHot(num)
+		a, _ := cas.Compress(oh)
+		b, _ := codec.Compress(oh)
+		return a == num && b == num
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCascadeCompress(b *testing.B) {
+	cas := NewCascadedCompressor(1024)
+	codec := NewColorCodec(1024)
+	oh := codec.OneHot(777)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got, _ := cas.Compress(oh); got != 777 {
+			b.Fatal("wrong")
+		}
+	}
+}

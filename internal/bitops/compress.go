@@ -1,0 +1,132 @@
+package bitops
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// The paper stores vertex colors in memory as 16-bit color *numbers*
+// (only 10 bits used for the maximum of 1024 colors) and processes them in
+// the BWPE as one-hot color *bit strings*. Two converters bridge the
+// representations:
+//
+//   - Num2Bit (decompression): a 1024-entry BRAM look-up table mapping a
+//     color number to its one-hot bit string (Table 1). One cycle.
+//   - Bit2Num (compression): a logarithm; the paper replaces the
+//     too-large LUT / slow loop with three cascaded multiplexer stages
+//     exploiting that exactly one bit is set (Fig 4). Three cycles.
+//
+// ColorCodec models both, including the cycle costs, so the simulator can
+// charge the same latencies as the hardware.
+
+// Codec cycle costs from the paper (§3.2.1 and §4.2).
+const (
+	// DecompressCycles is the Num2Bit BRAM lookup latency.
+	DecompressCycles = 1
+	// CompressCycles is the latency of the three cascaded multiplexers in
+	// the Bit Color Compression scheme (Fig 4).
+	CompressCycles = 3
+)
+
+// ColorNone is the color number of an uncolored vertex. The paper encodes
+// "uncolored" as bit string 0 (e.g. vertex 5 contributes 4'b0000 in Fig 1),
+// so color numbers are 1-based: number c corresponds to one-hot bit c-1.
+const ColorNone = 0
+
+// ColorCodec converts between 16-bit color numbers and one-hot bit strings
+// for up to MaxColors colors. It is the software model of the Num2Bit BRAM
+// table plus the cascaded-mux compressor.
+type ColorCodec struct {
+	maxColors int
+	// num2bit[c] is the one-hot word-index/bit pair for color number c.
+	// We precompute it to mirror the BRAM LUT (index 0 = uncolored = all
+	// zeros).
+	num2bit []onehot
+}
+
+type onehot struct {
+	word int
+	mask uint64
+}
+
+// NewColorCodec builds a codec for color numbers 1..maxColors.
+func NewColorCodec(maxColors int) *ColorCodec {
+	if maxColors <= 0 {
+		panic(fmt.Sprintf("bitops: NewColorCodec maxColors %d <= 0", maxColors))
+	}
+	c := &ColorCodec{
+		maxColors: maxColors,
+		num2bit:   make([]onehot, maxColors+1),
+	}
+	for n := 1; n <= maxColors; n++ {
+		bit := n - 1
+		c.num2bit[n] = onehot{word: bit / wordBits, mask: 1 << (uint(bit) % wordBits)}
+	}
+	return c
+}
+
+// MaxColors returns the number of distinct colors the codec supports.
+func (c *ColorCodec) MaxColors() int { return c.maxColors }
+
+// Decompress ors the one-hot bit string for color number num into state
+// (the Stage-0 Bit-OR) and returns the cycle cost of the operation. An
+// uncolored neighbor (num == ColorNone) contributes nothing but still costs
+// the lookup cycle, as in hardware.
+func (c *ColorCodec) Decompress(num uint16, state *BitSet) int {
+	if int(num) > c.maxColors {
+		panic(fmt.Sprintf("bitops: color number %d exceeds max %d", num, c.maxColors))
+	}
+	if num != ColorNone {
+		oh := c.num2bit[num]
+		state.grow(oh.word*wordBits + wordBits - 1)
+		state.words[oh.word] |= oh.mask
+	}
+	return DecompressCycles
+}
+
+// OneHot returns the one-hot bit string of color number num as a fresh
+// BitSet. Used by tests and by the data-conflict-table forwarding path,
+// where results move between BWPEs in bit form.
+func (c *ColorCodec) OneHot(num uint16) *BitSet {
+	b := NewBitSet(c.maxColors)
+	if num != ColorNone {
+		c.Decompress(num, b)
+	}
+	return b
+}
+
+// Compress converts a one-hot color bit string back to its color number,
+// modeling the three-stage cascaded multiplexer of Fig 4. It returns the
+// color number and the cycle cost. It panics if the input is not one-hot:
+// the hardware scheme relies on exactly one set bit.
+func (c *ColorCodec) Compress(onehotState *BitSet) (uint16, int) {
+	idx := -1
+	for i, w := range onehotState.words {
+		if w == 0 {
+			continue
+		}
+		if idx != -1 || w&(w-1) != 0 {
+			panic("bitops: Compress input is not one-hot")
+		}
+		idx = i*wordBits + bits.TrailingZeros64(w)
+	}
+	if idx == -1 {
+		panic("bitops: Compress input is zero")
+	}
+	if idx >= c.maxColors {
+		panic(fmt.Sprintf("bitops: one-hot bit %d exceeds max colors %d", idx, c.maxColors))
+	}
+	return uint16(idx + 1), CompressCycles
+}
+
+// FirstFree returns the color number of the first unused color in state and
+// the cycle cost of Stage 1 under the bit-wise scheme: one cycle for the
+// AND/NOT isolation plus the compression cost. It is the end-to-end model
+// of Algorithm 2's Stage 1.
+func (c *ColorCodec) FirstFree(state *BitSet) (uint16, int) {
+	idx := state.FirstZero()
+	if idx >= c.maxColors {
+		return 0, 1 // palette exhausted; callers treat 0 as failure
+	}
+	return uint16(idx + 1), 1 + CompressCycles
+}

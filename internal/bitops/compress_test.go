@@ -1,0 +1,150 @@
+package bitops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := NewColorCodec(1024)
+	for num := uint16(1); num <= 1024; num++ {
+		oh := c.OneHot(num)
+		if oh.Count() != 1 {
+			t.Fatalf("OneHot(%d) has %d bits set", num, oh.Count())
+		}
+		if !oh.Test(int(num) - 1) {
+			t.Fatalf("OneHot(%d) bit position wrong: %s", num, oh)
+		}
+		back, cycles := c.Compress(oh)
+		if back != num {
+			t.Fatalf("Compress(OneHot(%d)) = %d", num, back)
+		}
+		if cycles != CompressCycles {
+			t.Fatalf("Compress cycles = %d, want %d", cycles, CompressCycles)
+		}
+	}
+}
+
+func TestDecompressUncolored(t *testing.T) {
+	c := NewColorCodec(16)
+	state := NewBitSet(16)
+	cycles := c.Decompress(ColorNone, state)
+	if state.Count() != 0 {
+		t.Fatal("uncolored neighbor contributed bits")
+	}
+	if cycles != DecompressCycles {
+		t.Fatalf("Decompress cycles = %d, want %d", cycles, DecompressCycles)
+	}
+}
+
+func TestDecompressAccumulates(t *testing.T) {
+	// Reproduces the paper's Fig 1 example: neighbors colored green(1),
+	// blue(2), green(1), uncolored → state 0b0011 → first free = red(3).
+	c := NewColorCodec(16)
+	state := NewBitSet(16)
+	for _, n := range []uint16{1, 2, 1, ColorNone} {
+		c.Decompress(n, state)
+	}
+	if state.String() != "{0,1}" {
+		t.Fatalf("state = %s, want {0,1}", state)
+	}
+	got, cycles := c.FirstFree(state)
+	if got != 3 {
+		t.Fatalf("FirstFree = %d, want 3 (red)", got)
+	}
+	if cycles != 1+CompressCycles {
+		t.Fatalf("FirstFree cycles = %d, want %d", cycles, 1+CompressCycles)
+	}
+}
+
+func TestFirstFreeEmptyState(t *testing.T) {
+	c := NewColorCodec(8)
+	got, _ := c.FirstFree(NewBitSet(8))
+	if got != 1 {
+		t.Fatalf("first color of isolated vertex = %d, want 1", got)
+	}
+}
+
+func TestFirstFreePaletteExhausted(t *testing.T) {
+	c := NewColorCodec(4)
+	s := NewBitSet(4)
+	for i := 0; i < 4; i++ {
+		s.Set(i)
+	}
+	got, _ := c.FirstFree(s)
+	if got != 0 {
+		t.Fatalf("exhausted palette FirstFree = %d, want 0", got)
+	}
+}
+
+func TestCompressRejectsNonOneHot(t *testing.T) {
+	c := NewColorCodec(16)
+	for _, build := range []func() *BitSet{
+		func() *BitSet { return NewBitSet(16) },                                // zero
+		func() *BitSet { b := NewBitSet(16); b.Set(0); b.Set(5); return b },    // two bits, one word
+		func() *BitSet { b := NewBitSet(128); b.Set(0); b.Set(100); return b }, // two bits, two words
+	} {
+		b := build()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Compress(%s) did not panic", b)
+				}
+			}()
+			c.Compress(b)
+		}()
+	}
+}
+
+func TestDecompressBeyondMaxPanics(t *testing.T) {
+	c := NewColorCodec(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decompress beyond max did not panic")
+		}
+	}()
+	c.Decompress(9, NewBitSet(8))
+}
+
+// Property: for any set of used color numbers, FirstFree returns the
+// smallest positive number not in the set (or 0 when saturated).
+func TestFirstFreeMatchesNaive(t *testing.T) {
+	const maxColors = 64
+	c := NewColorCodec(maxColors)
+	f := func(used []uint8) bool {
+		state := NewBitSet(maxColors)
+		inUse := map[uint16]bool{}
+		for _, u := range used {
+			num := uint16(u%maxColors) + 1
+			c.Decompress(num, state)
+			inUse[num] = true
+		}
+		want := uint16(0)
+		for n := uint16(1); n <= maxColors; n++ {
+			if !inUse[n] {
+				want = n
+				break
+			}
+		}
+		got, _ := c.FirstFree(state)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecompressFirstFree(b *testing.B) {
+	c := NewColorCodec(1024)
+	state := NewBitSet(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		state.Reset()
+		for n := uint16(1); n <= 32; n++ {
+			c.Decompress(n, state)
+		}
+		if got, _ := c.FirstFree(state); got != 33 {
+			b.Fatal("wrong color")
+		}
+	}
+}

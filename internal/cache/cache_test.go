@@ -1,0 +1,229 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bitcolor/internal/mem"
+)
+
+func TestBitSelectReadWrite(t *testing.T) {
+	c := NewBitSelectCache(4, 64)
+	// Port wp writes addresses wp, wp+4, wp+8, ... per the schedule.
+	for wp := 0; wp < 4; wp++ {
+		for k := 0; k < 16; k++ {
+			addr := wp + 4*k
+			c.Write(wp, addr, uint16(addr+100))
+		}
+	}
+	for rp := 0; rp < 4; rp++ {
+		for addr := 0; addr < 64; addr++ {
+			if got := c.Read(rp, addr); got != uint16(addr+100) {
+				t.Fatalf("Read(rp=%d, %d) = %d, want %d", rp, addr, got, addr+100)
+			}
+		}
+	}
+}
+
+func TestBitSelectSchedulingInvariant(t *testing.T) {
+	c := NewBitSelectCache(4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invariant violation not caught")
+		}
+	}()
+	c.Write(0, 1, 7) // addr%4 = 1 != port 0
+}
+
+func TestBitSelectBoundsChecks(t *testing.T) {
+	c := NewBitSelectCache(2, 8)
+	for _, f := range []func(){
+		func() { c.Write(-1, 0, 1) },
+		func() { c.Write(2, 0, 1) },
+		func() { c.Write(0, 8, 1) },
+		func() { c.Read(-1, 0) },
+		func() { c.Read(0, -1) },
+		func() { c.Read(0, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bounds violation not caught")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBitSelectRequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("P=3 accepted")
+		}
+	}()
+	NewBitSelectCache(3, 8)
+}
+
+func TestLVTArbitraryWrites(t *testing.T) {
+	c := NewLVTCache(4, 32)
+	// Any port can write any address; last write wins.
+	c.Write(3, 5, 11)
+	c.Write(0, 5, 22)
+	if got := c.Read(2, 5); got != 22 {
+		t.Fatalf("Read = %d, want 22 (last write)", got)
+	}
+	if c.LastWriter(5) != 0 {
+		t.Fatalf("LVT records writer %d, want 0", c.LastWriter(5))
+	}
+}
+
+// The §4.4 cost claim: the proposed cache is 2/P of the LVT cache's BRAM.
+func TestBRAMCostRatio(t *testing.T) {
+	const depth = 1 << 16
+	for _, p := range []int{2, 4, 8, 16} {
+		bs := NewBitSelectCache(p, depth)
+		lvt := NewLVTCache(p, depth)
+		// Ignore the LVT's own table bits for the ratio check.
+		lvtData := int64(p) * int64(p) * int64(depth) / 4 * mem.ColorBits
+		ratio := float64(bs.BRAMBits()) / float64(lvtData)
+		want := 2.0 / float64(p)
+		if ratio < want*0.99 || ratio > want*1.01 {
+			t.Errorf("P=%d: cost ratio %.4f, want %.4f (=2/P)", p, ratio, want)
+		}
+		if lvt.BRAMBits() <= lvtData {
+			t.Errorf("P=%d: LVT cost must include the LVT table", p)
+		}
+		if bs.ReadLatency() >= lvt.ReadLatency() {
+			t.Errorf("P=%d: bit-select latency %d not below LVT %d",
+				p, bs.ReadLatency(), lvt.ReadLatency())
+		}
+	}
+}
+
+func TestBRAMCostP1NoReplication(t *testing.T) {
+	bs := NewBitSelectCache(1, 1024)
+	if bs.BRAMBits() != 1024*mem.ColorBits {
+		t.Fatalf("P=1 BRAM = %d, want plain D entries", bs.BRAMBits())
+	}
+}
+
+// Property: under the §4.6 schedule, the bit-select cache behaves exactly
+// like a flat array (the LVT cache is the oracle).
+func TestBitSelectMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const p, depth = 8, 256
+		bs := NewBitSelectCache(p, depth)
+		oracle := NewLVTCache(p, depth)
+		for i := 0; i < 500; i++ {
+			addr := rng.Intn(depth)
+			port := addr % p
+			val := uint16(rng.Intn(1 << 16))
+			bs.Write(port, addr, val)
+			oracle.Write(port, addr, val)
+		}
+		for addr := 0; addr < depth; addr++ {
+			if bs.Read(rng.Intn(p), addr) != oracle.Read(0, addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHVCResidency(t *testing.T) {
+	h := NewHVC(NewBitSelectCache(1, 100), 100)
+	if !h.Contains(0) || !h.Contains(99) || h.Contains(100) {
+		t.Fatal("threshold residency wrong")
+	}
+	if ok := h.Write(0, 42, 7); !ok {
+		t.Fatal("resident write failed")
+	}
+	if ok := h.Write(0, 100, 7); ok {
+		t.Fatal("non-resident write accepted")
+	}
+	c, ok := h.Read(0, 42)
+	if !ok || c != 7 {
+		t.Fatalf("Read = (%d,%v), want (7,true)", c, ok)
+	}
+	if _, ok := h.Read(0, 500); ok {
+		t.Fatal("non-resident read hit")
+	}
+	if h.Hits() != 1 || h.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", h.Hits(), h.Misses())
+	}
+	if r := h.HitRate(); r != 0.5 {
+		t.Fatalf("hit rate = %f", r)
+	}
+}
+
+func TestHVCHitRateNoAccesses(t *testing.T) {
+	h := NewHVC(NewBitSelectCache(1, 10), 10)
+	if h.HitRate() != 0 {
+		t.Fatal("hit rate without accesses != 0")
+	}
+}
+
+func TestHVCMultiPortSchedule(t *testing.T) {
+	// P=4 engines writing their own vertices i, i+4, i+8...
+	const p, capacity = 4, 64
+	h := NewHVC(NewBitSelectCache(p, capacity), capacity)
+	for pe := 0; pe < p; pe++ {
+		for v := pe; v < capacity; v += p {
+			if !h.Write(pe, uint32(v), uint16(v+1)) {
+				t.Fatalf("write v=%d failed", v)
+			}
+		}
+	}
+	for pe := 0; pe < p; pe++ {
+		for v := 0; v < capacity; v++ {
+			c, ok := h.Read(pe, uint32(v))
+			if !ok || c != uint16(v+1) {
+				t.Fatalf("pe %d read v=%d = (%d,%v)", pe, v, c, ok)
+			}
+		}
+	}
+}
+
+func TestCoverageRatio(t *testing.T) {
+	edges := []uint32{0, 1, 2, 10, 11, 12}
+	if r := CoverageRatio(nil, edges, 3); r != 0.5 {
+		t.Fatalf("coverage = %f, want 0.5", r)
+	}
+	if r := CoverageRatio(nil, nil, 3); r != 0 {
+		t.Fatal("empty coverage != 0")
+	}
+	if r := CoverageRatio(nil, edges, 100); r != 1 {
+		t.Fatalf("full coverage = %f", r)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := NewBitSelectCache(2, 8)
+	c.Write(0, 0, 1)
+	c.Write(1, 1, 2)
+	c.Read(0, 0)
+	st := c.Stats()
+	if st.Writes != 2 || st.Reads != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func BenchmarkBitSelectRead(b *testing.B) {
+	c := NewBitSelectCache(8, 1<<16)
+	for addr := 0; addr < 1<<16; addr++ {
+		c.Write(addr%8, addr, uint16(addr))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Read(i%8, i&(1<<16-1)) != uint16(i&(1<<16-1)) {
+			b.Fatal("bad read")
+		}
+	}
+}

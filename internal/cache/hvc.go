@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"fmt"
+
+	"bitcolor/internal/mem"
+)
+
+// HVC is the high-degree vertex cache: after DBG reordering, the colors
+// of vertices with index < Threshold live on-chip; everything else lives
+// in DRAM. Unlike a conventional cache there are no tags, no evictions
+// and no misses-by-conflict — the degree threshold statically decides
+// residency, which is what makes the design cheap on FPGA (§3.2.2,
+// Fig 5(b)).
+//
+// The backing store is a MultiPort cache so parallel BWPEs can read
+// concurrently; with P=1 it degenerates to a single dual-port BRAM.
+type HVC struct {
+	threshold uint32 // v_t: vertices with index < threshold are cached
+	store     MultiPort
+	hits      int64
+	misses    int64
+}
+
+// NewHVC builds a high-degree vertex cache holding colors of vertices
+// [0, capacity) using the given multi-port construction. The threshold
+// v_t equals the capacity: the paper fills the cache with the
+// highest-degree (lowest-index) vertices.
+func NewHVC(store MultiPort, capacity int) *HVC {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: HVC capacity %d must be positive", capacity))
+	}
+	return &HVC{threshold: uint32(capacity), store: store}
+}
+
+// Threshold returns v_t, the first vertex index *not* cached.
+func (h *HVC) Threshold() uint32 { return h.threshold }
+
+// Contains reports whether v's color is cached on-chip — the BWPE's
+// Step-4 comparison v_des < v_t.
+func (h *HVC) Contains(v uint32) bool { return v < h.threshold }
+
+// Read returns v's color via read port rp. ok is false on a miss (caller
+// must go to DRAM through the Color Loader).
+func (h *HVC) Read(rp int, v uint32) (color uint16, ok bool) {
+	if !h.Contains(v) {
+		h.misses++
+		return 0, false
+	}
+	h.hits++
+	return h.store.Read(rp, int(v)), true
+}
+
+// Write stores v's color via write port wp; ok is false when v is not
+// cache-resident (caller must write DRAM instead).
+func (h *HVC) Write(wp int, v uint32, color uint16) bool {
+	if !h.Contains(v) {
+		return false
+	}
+	h.store.Write(wp, int(v), color)
+	return true
+}
+
+// HitRate returns hits / (hits + misses); 0 with no accesses.
+func (h *HVC) HitRate() float64 {
+	total := h.hits + h.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(h.hits) / float64(total)
+}
+
+// Hits and Misses expose the raw counters.
+func (h *HVC) Hits() int64   { return h.hits }
+func (h *HVC) Misses() int64 { return h.misses }
+
+// BRAMBits returns the on-chip cost of the cache.
+func (h *HVC) BRAMBits() int64 { return h.store.BRAMBits() }
+
+// ReadLatency returns the store's read latency.
+func (h *HVC) ReadLatency() int64 { return h.store.ReadLatency() }
+
+// CoverageRatio returns, for a degree-descending graph with the given
+// per-vertex degrees implied by offsets, the fraction of directed edges
+// whose destination is cache-resident — an upper bound on the DRAM
+// traffic HDC can remove. Used by experiments to relate cache size to the
+// Fig 11 DRAM reduction.
+func CoverageRatio(offsets []int64, edges []uint32, threshold uint32) float64 {
+	if len(edges) == 0 {
+		return 0
+	}
+	var covered int64
+	for _, d := range edges {
+		if d < threshold {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(edges))
+}
+
+// DefaultCapacityVertices is the paper's single-cache capacity (1 MB of
+// 16-bit colors = 512K vertices).
+const DefaultCapacityVertices = mem.SingleCacheVertices

@@ -1,0 +1,214 @@
+// Package cache implements BitColor's on-chip color storage: the
+// high-degree vertex cache (HVC) that keeps hot color data on-chip
+// (paper §3.2.2), and the two multi-port cache constructions compared in
+// §4.4 — the proposed address-bit-selection design and the Live Value
+// Table (LVT) baseline it replaces.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bitcolor/internal/mem"
+)
+
+// ReadLatencyCycles is the on-chip read latency of the proposed cache.
+const ReadLatencyCycles = 1
+
+// LVTReadLatencyCycles includes the extra LVT indirection read (§4.4:
+// "the read operation needs to check LVT, which ... increases read
+// latency").
+const LVTReadLatencyCycles = 2
+
+// MultiPort is the interface shared by both cache constructions so the
+// simulator and the ablation experiments can swap them.
+type MultiPort interface {
+	// Read returns the value at addr through read port rp.
+	Read(rp int, addr int) uint16
+	// Write stores val at addr through write port wp.
+	Write(wp int, addr int, val uint16)
+	// Ports returns (writePorts, readPorts).
+	Ports() (int, int)
+	// BRAMBits returns the BRAM cost of the construction in bits.
+	BRAMBits() int64
+	// ReadLatency returns the read latency in cycles.
+	ReadLatency() int64
+}
+
+// BitSelectCache is the paper's proposed mW/nR cache based on address
+// bit-selection. It relies on the scheduling invariant of §4.4/§4.6:
+// write port `wp` only ever writes addresses with addr % P == wp, so the
+// bank holding an address is identified by the low log2(P) address bits
+// (no live-value table needed), and the in-bank address is addr / P.
+//
+// The functional model stores one logical array per write port (the
+// replicated RMs hold identical content per port, so one copy suffices
+// functionally); BRAMBits accounts the full hardware replication cost
+// P·D/2 from the paper's formula m×n×D/(2P) with m=n=P.
+type BitSelectCache struct {
+	p     int // parallelism: m = n = P ports
+	depth int // D: total addressable entries
+	banks [][]uint16
+	// valid tracks initialized entries so misuse is caught in tests.
+	stats CacheStats
+}
+
+// CacheStats counts port activity.
+type CacheStats struct {
+	Reads, Writes int64
+}
+
+// NewBitSelectCache builds a P-write/P-read cache over depth entries.
+// P must be a power of two (the address split is a bit selection).
+func NewBitSelectCache(p, depth int) *BitSelectCache {
+	if p <= 0 || bits.OnesCount(uint(p)) != 1 {
+		panic(fmt.Sprintf("cache: parallelism %d must be a positive power of two", p))
+	}
+	if depth <= 0 {
+		panic(fmt.Sprintf("cache: depth %d must be positive", depth))
+	}
+	banks := make([][]uint16, p)
+	per := (depth + p - 1) / p
+	for i := range banks {
+		banks[i] = make([]uint16, per)
+	}
+	return &BitSelectCache{p: p, depth: depth, banks: banks}
+}
+
+// Write stores val at addr via write port wp. It panics if the §4.6
+// scheduling invariant is violated (addr % P != wp): in hardware that
+// write would land in the wrong RM and silently corrupt reads, so the
+// model makes it loud.
+func (c *BitSelectCache) Write(wp int, addr int, val uint16) {
+	if wp < 0 || wp >= c.p {
+		panic(fmt.Sprintf("cache: write port %d out of range (P=%d)", wp, c.p))
+	}
+	if addr < 0 || addr >= c.depth {
+		panic(fmt.Sprintf("cache: write address %d out of range (D=%d)", addr, c.depth))
+	}
+	if addr%c.p != wp {
+		panic(fmt.Sprintf("cache: scheduling invariant violated: port %d writing addr %d (addr%%P=%d)",
+			wp, addr, addr%c.p))
+	}
+	c.banks[wp][addr/c.p] = val
+	c.stats.Writes++
+}
+
+// Read returns the value at addr via read port rp. The bank is selected
+// by addr % P (the paper's remainder bit-selection), the in-bank address
+// by addr / P (the divisor bit-selection).
+func (c *BitSelectCache) Read(rp int, addr int) uint16 {
+	if rp < 0 || rp >= c.p {
+		panic(fmt.Sprintf("cache: read port %d out of range (P=%d)", rp, c.p))
+	}
+	if addr < 0 || addr >= c.depth {
+		panic(fmt.Sprintf("cache: read address %d out of range (D=%d)", addr, c.depth))
+	}
+	c.stats.Reads++
+	return c.banks[addr%c.p][addr/c.p]
+}
+
+// Ports returns (P, P).
+func (c *BitSelectCache) Ports() (int, int) { return c.p, c.p }
+
+// BRAMBits returns the hardware BRAM cost of the construction:
+// m×n×D/(2P) entries with m=n=P gives P·D/2 entries of ColorBits each.
+// For P == 1 no replication is needed and the cost is D entries.
+func (c *BitSelectCache) BRAMBits() int64 {
+	entries := int64(c.depth)
+	if c.p > 1 {
+		entries = int64(c.p) * int64(c.depth) / 2
+	}
+	return entries * mem.ColorBits
+}
+
+// ReadLatency is one cycle: the bank select is a wire, not a lookup.
+func (c *BitSelectCache) ReadLatency() int64 { return ReadLatencyCycles }
+
+// Stats returns port activity counters.
+func (c *BitSelectCache) Stats() CacheStats { return c.stats }
+
+// LVTCache is the Live-Value-Table baseline of LaForest & Steffan: writes
+// can target any address from any port; an LVT of depth D records which
+// write port last wrote each address, and reads consult the LVT to pick
+// the bank. Functionally it is an unconstrained multi-port memory; its
+// costs are a D-entry LVT, an extra cycle of read latency, and m×n
+// replicated banks of the full original size (paper: final size
+// m×n×D/4).
+type LVTCache struct {
+	p     int
+	depth int
+	data  []uint16
+	lvt   []uint8 // last writer port per address (modeled, bounds P<=256)
+	stats CacheStats
+}
+
+// NewLVTCache builds the LVT-based mW/nR cache with m=n=P.
+func NewLVTCache(p, depth int) *LVTCache {
+	if p <= 0 || p > 256 {
+		panic(fmt.Sprintf("cache: LVT parallelism %d out of range", p))
+	}
+	if depth <= 0 {
+		panic(fmt.Sprintf("cache: depth %d must be positive", depth))
+	}
+	return &LVTCache{p: p, depth: depth, data: make([]uint16, depth), lvt: make([]uint8, depth)}
+}
+
+// Write stores val at addr via any port — no scheduling constraint.
+func (c *LVTCache) Write(wp int, addr int, val uint16) {
+	if wp < 0 || wp >= c.p {
+		panic(fmt.Sprintf("cache: write port %d out of range (P=%d)", wp, c.p))
+	}
+	if addr < 0 || addr >= c.depth {
+		panic(fmt.Sprintf("cache: write address %d out of range (D=%d)", addr, c.depth))
+	}
+	c.data[addr] = val
+	c.lvt[addr] = uint8(wp)
+	c.stats.Writes++
+}
+
+// Read returns the value at addr; the LVT lookup is implicit in the
+// latency.
+func (c *LVTCache) Read(rp int, addr int) uint16 {
+	if rp < 0 || rp >= c.p {
+		panic(fmt.Sprintf("cache: read port %d out of range (P=%d)", rp, c.p))
+	}
+	if addr < 0 || addr >= c.depth {
+		panic(fmt.Sprintf("cache: read address %d out of range (D=%d)", addr, c.depth))
+	}
+	c.stats.Reads++
+	return c.data[addr]
+}
+
+// Ports returns (P, P).
+func (c *LVTCache) Ports() (int, int) { return c.p, c.p }
+
+// BRAMBits returns the LVT construction's BRAM cost: m×n banks of D/4
+// entries each... per the paper's accounting, m×n×D/4 entries of color
+// data plus the D-entry LVT of log2(P) bits.
+func (c *LVTCache) BRAMBits() int64 {
+	m, n := int64(c.p), int64(c.p)
+	dataEntries := m * n * int64(c.depth) / 4
+	if c.p == 1 {
+		dataEntries = int64(c.depth)
+	}
+	lvtBits := int64(0)
+	if c.p > 1 {
+		lvtBits = int64(c.depth) * int64(bits.Len(uint(c.p-1)))
+	}
+	return dataEntries*mem.ColorBits + lvtBits
+}
+
+// ReadLatency includes the LVT indirection.
+func (c *LVTCache) ReadLatency() int64 { return LVTReadLatencyCycles }
+
+// Stats returns port activity counters.
+func (c *LVTCache) Stats() CacheStats { return c.stats }
+
+// LastWriter exposes the LVT content for tests.
+func (c *LVTCache) LastWriter(addr int) int { return int(c.lvt[addr]) }
+
+var (
+	_ MultiPort = (*BitSelectCache)(nil)
+	_ MultiPort = (*LVTCache)(nil)
+)

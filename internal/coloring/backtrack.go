@@ -1,0 +1,128 @@
+package coloring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bitcolor/internal/graph"
+)
+
+// Backtracking implements the exact exponential-time coloring of §2.4:
+// find a proper coloring with at most k colors, or report that none
+// exists. Exposed for small graphs only — it guards against accidental
+// use on large inputs.
+//
+// The search orders vertices by descending degree and prunes with
+// forward-checking on neighbor color masks.
+
+// MaxBacktrackVertices bounds the graph size Backtracking accepts.
+const MaxBacktrackVertices = 64
+
+// ErrTooLarge is returned when the input exceeds MaxBacktrackVertices.
+var ErrTooLarge = fmt.Errorf("coloring: graph too large for exact backtracking (max %d vertices)", MaxBacktrackVertices)
+
+// Backtracking returns a proper k-coloring if one exists, or ok=false if
+// the graph is not k-colorable.
+func Backtracking(g *graph.CSR, k int) (res *Result, ok bool, err error) {
+	n := g.NumVertices()
+	if n > MaxBacktrackVertices {
+		return nil, false, ErrTooLarge
+	}
+	if k <= 0 {
+		return nil, false, fmt.Errorf("coloring: k=%d must be positive", k)
+	}
+	if k > 64 {
+		k = 64 // color masks are single words; more than 64 never needed at this size
+	}
+	order := SmallestLastOrder(g)
+	colors := make([]uint16, n)
+	// used[v] is the bit mask of colors used by v's colored neighbors.
+	used := make([]uint64, n)
+	var assign func(i int) bool
+	assign = func(i int) bool {
+		if i == len(order) {
+			return true
+		}
+		v := order[i]
+		avail := ^used[v] & (uint64(1)<<uint(k) - 1)
+		for avail != 0 {
+			bit := avail & (-avail)
+			c := bits.TrailingZeros64(bit)
+			colors[v] = uint16(c + 1)
+			var touched []graph.VertexID
+			feasible := true
+			for _, w := range g.Neighbors(v) {
+				if colors[w] == 0 {
+					if used[w]&bit == 0 {
+						used[w] |= bit
+						touched = append(touched, w)
+						// Forward check: dead neighbor with no colors left.
+						if ^used[w]&(uint64(1)<<uint(k)-1) == 0 {
+							feasible = false
+						}
+					}
+				}
+			}
+			if feasible && assign(i+1) {
+				return true
+			}
+			for _, w := range touched {
+				// Only clear if no other colored neighbor holds bit.
+				holds := false
+				for _, x := range g.Neighbors(w) {
+					if colors[x] == uint16(c+1) && x != v {
+						holds = true
+						break
+					}
+				}
+				if !holds {
+					used[w] &^= bit
+				}
+			}
+			colors[v] = 0
+			avail &^= bit
+		}
+		return false
+	}
+	if !assign(0) {
+		return nil, false, nil
+	}
+	return &Result{Colors: colors, NumColors: countColors(colors)}, true, nil
+}
+
+// ChromaticNumber computes the exact chromatic number by binary-searching
+// k with Backtracking. Small graphs only.
+func ChromaticNumber(g *graph.CSR) (int, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, nil
+	}
+	if n > MaxBacktrackVertices {
+		return 0, ErrTooLarge
+	}
+	// Upper bound from greedy on degeneracy order; lower bound 1.
+	res, err := SmallestLast(g, n+1)
+	if err != nil {
+		return 0, err
+	}
+	hi := res.NumColors
+	lo := 1
+	if g.NumEdges() > 0 {
+		lo = 2
+	}
+	best := hi
+	for lo <= hi {
+		k := (lo + hi) / 2
+		_, ok, err := Backtracking(g, k)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			best = k
+			hi = k - 1
+		} else {
+			lo = k + 1
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,135 @@
+package coloring
+
+import (
+	"fmt"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/graph"
+)
+
+// DynamicColoring maintains a proper coloring of a growing graph:
+// vertices and edges arrive online and the structure repairs locally.
+// This extends the library past the paper's static-batch setting into
+// the streaming use the introduction's applications (scheduling,
+// resource allocation) actually face. Edge insertion recolors the
+// higher-degree endpoint only when the new edge creates a conflict,
+// first-fit against its current neighborhood.
+type DynamicColoring struct {
+	adj       [][]graph.VertexID
+	colors    []uint16
+	maxColors int
+	codec     *bitops.ColorCodec
+	state     *bitops.BitSet
+	// Recolorings counts repair operations for instrumentation.
+	Recolorings int64
+}
+
+// NewDynamicColoring starts an empty dynamic coloring with the given
+// palette bound.
+func NewDynamicColoring(maxColors int) *DynamicColoring {
+	if maxColors <= 0 {
+		maxColors = MaxColorsDefault
+	}
+	return &DynamicColoring{
+		maxColors: maxColors,
+		codec:     bitops.NewColorCodec(maxColors),
+		state:     bitops.NewBitSet(maxColors),
+	}
+}
+
+// AddVertex appends a new isolated vertex and returns its ID. It takes
+// color 1 (no neighbors yet).
+func (d *DynamicColoring) AddVertex() graph.VertexID {
+	v := graph.VertexID(len(d.adj))
+	d.adj = append(d.adj, nil)
+	d.colors = append(d.colors, 1)
+	return v
+}
+
+// NumVertices returns the current vertex count.
+func (d *DynamicColoring) NumVertices() int { return len(d.adj) }
+
+// Color returns v's current color.
+func (d *DynamicColoring) Color(v graph.VertexID) uint16 { return d.colors[v] }
+
+// Colors returns a copy of the full assignment.
+func (d *DynamicColoring) Colors() []uint16 {
+	return append([]uint16(nil), d.colors...)
+}
+
+// AddEdge inserts the undirected edge {u,v}, repairing the coloring if
+// the endpoints currently share a color. Self loops and unknown vertices
+// are rejected; duplicate edges are ignored.
+func (d *DynamicColoring) AddEdge(u, v graph.VertexID) error {
+	n := graph.VertexID(len(d.adj))
+	if u >= n || v >= n {
+		return fmt.Errorf("coloring: edge (%d,%d) beyond %d vertices", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("coloring: self loop on %d", u)
+	}
+	for _, w := range d.adj[u] {
+		if w == v {
+			return nil // duplicate
+		}
+	}
+	d.adj[u] = append(d.adj[u], v)
+	d.adj[v] = append(d.adj[v], u)
+	if d.colors[u] != d.colors[v] {
+		return nil
+	}
+	// Conflict: recolor the endpoint with the smaller neighborhood (the
+	// cheaper repair; ties pick v).
+	target := v
+	if len(d.adj[u]) < len(d.adj[v]) {
+		target = u
+	}
+	return d.recolor(target)
+}
+
+// recolor assigns target the first color unused in its neighborhood.
+func (d *DynamicColoring) recolor(target graph.VertexID) error {
+	d.state.Reset()
+	for _, w := range d.adj[target] {
+		d.codec.Decompress(d.colors[w], d.state)
+	}
+	pick, _ := d.codec.FirstFree(d.state)
+	if pick == 0 {
+		return ErrPaletteExhausted
+	}
+	d.colors[target] = pick
+	d.Recolorings++
+	return nil
+}
+
+// Verify checks the maintained invariant.
+func (d *DynamicColoring) Verify() error {
+	for v := range d.adj {
+		if d.colors[v] == 0 {
+			return fmt.Errorf("coloring: dynamic vertex %d uncolored", v)
+		}
+		for _, w := range d.adj[v] {
+			if d.colors[w] == d.colors[v] {
+				return fmt.Errorf("coloring: dynamic conflict %d-%d on color %d", v, w, d.colors[v])
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot materializes the current graph as a CSR (for interoperating
+// with the batch algorithms and the accelerator).
+func (d *DynamicColoring) Snapshot() (*graph.CSR, error) {
+	var edges []graph.Edge
+	for v := range d.adj {
+		for _, w := range d.adj[v] {
+			if graph.VertexID(v) < w {
+				edges = append(edges, graph.Edge{U: graph.VertexID(v), V: w})
+			}
+		}
+	}
+	return graph.FromEdgeList(len(d.adj), edges)
+}
+
+// NumColorsInUse returns the distinct colors currently used.
+func (d *DynamicColoring) NumColorsInUse() int { return countColors(d.colors) }

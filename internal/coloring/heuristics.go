@@ -1,0 +1,170 @@
+package coloring
+
+import (
+	"container/heap"
+	"sort"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/graph"
+)
+
+// WelshPowell colors vertices in descending degree order with first-fit.
+// With DBG-reordered graphs this coincides with index order, which is why
+// the paper's reordering tends to reduce color counts.
+func WelshPowell(g *graph.CSR, maxColors int) (*Result, error) {
+	n := g.NumVertices()
+	order := make([]graph.VertexID, n)
+	for i := range order {
+		order[i] = graph.VertexID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return g.Degree(order[i]) > g.Degree(order[j])
+	})
+	return GreedyOrdered(g, order, maxColors)
+}
+
+// satEntry is a priority-queue element for DSATUR.
+type satEntry struct {
+	v      graph.VertexID
+	sat    int // saturation degree: number of distinct neighbor colors
+	degree int
+	index  int // heap index
+	stale  bool
+}
+
+type satHeap []*satEntry
+
+func (h satHeap) Len() int { return len(h) }
+func (h satHeap) Less(i, j int) bool {
+	if h[i].sat != h[j].sat {
+		return h[i].sat > h[j].sat
+	}
+	if h[i].degree != h[j].degree {
+		return h[i].degree > h[j].degree
+	}
+	return h[i].v < h[j].v
+}
+func (h satHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *satHeap) Push(x any) {
+	e := x.(*satEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *satHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// DSATUR implements Brélaz's saturation-degree heuristic: repeatedly
+// color the uncolored vertex with the most distinctly-colored neighbors.
+// Usually uses fewer colors than first-fit at higher cost; it is the
+// quality baseline the greedy family is compared against.
+func DSATUR(g *graph.CSR, maxColors int) (*Result, error) {
+	n := g.NumVertices()
+	colors := make([]uint16, n)
+	codec := bitops.NewColorCodec(maxColors)
+	neighborColors := make([]*bitops.BitSet, n)
+	h := make(satHeap, 0, n)
+	entries := make([]*satEntry, n)
+	for v := 0; v < n; v++ {
+		neighborColors[v] = bitops.NewBitSet(64)
+		entries[v] = &satEntry{v: graph.VertexID(v), degree: g.Degree(graph.VertexID(v))}
+	}
+	for _, e := range entries {
+		heap.Push(&h, e)
+	}
+	colored := 0
+	for colored < n {
+		e := heap.Pop(&h).(*satEntry)
+		if e.stale {
+			continue
+		}
+		v := e.v
+		result, _ := codec.FirstFree(neighborColors[v])
+		if result == 0 {
+			return nil, ErrPaletteExhausted
+		}
+		colors[v] = result
+		colored++
+		// Update neighbor saturations via lazy reinsertion.
+		for _, w := range g.Neighbors(v) {
+			if colors[w] != 0 {
+				continue
+			}
+			nc := neighborColors[w]
+			if !nc.Test(int(result) - 1) {
+				nc.Set(int(result) - 1)
+				old := entries[w]
+				old.stale = true
+				repl := &satEntry{v: w, sat: nc.Count(), degree: old.degree}
+				entries[w] = repl
+				heap.Push(&h, repl)
+			}
+		}
+	}
+	return &Result{Colors: colors, NumColors: countColors(colors)}, nil
+}
+
+// SmallestLastOrder computes the smallest-last (degeneracy) ordering; an
+// additional high-quality ordering for ablation experiments.
+func SmallestLastOrder(g *graph.CSR) []graph.VertexID {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.VertexID(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]graph.VertexID, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], graph.VertexID(v))
+	}
+	removed := make([]bool, n)
+	order := make([]graph.VertexID, 0, n)
+	cur := 0
+	for len(order) < n {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		order = append(order, v)
+		for _, w := range g.Neighbors(v) {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+				if deg[w] < cur {
+					cur = deg[w]
+				}
+			}
+		}
+	}
+	// Smallest-last colors in reverse removal order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// SmallestLast colors with the degeneracy ordering; uses at most
+// degeneracy+1 colors.
+func SmallestLast(g *graph.CSR, maxColors int) (*Result, error) {
+	return GreedyOrdered(g, SmallestLastOrder(g), maxColors)
+}

@@ -1,0 +1,237 @@
+package coloring
+
+import (
+	"math/rand"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/graph"
+)
+
+// This file implements post-processing improvements over an initial
+// coloring: iterated greedy re-coloring (Culberson) and Kempe-chain
+// color elimination, plus an equitable rebalancing pass. They extend the
+// repository beyond the paper's greedy core into the quality/extension
+// space the paper's related work points at.
+
+// IteratedGreedy improves a coloring by re-running first-fit greedy with
+// vertex orders that cannot increase the color count: color classes are
+// revisited as blocks (Culberson's theorem guarantees monotonicity when
+// every class is processed contiguously). rounds bounds the iterations;
+// the permutation of class order is randomized by seed ("reverse" and
+// "largest-first" class orders are mixed in).
+func IteratedGreedy(g *graph.CSR, initial *Result, rounds int, seed int64, maxColors int) (*Result, error) {
+	n := g.NumVertices()
+	best := &Result{
+		Colors:    append([]uint16(nil), initial.Colors...),
+		NumColors: initial.NumColors,
+	}
+	if n == 0 || rounds <= 0 {
+		return best, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < rounds; round++ {
+		// Group vertices by color class.
+		classes := make([][]graph.VertexID, best.NumColors+1)
+		for v := 0; v < n; v++ {
+			c := best.Colors[v]
+			classes[c] = append(classes[c], graph.VertexID(v))
+		}
+		classOrder := make([]int, 0, best.NumColors)
+		for c := 1; c <= best.NumColors; c++ {
+			if len(classes[c]) > 0 {
+				classOrder = append(classOrder, c)
+			}
+		}
+		switch round % 3 {
+		case 0: // reverse class order
+			for i, j := 0, len(classOrder)-1; i < j; i, j = i+1, j-1 {
+				classOrder[i], classOrder[j] = classOrder[j], classOrder[i]
+			}
+		case 1: // largest class first
+			sortClassesBySize(classOrder, classes, true)
+		default: // random class order
+			rng.Shuffle(len(classOrder), func(i, j int) {
+				classOrder[i], classOrder[j] = classOrder[j], classOrder[i]
+			})
+		}
+		order := make([]graph.VertexID, 0, n)
+		for _, c := range classOrder {
+			order = append(order, classes[c]...)
+		}
+		res, err := GreedyOrdered(g, order, maxColors)
+		if err != nil {
+			return nil, err
+		}
+		if res.NumColors <= best.NumColors {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func sortClassesBySize(order []int, classes [][]graph.VertexID, descending bool) {
+	// insertion sort: class counts are small.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := len(classes[order[j-1]]), len(classes[order[j]])
+			if (descending && b > a) || (!descending && b < a) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// KempeReduce tries to eliminate the highest color class via Kempe-chain
+// interchanges: for every vertex of the top class, look for a pair of
+// lower colors (a,b) such that swapping the (a,b)-connected component
+// around the vertex frees color a for it. Returns the improved result
+// (possibly unchanged). One full pass; callers can iterate.
+func KempeReduce(g *graph.CSR, initial *Result) *Result {
+	n := g.NumVertices()
+	colors := append([]uint16(nil), initial.Colors...)
+	top := MaxColor(colors)
+	if top <= 1 {
+		return &Result{Colors: colors, NumColors: countColors(colors)}
+	}
+	changed := false
+	for v := 0; v < n; v++ {
+		if colors[v] != top {
+			continue
+		}
+		if recolorViaKempe(g, colors, graph.VertexID(v), top) {
+			changed = true
+		}
+	}
+	_ = changed
+	return &Result{Colors: colors, NumColors: countColors(colors)}
+}
+
+// recolorViaKempe attempts to recolor v (currently `top`) with some color
+// a < top by swapping an (a,b) Kempe chain. Returns true on success.
+func recolorViaKempe(g *graph.CSR, colors []uint16, v graph.VertexID, top uint16) bool {
+	// Colors used by v's neighbors.
+	used := bitops.NewBitSet(int(top) + 1)
+	for _, u := range g.Neighbors(v) {
+		if colors[u] != 0 {
+			used.Set(int(colors[u]))
+		}
+	}
+	// A free color below top recolors v directly.
+	for a := uint16(1); a < top; a++ {
+		if !used.Test(int(a)) {
+			colors[v] = a
+			return true
+		}
+	}
+	// Try swapping: pick colors a != b below top; if the (a,b) chain
+	// containing all a-colored neighbors of v does not reach a b-colored
+	// neighbor of v... the classical condition: swap the chain from each
+	// a-neighbor; if no chain connects an a-neighbor to a b-neighbor, all
+	// a-neighbors become b and a frees up for v.
+	for a := uint16(1); a < top; a++ {
+		for b := uint16(1); b < top; b++ {
+			if a == b {
+				continue
+			}
+			if tryChainSwap(g, colors, v, a, b) {
+				colors[v] = a
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryChainSwap checks whether swapping a/b on the chains rooted at v's
+// a-colored neighbors frees color a at v, and performs the swap if so.
+func tryChainSwap(g *graph.CSR, colors []uint16, v graph.VertexID, a, b uint16) bool {
+	// Collect the (a,b) component(s) reachable from v's a-neighbors.
+	var stack []graph.VertexID
+	inComp := map[graph.VertexID]bool{}
+	for _, u := range g.Neighbors(v) {
+		if colors[u] == a && !inComp[u] {
+			inComp[u] = true
+			stack = append(stack, u)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range g.Neighbors(x) {
+			if y == v {
+				continue
+			}
+			if (colors[y] == a || colors[y] == b) && !inComp[y] {
+				inComp[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	// If the component contains a b-colored neighbor of v, swapping would
+	// put color a next to v again — no gain.
+	for _, u := range g.Neighbors(v) {
+		if colors[u] == b && inComp[u] {
+			return false
+		}
+	}
+	// Swap a <-> b inside the component.
+	for x := range inComp {
+		switch colors[x] {
+		case a:
+			colors[x] = b
+		case b:
+			colors[x] = a
+		}
+	}
+	return true
+}
+
+// Equitable rebalances a proper coloring so class sizes differ by at most
+// `slack` where possible, by moving vertices from oversized classes to
+// any legal undersized class. It never increases the color count and
+// keeps the coloring proper. Useful for the scheduling applications in
+// the paper's introduction, where color classes map to resource batches.
+func Equitable(g *graph.CSR, initial *Result, slack int) *Result {
+	n := g.NumVertices()
+	colors := append([]uint16(nil), initial.Colors...)
+	k := int(MaxColor(colors))
+	if k <= 1 || n == 0 {
+		return &Result{Colors: colors, NumColors: countColors(colors)}
+	}
+	if slack < 1 {
+		slack = 1
+	}
+	sizes := make([]int, k+1)
+	for _, c := range colors {
+		sizes[c]++
+	}
+	target := (n + k - 1) / k
+	moved := true
+	for iter := 0; moved && iter < 4; iter++ {
+		moved = false
+		for v := 0; v < n; v++ {
+			c := int(colors[v])
+			if sizes[c] <= target+slack {
+				continue
+			}
+			// Legal destination classes for v.
+			adjacent := make([]bool, k+1)
+			for _, u := range g.Neighbors(graph.VertexID(v)) {
+				adjacent[colors[u]] = true
+			}
+			for d := 1; d <= k; d++ {
+				if d == c || adjacent[d] || sizes[d] >= target {
+					continue
+				}
+				colors[v] = uint16(d)
+				sizes[c]--
+				sizes[d]++
+				moved = true
+				break
+			}
+		}
+	}
+	return &Result{Colors: colors, NumColors: countColors(colors)}
+}

@@ -1,0 +1,186 @@
+package coloring
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/graph"
+)
+
+// This file implements the Maximal-Independent-Set family the paper
+// discusses in §2.4 and the Jones–Plassmann algorithm that underlies the
+// Gunrock GPU baseline of §5.3. Both avoid the greedy algorithm's
+// sequential dependency by coloring an independent set per round.
+
+// JonesPlassmann colors the graph with the Jones–Plassmann algorithm:
+// every vertex gets a random priority; in each round, vertices whose
+// priority beats all uncolored neighbors color themselves with the first
+// fit, in parallel. workers <= 0 uses GOMAXPROCS.
+func JonesPlassmann(g *graph.CSR, maxColors int, seed int64, workers int) (*Result, int, error) {
+	n := g.NumVertices()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prio := make([]uint64, n)
+	for i := range prio {
+		prio[i] = rng.Uint64()
+	}
+	colors := make([]uint16, n)
+	remaining := n
+	rounds := 0
+	// Per-round winners are computed against the colors array from the
+	// previous round, then committed — a synchronous parallel schedule.
+	winners := make([]uint16, n)
+	for remaining > 0 {
+		rounds++
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		var colored int64
+		var mu sync.Mutex
+		failed := false
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				state := bitops.NewBitSet(maxColors)
+				codec := bitops.NewColorCodec(maxColors)
+				local := int64(0)
+				for v := lo; v < hi; v++ {
+					if colors[v] != 0 {
+						continue
+					}
+					win := true
+					for _, u := range g.Neighbors(graph.VertexID(v)) {
+						if colors[u] == 0 {
+							pu, pv := prio[u], prio[v]
+							if pu > pv || (pu == pv && u > graph.VertexID(v)) {
+								win = false
+								break
+							}
+						}
+					}
+					if !win {
+						winners[v] = 0
+						continue
+					}
+					state.Reset()
+					for _, u := range g.Neighbors(graph.VertexID(v)) {
+						codec.Decompress(colors[u], state)
+					}
+					c, _ := codec.FirstFree(state)
+					if c == 0 {
+						mu.Lock()
+						failed = true
+						mu.Unlock()
+						return
+					}
+					winners[v] = c
+					local++
+				}
+				mu.Lock()
+				colored += local
+				mu.Unlock()
+			}(lo, hi)
+		}
+		wg.Wait()
+		if failed {
+			return nil, rounds, ErrPaletteExhausted
+		}
+		for v := 0; v < n; v++ {
+			if winners[v] != 0 {
+				colors[v] = winners[v]
+				winners[v] = 0
+			}
+		}
+		remaining -= int(colored)
+		if colored == 0 && remaining > 0 {
+			// Cannot happen: the max-priority uncolored vertex always wins.
+			panic("coloring: Jones-Plassmann made no progress")
+		}
+	}
+	return &Result{Colors: colors, NumColors: countColors(colors)}, rounds, nil
+}
+
+// LubyMIS colors the graph by repeatedly extracting a maximal independent
+// set with Luby's randomized algorithm and assigning it the next color.
+// This is the MIS-based family of §2.4: rounds are parallel but the color
+// count equals the number of MIS extractions, typically higher than
+// greedy. Returns the result and the number of MIS rounds (total inner
+// iterations across all colors).
+func LubyMIS(g *graph.CSR, maxColors int, seed int64) (*Result, int, error) {
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(seed))
+	colors := make([]uint16, n)
+	active := make([]bool, n) // uncolored and not removed this extraction
+	remaining := n
+	totalRounds := 0
+	for color := uint16(1); remaining > 0; color++ {
+		if int(color) > maxColors {
+			return nil, totalRounds, ErrPaletteExhausted
+		}
+		// Start a fresh extraction over all uncolored vertices.
+		live := 0
+		for v := 0; v < n; v++ {
+			active[v] = colors[v] == 0
+			if active[v] {
+				live++
+			}
+		}
+		inMIS := make([]bool, n)
+		prio := make([]uint64, n)
+		for live > 0 {
+			totalRounds++
+			for v := 0; v < n; v++ {
+				if active[v] {
+					prio[v] = rng.Uint64()
+				}
+			}
+			// A vertex joins the MIS if it is a local priority maximum
+			// among active neighbors.
+			joined := []graph.VertexID{}
+			for v := 0; v < n; v++ {
+				if !active[v] {
+					continue
+				}
+				maxLocal := true
+				for _, u := range g.Neighbors(graph.VertexID(v)) {
+					if active[u] && (prio[u] > prio[v] || (prio[u] == prio[v] && u > graph.VertexID(v))) {
+						maxLocal = false
+						break
+					}
+				}
+				if maxLocal {
+					joined = append(joined, graph.VertexID(v))
+				}
+			}
+			for _, v := range joined {
+				inMIS[v] = true
+				active[v] = false
+				live--
+				for _, u := range g.Neighbors(v) {
+					if active[u] {
+						active[u] = false
+						live--
+					}
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if inMIS[v] {
+				colors[v] = color
+				remaining--
+			}
+		}
+	}
+	return &Result{Colors: colors, NumColors: countColors(colors)}, totalRounds, nil
+}

@@ -1,0 +1,254 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/reorder"
+)
+
+func TestRLFProper(t *testing.T) {
+	g := randomGraph(t, 300, 2500, 1)
+	res, err := RLF(g, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLFTriangleAndBipartite(t *testing.T) {
+	tri, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	res, err := RLF(tri, 8)
+	if err != nil || res.NumColors != 3 {
+		t.Fatalf("RLF triangle: %d colors, %v", res.NumColors, err)
+	}
+	var edges []graph.Edge
+	for u := 0; u < 4; u++ {
+		for v := 4; v < 8; v++ {
+			edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+		}
+	}
+	bip, _ := graph.FromEdgeList(8, edges)
+	res, err = RLF(bip, 8)
+	if err != nil || res.NumColors != 2 {
+		t.Fatalf("RLF K(4,4): %d colors, %v", res.NumColors, err)
+	}
+}
+
+func TestRLFQualityVsGreedy(t *testing.T) {
+	// RLF should match or beat first-fit greedy on skewed graphs (not a
+	// theorem, but reliable at this scale; a regression here signals a
+	// broken class construction).
+	g, err := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	greedy, err := Greedy(h, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlf, err := RLF(h, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlf.NumColors > greedy.NumColors {
+		t.Fatalf("RLF %d colors > greedy %d", rlf.NumColors, greedy.NumColors)
+	}
+}
+
+func TestRLFPaletteExhausted(t *testing.T) {
+	tri, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	if _, err := RLF(tri, 2); err == nil {
+		t.Fatal("undersized palette accepted")
+	}
+}
+
+func TestRLFEdgeless(t *testing.T) {
+	g, _ := graph.FromEdgeList(5, nil)
+	res, err := RLF(g, 4)
+	if err != nil || res.NumColors != 1 {
+		t.Fatalf("edgeless RLF: %d colors, %v", res.NumColors, err)
+	}
+}
+
+func TestIteratedGreedyNeverWorse(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(t, 200, 1800, seed)
+		initial, err := Greedy(g, MaxColorsDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, err := IteratedGreedy(g, initial, 9, seed, MaxColorsDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, improved.Colors); err != nil {
+			t.Fatal(err)
+		}
+		if improved.NumColors > initial.NumColors {
+			t.Fatalf("seed %d: iterated greedy went from %d to %d colors",
+				seed, initial.NumColors, improved.NumColors)
+		}
+	}
+}
+
+func TestIteratedGreedyZeroRounds(t *testing.T) {
+	g := randomGraph(t, 50, 200, 1)
+	initial, _ := Greedy(g, MaxColorsDefault)
+	same, err := IteratedGreedy(g, initial, 0, 1, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.NumColors != initial.NumColors {
+		t.Fatal("zero rounds changed the result")
+	}
+}
+
+func TestKempeReduceProperAndNotWorse(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(t, 150, 900, seed)
+		// A deliberately bad initial coloring: reverse order greedy.
+		order := make([]graph.VertexID, g.NumVertices())
+		for i := range order {
+			order[i] = graph.VertexID(g.NumVertices() - 1 - i)
+		}
+		initial, err := GreedyOrdered(g, order, MaxColorsDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved := KempeReduce(g, initial)
+		if err := Verify(g, improved.Colors); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if improved.NumColors > initial.NumColors {
+			t.Fatalf("seed %d: Kempe increased colors %d -> %d",
+				seed, initial.NumColors, improved.NumColors)
+		}
+	}
+}
+
+func TestKempeReduceEliminatesRemovableColor(t *testing.T) {
+	// Path 0-1-2 colored 1,2,3: color 3 is removable (vertex 2 can take
+	// color 1).
+	g, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	bad := &Result{Colors: []uint16{1, 2, 3}, NumColors: 3}
+	improved := KempeReduce(g, bad)
+	if improved.NumColors != 2 {
+		t.Fatalf("Kempe left %d colors on a path, want 2", improved.NumColors)
+	}
+	if err := Verify(g, improved.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquitableBalances(t *testing.T) {
+	// Sparse random graph: plenty of room to rebalance.
+	g := randomGraph(t, 400, 600, 2)
+	initial, err := Greedy(g, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced := Equitable(g, initial, 1)
+	if err := Verify(g, balanced.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if balanced.NumColors > initial.NumColors {
+		t.Fatal("Equitable increased the color count")
+	}
+	spread := func(r *Result) int {
+		sizes := map[uint16]int{}
+		for _, c := range r.Colors {
+			sizes[c]++
+		}
+		max, min := 0, len(r.Colors)
+		for _, s := range sizes {
+			if s > max {
+				max = s
+			}
+			if s < min {
+				min = s
+			}
+		}
+		return max - min
+	}
+	if spread(balanced) > spread(initial) {
+		t.Fatalf("Equitable widened the class-size spread: %d -> %d",
+			spread(initial), spread(balanced))
+	}
+}
+
+func TestEquitableDegenerateInputs(t *testing.T) {
+	g, _ := graph.FromEdgeList(0, nil)
+	res := Equitable(g, &Result{Colors: nil}, 1)
+	if len(res.Colors) != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+	h, _ := graph.FromEdgeList(3, nil)
+	one, _ := Greedy(h, 4)
+	if out := Equitable(h, one, 0); Verify(h, out.Colors) != nil {
+		t.Fatal("single-class graph broken")
+	}
+}
+
+// Property: the improvement pipeline (greedy → iterated greedy → Kempe →
+// equitable) keeps colorings proper and never increases the count.
+func TestImprovementPipelineInvariant(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 5
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]graph.Edge, 4*n)
+		for i := range edges {
+			edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+		}
+		g, err := graph.FromEdgeList(n, edges)
+		if err != nil {
+			return false
+		}
+		initial, err := Greedy(g, n+1)
+		if err != nil {
+			return false
+		}
+		ig, err := IteratedGreedy(g, initial, 3, seed, n+1)
+		if err != nil || Verify(g, ig.Colors) != nil || ig.NumColors > initial.NumColors {
+			return false
+		}
+		kempe := KempeReduce(g, ig)
+		if Verify(g, kempe.Colors) != nil || kempe.NumColors > ig.NumColors {
+			return false
+		}
+		eq := Equitable(g, kempe, 1)
+		return Verify(g, eq.Colors) == nil && eq.NumColors <= kempe.NumColors
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRLF(b *testing.B) {
+	g, _ := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RLF(g, MaxColorsDefault); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIteratedGreedy(b *testing.B) {
+	g, _ := gen.RMAT(12, 8, 0.57, 0.19, 0.19, 1)
+	initial, _ := Greedy(g, MaxColorsDefault)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IteratedGreedy(g, initial, 5, int64(i), MaxColorsDefault); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package coloring
+
+import (
+	"math/rand"
+
+	"bitcolor/internal/graph"
+)
+
+// TabuCol implements Hertz & de Werra's tabu search for k-coloring: start
+// from a (possibly improper) k-assignment, repeatedly move the endpoint
+// of a conflicting edge to the color that most reduces conflicts, with a
+// tabu list forbidding immediate reversals. It either finds a proper
+// k-coloring or gives up after maxIters moves.
+//
+// TabuColReduce wraps it into a color-count minimizer: take a proper
+// coloring, repeatedly try k = current−1 with TabuCol.
+func TabuCol(g *graph.CSR, k int, seed int64, maxIters int) (*Result, bool) {
+	n := g.NumVertices()
+	if k <= 0 {
+		return nil, false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	colors := make([]uint16, n)
+	for v := range colors {
+		colors[v] = uint16(rng.Intn(k) + 1)
+	}
+	// conflicts[v] = neighbors sharing v's color.
+	conflicts := make([]int, n)
+	total := 0
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if colors[u] == colors[v] {
+				conflicts[v]++
+				if graph.VertexID(v) < u {
+					total++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return &Result{Colors: colors, NumColors: countColors(colors)}, true
+	}
+	// tabu[v][c] = iteration until which assigning color c to v is tabu.
+	tabu := make([][]int, n)
+	for v := range tabu {
+		tabu[v] = make([]int, k+1)
+	}
+	for iter := 1; iter <= maxIters && total > 0; iter++ {
+		// Pick a random conflicted vertex.
+		v := -1
+		// Reservoir-sample among conflicted vertices.
+		seen := 0
+		for i := 0; i < n; i++ {
+			if conflicts[i] > 0 {
+				seen++
+				if rng.Intn(seen) == 0 {
+					v = i
+				}
+			}
+		}
+		if v == -1 {
+			break
+		}
+		// Count each color's conflicts at v.
+		counts := make([]int, k+1)
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			counts[colors[u]]++
+		}
+		cur := colors[v]
+		best, bestCount := 0, 1<<30
+		for c := 1; c <= k; c++ {
+			if uint16(c) == cur {
+				continue
+			}
+			allowed := tabu[v][c] < iter ||
+				counts[c] == 0 // aspiration: a zero-conflict move is always allowed
+			if !allowed {
+				continue
+			}
+			if counts[c] < bestCount || (counts[c] == bestCount && rng.Intn(2) == 0) {
+				best, bestCount = c, counts[c]
+			}
+		}
+		if best == 0 {
+			continue // everything tabu this iteration
+		}
+		// Apply the move and update conflict bookkeeping.
+		delta := bestCount - counts[cur]
+		total += delta
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			switch colors[u] {
+			case cur:
+				conflicts[u]--
+			case uint16(best):
+				conflicts[u]++
+			}
+		}
+		conflicts[v] = bestCount
+		// Tabu the reversal for a dynamic tenure.
+		tabu[v][cur] = iter + 7 + rng.Intn(5) + total
+		colors[v] = uint16(best)
+	}
+	if total > 0 {
+		return nil, false
+	}
+	return &Result{Colors: colors, NumColors: countColors(colors)}, true
+}
+
+// TabuColReduce minimizes colors starting from a proper coloring: it
+// repeatedly attempts k−1 colors with TabuCol until a attempt fails.
+// Never returns a worse (or improper) result than the input.
+func TabuColReduce(g *graph.CSR, initial *Result, seed int64, maxItersPerK int) *Result {
+	best := initial
+	for k := best.NumColors - 1; k >= 1; k-- {
+		res, ok := TabuCol(g, k, seed+int64(k), maxItersPerK)
+		if !ok {
+			break
+		}
+		best = res
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"bitcolor/internal/graph"
+)
+
+func TestTabuColFindsProperColoring(t *testing.T) {
+	g := randomGraph(t, 200, 1200, 71)
+	greedy, err := Greedy(g, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TabuCol at greedy's k must succeed comfortably.
+	res, ok := TabuCol(g, greedy.NumColors, 1, 50_000)
+	if !ok {
+		t.Fatal("TabuCol failed at greedy's color count")
+	}
+	if err := Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors > greedy.NumColors {
+		t.Fatalf("TabuCol used %d > k %d", res.NumColors, greedy.NumColors)
+	}
+}
+
+func TestTabuColInfeasibleK(t *testing.T) {
+	g, _ := graph.Complete(6) // chi = 6
+	if _, ok := TabuCol(g, 5, 1, 20_000); ok {
+		t.Fatal("TabuCol 5-colored K6")
+	}
+	if res, ok := TabuCol(g, 6, 1, 50_000); !ok || Verify(g, res.Colors) != nil {
+		t.Fatal("TabuCol failed to 6-color K6")
+	}
+}
+
+func TestTabuColDegenerateInputs(t *testing.T) {
+	g, _ := graph.FromEdgeList(3, nil)
+	if res, ok := TabuCol(g, 1, 1, 100); !ok || res.NumColors != 1 {
+		t.Fatal("edgeless 1-coloring failed")
+	}
+	if _, ok := TabuCol(g, 0, 1, 100); ok {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTabuColReduceImproves(t *testing.T) {
+	// C8 greedy in adversarial order can use 3; tabu reduces to 2.
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []graph.VertexID{0, 2, 4, 6, 1, 3, 5, 7}
+	bad, err := GreedyOrdered(g, order, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := TabuColReduce(g, bad, 3, 20_000)
+	if err := Verify(g, improved.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if improved.NumColors != 2 {
+		t.Fatalf("TabuColReduce left %d colors on C8, want 2", improved.NumColors)
+	}
+}
+
+func TestTabuColReduceNeverWorse(t *testing.T) {
+	g := randomGraph(t, 150, 900, 72)
+	initial, _ := Greedy(g, MaxColorsDefault)
+	out := TabuColReduce(g, initial, 9, 5_000)
+	if out.NumColors > initial.NumColors {
+		t.Fatalf("reduce went from %d to %d", initial.NumColors, out.NumColors)
+	}
+	if err := Verify(g, out.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicColoringIncremental(t *testing.T) {
+	d := NewDynamicColoring(64)
+	const n = 200
+	for i := 0; i < n; i++ {
+		d.AddVertex()
+	}
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 1500; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := d.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 0 {
+			if err := d.Verify(); err != nil {
+				t.Fatalf("after %d edges: %v", i, err)
+			}
+		}
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Recolorings == 0 {
+		t.Fatal("no repairs on a dense stream (implausible)")
+	}
+	// Snapshot interoperates with the batch path.
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, d.Colors()); err != nil {
+		t.Fatal(err)
+	}
+	// Online quality: within a small factor of batch greedy.
+	batch, err := Greedy(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumColorsInUse() > 3*batch.NumColors {
+		t.Fatalf("online used %d colors vs batch %d", d.NumColorsInUse(), batch.NumColors)
+	}
+}
+
+func TestDynamicColoringErrors(t *testing.T) {
+	d := NewDynamicColoring(4)
+	a := d.AddVertex()
+	b := d.AddVertex()
+	if err := d.AddEdge(a, a); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := d.AddEdge(a, 99); err == nil {
+		t.Fatal("unknown vertex accepted")
+	}
+	if err := d.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate ignored, no extra repair.
+	before := d.Recolorings
+	if err := d.AddEdge(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if d.Recolorings != before {
+		t.Fatal("duplicate edge triggered a repair")
+	}
+}
+
+func TestDynamicColoringPaletteExhaustion(t *testing.T) {
+	d := NewDynamicColoring(2)
+	v0, v1, v2 := d.AddVertex(), d.AddVertex(), d.AddVertex()
+	if err := d.AddEdge(v0, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(v1, v2); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the triangle needs a third color.
+	if err := d.AddEdge(v0, v2); err == nil {
+		t.Fatal("triangle fit in 2 colors")
+	}
+}
+
+func BenchmarkDynamicColoring(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDynamicColoring(256)
+		for j := 0; j < n; j++ {
+			d.AddVertex()
+		}
+		for j := 0; j < 4*n; j++ {
+			u := graph.VertexID(rng.Intn(n))
+			v := graph.VertexID(rng.Intn(n))
+			if u != v {
+				if err := d.AddEdge(u, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package cpuref
+
+import (
+	"testing"
+	"time"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/gen"
+	"bitcolor/internal/reorder"
+)
+
+func TestRunProducesValidColoringAndTimes(t *testing.T) {
+	g, err := gen.RMAT(12, 8, 0.57, 0.19, 0.19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	res, st, dur, err := Run(h, coloring.MaxColorsDefault, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(h, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() <= 0 || dur <= 0 {
+		t.Fatalf("times missing: %+v, %v", st, dur)
+	}
+}
+
+// The Fig 3(a) shape: Stage 1 (color traversal) is the dominant stage on
+// the basic algorithm, Stage 2 the smallest, and all three are
+// substantial.
+func TestStageBreakdownShape(t *testing.T) {
+	g, err := gen.RMAT(13, 10, 0.57, 0.19, 0.19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	m := DefaultCostModel()
+	// Evaluate per-access costs at a paper-scale working set (a few
+	// million vertices), as the experiment harness does.
+	m.WorkingSetVertices = 4_000_000
+	_, st, _, err := Run(h, coloring.MaxColorsDefault, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, f1, f2 := st.Shares()
+	if f0+f1+f2 < 0.999 || f0+f1+f2 > 1.001 {
+		t.Fatalf("shares don't sum to 1: %f %f %f", f0, f1, f2)
+	}
+	if f2 >= f0 || f2 >= f1 {
+		t.Fatalf("Stage 2 (%.2f) should be the smallest (f0=%.2f f1=%.2f)", f2, f0, f1)
+	}
+	if f0 < 0.1 || f1 < 0.1 {
+		t.Fatalf("Stage 0/1 implausibly small: %.2f / %.2f", f0, f1)
+	}
+}
+
+func TestSharesEmpty(t *testing.T) {
+	var st StageTimes
+	f0, f1, f2 := st.Shares()
+	if f0 != 0 || f1 != 0 || f2 != 0 {
+		t.Fatal("zero breakdown has nonzero shares")
+	}
+}
+
+func TestEffectiveLoadCostGrowsWithWorkingSet(t *testing.T) {
+	m := DefaultCostModel()
+	small := m.effectiveLoadCycles(1000)          // fits LLC
+	large := m.effectiveLoadCycles(1_000_000_000) // far exceeds LLC
+	if small != m.LoadHitCycles {
+		t.Fatalf("small working set cost %f, want pure hit %f", small, m.LoadHitCycles)
+	}
+	if large <= small || large > m.LoadMissCycles {
+		t.Fatalf("large working set cost %f out of (hit, miss]", large)
+	}
+}
+
+func TestCyclesToDuration(t *testing.T) {
+	m := DefaultCostModel() // 2 GHz
+	d := CyclesToDuration(2e9, m)
+	if d < 999*time.Millisecond || d > 1001*time.Millisecond {
+		t.Fatalf("2e9 cycles at 2GHz = %v, want ~1s", d)
+	}
+	if CyclesToDuration(100, CostModel{}) != 0 {
+		t.Fatal("zero frequency should yield zero duration")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if v := Throughput(1_000_000, time.Second); v != 1 {
+		t.Fatalf("throughput = %f, want 1 MCV/s", v)
+	}
+	if Throughput(5, 0) != 0 {
+		t.Fatal("zero duration throughput != 0")
+	}
+}
+
+func TestMeasureWall(t *testing.T) {
+	d, err := MeasureWall(func() error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil || d < time.Millisecond {
+		t.Fatalf("measured %v, %v", d, err)
+	}
+}
+
+func TestModelChargesAllStages(t *testing.T) {
+	g, err := gen.BarabasiAlbert(2000, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coloring.Greedy(g, coloring.MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Model(g, res.Stats, coloring.MaxColorsDefault, DefaultCostModel())
+	if st.Stage0Cycles <= 0 || st.Stage1Cycles <= 0 || st.Stage2Cycles <= 0 {
+		t.Fatalf("some stage uncharged: %+v", st)
+	}
+}

@@ -1,0 +1,272 @@
+// Package dispatch implements BitColor's Task Dispatcher Unit (paper
+// §4.6, Fig 10): degree-aware task allocation over per-PE high-degree
+// vertex (HDV) FIFOs and a shared low-degree vertex (LDV) FIFO, with a
+// PE State Table (PST) recording what every engine is working on.
+//
+// Allocation rules:
+//
+//   - HDVs (index < threshold) are bound to PE (v mod P) so the
+//     multi-port cache's address bit-selection stays valid (§4.4);
+//   - LDVs go to any idle engine, first-come-first-served;
+//   - vertices are issued in strictly ascending index order. The paper
+//     relies on index order so that every smaller-indexed neighbor of a
+//     dispatched vertex is either finished or in flight (and therefore
+//     visible to the Data Conflict Table); out-of-order issue could let
+//     two adjacent vertices miss each other entirely and produce an
+//     invalid coloring, so the dispatcher enforces the order.
+package dispatch
+
+import (
+	"fmt"
+
+	"bitcolor/internal/engine"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+)
+
+// FIFO is a simple ring-buffer vertex queue, the model of the hardware
+// FIFOs in the Task Dispatcher Unit.
+type FIFO struct {
+	buf        []uint32
+	head, tail int
+	size       int
+}
+
+// NewFIFO returns a FIFO with the given capacity.
+func NewFIFO(capacity int) *FIFO {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &FIFO{buf: make([]uint32, capacity)}
+}
+
+// Push appends v, growing if full.
+func (f *FIFO) Push(v uint32) {
+	if f.size == len(f.buf) {
+		grown := make([]uint32, 2*len(f.buf))
+		for i := 0; i < f.size; i++ {
+			grown[i] = f.buf[(f.head+i)%len(f.buf)]
+		}
+		f.buf = grown
+		f.head, f.tail = 0, f.size
+	}
+	f.buf[f.tail] = v
+	f.tail = (f.tail + 1) % len(f.buf)
+	f.size++
+}
+
+// Pop removes and returns the oldest vertex.
+func (f *FIFO) Pop() (uint32, bool) {
+	if f.size == 0 {
+		return 0, false
+	}
+	v := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	return v, true
+}
+
+// Peek returns the oldest vertex without removing it.
+func (f *FIFO) Peek() (uint32, bool) {
+	if f.size == 0 {
+		return 0, false
+	}
+	return f.buf[f.head], true
+}
+
+// Len returns the number of queued vertices.
+func (f *FIFO) Len() int { return f.size }
+
+// PEState is one PST row: the vertex under processing and the running
+// flag (true = BUSY).
+type PEState struct {
+	Vertex  uint32
+	Running bool
+	// FreeAt is the simulated cycle the engine becomes idle (the DES
+	// companion of the running flag).
+	FreeAt int64
+}
+
+// Task is one dispatch decision.
+type Task struct {
+	PE     int
+	Vertex uint32
+	Start  int64
+	HDV    bool
+}
+
+// Stats counts dispatcher activity.
+type Stats struct {
+	HDVTasks, LDVTasks int64
+	// StallCycles accumulates time the head-of-line vertex waited for
+	// its bound engine (HDV) or for any engine (LDV).
+	StallCycles int64
+	// OffsetBlocks is the number of 512-bit DRAM blocks the Offset Fetch
+	// module streamed to obtain every vertex's (s_e, d_e) pair, and
+	// OffsetFetchCycles its sequential-read cost. The stream runs ahead
+	// of dispatch (it fills the FIFOs), so it is off the critical path,
+	// but it is real DRAM traffic the evaluation accounts.
+	OffsetBlocks      int64
+	OffsetFetchCycles int64
+}
+
+// offsetsPerBlock: edge offsets are 64-bit words, eight per 512-bit
+// block; reading offsets[v] and offsets[v+1] for every v is one
+// sequential pass over n+1 words.
+const offsetsPerBlock = mem.BlockBits / 64
+
+// Dispatcher drives task allocation for P engines over a DBG-reordered
+// graph.
+type Dispatcher struct {
+	g         *graph.CSR
+	p         int
+	threshold uint32
+
+	hdvFIFOs []*FIFO
+	ldvFIFO  *FIFO
+	pst      []PEState
+
+	next        uint32 // next vertex index to issue (strict order)
+	lastStart   int64
+	issueCycles int64
+	stats       Stats
+}
+
+// IssueCycles returns the dispatcher's per-task issue latency: the
+// Offset Fetch (amortized burst read of the offsets array), the FIFO pop,
+// the PST update and the conflict-table broadcast, pipelined to a
+// constant rate. This single serial resource bounds system throughput at
+// one vertex per IssueCycles — 40 MCV/s at the 200 MHz fabric clock —
+// and is one of the effects that keep Fig 12's scaling sublinear: short
+// (low-degree) tasks cannot fill 16 engines through one dispatcher.
+func IssueCycles(p int) int64 {
+	return 5
+}
+
+// New builds a dispatcher for P engines with the HDV threshold (v_t).
+// The Offset Fetch stage pre-fills the FIFOs in index order.
+func New(g *graph.CSR, p int, threshold uint32) *Dispatcher {
+	if p <= 0 {
+		panic(fmt.Sprintf("dispatch: parallelism %d must be positive", p))
+	}
+	d := &Dispatcher{
+		g:           g,
+		p:           p,
+		threshold:   threshold,
+		hdvFIFOs:    make([]*FIFO, p),
+		ldvFIFO:     NewFIFO(1024),
+		pst:         make([]PEState, p),
+		issueCycles: IssueCycles(p),
+	}
+	for i := range d.hdvFIFOs {
+		d.hdvFIFOs[i] = NewFIFO(256)
+	}
+	n := uint32(g.NumVertices())
+	for v := uint32(0); v < n; v++ {
+		if v < threshold {
+			d.hdvFIFOs[int(v)%p].Push(v)
+		} else {
+			d.ldvFIFO.Push(v)
+		}
+	}
+	// Offset Fetch: one sequential streaming pass over the offsets array
+	// (n+1 64-bit words), at burst rate after the first block.
+	if n > 0 {
+		blocks := (int64(n) + 1 + offsetsPerBlock - 1) / offsetsPerBlock
+		cfg := mem.DefaultDRAMConfig()
+		d.stats.OffsetBlocks = blocks
+		d.stats.OffsetFetchCycles = cfg.RandomLatency + (blocks-1)*cfg.BurstLatency
+	}
+	return d
+}
+
+// Done reports whether every vertex has been issued.
+func (d *Dispatcher) Done() bool { return int(d.next) >= d.g.NumVertices() }
+
+// Next issues the next vertex in strict index order. It returns the task
+// with its start time: the cycle at which both the required engine is
+// idle and the dispatch order constraint is satisfied.
+func (d *Dispatcher) Next() (Task, bool) {
+	if d.Done() {
+		return Task{}, false
+	}
+	v := d.next
+	var task Task
+	if v < d.threshold {
+		pe := int(v) % d.p
+		got, ok := d.hdvFIFOs[pe].Pop()
+		if !ok || got != v {
+			panic(fmt.Sprintf("dispatch: HDV FIFO %d out of sync (got %d want %d)", pe, got, v))
+		}
+		issueReady := d.lastStart + d.issueCycles
+		start := maxI64(d.pst[pe].FreeAt, issueReady)
+		d.stats.StallCycles += start - issueReady
+		d.stats.HDVTasks++
+		task = Task{PE: pe, Vertex: v, Start: start, HDV: true}
+	} else {
+		got, ok := d.ldvFIFO.Pop()
+		if !ok || got != v {
+			panic(fmt.Sprintf("dispatch: LDV FIFO out of sync (got %d want %d)", got, v))
+		}
+		// First-come-first-served: the earliest-free engine.
+		pe := 0
+		for i := 1; i < d.p; i++ {
+			if d.pst[i].FreeAt < d.pst[pe].FreeAt {
+				pe = i
+			}
+		}
+		issueReady := d.lastStart + d.issueCycles
+		start := maxI64(d.pst[pe].FreeAt, issueReady)
+		d.stats.StallCycles += start - issueReady
+		d.stats.LDVTasks++
+		task = Task{PE: pe, Vertex: v, Start: start, HDV: false}
+	}
+	d.pst[task.PE] = PEState{Vertex: v, Running: true, FreeAt: task.Start}
+	d.lastStart = task.Start
+	d.next++
+	return task, true
+}
+
+// Complete is the Complete Unit: the engine reports its finish time,
+// freeing the PST row.
+func (d *Dispatcher) Complete(pe int, freeAt int64) {
+	if pe < 0 || pe >= d.p {
+		panic(fmt.Sprintf("dispatch: Complete for PE %d out of range", pe))
+	}
+	d.pst[pe].Running = false
+	d.pst[pe].FreeAt = freeAt
+}
+
+// InFlight returns the peer tasks overlapping cycle `at`, excluding PE
+// `self` — the data the Task Dispatch Unit sends to configure a BWPE's
+// conflict table. The discrete-event simulator completes tasks eagerly,
+// so "in flight at cycle `at`" means the engine's busy window extends
+// past `at`.
+func (d *Dispatcher) InFlight(self int, at int64) []engine.PeerTask {
+	var peers []engine.PeerTask
+	for pe := range d.pst {
+		if pe == self {
+			continue
+		}
+		if d.pst[pe].FreeAt > at {
+			peers = append(peers, engine.PeerTask{PEID: pe, Vertex: d.pst[pe].Vertex})
+		}
+	}
+	return peers
+}
+
+// PST exposes the state table for tests.
+func (d *Dispatcher) PST() []PEState { return d.pst }
+
+// Stats returns dispatcher counters.
+func (d *Dispatcher) Stats() Stats { return d.stats }
+
+// Threshold returns v_t.
+func (d *Dispatcher) Threshold() uint32 { return d.threshold }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

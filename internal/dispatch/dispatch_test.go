@@ -1,0 +1,205 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"bitcolor/internal/graph"
+	"bitcolor/internal/reorder"
+)
+
+func testGraph(t testing.TB, n, m int, seed int64) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+	}
+	g, err := graph.FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	return h
+}
+
+func TestFIFOBasics(t *testing.T) {
+	f := NewFIFO(2)
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop from empty FIFO succeeded")
+	}
+	for i := uint32(0); i < 10; i++ {
+		f.Push(i) // forces growth past capacity 2
+	}
+	if f.Len() != 10 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if v, ok := f.Peek(); !ok || v != 0 {
+		t.Fatalf("peek = %d,%v", v, ok)
+	}
+	for i := uint32(0); i < 10; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	f := NewFIFO(4)
+	for round := 0; round < 5; round++ {
+		for i := uint32(0); i < 3; i++ {
+			f.Push(i)
+		}
+		for i := uint32(0); i < 3; i++ {
+			if v, _ := f.Pop(); v != i {
+				t.Fatalf("round %d: pop = %d, want %d", round, v, i)
+			}
+		}
+	}
+}
+
+func TestDispatcherHDVBinding(t *testing.T) {
+	g := testGraph(t, 64, 200, 1)
+	const p = 4
+	d := New(g, p, 16) // vertices 0..15 are HDVs
+	seen := 0
+	for !d.Done() {
+		task, ok := d.Next()
+		if !ok {
+			t.Fatal("Next failed before Done")
+		}
+		if task.HDV {
+			if task.PE != int(task.Vertex)%p {
+				t.Fatalf("HDV %d on PE %d, want %d (cache pattern)",
+					task.Vertex, task.PE, int(task.Vertex)%p)
+			}
+			if task.Vertex >= 16 {
+				t.Fatalf("vertex %d marked HDV with threshold 16", task.Vertex)
+			}
+		} else if task.Vertex < 16 {
+			t.Fatalf("vertex %d marked LDV with threshold 16", task.Vertex)
+		}
+		d.Complete(task.PE, task.Start+10)
+		seen++
+	}
+	if seen != 64 {
+		t.Fatalf("dispatched %d tasks, want 64", seen)
+	}
+	st := d.Stats()
+	if st.HDVTasks != 16 || st.LDVTasks != 48 {
+		t.Fatalf("task split %d/%d, want 16/48", st.HDVTasks, st.LDVTasks)
+	}
+}
+
+func TestDispatcherStrictOrder(t *testing.T) {
+	g := testGraph(t, 100, 400, 2)
+	d := New(g, 4, 32)
+	var lastVertex int64 = -1
+	var lastStart int64 = -1
+	for !d.Done() {
+		task, _ := d.Next()
+		if int64(task.Vertex) != lastVertex+1 {
+			t.Fatalf("vertex %d issued after %d; order not strict", task.Vertex, lastVertex)
+		}
+		if task.Start < lastStart {
+			t.Fatalf("start %d before previous %d", task.Start, lastStart)
+		}
+		lastVertex, lastStart = int64(task.Vertex), task.Start
+		d.Complete(task.PE, task.Start+int64(5+task.Vertex%7))
+	}
+}
+
+func TestDispatcherLDVFirstComeFirstServe(t *testing.T) {
+	g := testGraph(t, 40, 100, 3)
+	const p = 4
+	d := New(g, p, 0) // all LDVs
+	// Give PE0 a long task, others short: subsequent work avoids PE0.
+	t0, _ := d.Next()
+	d.Complete(t0.PE, 1000)
+	used := map[int]bool{}
+	for i := 0; i < p-1; i++ {
+		task, _ := d.Next()
+		used[task.PE] = true
+		d.Complete(task.PE, task.Start+1)
+	}
+	if used[t0.PE] {
+		t.Fatal("busy engine chosen over idle engines")
+	}
+}
+
+func TestDispatcherInFlight(t *testing.T) {
+	g := testGraph(t, 20, 60, 4)
+	const p = 2
+	d := New(g, p, 0)
+	t0, _ := d.Next()
+	d.Complete(t0.PE, 100) // busy until 100
+	t1, _ := d.Next()
+	if t1.PE == t0.PE {
+		t.Fatal("second task on busy engine")
+	}
+	peers := d.InFlight(t1.PE, t1.Start)
+	if len(peers) != 1 || peers[0].Vertex != t0.Vertex || peers[0].PEID != t0.PE {
+		t.Fatalf("InFlight = %+v, want vertex %d on PE %d", peers, t0.Vertex, t0.PE)
+	}
+	// After the peer's completion, nothing is in flight.
+	if got := d.InFlight(t1.PE, 200); len(got) != 0 {
+		t.Fatalf("InFlight at 200 = %+v, want empty", got)
+	}
+}
+
+func TestDispatcherHDVStall(t *testing.T) {
+	g := testGraph(t, 8, 20, 5)
+	const p = 2
+	d := New(g, p, 8) // all HDVs: strict binding
+	t0, _ := d.Next() // vertex 0 → PE 0
+	d.Complete(t0.PE, 500)
+	t1, _ := d.Next() // vertex 1 → PE 1, starts immediately
+	d.Complete(t1.PE, 10)
+	t2, _ := d.Next() // vertex 2 → PE 0 again: must wait until 500
+	if t2.PE != 0 || t2.Start < 500 {
+		t.Fatalf("task %+v, want PE0 start >= 500", t2)
+	}
+	if d.Stats().StallCycles == 0 {
+		t.Fatal("stall not recorded")
+	}
+}
+
+func TestDispatcherCompleteOutOfRange(t *testing.T) {
+	g := testGraph(t, 10, 20, 6)
+	d := New(g, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad PE accepted")
+		}
+	}()
+	d.Complete(7, 0)
+}
+
+func TestDispatcherEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdgeList(0, nil)
+	d := New(g, 2, 0)
+	if !d.Done() {
+		t.Fatal("empty graph not done")
+	}
+	if _, ok := d.Next(); ok {
+		t.Fatal("Next on empty graph succeeded")
+	}
+}
+
+func TestOffsetFetchAccounting(t *testing.T) {
+	g := testGraph(t, 100, 300, 7)
+	d := New(g, 2, 16)
+	st := d.Stats()
+	// 101 offsets at 8 per block → 13 blocks.
+	if st.OffsetBlocks != 13 {
+		t.Fatalf("offset blocks = %d, want 13", st.OffsetBlocks)
+	}
+	if st.OffsetFetchCycles <= st.OffsetBlocks {
+		t.Fatalf("offset fetch cycles %d implausible", st.OffsetFetchCycles)
+	}
+	empty, _ := graph.FromEdgeList(0, nil)
+	if New(empty, 2, 0).Stats().OffsetBlocks != 0 {
+		t.Fatal("empty graph fetched offsets")
+	}
+}

@@ -1,0 +1,140 @@
+package dispatch
+
+import (
+	"bitcolor/internal/engine"
+	"bitcolor/internal/graph"
+)
+
+// RelaxedDispatcher implements the paper's Fig 10 semantics literally:
+// an idle engine pops its own HDV sub-FIFO if non-empty, otherwise the
+// shared LDV FIFO — with no global ordering constraint across engines.
+//
+// The relaxation can issue vertex v while a smaller-indexed neighbor u
+// is still queued (not yet in flight): v then neither reads u's color
+// (u is uncolored) nor defers on it (the conflict table only tracks
+// in-flight vertices), and u later prunes v as a larger index — so the
+// pair can end up with the same color. The strict-order Dispatcher
+// avoids this by construction; RelaxedDispatcher exists to measure how
+// often the hazard fires and what a repair pass costs (the `relaxed`
+// experiment), documenting why this reproduction interprets the paper's
+// index-ordered processing as a hard dispatch constraint.
+type RelaxedDispatcher struct {
+	g         *graph.CSR
+	p         int
+	threshold uint32
+
+	hdvFIFOs []*FIFO
+	ldvFIFO  *FIFO
+	pst      []PEState
+
+	issued      int
+	lastIssue   int64
+	issueCycles int64
+	stats       Stats
+}
+
+// NewRelaxed builds the relaxed dispatcher.
+func NewRelaxed(g *graph.CSR, p int, threshold uint32) *RelaxedDispatcher {
+	d := &RelaxedDispatcher{
+		g:           g,
+		p:           p,
+		threshold:   threshold,
+		hdvFIFOs:    make([]*FIFO, p),
+		ldvFIFO:     NewFIFO(1024),
+		pst:         make([]PEState, p),
+		issueCycles: IssueCycles(p),
+	}
+	for i := range d.hdvFIFOs {
+		d.hdvFIFOs[i] = NewFIFO(256)
+	}
+	n := uint32(g.NumVertices())
+	for v := uint32(0); v < n; v++ {
+		if v < threshold {
+			d.hdvFIFOs[int(v)%p].Push(v)
+		} else {
+			d.ldvFIFO.Push(v)
+		}
+	}
+	return d
+}
+
+// Done reports whether every vertex has been issued.
+func (d *RelaxedDispatcher) Done() bool { return d.issued >= d.g.NumVertices() }
+
+// Next issues work to the earliest-free engine that has any: its own HDV
+// sub-FIFO first, then the shared LDV FIFO. Engines whose sub-FIFO is
+// drained and who lose the LDV race stay idle.
+func (d *RelaxedDispatcher) Next() (Task, bool) {
+	if d.Done() {
+		return Task{}, false
+	}
+	// Candidate engines ordered by availability.
+	type cand struct {
+		pe     int
+		freeAt int64
+	}
+	order := make([]cand, d.p)
+	for i := range order {
+		order[i] = cand{pe: i, freeAt: d.pst[i].FreeAt}
+	}
+	// Selection sort by freeAt (p <= 16).
+	for i := 0; i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if order[j].freeAt < order[best].freeAt {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	for _, c := range order {
+		var (
+			v   uint32
+			hdv bool
+			ok  bool
+		)
+		if v, ok = d.hdvFIFOs[c.pe].Pop(); ok {
+			hdv = true
+		} else if v, ok = d.ldvFIFO.Pop(); ok {
+			hdv = false
+		} else {
+			continue
+		}
+		issueReady := d.lastIssue + d.issueCycles
+		start := maxI64(c.freeAt, issueReady)
+		if hdv {
+			d.stats.HDVTasks++
+		} else {
+			d.stats.LDVTasks++
+		}
+		d.pst[c.pe] = PEState{Vertex: v, Running: true, FreeAt: start}
+		d.lastIssue = start
+		d.issued++
+		return Task{PE: c.pe, Vertex: v, Start: start, HDV: hdv}, true
+	}
+	return Task{}, false
+}
+
+// Complete frees the engine's PST row.
+func (d *RelaxedDispatcher) Complete(pe int, freeAt int64) {
+	d.pst[pe].Running = false
+	d.pst[pe].FreeAt = freeAt
+}
+
+// InFlight mirrors Dispatcher.InFlight: peers busy past cycle `at`,
+// excluding self.
+func (d *RelaxedDispatcher) InFlight(self int, at int64) []engine.PeerTask {
+	var peers []engine.PeerTask
+	for pe := range d.pst {
+		if pe == self {
+			continue
+		}
+		if d.pst[pe].FreeAt > at {
+			peers = append(peers, engine.PeerTask{PEID: pe, Vertex: d.pst[pe].Vertex})
+		}
+	}
+	return peers
+}
+
+// Stats returns dispatcher counters.
+func (d *RelaxedDispatcher) Stats() Stats { return d.stats }

@@ -1,0 +1,101 @@
+package dispatch
+
+import (
+	"testing"
+
+	"bitcolor/internal/graph"
+)
+
+func TestRelaxedPopsOwnFIFOFirst(t *testing.T) {
+	g := testGraph(t, 16, 40, 11)
+	const p = 2
+	d := NewRelaxed(g, p, 16) // all HDVs: sub-FIFO per engine
+	t0, ok := d.Next()
+	if !ok {
+		t.Fatal("no first task")
+	}
+	d.Complete(t0.PE, 1000) // engine busy for a long time
+	// The other engine must keep draining its own sub-FIFO (same parity)
+	// without waiting for the busy one.
+	prev := uint32(0)
+	for i := 0; i < 4; i++ {
+		task, ok := d.Next()
+		if !ok {
+			t.Fatal("dispatch stalled")
+		}
+		if task.PE == t0.PE {
+			t.Fatalf("task %d landed on the busy engine", task.Vertex)
+		}
+		if int(task.Vertex)%p != task.PE {
+			t.Fatalf("HDV %d on engine %d breaks the stripe", task.Vertex, task.PE)
+		}
+		if i > 0 && task.Vertex <= prev {
+			t.Fatal("sub-FIFO not FIFO")
+		}
+		prev = task.Vertex
+		d.Complete(task.PE, task.Start+5)
+	}
+}
+
+func TestRelaxedFallsBackToLDV(t *testing.T) {
+	g := testGraph(t, 20, 50, 12)
+	const p = 2
+	d := NewRelaxed(g, p, 4) // vertices 0..3 HDV, rest LDV
+	issued := map[uint32]bool{}
+	for !d.Done() {
+		task, ok := d.Next()
+		if !ok {
+			t.Fatal("stalled with work left")
+		}
+		if issued[task.Vertex] {
+			t.Fatalf("vertex %d issued twice", task.Vertex)
+		}
+		issued[task.Vertex] = true
+		if task.HDV && task.Vertex >= 4 {
+			t.Fatalf("LDV %d marked HDV", task.Vertex)
+		}
+		d.Complete(task.PE, task.Start+3)
+	}
+	if len(issued) != 20 {
+		t.Fatalf("issued %d of 20", len(issued))
+	}
+	st := d.Stats()
+	if st.HDVTasks != 4 || st.LDVTasks != 16 {
+		t.Fatalf("task split %d/%d", st.HDVTasks, st.LDVTasks)
+	}
+}
+
+func TestRelaxedCanIssueOutOfOrder(t *testing.T) {
+	// The defining difference from the strict dispatcher: with engine 0
+	// stuck, engine 1 issues vertices beyond the global head of line.
+	g := testGraph(t, 8, 16, 13)
+	const p = 2
+	d := NewRelaxed(g, p, 8)
+	t0, _ := d.Next() // vertex 0 on engine 0
+	d.Complete(t0.PE, 10_000)
+	t1, _ := d.Next() // vertex 1 on engine 1
+	d.Complete(t1.PE, t1.Start+1)
+	t2, _ := d.Next()
+	if t2.Vertex != 3 {
+		t.Fatalf("expected vertex 3 (engine 1's next), got %d", t2.Vertex)
+	}
+	if t2.Start >= 10_000 {
+		t.Fatal("out-of-order issue waited for the stuck engine")
+	}
+	d.Complete(t2.PE, t2.Start+1)
+	peers := d.InFlight(1, t2.Start)
+	if len(peers) != 1 || peers[0].Vertex != 0 {
+		t.Fatalf("InFlight = %+v, want stuck vertex 0", peers)
+	}
+}
+
+func TestRelaxedEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdgeList(0, nil)
+	d := NewRelaxed(g, 2, 0)
+	if !d.Done() {
+		t.Fatal("empty not done")
+	}
+	if _, ok := d.Next(); ok {
+		t.Fatal("Next succeeded on empty graph")
+	}
+}

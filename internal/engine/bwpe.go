@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"fmt"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/cache"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+)
+
+// Options toggles the paper's four optimization techniques (the Fig 11
+// ablation axes).
+type Options struct {
+	// HDC: high-degree vertex cache — colors of vertices below the
+	// threshold are read/written on-chip.
+	HDC bool
+	// BWC: bit-wise coloring — Stage 1 is O(1) instead of a linear scan.
+	BWC bool
+	// MGR: merge DRAM reads — the Color Loader reuses the last block.
+	MGR bool
+	// PUV: prune uncolored vertices — neighbors above the current index
+	// are skipped; with sorted edges the whole tail is skipped.
+	PUV bool
+}
+
+// AllOptions enables every optimization (the full BitColor design).
+func AllOptions() Options { return Options{HDC: true, BWC: true, MGR: true, PUV: true} }
+
+// Config parameterizes a BWPE.
+type Config struct {
+	Options
+	// MaxColors bounds the palette (paper: 1024).
+	MaxColors int
+	// EdgesPerBlock is how many 32-bit edge words fit one DRAM block.
+	EdgesPerBlock int
+	// SortedEdges declares that adjacency lists are ascending, enabling
+	// tail pruning and read merging guarantees.
+	SortedEdges bool
+	// StartupCycles is the fixed per-vertex pipeline cost: loading the
+	// engine parameters from the dispatcher, configuring the conflict
+	// table, priming the ping-pong buffers and draining the coloring
+	// pipeline (Fig 7's Step ① setup plus fill/drain).
+	StartupCycles int64
+}
+
+// DefaultStartupCycles is the per-vertex pipeline fill/drain cost.
+const DefaultStartupCycles = 14
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Options:       AllOptions(),
+		MaxColors:     1024,
+		EdgesPerBlock: mem.BlockBits / 32, // 16 edges per 512-bit block
+		SortedEdges:   true,
+		StartupCycles: DefaultStartupCycles,
+	}
+}
+
+// VertexReport is the outcome of coloring one vertex on a BWPE.
+type VertexReport struct {
+	Vertex uint32
+	Color  uint16
+	// Start and End are the simulated cycles bounding the vertex.
+	Start, End int64
+	// ComputeCycles are pipeline cycles spent on edge issue, bit
+	// operations, Stage 1 and Stage 2 (excluding the fixed per-vertex
+	// startup, reported separately).
+	ComputeCycles int64
+	// StartupCycles is the fixed per-vertex pipeline fill/drain cost.
+	StartupCycles int64
+	// DRAMStallCycles are cycles the coloring pipeline waited on color
+	// reads from DRAM.
+	DRAMStallCycles int64
+	// ConflictWaitCycles are cycles spent waiting on conflicting peers.
+	ConflictWaitCycles int64
+	// EdgeFetchCycles is the (overlapped) cost of streaming the edge list
+	// through the ping-pong buffers.
+	EdgeFetchCycles int64
+	// Edge accounting.
+	EdgesTotal, EdgesPruned, EdgesDeferred int
+	CacheHits                              int64
+	DRAMColorReads                         int64
+	MergedReads                            int64
+}
+
+// PEStats aggregates reports over a run.
+type PEStats struct {
+	Vertices           int64
+	ComputeCycles      int64
+	StartupCycles      int64
+	DRAMStallCycles    int64
+	ConflictWaitCycles int64
+	EdgeFetchCycles    int64
+	EdgesTotal         int64
+	EdgesPruned        int64
+	EdgesDeferred      int64
+	CacheHits          int64
+	DRAMColorReads     int64
+	MergedReads        int64
+	BusyCycles         int64
+}
+
+// Add accumulates a vertex report.
+func (s *PEStats) Add(r VertexReport) {
+	s.Vertices++
+	s.ComputeCycles += r.ComputeCycles
+	s.StartupCycles += r.StartupCycles
+	s.DRAMStallCycles += r.DRAMStallCycles
+	s.ConflictWaitCycles += r.ConflictWaitCycles
+	s.EdgeFetchCycles += r.EdgeFetchCycles
+	s.EdgesTotal += int64(r.EdgesTotal)
+	s.EdgesPruned += int64(r.EdgesPruned)
+	s.EdgesDeferred += int64(r.EdgesDeferred)
+	s.CacheHits += r.CacheHits
+	s.DRAMColorReads += r.DRAMColorReads
+	s.MergedReads += r.MergedReads
+	s.BusyCycles += r.End - r.Start
+}
+
+// Merge accumulates another PE's totals.
+func (s *PEStats) Merge(o PEStats) {
+	s.Vertices += o.Vertices
+	s.ComputeCycles += o.ComputeCycles
+	s.StartupCycles += o.StartupCycles
+	s.DRAMStallCycles += o.DRAMStallCycles
+	s.ConflictWaitCycles += o.ConflictWaitCycles
+	s.EdgeFetchCycles += o.EdgeFetchCycles
+	s.EdgesTotal += o.EdgesTotal
+	s.EdgesPruned += o.EdgesPruned
+	s.EdgesDeferred += o.EdgesDeferred
+	s.CacheHits += o.CacheHits
+	s.DRAMColorReads += o.DRAMColorReads
+	s.MergedReads += o.MergedReads
+	s.BusyCycles += o.BusyCycles
+}
+
+// PeerResult lets the simulator reveal a conflicting peer's eagerly
+// computed outcome: the cycle its result is forwarded and the color.
+type PeerResult func(peID int) (ready int64, color uint16)
+
+// BWPE is one bit-wise processing engine. It owns a read port and a
+// write port of the shared multi-port color cache, a Color Loader on its
+// logical DRAM channel for low-degree colors, a separate edge-stream
+// channel feeding the ping-pong buffers, and a Data Conflict Table.
+type BWPE struct {
+	ID int
+
+	g      *graph.CSR
+	colors []uint16 // authoritative color array (shared across PEs)
+
+	hvc      *cache.HVC // nil when HDC is off
+	loader   *ColorLoader
+	pingpong *PingPongBuffer
+	writer   *Writer
+	codec    *bitops.ColorCodec
+	state    *bitops.BitSet
+	dct      *DCT
+	cfg      Config
+
+	stats PEStats
+}
+
+// NewBWPE wires up an engine. hvc may be nil only when cfg.HDC is false.
+func NewBWPE(id int, g *graph.CSR, colors []uint16, hvc *cache.HVC,
+	colorChannel, edgeChannel *mem.Channel, peers int, cfg Config) *BWPE {
+	if cfg.MaxColors <= 0 {
+		panic(fmt.Sprintf("engine: MaxColors %d must be positive", cfg.MaxColors))
+	}
+	if cfg.EdgesPerBlock <= 0 {
+		cfg.EdgesPerBlock = mem.BlockBits / 32
+	}
+	if cfg.HDC && hvc == nil {
+		panic("engine: HDC enabled without a cache")
+	}
+	return &BWPE{
+		ID:       id,
+		g:        g,
+		colors:   colors,
+		hvc:      hvc,
+		loader:   NewColorLoader(colorChannel, colors, cfg.MGR),
+		pingpong: NewPingPongBuffer(edgeChannel, cfg.EdgesPerBlock),
+		writer:   NewWriter(colors, hvc, colorChannel, id),
+		codec:    bitops.NewColorCodec(cfg.MaxColors),
+		state:    bitops.NewBitSet(cfg.MaxColors),
+		dct:      NewDCT(peers),
+		cfg:      cfg,
+	}
+}
+
+// Loader exposes the Color Loader for stats.
+func (pe *BWPE) Loader() *ColorLoader { return pe.loader }
+
+// Stats returns the accumulated totals.
+func (pe *BWPE) Stats() PEStats { return pe.stats }
+
+// DCT exposes the conflict table for tests.
+func (pe *BWPE) DCT() *DCT { return pe.dct }
+
+// ColorVertex colors v starting at cycle `now`, with `peers` describing
+// vertices in flight on other engines and peerResult revealing a
+// conflicting peer's completion. It returns the vertex report (and a
+// non-nil error if the palette is exhausted); the authoritative color
+// array is updated before returning.
+//
+// The cycle model: the coloring pipeline issues one edge per cycle when
+// color data is on-chip (Fig 7's two pipelines are fully overlapped);
+// a DRAM color read stalls the pipeline for the channel latency minus
+// the merge fast path; Stage 1 costs 1+3 cycles with BWC and a linear
+// scan plus flag clear without; Stage 2 costs one cycle. Edge streaming
+// through the ping-pong buffers proceeds concurrently, so the vertex
+// occupies the engine for max(pipeline time, edge fetch time).
+func (pe *BWPE) ColorVertex(v uint32, now int64, peers []PeerTask, peerResult PeerResult) (VertexReport, error) {
+	r := VertexReport{Vertex: v, Start: now}
+	pe.state.Reset()
+	pe.dct.Configure(v, peers)
+
+	adj := pe.g.Neighbors(v)
+	r.EdgesTotal = len(adj)
+
+	// Edge streaming through the ping-pong buffer pair, overlapped with
+	// processing.
+	if len(adj) > 0 {
+		r.EdgeFetchCycles = pe.pingpong.FillVertex(pe.g, v, now) - now
+	}
+
+	t := now + pe.cfg.StartupCycles
+	r.StartupCycles = pe.cfg.StartupCycles
+	highestSeen := 0 // highest color number observed (for non-BWC Stage 1 cost)
+	for _, w := range adj {
+		// One pipeline cycle: prune compare + DCT check + threshold
+		// compare (Steps ②-④ share the issue slot).
+		t++
+		r.ComputeCycles++
+		if pe.cfg.PUV && w > v {
+			if pe.cfg.SortedEdges {
+				// Tail pruning: every following destination is larger.
+				r.EdgesPruned += countFrom(adj, w)
+				break
+			}
+			r.EdgesPruned++
+			continue
+		}
+		if pe.dct.Check(w) {
+			r.EdgesDeferred++
+			continue
+		}
+		var cw uint16
+		cached := false
+		if pe.cfg.HDC {
+			if c2, ok := pe.hvc.Read(pe.ID, w); ok {
+				// Single-cycle cache read, hidden in the pipeline slot.
+				cw = c2
+				cached = true
+				r.CacheHits++
+			}
+		}
+		if !cached {
+			color, done := pe.loader.Load(w, t)
+			if done > t {
+				r.DRAMStallCycles += done - t
+				t = done
+			}
+			cw = color
+			r.DRAMColorReads++
+		}
+		// Stage 0 accumulate. With BWC the Num2Bit lookup feeds a
+		// single-cycle register OR; the flag-array baseline instead does
+		// a read-modify-write on the BRAM-resident flag array (address
+		// decode + two port operations), costing an extra cycle.
+		accum := int64(1)
+		if !pe.cfg.BWC {
+			accum = 2
+		}
+		t += accum
+		r.ComputeCycles += accum
+		pe.codec.Decompress(cw, pe.state)
+		if int(cw) > highestSeen {
+			highestSeen = int(cw)
+		}
+	}
+	// Reconcile loader-side merge stats into the report.
+	ls := pe.loader.Stats()
+	r.MergedReads = ls.MergedReads - pe.stats.MergedReads
+
+	// Deferred conflicts: wait for every conflicting peer, then one
+	// parallel OR over the register table.
+	if n := pe.dct.ConflictCount(); n > 0 {
+		for _, peID := range pe.dct.ConflictPeers() {
+			ready, color := peerResult(peID)
+			if ready > t {
+				r.ConflictWaitCycles += ready - t
+				t = ready
+			}
+			pe.dct.Complete(peID, pe.codec.OneHot(color))
+			if int(color) > highestSeen {
+				highestSeen = int(color)
+			}
+		}
+		if !pe.dct.AllConflictsValid() {
+			panic("engine: conflict peers incomplete after wait")
+		}
+		pe.dct.ResolveInto(pe.state)
+		t++
+		r.ComputeCycles++
+	}
+
+	// Stage 1: color determination.
+	var color uint16
+	if pe.cfg.BWC {
+		c, cycles := pe.codec.FirstFree(pe.state)
+		color = c
+		t += int64(cycles)
+		r.ComputeCycles += int64(cycles)
+	} else {
+		// Linear scan to the first free color + flag clear, as in
+		// Algorithm 1.
+		c := pe.state.FirstZero() + 1
+		if c > pe.cfg.MaxColors {
+			c = 0
+		}
+		color = uint16(c)
+		scan := int64(c)
+		if c == 0 {
+			scan = int64(pe.cfg.MaxColors)
+		}
+		clear := int64(highestSeen) + 1
+		t += scan + clear
+		r.ComputeCycles += scan + clear
+	}
+	if color == 0 {
+		return r, fmt.Errorf("engine: palette exhausted at vertex %d (max %d colors)", v, pe.cfg.MaxColors)
+	}
+
+	// Stage 2: color update through the Writer module.
+	t++
+	r.ComputeCycles++
+	if onChip := pe.writer.Write(v, color, t); !onChip {
+		// A posted DRAM write into the loader's held block would
+		// otherwise leave a stale merge register.
+		pe.loader.Invalidate()
+	}
+	r.Color = color
+
+	// The engine is occupied for the longer of the coloring pipeline and
+	// the edge stream.
+	end := t
+	if fetchEnd := now + r.EdgeFetchCycles; fetchEnd > end {
+		end = fetchEnd
+	}
+	r.End = end
+	pe.stats.Add(r)
+	return r, nil
+}
+
+// countFrom returns how many entries of adj remain from the first
+// occurrence of w onward (w is the entry that triggered tail pruning).
+func countFrom(adj []graph.VertexID, w graph.VertexID) int {
+	for i, x := range adj {
+		if x == w {
+			return len(adj) - i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+
+	"bitcolor/internal/bitops"
+)
+
+// DCT is the Data Conflict Table of §4.3: one row per peer BWPE, tracking
+// which vertex that peer is coloring, whether it has finished, its color
+// result in bit form, and whether the current vertex conflicts with it.
+// The table is register-based in hardware so the final parallel OR over
+// all conflict colors completes in one cycle.
+//
+// Priority rule: the paper stipulates that when two PEs conflict, the PE
+// with the smaller index completes first. Under the §4.6 schedule PE
+// order and vertex order coincide within a dispatch wave, but across
+// waves a lower-numbered vertex can sit on a higher-numbered PE, so this
+// implementation generalizes the rule to *vertex* order: a BWPE only ever
+// defers on in-flight peers coloring a smaller vertex index. The wait
+// graph then follows the total vertex order and is deadlock-free, and
+// the result equals sequential greedy.
+type DCT struct {
+	rows []DCTRow
+}
+
+// DCTRow mirrors the five-row table of the paper (transposed: one entry
+// per peer PE).
+type DCTRow struct {
+	PEID     int            // PE index of the peer
+	Vertex   uint32         // v_id being colored by the peer
+	Valid    bool           // peer has completed coloring
+	Color    *bitops.BitSet // peer's color result in bit form
+	Conflict bool           // current vertex conflicts with the peer
+}
+
+// NewDCT builds a table with capacity for `peers` peer engines.
+func NewDCT(peers int) *DCT {
+	if peers < 0 {
+		panic(fmt.Sprintf("engine: negative peer count %d", peers))
+	}
+	return &DCT{rows: make([]DCTRow, 0, peers)}
+}
+
+// PeerTask describes what another BWPE is working on.
+type PeerTask struct {
+	PEID   int
+	Vertex uint32
+}
+
+// Configure loads the table for a new vertex: the Task Dispatch Unit
+// supplies the vertices currently in flight on other BWPEs. Only peers
+// coloring a smaller vertex are recorded (see the priority rule above);
+// larger in-flight vertices are uncolored from this vertex's perspective
+// and are handled by pruning.
+func (d *DCT) Configure(selfVertex uint32, peers []PeerTask) {
+	d.rows = d.rows[:0]
+	for _, p := range peers {
+		if p.Vertex >= selfVertex {
+			continue
+		}
+		d.rows = append(d.rows, DCTRow{PEID: p.PEID, Vertex: p.Vertex})
+	}
+}
+
+// Check implements Step ③: if v_des matches a peer's in-flight vertex,
+// the row's conflict flag is set and the edge is deferred. Reports
+// whether a conflict was recorded.
+func (d *DCT) Check(vdes uint32) bool {
+	for i := range d.rows {
+		if d.rows[i].Vertex == vdes {
+			d.rows[i].Conflict = true
+			return true
+		}
+	}
+	return false
+}
+
+// Complete implements Step ⑨ seen from the receiving side: the peer PE
+// forwards its finished color, setting valid and the color row.
+func (d *DCT) Complete(peID int, color *bitops.BitSet) {
+	for i := range d.rows {
+		if d.rows[i].PEID == peID {
+			d.rows[i].Valid = true
+			d.rows[i].Color = color
+			return
+		}
+	}
+}
+
+// ConflictPeers returns the PE IDs of all rows flagged as conflicts.
+func (d *DCT) ConflictPeers() []int {
+	var out []int
+	for i := range d.rows {
+		if d.rows[i].Conflict {
+			out = append(out, d.rows[i].PEID)
+		}
+	}
+	return out
+}
+
+// ConflictCount returns the number of rows flagged as conflicts.
+func (d *DCT) ConflictCount() int {
+	n := 0
+	for i := range d.rows {
+		if d.rows[i].Conflict {
+			n++
+		}
+	}
+	return n
+}
+
+// AllConflictsValid reports whether every conflicting peer has forwarded
+// its result (the Step ⑥ wait condition).
+func (d *DCT) AllConflictsValid() bool {
+	for i := range d.rows {
+		if d.rows[i].Conflict && !d.rows[i].Valid {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveInto ORs all valid conflict colors into state — the paper's
+// one-cycle parallel OR over the register-based table (Step ⑥). It
+// panics if called before AllConflictsValid holds, catching scheduler
+// bugs in the simulator.
+func (d *DCT) ResolveInto(state *bitops.BitSet) {
+	for i := range d.rows {
+		if !d.rows[i].Conflict {
+			continue
+		}
+		if !d.rows[i].Valid {
+			panic(fmt.Sprintf("engine: resolving DCT with incomplete peer PE%d", d.rows[i].PEID))
+		}
+		state.OrWith(d.rows[i].Color)
+	}
+}
+
+// Rows exposes the table for tests and the dispatcher.
+func (d *DCT) Rows() []DCTRow { return d.rows }

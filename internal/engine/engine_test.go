@@ -1,0 +1,427 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/cache"
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+	"bitcolor/internal/reorder"
+)
+
+func randomSortedGraph(t testing.TB, n, m int, seed int64) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+	}
+	g, err := graph.FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	return h
+}
+
+// singlePE builds a one-engine rig over g with the given options.
+func singlePE(g *graph.CSR, opts Options, cacheVertices int) (*BWPE, []uint16) {
+	colors := make([]uint16, g.NumVertices())
+	cfg := DefaultConfig()
+	cfg.Options = opts
+	cfg.SortedEdges = g.EdgesSorted()
+	var hvc *cache.HVC
+	if opts.HDC {
+		if cacheVertices <= 0 {
+			cacheVertices = g.NumVertices()
+		}
+		hvc = cache.NewHVC(cache.NewBitSelectCache(1, cacheVertices), cacheVertices)
+	}
+	pe := NewBWPE(0, g, colors, hvc,
+		mem.NewChannel(mem.DefaultDRAMConfig()),
+		mem.NewChannel(mem.DefaultDRAMConfig()), 0, cfg)
+	return pe, colors
+}
+
+// runSingle colors the whole graph on one engine in index order.
+func runSingle(t testing.TB, g *graph.CSR, opts Options, cacheVertices int) (*BWPE, []uint16, int64) {
+	t.Helper()
+	pe, colors := singlePE(g, opts, cacheVertices)
+	now := int64(0)
+	for v := 0; v < g.NumVertices(); v++ {
+		rep, err := pe.ColorVertex(uint32(v), now, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = rep.End
+	}
+	return pe, colors, now
+}
+
+func TestSingleBWPEMatchesSoftwareGreedy(t *testing.T) {
+	g := randomSortedGraph(t, 400, 3000, 1)
+	want, err := coloring.Greedy(g, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{},
+		{HDC: true},
+		{HDC: true, BWC: true},
+		{HDC: true, BWC: true, MGR: true},
+		AllOptions(),
+	} {
+		_, colors, _ := runSingle(t, g, opts, 0)
+		for v := range colors {
+			if colors[v] != want.Colors[v] {
+				t.Fatalf("opts %+v: vertex %d engine %d software %d", opts, v, colors[v], want.Colors[v])
+			}
+		}
+	}
+}
+
+func TestOptimizationsReduceCycles(t *testing.T) {
+	g := randomSortedGraph(t, 600, 6000, 2)
+	_, _, baseline := runSingle(t, g, Options{}, 0)
+	peHDC, _, hdc := runSingle(t, g, Options{HDC: true}, 0)
+	_, _, bwc := runSingle(t, g, Options{HDC: true, BWC: true}, 0)
+	peAll, _, all := runSingle(t, g, AllOptions(), 0)
+	if hdc >= baseline {
+		t.Fatalf("HDC did not reduce cycles: %d >= %d", hdc, baseline)
+	}
+	if bwc >= hdc {
+		t.Fatalf("BWC did not reduce cycles: %d >= %d", bwc, hdc)
+	}
+	if all >= bwc {
+		t.Fatalf("PUV+MGR did not reduce cycles: %d >= %d", all, bwc)
+	}
+	if peHDC.Stats().CacheHits == 0 {
+		t.Fatal("HDC never hit")
+	}
+	if peAll.Stats().EdgesPruned == 0 {
+		t.Fatal("PUV never pruned")
+	}
+}
+
+func TestBWCReducesComputeOnly(t *testing.T) {
+	g := randomSortedGraph(t, 500, 5000, 3)
+	peNo, _, _ := runSingle(t, g, Options{HDC: true}, 0)
+	peYes, _, _ := runSingle(t, g, Options{HDC: true, BWC: true}, 0)
+	if peYes.Stats().ComputeCycles >= peNo.Stats().ComputeCycles {
+		t.Fatalf("BWC compute %d >= baseline %d",
+			peYes.Stats().ComputeCycles, peNo.Stats().ComputeCycles)
+	}
+	// DRAM behaviour identical: all reads cached either way.
+	if peYes.Stats().DRAMColorReads != peNo.Stats().DRAMColorReads {
+		t.Fatal("BWC changed DRAM access")
+	}
+}
+
+func TestHDCPartialCache(t *testing.T) {
+	g := randomSortedGraph(t, 1000, 8000, 4)
+	// Cache only the top 100 vertices: hits and misses must both occur,
+	// and the result must stay correct.
+	pe, colors, _ := runSingle(t, g, Options{HDC: true, BWC: true, MGR: true, PUV: true}, 100)
+	if err := coloring.Verify(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	st := pe.Stats()
+	if st.CacheHits == 0 || st.DRAMColorReads == 0 {
+		t.Fatalf("expected mixed cache/DRAM traffic, got hits=%d dram=%d",
+			st.CacheHits, st.DRAMColorReads)
+	}
+	// DBG puts high-degree vertices first, so the 100 cached vertices
+	// must absorb a disproportionate share of reads.
+	frac := float64(st.CacheHits) / float64(st.CacheHits+st.DRAMColorReads)
+	if frac < 0.15 {
+		t.Fatalf("cache absorbed only %.1f%% of reads; degree skew not exploited", frac*100)
+	}
+}
+
+func TestMGRMergesSortedReads(t *testing.T) {
+	g := randomSortedGraph(t, 2000, 16000, 5)
+	peOff, _, _ := runSingle(t, g, Options{PUV: true}, 0)
+	peOn, _, _ := runSingle(t, g, Options{MGR: true, PUV: true}, 0)
+	offReads := peOff.Loader().Stats().DRAMReads
+	onReads := peOn.Loader().Stats().DRAMReads
+	if onReads >= offReads {
+		t.Fatalf("MGR did not reduce DRAM reads: %d >= %d", onReads, offReads)
+	}
+	if peOn.Loader().Stats().MergedReads == 0 {
+		t.Fatal("no merged reads recorded")
+	}
+}
+
+func TestPUVTailPruning(t *testing.T) {
+	// Star with center 0: center's neighbors all have bigger indices, so
+	// with sorted edges the center prunes its entire adjacency after one
+	// probe.
+	var edges []graph.Edge
+	for i := 1; i <= 64; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.VertexID(i)})
+	}
+	g, err := graph.FromEdgeList(65, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, colors := singlePE(g, AllOptions(), 0)
+	rep, err := pe.ColorVertex(0, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EdgesPruned != 64 {
+		t.Fatalf("pruned %d edges, want 64", rep.EdgesPruned)
+	}
+	if rep.DRAMColorReads != 0 || rep.CacheHits != 0 {
+		t.Fatal("pruned edges still fetched colors")
+	}
+	if colors[0] != 1 {
+		t.Fatalf("center color = %d, want 1", colors[0])
+	}
+}
+
+func TestDCTConflictDeferral(t *testing.T) {
+	// Two adjacent vertices colored "in parallel": vertex 1 must defer on
+	// in-flight vertex 0 and wait for its result.
+	g, err := graph.FromEdgeList(2, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := make([]uint16, 2)
+	cfg := DefaultConfig()
+	cfg.Options = Options{BWC: true} // no cache: simplest rig
+	mk := func(id int) *BWPE {
+		return NewBWPE(id, g, colors, nil,
+			mem.NewChannel(mem.DefaultDRAMConfig()),
+			mem.NewChannel(mem.DefaultDRAMConfig()), 2, cfg)
+	}
+	pe0, pe1 := mk(0), mk(1)
+	rep0, err := pe0.ColorVertex(0, 0, []PeerTask{{PEID: 1, Vertex: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const forwardAt = int64(500)
+	rep1, err := pe1.ColorVertex(1, 0, []PeerTask{{PEID: 0, Vertex: 0}},
+		func(peID int) (int64, uint16) {
+			if peID != 0 {
+				t.Fatalf("asked for peer %d", peID)
+			}
+			return forwardAt, rep0.Color
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.EdgesDeferred != 1 {
+		t.Fatalf("deferred %d edges, want 1", rep1.EdgesDeferred)
+	}
+	if rep1.ConflictWaitCycles == 0 {
+		t.Fatal("no conflict wait recorded")
+	}
+	if rep1.End < forwardAt {
+		t.Fatalf("vertex 1 finished at %d before peer forward at %d", rep1.End, forwardAt)
+	}
+	if rep0.Color == rep1.Color {
+		t.Fatalf("conflict resolution failed: both vertices got color %d", rep0.Color)
+	}
+	if err := coloring.Verify(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTVertexOrderPriority(t *testing.T) {
+	d := NewDCT(4)
+	// Self vertex 10: peers with vertices 3 (smaller) and 20 (larger).
+	d.Configure(10, []PeerTask{{PEID: 1, Vertex: 3}, {PEID: 2, Vertex: 20}})
+	if len(d.Rows()) != 1 || d.Rows()[0].Vertex != 3 {
+		t.Fatalf("DCT recorded %+v, want only vertex 3", d.Rows())
+	}
+	if d.Check(20) {
+		t.Fatal("larger in-flight vertex treated as conflict")
+	}
+	if !d.Check(3) {
+		t.Fatal("smaller in-flight vertex not flagged")
+	}
+	if d.AllConflictsValid() {
+		t.Fatal("conflict valid before completion")
+	}
+	cset := bitops.NewBitSet(8)
+	cset.Set(0)
+	d.Complete(1, cset)
+	if !d.AllConflictsValid() {
+		t.Fatal("conflict not valid after completion")
+	}
+	state := bitops.NewBitSet(8)
+	d.ResolveInto(state)
+	if !state.Test(0) {
+		t.Fatal("resolution did not OR the peer color")
+	}
+}
+
+func TestDCTResolveIncompletePanics(t *testing.T) {
+	d := NewDCT(2)
+	d.Configure(5, []PeerTask{{PEID: 0, Vertex: 1}})
+	d.Check(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incomplete resolve did not panic")
+		}
+	}()
+	d.ResolveInto(bitops.NewBitSet(8))
+}
+
+func TestColorLoaderMerge(t *testing.T) {
+	colors := make([]uint16, 100)
+	for i := range colors {
+		colors[i] = uint16(i)
+	}
+	ch := mem.NewChannel(mem.DefaultDRAMConfig())
+	l := NewColorLoader(ch, colors, true)
+	c1, t1 := l.Load(0, 0)
+	if c1 != 0 || t1 <= 0 {
+		t.Fatalf("first load = (%d,%d)", c1, t1)
+	}
+	// Vertex 31 shares block 0 → merged, 1 cycle.
+	c2, t2 := l.Load(31, t1)
+	if c2 != 31 || t2 != t1+1 {
+		t.Fatalf("merged load = (%d,%d), want (31,%d)", c2, t2, t1+1)
+	}
+	// Vertex 32 is block 1 → DRAM (burst).
+	_, t3 := l.Load(32, t2)
+	if t3 <= t2+1 {
+		t.Fatalf("block-crossing load too fast: %d", t3)
+	}
+	st := l.Stats()
+	if st.Requests != 3 || st.DRAMReads != 2 || st.MergedReads != 1 {
+		t.Fatalf("loader stats %+v", st)
+	}
+}
+
+func TestColorLoaderNoMerge(t *testing.T) {
+	colors := make([]uint16, 64)
+	l := NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), colors, false)
+	l.Load(0, 0)
+	l.Load(1, 0)
+	if l.Stats().MergedReads != 0 || l.Stats().DRAMReads != 2 {
+		t.Fatalf("merge-off stats %+v", l.Stats())
+	}
+}
+
+func TestColorLoaderInvalidate(t *testing.T) {
+	colors := make([]uint16, 64)
+	l := NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), colors, true)
+	_, now := l.Load(0, 0)
+	l.Invalidate()
+	l.Load(1, now)
+	if l.Stats().MergedReads != 0 {
+		t.Fatal("merge served after invalidate")
+	}
+}
+
+func TestColorLoaderOutOfRangePanics(t *testing.T) {
+	l := NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), make([]uint16, 4), true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range load did not panic")
+		}
+	}()
+	l.Load(10, 0)
+}
+
+func TestVertexReportAccounting(t *testing.T) {
+	g := randomSortedGraph(t, 300, 2400, 6)
+	pe, _ := singlePE(g, AllOptions(), 0)
+	now := int64(0)
+	for v := 0; v < g.NumVertices(); v++ {
+		rep, err := pe.ColorVertex(uint32(v), now, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Start != now {
+			t.Fatalf("vertex %d start %d, want %d", v, rep.Start, now)
+		}
+		if rep.End < rep.Start {
+			t.Fatalf("vertex %d end %d before start %d", v, rep.End, rep.Start)
+		}
+		if rep.EdgesTotal != g.Degree(graph.VertexID(v)) {
+			t.Fatalf("vertex %d edges %d, want %d", v, rep.EdgesTotal, g.Degree(graph.VertexID(v)))
+		}
+		if got := rep.EdgesPruned + rep.EdgesDeferred; got > rep.EdgesTotal {
+			t.Fatalf("vertex %d pruned+deferred %d > total %d", v, got, rep.EdgesTotal)
+		}
+		now = rep.End
+	}
+	st := pe.Stats()
+	if st.Vertices != int64(g.NumVertices()) {
+		t.Fatalf("stats vertices %d", st.Vertices)
+	}
+	if st.EdgesTotal != g.NumEdges() {
+		t.Fatalf("stats edges %d, want %d", st.EdgesTotal, g.NumEdges())
+	}
+}
+
+func TestPEStatsMerge(t *testing.T) {
+	a := PEStats{Vertices: 1, ComputeCycles: 10, EdgesTotal: 5, CacheHits: 2, BusyCycles: 20}
+	b := PEStats{Vertices: 2, ComputeCycles: 5, EdgesTotal: 3, DRAMColorReads: 1, BusyCycles: 7}
+	a.Merge(b)
+	if a.Vertices != 3 || a.ComputeCycles != 15 || a.EdgesTotal != 8 ||
+		a.CacheHits != 2 || a.DRAMColorReads != 1 || a.BusyCycles != 27 {
+		t.Fatalf("merge result %+v", a)
+	}
+}
+
+func BenchmarkBWPEFullOpt(b *testing.B) {
+	g := randomSortedGraph(b, 2000, 20000, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pe, _ := singlePE(g, AllOptions(), 0)
+		now := int64(0)
+		for v := 0; v < g.NumVertices(); v++ {
+			rep, err := pe.ColorVertex(uint32(v), now, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now = rep.End
+		}
+	}
+}
+
+// The flag-array baseline pays a read-modify-write per Stage-0 update
+// and a linear Stage-1 scan; the bit-wise engine a single register OR
+// and a constant Stage 1. On a clique — where many colors are in play —
+// the asymmetry must at least cover one extra cycle per processed edge.
+func TestStage0AccumulateCostAsymmetry(t *testing.T) {
+	const k = 64
+	var edges []graph.Edge
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+		}
+	}
+	g, err := graph.FromEdgeList(k, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(bwc bool) int64 {
+		opts := Options{HDC: true, BWC: bwc, PUV: true, MGR: true}
+		pe, _ := singlePE(g, opts, 0)
+		now := int64(0)
+		for v := 0; v < g.NumVertices(); v++ {
+			rep, err := pe.ColorVertex(uint32(v), now, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = rep.End
+		}
+		return pe.Stats().ComputeCycles
+	}
+	with, without := run(true), run(false)
+	processed := int64(k * (k - 1) / 2)
+	if without-with < processed {
+		t.Fatalf("non-BWC compute %d not at least %d cycles above BWC %d",
+			without, processed, with)
+	}
+}

@@ -1,0 +1,79 @@
+// Package engine implements the bit-wise processing engine (BWPE) of
+// BitColor (paper §4.2, Fig 7) and its two support modules: the Color
+// Loader that merges DRAM reads for low-degree vertices (§4.5, Fig 9) and
+// the Data Conflict Table that defers conflicting neighbor reads so
+// adjacent vertices can be colored in parallel (§4.3).
+package engine
+
+import (
+	"fmt"
+
+	"bitcolor/internal/mem"
+)
+
+// ColorLoader fetches low-degree-vertex colors from a DRAM channel in
+// 512-bit blocks, caching the last requested block so that consecutive
+// requests to the same block (guaranteed common by ascending edge order)
+// skip the DRAM access — the paper's DRAM Read Merge.
+type ColorLoader struct {
+	channel *mem.Channel
+	// colors is the backing store: the authoritative color array living
+	// "in DRAM". The loader reads it only through block-granularity
+	// accounting.
+	colors []uint16
+	// merge enables the last-block reuse (the MGR optimization). When
+	// false every request pays a DRAM access, as in Fig 5(a)/(b).
+	merge     bool
+	lastBlock int64
+	stats     LoaderStats
+}
+
+// LoaderStats counts Color Loader activity.
+type LoaderStats struct {
+	Requests    int64 // color requests received
+	DRAMReads   int64 // block reads actually issued
+	MergedReads int64 // requests served from the last-block register
+}
+
+// NewColorLoader builds a loader over the shared color array and DRAM
+// channel.
+func NewColorLoader(channel *mem.Channel, colors []uint16, merge bool) *ColorLoader {
+	if channel == nil {
+		panic("engine: nil DRAM channel")
+	}
+	return &ColorLoader{channel: channel, colors: colors, merge: merge, lastBlock: -1}
+}
+
+// Load returns the color of vertex v and the cycle at which it is
+// available, given the request is issued at cycle now.
+func (l *ColorLoader) Load(v uint32, now int64) (uint16, int64) {
+	if int(v) >= len(l.colors) {
+		panic(fmt.Sprintf("engine: color load for vertex %d beyond array of %d", v, len(l.colors)))
+	}
+	l.stats.Requests++
+	block, _ := mem.ColorBlock(v)
+	if l.merge && block == l.lastBlock {
+		// Step ②/⑤ of Fig 9: index equals the last request; reuse the
+		// held block. The bits-select costs one pipeline cycle.
+		l.stats.MergedReads++
+		return l.colors[v], now + 1
+	}
+	done := l.channel.ReadBlock(block, now)
+	l.lastBlock = block
+	l.stats.DRAMReads++
+	return l.colors[v], done
+}
+
+// Invalidate clears the last-block register. The simulator calls it when
+// a color in the held block is rewritten, so the loader never serves a
+// stale color. (In the paper the Writer and the Color Loader share the
+// channel; the same hazard is avoided because a vertex's color is written
+// exactly once and pruning keeps not-yet-written colors out of the read
+// stream — but the simulator checks the property rather than assuming it.)
+func (l *ColorLoader) Invalidate() { l.lastBlock = -1 }
+
+// Stats returns loader counters.
+func (l *ColorLoader) Stats() LoaderStats { return l.stats }
+
+// MergeEnabled reports whether DRAM read merging is on.
+func (l *ColorLoader) MergeEnabled() bool { return l.merge }

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"testing"
+
+	"bitcolor/internal/cache"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+)
+
+func TestPingPongFillBasics(t *testing.T) {
+	ch := mem.NewChannel(mem.DefaultDRAMConfig())
+	b := NewPingPongBuffer(ch, 16)
+	// Edges [0,20): blocks 0 and 1.
+	done := b.Fill(0, 20, 0)
+	if done <= 0 {
+		t.Fatal("no fetch time")
+	}
+	st := b.Stats()
+	if st.BlocksFetched != 2 || st.Fills != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Edges [20,30): block 1 already resident → zero fetches.
+	done2 := b.Fill(20, 30, done)
+	if done2 != done {
+		t.Fatalf("resident fill cost cycles: %d -> %d", done, done2)
+	}
+	if b.Stats().BlocksReused != 1 {
+		t.Fatal("reuse not recorded")
+	}
+	// Empty range costs nothing.
+	if b.Fill(30, 30, done2) != done2 {
+		t.Fatal("empty fill cost cycles")
+	}
+}
+
+func TestPingPongInvalidate(t *testing.T) {
+	ch := mem.NewChannel(mem.DefaultDRAMConfig())
+	b := NewPingPongBuffer(ch, 16)
+	b.Fill(0, 16, 0)
+	b.Invalidate()
+	b.Fill(0, 16, 100)
+	if b.Stats().BlocksReused != 0 {
+		t.Fatal("reuse after invalidate")
+	}
+	if b.Stats().BlocksFetched != 2 {
+		t.Fatalf("fetched %d", b.Stats().BlocksFetched)
+	}
+}
+
+func TestPingPongFillVertex(t *testing.T) {
+	g, err := graph.FromEdgeList(40, func() []graph.Edge {
+		var e []graph.Edge
+		for i := 1; i < 40; i++ {
+			e = append(e, graph.Edge{U: 0, V: graph.VertexID(i)})
+		}
+		return e
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewPingPongBuffer(mem.NewChannel(mem.DefaultDRAMConfig()), 16)
+	done := b.FillVertex(g, 0, 0)
+	if done <= 0 {
+		t.Fatal("vertex fill free")
+	}
+	// Vertex 0 has 39 edges → 3 blocks.
+	if b.Stats().BlocksFetched != 3 {
+		t.Fatalf("fetched %d blocks, want 3", b.Stats().BlocksFetched)
+	}
+}
+
+func TestWriterRouting(t *testing.T) {
+	colors := make([]uint16, 100)
+	hvc := cache.NewHVC(cache.NewBitSelectCache(1, 10), 10)
+	ch := mem.NewChannel(mem.DefaultDRAMConfig())
+	w := NewWriter(colors, hvc, ch, 0)
+	if onChip := w.Write(5, 7, 0); !onChip {
+		t.Fatal("resident write went to DRAM")
+	}
+	if onChip := w.Write(50, 9, 0); onChip {
+		t.Fatal("non-resident write went on-chip")
+	}
+	if colors[5] != 7 || colors[50] != 9 {
+		t.Fatal("color array not updated")
+	}
+	st := w.Stats()
+	if st.CacheWrites != 1 || st.DRAMWrites != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if ch.Stats().Writes != 1 {
+		t.Fatal("DRAM write not issued")
+	}
+	if c, ok := hvc.Read(0, 5); !ok || c != 7 {
+		t.Fatal("cache readback failed")
+	}
+}
+
+func TestWriterWithoutCache(t *testing.T) {
+	colors := make([]uint16, 10)
+	ch := mem.NewChannel(mem.DefaultDRAMConfig())
+	w := NewWriter(colors, nil, ch, 0)
+	if onChip := w.Write(3, 2, 0); onChip {
+		t.Fatal("no-cache writer claimed on-chip")
+	}
+	if colors[3] != 2 {
+		t.Fatal("color lost")
+	}
+}
+
+func TestWriterBoundsPanics(t *testing.T) {
+	w := NewWriter(make([]uint16, 4), nil, mem.NewChannel(mem.DefaultDRAMConfig()), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range write did not panic")
+		}
+	}()
+	w.Write(10, 1, 0)
+}
+
+func TestNewWriterNilChannelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil channel accepted")
+		}
+	}()
+	NewWriter(make([]uint16, 4), nil, nil, 0)
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+)
+
+// PingPongBuffer models the paired edge buffers of Fig 7 Step ①: while
+// the BWPE drains destination vertices from one buffer, the other is
+// filled from DRAM, so edge streaming overlaps processing. The model
+// tracks which edge block is resident so a vertex whose edges start in
+// the block already buffered (common for consecutive low-degree
+// vertices) skips that fetch entirely.
+type PingPongBuffer struct {
+	channel       *mem.Channel
+	edgesPerBlock int64
+	residentBlock int64 // newest edge block held, -1 when empty
+	stats         PingPongStats
+}
+
+// PingPongStats counts buffer activity.
+type PingPongStats struct {
+	BlocksFetched int64
+	BlocksReused  int64
+	Fills         int64 // vertices streamed
+}
+
+// NewPingPongBuffer wires the buffer pair to its edge-stream channel.
+func NewPingPongBuffer(channel *mem.Channel, edgesPerBlock int) *PingPongBuffer {
+	if edgesPerBlock <= 0 {
+		edgesPerBlock = mem.BlockBits / 32
+	}
+	return &PingPongBuffer{
+		channel:       channel,
+		edgesPerBlock: int64(edgesPerBlock),
+		residentBlock: -1,
+	}
+}
+
+// Fill streams the edge range [se, de) of a vertex into the buffers
+// starting at cycle `now`, returning the cycle at which the last block
+// lands. Because the pair double-buffers, the caller treats the fetch as
+// overlapped with processing: the vertex occupies the engine for
+// max(pipeline, fetch).
+func (b *PingPongBuffer) Fill(se, de int64, now int64) (done int64) {
+	if de <= se {
+		return now
+	}
+	b.stats.Fills++
+	firstBlock := se / b.edgesPerBlock
+	lastBlock := (de - 1) / b.edgesPerBlock
+	if firstBlock == b.residentBlock {
+		b.stats.BlocksReused++
+		firstBlock++
+	}
+	done = now
+	for blk := firstBlock; blk <= lastBlock; blk++ {
+		done = b.channel.ReadBlock(blk, done)
+		b.stats.BlocksFetched++
+	}
+	if lastBlock > b.residentBlock {
+		b.residentBlock = lastBlock
+	}
+	return done
+}
+
+// FillVertex is Fill over a vertex's CSR range.
+func (b *PingPongBuffer) FillVertex(g *graph.CSR, v uint32, now int64) int64 {
+	se, de := g.EdgeRange(graph.VertexID(v))
+	return b.Fill(se, de, now)
+}
+
+// Stats returns buffer counters.
+func (b *PingPongBuffer) Stats() PingPongStats { return b.stats }
+
+// Invalidate drops the resident block (used between independent runs).
+func (b *PingPongBuffer) Invalidate() { b.residentBlock = -1 }

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+
+	"bitcolor/internal/cache"
+	"bitcolor/internal/mem"
+)
+
+// Writer is the module of Fig 6 that receives color results from a BWPE
+// and updates the source vertex's color in the cache (high-degree
+// vertices, through the engine's write port) or DRAM (low-degree
+// vertices, as a posted block write that does not stall the engine).
+// It also owns the authoritative software-visible color array.
+type Writer struct {
+	colors  []uint16
+	hvc     *cache.HVC // nil when HDC is off
+	channel *mem.Channel
+	port    int // HVC write port = engine ID
+	stats   WriterStats
+}
+
+// WriterStats counts write routing.
+type WriterStats struct {
+	CacheWrites int64
+	DRAMWrites  int64
+}
+
+// NewWriter builds the writer for one engine.
+func NewWriter(colors []uint16, hvc *cache.HVC, channel *mem.Channel, port int) *Writer {
+	if channel == nil {
+		panic("engine: writer needs a DRAM channel")
+	}
+	return &Writer{colors: colors, hvc: hvc, channel: channel, port: port}
+}
+
+// Write commits the color of v at cycle `now`. Cache writes cost one
+// (pipelined) cycle; DRAM writes are posted and occupy the channel
+// without stalling the engine. Returns true when the write went on-chip.
+func (w *Writer) Write(v uint32, color uint16, now int64) bool {
+	if int(v) >= len(w.colors) {
+		panic(fmt.Sprintf("engine: write for vertex %d beyond array of %d", v, len(w.colors)))
+	}
+	w.colors[v] = color
+	if w.hvc != nil && w.hvc.Contains(v) {
+		if !w.hvc.Write(w.port, v, color) {
+			panic("engine: resident write rejected")
+		}
+		w.stats.CacheWrites++
+		return true
+	}
+	block, _ := mem.ColorBlock(v)
+	w.channel.WriteBlock(block, now)
+	w.stats.DRAMWrites++
+	return false
+}
+
+// Stats returns the write counters.
+func (w *Writer) Stats() WriterStats { return w.stats }

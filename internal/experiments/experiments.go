@@ -1,0 +1,171 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation (§5), each regenerating the corresponding rows or
+// series on the synthetic stand-in datasets (or on real SNAP files when
+// provided). DESIGN.md carries the experiment index; EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/reorder"
+)
+
+// Context carries shared experiment configuration.
+type Context struct {
+	// Datasets to run on, in report order.
+	Datasets []gen.Dataset
+	// Seed fixes all generators.
+	Seed int64
+	// Out receives the printed tables.
+	Out io.Writer
+	// cacheVertices overrides the HVC capacity for scaled-down runs;
+	// <= 0 uses a size proportional to each graph (see CacheVerticesFor).
+	CacheVertices int
+	// CSV switches table rendering to comma-separated output for
+	// machine consumption (benchsuite -csv).
+	CSV bool
+}
+
+// NewContext returns a context over the full scaled registry.
+func NewContext(out io.Writer) *Context {
+	return &Context{Datasets: gen.Registry(), Seed: 1, Out: out}
+}
+
+// NewSmallContext returns a fast context for tests.
+func NewSmallContext(out io.Writer) *Context {
+	return &Context{Datasets: gen.SmallRegistry(), Seed: 1, Out: out}
+}
+
+// CacheVerticesFor returns the HVC capacity to use for a scaled stand-in
+// of dataset d with n vertices: the explicit override, or a capacity
+// covering the same *fraction* of vertices that the paper's 512K-color
+// cache covers of the original dataset. ego-Facebook through com-Amazon
+// fit entirely (PaperNodes < 512K → full residency); com-LiveJournal is
+// ~13% resident, com-Friendster under 1% — reproducing which datasets
+// are cache-bound is essential for the Fig 11 and Fig 12 shapes.
+func (c *Context) CacheVerticesFor(d gen.Dataset, n int) int {
+	if c.CacheVertices > 0 {
+		return c.CacheVertices
+	}
+	frac := 1.0
+	if d.PaperNodes > 512*1024 {
+		frac = float64(512*1024) / float64(d.PaperNodes)
+	}
+	capVertices := int(frac * float64(n))
+	if capVertices < 64 {
+		capVertices = 64
+	}
+	if capVertices > n && n > 0 {
+		capVertices = n
+	}
+	return capVertices
+}
+
+// BuildPrepared generates dataset d and returns the DBG-reordered,
+// edge-sorted graph ready for the accelerator, along with the raw graph.
+func (c *Context) BuildPrepared(d gen.Dataset) (raw, prepared *graph.CSR, err error) {
+	raw, err = d.Build(c.Seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("building %s: %w", d.Abbrev, err)
+	}
+	prepared, _ = reorder.DBG(raw)
+	return raw, prepared, nil
+}
+
+// Table is a simple aligned-column report.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table in the context's format.
+func (t *Table) Render(ctx *Context) {
+	if ctx.CSV {
+		t.PrintCSV(ctx.Out)
+		return
+	}
+	t.Print(ctx.Out)
+}
+
+// PrintCSV writes the table as CSV with a leading title comment.
+func (t *Table) PrintCSV(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	writeCSVRow(w, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+		}
+		fmt.Fprint(w, cell)
+	}
+	fmt.Fprintln(w)
+}
+
+// Print writes the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		return sb.String()
+	}
+	fmt.Fprintln(w, line(t.Header))
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f2, f1, f0 format floats at fixed precision; pct formats a fraction as
+// a percentage.
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bitcolor/internal/engine"
+	"bitcolor/internal/metrics"
+	"bitcolor/internal/sim"
+)
+
+// Fig11Steps is the cumulative optimization ladder of Fig 11.
+var Fig11Steps = []struct {
+	Name string
+	Opts engine.Options
+}{
+	{"BSL", engine.Options{}},
+	{"+HDC", engine.Options{HDC: true}},
+	{"+BWC", engine.Options{HDC: true, BWC: true}},
+	{"+MGR", engine.Options{HDC: true, BWC: true, MGR: true}},
+	{"+PUV", engine.AllOptions()},
+}
+
+// Fig11Cell is one (dataset, step) measurement, normalized to the
+// dataset's BSL run.
+type Fig11Cell struct {
+	Step         string
+	DRAMNorm     float64 // DRAM stall cycles / BSL
+	ComputeNorm  float64 // compute cycles / BSL
+	TotalNorm    float64 // makespan / BSL
+	DRAMAccesses int64
+}
+
+// Fig11Row is one dataset's ladder.
+type Fig11Row struct {
+	Dataset string
+	Cells   []Fig11Cell
+}
+
+// Fig11Result holds all rows plus the final-step averages (paper:
+// 88.63% DRAM-access reduction, 66.89% computation reduction, 82.91%
+// total-time reduction vs BSL).
+type Fig11Result struct {
+	Rows []Fig11Row
+	// Avg*Reduction are 1 - normalized value at the final step.
+	AvgDRAMReduction, AvgComputeReduction, AvgTotalReduction float64
+}
+
+// Fig11 measures each optimization's effect in a single BWPE.
+func Fig11(ctx *Context) (*Fig11Result, error) {
+	res := &Fig11Result{}
+	var dramRed, compRed, totalRed []float64
+	for _, d := range ctx.Datasets {
+		_, prepared, err := ctx.BuildPrepared(d)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11Row{Dataset: d.Abbrev}
+		var baseDRAM, baseCompute, baseTotal float64
+		for i, step := range Fig11Steps {
+			cfg := sim.DefaultConfig(1)
+			cfg.Options = step.Opts
+			cfg.CacheVertices = ctx.CacheVerticesFor(d, prepared.NumVertices())
+			r, err := sim.Run(prepared, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", d.Abbrev, step.Name, err)
+			}
+			dram := float64(r.Aggregate.DRAMStallCycles)
+			comp := float64(r.Aggregate.ComputeCycles)
+			total := float64(r.TotalCycles)
+			if i == 0 {
+				baseDRAM, baseCompute, baseTotal = dram, comp, total
+			}
+			cell := Fig11Cell{
+				Step:         step.Name,
+				DRAMAccesses: r.ColorDRAM.Reads,
+			}
+			if baseDRAM > 0 {
+				cell.DRAMNorm = dram / baseDRAM
+			}
+			if baseCompute > 0 {
+				cell.ComputeNorm = comp / baseCompute
+			}
+			if baseTotal > 0 {
+				cell.TotalNorm = total / baseTotal
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		final := row.Cells[len(row.Cells)-1]
+		dramRed = append(dramRed, 1-final.DRAMNorm)
+		compRed = append(compRed, 1-final.ComputeNorm)
+		totalRed = append(totalRed, 1-final.TotalNorm)
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgDRAMReduction = metrics.Mean(dramRed)
+	res.AvgComputeReduction = metrics.Mean(compRed)
+	res.AvgTotalReduction = metrics.Mean(totalRed)
+	return res, nil
+}
+
+// Print writes the Fig 11 tables (one block per metric).
+func (r *Fig11Result) Print(ctx *Context) {
+	for _, metric := range []struct {
+		name string
+		get  func(Fig11Cell) float64
+	}{
+		{"normalized total time", func(c Fig11Cell) float64 { return c.TotalNorm }},
+		{"normalized DRAM stall", func(c Fig11Cell) float64 { return c.DRAMNorm }},
+		{"normalized computation", func(c Fig11Cell) float64 { return c.ComputeNorm }},
+	} {
+		header := []string{"Graph"}
+		for _, s := range Fig11Steps {
+			header = append(header, s.Name)
+		}
+		t := Table{
+			Title:  "Fig 11: single BWPE, " + metric.name + " (cumulative optimizations)",
+			Header: header,
+		}
+		for _, row := range r.Rows {
+			cells := []string{row.Dataset}
+			for _, c := range row.Cells {
+				cells = append(cells, f2(metric.get(c)))
+			}
+			t.AddRow(cells...)
+		}
+		t.Render(ctx)
+	}
+	fmt.Fprintf(ctx.Out,
+		"final-step average reductions: DRAM %s, compute %s, total %s (paper: 88.6%%, 66.9%%, 82.9%%)\n",
+		pct(r.AvgDRAMReduction), pct(r.AvgComputeReduction), pct(r.AvgTotalReduction))
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bitcolor/internal/metrics"
+	"bitcolor/internal/sim"
+)
+
+// Fig12Parallelisms is the parallelism axis of Fig 12.
+var Fig12Parallelisms = []int{1, 2, 4, 8, 16}
+
+// Fig12Row is one dataset's speedup series over P=1.
+type Fig12Row struct {
+	Dataset  string
+	Cycles   []int64
+	Speedups []float64 // vs P=1, aligned with Fig12Parallelisms
+}
+
+// Fig12Result holds all rows plus the P16 speedup range (paper:
+// 3.92×–7.01× at 16 BWPEs).
+type Fig12Result struct {
+	Parallelisms           []int
+	Rows                   []Fig12Row
+	MinP16, MaxP16, AvgP16 float64
+}
+
+// Fig12 measures BitColor's scaling with the number of BWPEs.
+func Fig12(ctx *Context) (*Fig12Result, error) {
+	res := &Fig12Result{Parallelisms: Fig12Parallelisms}
+	var p16s []float64
+	for _, d := range ctx.Datasets {
+		_, prepared, err := ctx.BuildPrepared(d)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{Dataset: d.Abbrev}
+		for _, p := range Fig12Parallelisms {
+			cfg := sim.DefaultConfig(p)
+			cfg.CacheVertices = ctx.CacheVerticesFor(d, prepared.NumVertices())
+			r, err := sim.Run(prepared, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s P=%d: %w", d.Abbrev, p, err)
+			}
+			row.Cycles = append(row.Cycles, r.TotalCycles)
+		}
+		base := float64(row.Cycles[0])
+		for _, c := range row.Cycles {
+			row.Speedups = append(row.Speedups, base/float64(c))
+		}
+		p16 := row.Speedups[len(row.Speedups)-1]
+		p16s = append(p16s, p16)
+		if res.MinP16 == 0 || p16 < res.MinP16 {
+			res.MinP16 = p16
+		}
+		if p16 > res.MaxP16 {
+			res.MaxP16 = p16
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgP16 = metrics.Mean(p16s)
+	return res, nil
+}
+
+// Print writes the Fig 12 table.
+func (r *Fig12Result) Print(ctx *Context) {
+	header := []string{"Graph"}
+	for _, p := range r.Parallelisms {
+		header = append(header, fmt.Sprintf("P%d", p))
+	}
+	t := Table{
+		Title:  "Fig 12: speedup over one BWPE by parallelism (paper P16: 3.92x-7.01x)",
+		Header: header,
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Dataset}
+		for _, s := range row.Speedups {
+			cells = append(cells, f2(s))
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(ctx)
+	fmt.Fprintf(ctx.Out, "P16 speedup: min %.2fx, max %.2fx, avg %.2fx\n",
+		r.MinP16, r.MaxP16, r.AvgP16)
+}

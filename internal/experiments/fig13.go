@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/cpuref"
+	"bitcolor/internal/gpusim"
+	"bitcolor/internal/metrics"
+	"bitcolor/internal/sim"
+)
+
+// Fig13Result holds the CPU/GPU/FPGA comparison (paper Fig 13 + the
+// throughput and energy numbers of §5.3: 54.9× over CPU, 2.71× over GPU;
+// 0.88 / 15.3 / 41.6 MCV/s; 12 / 19 / 156 KCV/J).
+type Fig13Result struct {
+	Rows []metrics.Comparison
+	// Averages across datasets.
+	AvgSpeedupCPU, AvgSpeedupGPU           float64
+	AvgCPUMCVps, AvgGPUMCVps, AvgFPGAMCVps float64
+	AvgCPUKCVpj, AvgGPUKCVpj, AvgFPGAKCVpj float64
+}
+
+// Fig13Parallelism is the accelerator configuration used for the
+// comparison (the paper's largest instance).
+const Fig13Parallelism = 16
+
+// Fig13 runs the three platforms on every dataset.
+func Fig13(ctx *Context) (*Fig13Result, error) {
+	res := &Fig13Result{}
+	var sCPU, sGPU []float64
+	var mCPU, mGPU, mFPGA, eCPU, eGPU, eFPGA []float64
+	for _, d := range ctx.Datasets {
+		_, prepared, err := ctx.BuildPrepared(d)
+		if err != nil {
+			return nil, err
+		}
+		n := prepared.NumVertices()
+
+		// CPU: basic greedy under the Xeon cost model, with per-access
+		// costs taken at the paper-scale working set.
+		cpuModel := cpuref.DefaultCostModel()
+		cpuModel.WorkingSetVertices = d.PaperNodes
+		_, _, cpuTime, err := cpuref.Run(prepared, coloring.MaxColorsDefault, cpuModel)
+		if err != nil {
+			return nil, fmt.Errorf("%s cpu: %w", d.Abbrev, err)
+		}
+
+		// GPU: Gunrock-style independent-set coloring under the Titan V
+		// cost model, same working-set convention.
+		gpuModel := gpusim.DefaultCostModel()
+		gpuModel.WorkingSetVertices = d.PaperNodes
+		gpu, err := gpusim.Run(prepared, coloring.MaxColorsDefault, ctx.Seed, gpuModel)
+		if err != nil {
+			return nil, fmt.Errorf("%s gpu: %w", d.Abbrev, err)
+		}
+
+		// FPGA: the full BitColor instance.
+		cfg := sim.DefaultConfig(Fig13Parallelism)
+		cfg.CacheVertices = ctx.CacheVerticesFor(d, n)
+		fpga, err := sim.Run(prepared, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s fpga: %w", d.Abbrev, err)
+		}
+		fpgaTime := time.Duration(fpga.Seconds * float64(time.Second))
+
+		row := metrics.NewComparison(d.Abbrev, n, cpuTime, gpu.Duration, fpgaTime)
+		res.Rows = append(res.Rows, row)
+		sCPU = append(sCPU, row.SpeedupVsCPU)
+		sGPU = append(sGPU, row.SpeedupVsGPU)
+		mCPU = append(mCPU, row.CPUMCVps)
+		mGPU = append(mGPU, row.GPUMCVps)
+		mFPGA = append(mFPGA, row.FPGAMCVps)
+		eCPU = append(eCPU, row.CPUKCVpj)
+		eGPU = append(eGPU, row.GPUKCVpj)
+		eFPGA = append(eFPGA, row.FPGAKCVpj)
+	}
+	res.AvgSpeedupCPU = metrics.Mean(sCPU)
+	res.AvgSpeedupGPU = metrics.Mean(sGPU)
+	res.AvgCPUMCVps = metrics.Mean(mCPU)
+	res.AvgGPUMCVps = metrics.Mean(mGPU)
+	res.AvgFPGAMCVps = metrics.Mean(mFPGA)
+	res.AvgCPUKCVpj = metrics.Mean(eCPU)
+	res.AvgGPUKCVpj = metrics.Mean(eGPU)
+	res.AvgFPGAKCVpj = metrics.Mean(eFPGA)
+	return res, nil
+}
+
+// Print writes the Fig 13 tables.
+func (r *Fig13Result) Print(ctx *Context) {
+	t := Table{
+		Title:  "Fig 13: BitColor speedup over CPU and GPU (paper avg: 54.9x CPU, 2.71x GPU)",
+		Header: []string{"Graph", "CPU time", "GPU time", "FPGA time", "vs CPU", "vs GPU"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset,
+			row.CPUTime.Round(time.Microsecond).String(),
+			row.GPUTime.Round(time.Microsecond).String(),
+			row.FPGATime.Round(time.Microsecond).String(),
+			f1(row.SpeedupVsCPU)+"x", f2(row.SpeedupVsGPU)+"x")
+	}
+	t.AddRow("AVG", "", "", "", f1(r.AvgSpeedupCPU)+"x", f2(r.AvgSpeedupGPU)+"x")
+	t.Render(ctx)
+
+	t2 := Table{
+		Title:  "§5.3 throughput and energy (paper: 0.88/15.3/41.6 MCV/s; 12/19/156 KCV/J)",
+		Header: []string{"Metric", "CPU", "GPU", "BitColor"},
+	}
+	t2.AddRow("MCV/s", f2(r.AvgCPUMCVps), f2(r.AvgGPUMCVps), f2(r.AvgFPGAMCVps))
+	t2.AddRow("KCV/J", f1(r.AvgCPUKCVpj), f1(r.AvgGPUKCVpj), f1(r.AvgFPGAKCVpj))
+	t2.Render(ctx)
+}

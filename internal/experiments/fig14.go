@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bitcolor/internal/resources"
+)
+
+// Fig14Result is the resource/frequency sweep of Fig 14.
+type Fig14Result struct {
+	Usages []resources.Usage
+}
+
+// Fig14 evaluates the analytic resource model over the parallelism axis.
+func Fig14(ctx *Context) (*Fig14Result, error) {
+	sweep, err := resources.DefaultModel().Sweep()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig14Result{Usages: sweep}, nil
+}
+
+// Print writes the Fig 14 table.
+func (r *Fig14Result) Print(ctx *Context) {
+	t := Table{
+		Title:  "Fig 14: resource utilization and frequency by parallelism (paper P16: 51.1% REG, 47.8% LUT, 96.7% BRAM, >200MHz)",
+		Header: []string{"P", "LUTs", "LUT%", "Registers", "REG%", "BRAM Mb", "BRAM%", "MHz"},
+	}
+	for _, u := range r.Usages {
+		t.AddRow(
+			fmt.Sprint(u.Parallelism),
+			fmt.Sprint(u.LUTs), pct(u.LUTFrac),
+			fmt.Sprint(u.Registers), pct(u.REGFrac),
+			f1(float64(u.BRAMBits)/1e6), pct(u.BRAMFrac),
+			f1(u.FrequencyMHz),
+		)
+	}
+	t.Render(ctx)
+}
+
+// CacheAblationResult compares the proposed bit-selection multi-port
+// cache against the LVT design (§4.4).
+type CacheAblationResult struct {
+	Rows []CacheAblationRow
+}
+
+// CacheAblationRow is one parallelism point.
+type CacheAblationRow struct {
+	Parallelism      int
+	ProposedBits     int64
+	LVTBits          int64
+	Ratio            float64 // proposed / LVT
+	LVTFitsU200      bool
+	ProposedFitsU200 bool
+}
+
+// CacheAblation evaluates the §4.4 BRAM cost comparison.
+func CacheAblation(ctx *Context) (*CacheAblationResult, error) {
+	m := resources.DefaultModel()
+	res := &CacheAblationResult{}
+	for _, p := range []int64{1, 2, 4, 8, 16} {
+		u, err := m.Estimate(int(p))
+		if err != nil {
+			return nil, err
+		}
+		_ = u
+		proposed := m.CacheVertices * 16
+		if p > 1 {
+			proposed = p * m.CacheVertices / 2 * 16
+		}
+		lvt := m.LVTCacheBits(p)
+		res.Rows = append(res.Rows, CacheAblationRow{
+			Parallelism:      int(p),
+			ProposedBits:     proposed,
+			LVTBits:          lvt,
+			Ratio:            float64(proposed) / float64(lvt),
+			LVTFitsU200:      lvt <= resources.U200BRAMBits,
+			ProposedFitsU200: proposed <= resources.U200BRAMBits,
+		})
+	}
+	return res, nil
+}
+
+// Print writes the cache ablation table.
+func (r *CacheAblationResult) Print(ctx *Context) {
+	t := Table{
+		Title:  "§4.4 ablation: multi-port cache BRAM, bit-selection vs LVT (proposed = 2/P of LVT)",
+		Header: []string{"P", "Proposed Mb", "LVT Mb", "Ratio", "Proposed fits U200", "LVT fits U200"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprint(row.Parallelism),
+			f1(float64(row.ProposedBits)/1e6), f1(float64(row.LVTBits)/1e6),
+			f2(row.Ratio),
+			fmt.Sprint(row.ProposedFitsU200), fmt.Sprint(row.LVTFitsU200))
+	}
+	t.Render(ctx)
+}

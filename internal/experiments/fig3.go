@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/cpuref"
+	"bitcolor/internal/metrics"
+	"bitcolor/internal/trace"
+)
+
+// Fig3aRow is one dataset's stage breakdown of the basic greedy
+// algorithm (paper Fig 3(a): 39.24% / 46.53% / 14.23% averaged).
+type Fig3aRow struct {
+	Dataset                string
+	Stage0, Stage1, Stage2 float64 // fractions of total modeled time
+}
+
+// Fig3aResult aggregates the per-dataset breakdowns.
+type Fig3aResult struct {
+	Rows                            []Fig3aRow
+	AvgStage0, AvgStage1, AvgStage2 float64
+}
+
+// Fig3a reproduces the execution-time breakdown of the three stages of
+// Algorithm 1 on the CPU model.
+func Fig3a(ctx *Context) (*Fig3aResult, error) {
+	res := &Fig3aResult{}
+	var s0, s1, s2 []float64
+	for _, d := range ctx.Datasets {
+		_, prepared, err := ctx.BuildPrepared(d)
+		if err != nil {
+			return nil, err
+		}
+		m := cpuref.DefaultCostModel()
+		m.WorkingSetVertices = d.PaperNodes
+		_, st, _, err := cpuref.Run(prepared, coloring.MaxColorsDefault, m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Abbrev, err)
+		}
+		f0, f1v, f2v := st.Shares()
+		res.Rows = append(res.Rows, Fig3aRow{Dataset: d.Abbrev, Stage0: f0, Stage1: f1v, Stage2: f2v})
+		s0 = append(s0, f0)
+		s1 = append(s1, f1v)
+		s2 = append(s2, f2v)
+	}
+	res.AvgStage0 = metrics.Mean(s0)
+	res.AvgStage1 = metrics.Mean(s1)
+	res.AvgStage2 = metrics.Mean(s2)
+	return res, nil
+}
+
+// Print writes the Fig 3(a) table.
+func (r *Fig3aResult) Print(ctx *Context) {
+	t := Table{
+		Title:  "Fig 3(a): stage breakdown of basic greedy (paper avg: 39.2% / 46.5% / 14.2%)",
+		Header: []string{"Graph", "Stage0 traversal", "Stage1 color", "Stage2 update"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, pct(row.Stage0), pct(row.Stage1), pct(row.Stage2))
+	}
+	t.AddRow("AVG", pct(r.AvgStage0), pct(r.AvgStage1), pct(r.AvgStage2))
+	t.Render(ctx)
+}
+
+// Fig3bIntervals is the iteration-interval axis of Fig 3(b).
+var Fig3bIntervals = []int{1, 2, 4, 8, 16, 32}
+
+// Fig3bRow is one dataset's overlap-ratio series.
+type Fig3bRow struct {
+	Dataset string
+	Ratios  []float64
+}
+
+// Fig3bResult holds all series plus the global average (paper: 4.96%).
+type Fig3bResult struct {
+	Intervals []int
+	Rows      []Fig3bRow
+	Average   float64
+}
+
+// Fig3b reproduces the average neighborhood overlap ratio measurement.
+func Fig3b(ctx *Context) (*Fig3bResult, error) {
+	res := &Fig3bResult{Intervals: Fig3bIntervals}
+	var all []float64
+	for _, d := range ctx.Datasets {
+		_, prepared, err := ctx.BuildPrepared(d)
+		if err != nil {
+			return nil, err
+		}
+		series, err := trace.OverlapSeries(prepared, Fig3bIntervals)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Abbrev, err)
+		}
+		res.Rows = append(res.Rows, Fig3bRow{Dataset: d.Abbrev, Ratios: series})
+		all = append(all, series...)
+	}
+	res.Average = metrics.Mean(all)
+	return res, nil
+}
+
+// Print writes the Fig 3(b) table.
+func (r *Fig3bResult) Print(ctx *Context) {
+	header := []string{"Graph"}
+	for _, iv := range r.Intervals {
+		header = append(header, fmt.Sprintf("iv=%d", iv))
+	}
+	t := Table{
+		Title:  "Fig 3(b): neighborhood overlap ratio by iteration interval (paper avg 4.96%)",
+		Header: header,
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Dataset}
+		for _, v := range row.Ratios {
+			cells = append(cells, pct(v))
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(ctx)
+	fmt.Fprintf(ctx.Out, "average overlap: %s\n", pct(r.Average))
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bitcolor/internal/coloring"
+)
+
+// QualityRow is one dataset's color count per algorithm.
+type QualityRow struct {
+	Dataset string
+	// Counts indexed like QualityAlgorithms.
+	Counts []int
+}
+
+// QualityAlgorithms names the compared engines in column order.
+var QualityAlgorithms = []string{"greedy", "dsatur", "smallestlast", "rlf*", "jp", "luby", "speculative"}
+
+// QualityResult compares color quality across the implemented algorithm
+// families — the context for the paper's choice of greedy (§2.2-2.4):
+// greedy is competitive with the quality heuristics on these graph
+// classes while the parallel IS family pays a color penalty.
+type QualityResult struct {
+	Rows []QualityRow
+}
+
+// rlfVertexBudget bounds the graphs RLF runs on (its class construction
+// is quadratic); above the budget the column is skipped.
+const rlfVertexBudget = 30000
+
+// Quality colors every dataset with every engine.
+func Quality(ctx *Context) (*QualityResult, error) {
+	res := &QualityResult{}
+	for _, d := range ctx.Datasets {
+		_, prepared, err := ctx.BuildPrepared(d)
+		if err != nil {
+			return nil, err
+		}
+		row := QualityRow{Dataset: d.Abbrev}
+		add := func(r *coloring.Result, err error) error {
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Abbrev, err)
+			}
+			row.Counts = append(row.Counts, r.NumColors)
+			return nil
+		}
+		if err := add(coloring.Greedy(prepared, coloring.MaxColorsDefault)); err != nil {
+			return nil, err
+		}
+		if err := add(coloring.DSATUR(prepared, coloring.MaxColorsDefault)); err != nil {
+			return nil, err
+		}
+		if err := add(coloring.SmallestLast(prepared, coloring.MaxColorsDefault)); err != nil {
+			return nil, err
+		}
+		if prepared.NumVertices() <= rlfVertexBudget {
+			if err := add(coloring.RLF(prepared, coloring.MaxColorsDefault)); err != nil {
+				return nil, err
+			}
+		} else {
+			row.Counts = append(row.Counts, 0) // skipped
+		}
+		jp, _, err := coloring.JonesPlassmann(prepared, coloring.MaxColorsDefault, ctx.Seed, 0)
+		if err := add(jp, err); err != nil {
+			return nil, err
+		}
+		luby, _, err := coloring.LubyMIS(prepared, coloring.MaxColorsDefault, ctx.Seed)
+		if err := add(luby, err); err != nil {
+			return nil, err
+		}
+		spec, _, err := coloring.Speculative(prepared, coloring.MaxColorsDefault, 0)
+		if err := add(spec, err); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print writes the quality comparison.
+func (r *QualityResult) Print(ctx *Context) {
+	header := append([]string{"Graph"}, QualityAlgorithms...)
+	t := Table{
+		Title:  "Algorithm quality: colors used per engine (rlf* skipped above 30K vertices)",
+		Header: header,
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Dataset}
+		for _, c := range row.Counts {
+			if c == 0 {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprint(c))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(ctx)
+}

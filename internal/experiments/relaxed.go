@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bitcolor/internal/sim"
+)
+
+// RelaxedRow compares strict-order dispatch against the paper-literal
+// relaxed FIFO dispatch on one dataset at P=16.
+type RelaxedRow struct {
+	Dataset          string
+	StrictCycles     int64
+	RelaxedCycles    int64
+	HazardEdges      int64
+	RepairedVertices int
+	RepairCycles     int64
+	// NetRelaxedCycles includes the repair pass.
+	NetRelaxedCycles int64
+}
+
+// RelaxedResult holds the dispatch-discipline ablation.
+type RelaxedResult struct {
+	Rows []RelaxedRow
+}
+
+// Relaxed measures the cost/benefit of the strict index-order dispatch
+// this reproduction uses: the relaxed mode's makespan can be slightly
+// lower (no head-of-line blocking), but any hazard forces a sequential
+// repair pass. On DBG-reordered graphs the striped HDV queues keep loads
+// balanced and hazards rare — evidence the paper's design implicitly
+// depends on the reordering for correctness, not just performance.
+func Relaxed(ctx *Context) (*RelaxedResult, error) {
+	res := &RelaxedResult{}
+	for _, d := range ctx.Datasets {
+		_, prepared, err := ctx.BuildPrepared(d)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sim.DefaultConfig(16)
+		cfg.CacheVertices = ctx.CacheVerticesFor(d, prepared.NumVertices())
+		strict, err := sim.Run(prepared, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s strict: %w", d.Abbrev, err)
+		}
+		relaxed, err := sim.RunRelaxed(prepared, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s relaxed: %w", d.Abbrev, err)
+		}
+		res.Rows = append(res.Rows, RelaxedRow{
+			Dataset:          d.Abbrev,
+			StrictCycles:     strict.TotalCycles,
+			RelaxedCycles:    relaxed.TotalCycles,
+			HazardEdges:      relaxed.HazardEdges,
+			RepairedVertices: relaxed.RepairedVertices,
+			RepairCycles:     relaxed.RepairCycles,
+			NetRelaxedCycles: relaxed.TotalCycles + relaxed.RepairCycles,
+		})
+	}
+	return res, nil
+}
+
+// Print writes the dispatch-discipline table.
+func (r *RelaxedResult) Print(ctx *Context) {
+	t := Table{
+		Title:  "Ablation: strict vs relaxed (paper-literal FIFO) dispatch at P16",
+		Header: []string{"Graph", "Strict cycles", "Relaxed cycles", "Hazards", "Repairs", "Relaxed+repair"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset,
+			fmt.Sprint(row.StrictCycles), fmt.Sprint(row.RelaxedCycles),
+			fmt.Sprint(row.HazardEdges), fmt.Sprint(row.RepairedVertices),
+			fmt.Sprint(row.NetRelaxedCycles))
+	}
+	t.Render(ctx)
+}

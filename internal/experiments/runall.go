@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment and prints its report.
+type Runner func(ctx *Context) error
+
+// Registry maps experiment IDs (as used by `benchsuite -exp`) to runners.
+func RunnerRegistry() map[string]Runner {
+	return map[string]Runner{
+		"fig3a": func(ctx *Context) error {
+			r, err := Fig3a(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"fig3b": func(ctx *Context) error {
+			r, err := Fig3b(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"table2": func(ctx *Context) error {
+			r, err := Table2(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"fig11": func(ctx *Context) error {
+			r, err := Fig11(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"fig12": func(ctx *Context) error {
+			r, err := Fig12(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"table4": func(ctx *Context) error {
+			r, err := Table4(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"fig13": func(ctx *Context) error {
+			r, err := Fig13(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"fig14": func(ctx *Context) error {
+			r, err := Fig14(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"cacheablation": func(ctx *Context) error {
+			r, err := CacheAblation(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"cachesweep": func(ctx *Context) error {
+			r, err := CacheSweep(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"dramsweep": func(ctx *Context) error {
+			r, err := DRAMSweep(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"conflicts": func(ctx *Context) error {
+			r, err := ConflictAnalysis(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"generality": func(ctx *Context) error {
+			r, err := Generality(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"relaxed": func(ctx *Context) error {
+			r, err := Relaxed(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"table3": func(ctx *Context) error {
+			r, err := Table3(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"quality": func(ctx *Context) error {
+			r, err := Quality(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"multicard": func(ctx *Context) error {
+			r, err := MultiCard(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"lruvshdc": func(ctx *Context) error {
+			r, err := LRUvsHDC(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+		"scorecard": func(ctx *Context) error {
+			r, err := Scorecard(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
+	}
+}
+
+// Names returns the experiment IDs in stable order.
+func Names() []string {
+	reg := RunnerRegistry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunAll executes every experiment in a stable order.
+func RunAll(ctx *Context) error {
+	// Report in the paper's order rather than alphabetically.
+	order := []string{
+		"table3", "fig3a", "fig3b", "table2", "fig11", "fig12", "table4",
+		"fig13", "fig14", "cacheablation", "cachesweep", "dramsweep",
+		"conflicts", "generality", "relaxed", "quality", "multicard",
+		"lruvshdc", "scorecard",
+	}
+	reg := RunnerRegistry()
+	for _, name := range order {
+		fmt.Fprintf(ctx.Out, "\n######## %s ########\n", name)
+		if err := reg[name](ctx); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// ScorecardRow is one headline claim: the paper's value, ours, and
+// whether the shape criterion holds.
+type ScorecardRow struct {
+	Claim    string
+	Paper    string
+	Measured string
+	Holds    bool
+}
+
+// ScorecardResult is the one-page reproduction summary: every headline
+// number of the paper's evaluation recomputed live and checked against
+// an explicit shape criterion.
+type ScorecardResult struct {
+	Rows   []ScorecardRow
+	Passed int
+}
+
+// Scorecard runs the headline experiments and grades the reproduction.
+func Scorecard(ctx *Context) (*ScorecardResult, error) {
+	res := &ScorecardResult{}
+	add := func(claim, paper, measured string, holds bool) {
+		res.Rows = append(res.Rows, ScorecardRow{Claim: claim, Paper: paper, Measured: measured, Holds: holds})
+		if holds {
+			res.Passed++
+		}
+	}
+
+	f3a, err := Fig3a(ctx)
+	if err != nil {
+		return nil, err
+	}
+	add("Fig 3a: Stage 1 dominates basic greedy",
+		"39/47/14%",
+		fmt.Sprintf("%.0f/%.0f/%.0f%%", 100*f3a.AvgStage0, 100*f3a.AvgStage1, 100*f3a.AvgStage2),
+		f3a.AvgStage1 >= f3a.AvgStage0 && f3a.AvgStage1 >= f3a.AvgStage2)
+
+	f3b, err := Fig3b(ctx)
+	if err != nil {
+		return nil, err
+	}
+	add("Fig 3b: neighborhood overlap is low",
+		"avg 4.96%, most <10%",
+		fmt.Sprintf("avg %.1f%%", 100*f3b.Average),
+		f3b.Average < 0.10)
+
+	f11, err := Fig11(ctx)
+	if err != nil {
+		return nil, err
+	}
+	add("Fig 11: DRAM access reduction",
+		"88.6%", pct(f11.AvgDRAMReduction),
+		f11.AvgDRAMReduction > 0.7)
+	add("Fig 11: computation reduction",
+		"66.9%", pct(f11.AvgComputeReduction),
+		f11.AvgComputeReduction > 0.4)
+	add("Fig 11: total execution reduction",
+		"82.9%", pct(f11.AvgTotalReduction),
+		f11.AvgTotalReduction > 0.6)
+
+	f12, err := Fig12(ctx)
+	if err != nil {
+		return nil, err
+	}
+	add("Fig 12: P16 speedup sublinear, roughly 4-7x",
+		"3.92-7.01x",
+		fmt.Sprintf("%.2f-%.2fx avg %.2fx", f12.MinP16, f12.MaxP16, f12.AvgP16),
+		f12.MinP16 > 2 && f12.MaxP16 < 16 && f12.AvgP16 > 3 && f12.AvgP16 < 9)
+
+	t4, err := Table4(ctx)
+	if err != nil {
+		return nil, err
+	}
+	roadsUnchanged := true
+	for _, row := range t4.Rows {
+		if (row.Dataset == "RC" || row.Dataset == "RP" || row.Dataset == "RT") &&
+			row.Baseline != row.Sorted {
+			roadsUnchanged = false
+		}
+	}
+	add("Table 4: preprocessing reduces colors; roads unchanged",
+		"-9.3% avg, roads 5->5",
+		fmt.Sprintf("%.1f%% avg, roads unchanged=%v", 100*t4.AvgReduction, roadsUnchanged),
+		t4.AvgReduction > 0 && roadsUnchanged)
+
+	f13, err := Fig13(ctx)
+	if err != nil {
+		return nil, err
+	}
+	add("Fig 13: beats CPU by a large factor",
+		"30-97x, avg 54.9x",
+		fmt.Sprintf("avg %.1fx", f13.AvgSpeedupCPU),
+		f13.AvgSpeedupCPU > 10)
+	add("Fig 13: beats GPU by a small factor",
+		"1.63-6.69x, avg 2.71x",
+		fmt.Sprintf("avg %.2fx", f13.AvgSpeedupGPU),
+		f13.AvgSpeedupGPU > 1 && f13.AvgSpeedupGPU < 15)
+	add("Fig 13: energy order FPGA >> GPU > CPU",
+		"156 / 19 / 12 KCV/J",
+		fmt.Sprintf("%.0f / %.0f / %.0f KCV/J", f13.AvgFPGAKCVpj, f13.AvgGPUKCVpj, f13.AvgCPUKCVpj),
+		f13.AvgFPGAKCVpj > f13.AvgGPUKCVpj && f13.AvgGPUKCVpj > f13.AvgCPUKCVpj)
+
+	f14, err := Fig14(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p16 := f14.Usages[len(f14.Usages)-1]
+	add("Fig 14: P16 fits U200, BRAM-bound, >200MHz",
+		"51% REG, 48% LUT, 97% BRAM, >200MHz",
+		fmt.Sprintf("%.0f%% REG, %.0f%% LUT, %.0f%% BRAM, %.0fMHz",
+			100*p16.REGFrac, 100*p16.LUTFrac, 100*p16.BRAMFrac, p16.FrequencyMHz),
+		p16.FitsU200() && p16.BRAMFrac > p16.REGFrac && p16.BRAMFrac > p16.LUTFrac &&
+			p16.FrequencyMHz > 200)
+
+	ca, err := CacheAblation(ctx)
+	if err != nil {
+		return nil, err
+	}
+	last := ca.Rows[len(ca.Rows)-1]
+	add("§4.4: proposed cache is 2/P of LVT; LVT won't fit at P16",
+		"ratio 0.125 at P16",
+		fmt.Sprintf("ratio %.3f, LVT fits=%v", last.Ratio, last.LVTFitsU200),
+		last.Ratio < 0.2 && !last.LVTFitsU200)
+
+	return res, nil
+}
+
+// Print writes the scorecard.
+func (r *ScorecardResult) Print(ctx *Context) {
+	t := Table{
+		Title:  "Reproduction scorecard: paper claims vs live measurements",
+		Header: []string{"Claim", "Paper", "Measured", "Shape holds"},
+	}
+	for _, row := range r.Rows {
+		mark := "yes"
+		if !row.Holds {
+			mark = "NO"
+		}
+		t.AddRow(row.Claim, row.Paper, row.Measured, mark)
+	}
+	t.Render(ctx)
+	fmt.Fprintf(ctx.Out, "scorecard: %d/%d claims hold\n", r.Passed, len(r.Rows))
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/metrics"
+)
+
+// Table4Row is one dataset's color count before and after preprocessing.
+type Table4Row struct {
+	Dataset   string
+	Baseline  int // greedy on the raw graph (original vertex order)
+	Sorted    int // greedy after DBG reordering + edge sorting
+	Reduction float64
+}
+
+// Table4Result holds all rows plus the average reduction (paper: 9.3%).
+type Table4Result struct {
+	Rows         []Table4Row
+	AvgReduction float64
+}
+
+// Table4 reproduces the color-count comparison. Interpretation note
+// (recorded in EXPERIMENTS.md): first-fit greedy's color count is
+// independent of the order neighbors appear within an adjacency list, so
+// the within-list edge sort cannot change it by itself. What the paper's
+// preprocessing actually changes is the coloring *order*: after DBG the
+// vertices are colored in descending-degree (Welsh–Powell) order, which
+// is the mechanism that lowers color counts on skewed graphs and leaves
+// the regular road networks unchanged — exactly the pattern of the
+// paper's Table 4 (CO 116→87, road networks 5→5). We therefore compare
+// greedy on the raw ordering against greedy after the full preprocessing
+// pipeline.
+func Table4(ctx *Context) (*Table4Result, error) {
+	res := &Table4Result{}
+	var reds []float64
+	for _, d := range ctx.Datasets {
+		raw, prepared, err := ctx.BuildPrepared(d)
+		if err != nil {
+			return nil, err
+		}
+		base, err := coloring.BitwiseGreedy(raw, coloring.MaxColorsDefault, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", d.Abbrev, err)
+		}
+		sorted, err := coloring.BitwiseGreedy(prepared, coloring.MaxColorsDefault, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s sorted: %w", d.Abbrev, err)
+		}
+		red := 0.0
+		if base.NumColors > 0 {
+			red = 1 - float64(sorted.NumColors)/float64(base.NumColors)
+		}
+		reds = append(reds, red)
+		res.Rows = append(res.Rows, Table4Row{
+			Dataset: d.Abbrev, Baseline: base.NumColors, Sorted: sorted.NumColors, Reduction: red,
+		})
+	}
+	res.AvgReduction = metrics.Mean(reds)
+	return res, nil
+}
+
+// Print writes the Table 4 report.
+func (r *Table4Result) Print(ctx *Context) {
+	t := Table{
+		Title:  "Table 4: color count, raw order (BSL) vs DBG+sorted preprocessing (paper avg reduction 9.3%)",
+		Header: []string{"Graph", "BSL", "Sorted", "Reduction"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, fmt.Sprint(row.Baseline), fmt.Sprint(row.Sorted), pct(row.Reduction))
+	}
+	t.Render(ctx)
+	fmt.Fprintf(ctx.Out, "average color reduction: %s\n", pct(r.AvgReduction))
+}

@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"bitcolor/internal/graph"
+)
+
+// Dataset names follow the paper's Table 3 abbreviations. Each maps to a
+// synthetic generator configuration in the same structural category,
+// scaled down so the full experiment suite runs on a laptop. The paper's
+// original node/edge counts are recorded for reporting.
+type Dataset struct {
+	// Abbrev is the paper's short name (EF, GD, ...).
+	Abbrev string
+	// Name is the SNAP dataset name.
+	Name string
+	// Category matches Table 3.
+	Category string
+	// PaperNodes / PaperEdges are the original sizes from Table 3.
+	PaperNodes, PaperEdges int64
+	// Build generates the scaled synthetic stand-in.
+	Build func(seed int64) (*graph.CSR, error)
+}
+
+// scaleNote documents the scaling rule: vertex counts are reduced to keep
+// the whole suite under a few seconds per experiment while preserving the
+// ratio of mean degree and the category's degree shape.
+
+// Registry returns the ten paper datasets in Table 3 order.
+func Registry() []Dataset {
+	return []Dataset{
+		{
+			Abbrev: "EF", Name: "ego-Facebook", Category: "Social network",
+			PaperNodes: 4_100, PaperEdges: 88_200,
+			// Small, dense, high clustering: keep near-original scale.
+			Build: func(seed int64) (*graph.CSR, error) {
+				return EgoNet(16, 250, 0.16, seed) // ~4K vertices, ~80K edges
+			},
+		},
+		{
+			Abbrev: "GD", Name: "gemsec-Deezer_HR", Category: "Social network",
+			PaperNodes: 54_500, PaperEdges: 498_200,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return BarabasiAlbert(24_000, 9, seed)
+			},
+		},
+		{
+			Abbrev: "CD", Name: "com-DBLP", Category: "Collaboration network",
+			PaperNodes: 317_000, PaperEdges: 1_000_000,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return BarabasiAlbert(60_000, 3, seed)
+			},
+		},
+		{
+			Abbrev: "CA", Name: "com-Amazon", Category: "Product network",
+			PaperNodes: 335_800, PaperEdges: 925_000,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return Community(600, 100, 2, 1, seed) // 60K vertices, modular
+			},
+		},
+		{
+			Abbrev: "CL", Name: "com-LiveJournal", Category: "Social network",
+			PaperNodes: 3_900_000, PaperEdges: 34_700_000,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return RMAT(17, 9, 0.57, 0.19, 0.19, seed) // 131K vertices
+			},
+		},
+		{
+			Abbrev: "RC", Name: "roadNet-CA", Category: "Road network",
+			PaperNodes: 1_900_000, PaperEdges: 5_500_000,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return RoadGrid(320, 320, 0.05, 0.08, seed) // ~102K vertices
+			},
+		},
+		{
+			Abbrev: "RP", Name: "roadNet-PA", Category: "Road network",
+			PaperNodes: 1_100_000, PaperEdges: 3_100_000,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return RoadGrid(245, 245, 0.05, 0.08, seed) // ~60K vertices
+			},
+		},
+		{
+			Abbrev: "RT", Name: "roadNet-TX", Category: "Road network",
+			PaperNodes: 1_300_000, PaperEdges: 3_800_000,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return RoadGrid(265, 265, 0.05, 0.08, seed) // ~70K vertices
+			},
+		},
+		{
+			Abbrev: "CO", Name: "com-Orkut", Category: "Social network",
+			PaperNodes: 3_000_000, PaperEdges: 117_100_000,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return RMAT(16, 36, 0.57, 0.19, 0.19, seed) // dense: 65K vertices, ~2M directed edges
+			},
+		},
+		{
+			Abbrev: "CF", Name: "com-Friendster", Category: "Social network",
+			PaperNodes: 65_600_000, PaperEdges: 1_806_100_000,
+			Build: func(seed int64) (*graph.CSR, error) {
+				return RMAT(18, 14, 0.57, 0.19, 0.19, seed) // largest stand-in: 262K vertices
+			},
+		},
+	}
+}
+
+// ByAbbrev returns the dataset with the given Table 3 abbreviation.
+func ByAbbrev(abbrev string) (Dataset, error) {
+	for _, d := range Registry() {
+		if d.Abbrev == abbrev {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", abbrev)
+}
+
+// Abbrevs returns the ten abbreviations in Table 3 order.
+func Abbrevs() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, d := range reg {
+		out[i] = d.Abbrev
+	}
+	return out
+}
+
+// SmallRegistry returns a reduced-size variant of every dataset for fast
+// unit tests: same generators, smaller parameters.
+func SmallRegistry() []Dataset {
+	small := []Dataset{
+		{Abbrev: "EF", Build: func(seed int64) (*graph.CSR, error) { return EgoNet(4, 60, 0.2, seed) }},
+		{Abbrev: "GD", Build: func(seed int64) (*graph.CSR, error) { return BarabasiAlbert(2000, 9, seed) }},
+		{Abbrev: "CD", Build: func(seed int64) (*graph.CSR, error) { return BarabasiAlbert(3000, 3, seed) }},
+		{Abbrev: "CA", Build: func(seed int64) (*graph.CSR, error) { return Community(50, 60, 2, 1, seed) }},
+		{Abbrev: "CL", Build: func(seed int64) (*graph.CSR, error) { return RMAT(12, 9, 0.57, 0.19, 0.19, seed) }},
+		{Abbrev: "RC", Build: func(seed int64) (*graph.CSR, error) { return RoadGrid(64, 64, 0.05, 0.08, seed) }},
+		{Abbrev: "RP", Build: func(seed int64) (*graph.CSR, error) { return RoadGrid(48, 48, 0.05, 0.08, seed) }},
+		{Abbrev: "RT", Build: func(seed int64) (*graph.CSR, error) { return RoadGrid(52, 52, 0.05, 0.08, seed) }},
+		{Abbrev: "CO", Build: func(seed int64) (*graph.CSR, error) { return RMAT(11, 36, 0.57, 0.19, 0.19, seed) }},
+		{Abbrev: "CF", Build: func(seed int64) (*graph.CSR, error) { return RMAT(13, 14, 0.57, 0.19, 0.19, seed) }},
+	}
+	full := Registry()
+	byAbbrev := map[string]Dataset{}
+	for _, d := range full {
+		byAbbrev[d.Abbrev] = d
+	}
+	for i := range small {
+		meta := byAbbrev[small[i].Abbrev]
+		small[i].Name = meta.Name
+		small[i].Category = meta.Category
+		small[i].PaperNodes = meta.PaperNodes
+		small[i].PaperEdges = meta.PaperEdges
+	}
+	sortDatasets(small)
+	return small
+}
+
+// sortDatasets keeps Table 3 order (the Registry order) for deterministic
+// reporting.
+func sortDatasets(ds []Dataset) {
+	order := map[string]int{}
+	for i, a := range Abbrevs() {
+		order[a] = i
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return order[ds[i].Abbrev] < order[ds[j].Abbrev] })
+}

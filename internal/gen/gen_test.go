@@ -1,0 +1,311 @@
+package gen
+
+import (
+	"testing"
+
+	"bitcolor/internal/graph"
+)
+
+func checkWellFormed(t *testing.T, g *graph.CSR, name string) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if g.HasSelfLoops() {
+		t.Fatalf("%s: self loops", name)
+	}
+	if !g.IsUndirected() {
+		t.Fatalf("%s: not symmetric", name)
+	}
+	if !g.EdgesSorted() {
+		t.Fatalf("%s: adjacency not sorted", name)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(10, 8, 0.57, 0.19, 0.19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, g, "rmat")
+	if g.NumVertices() != 1024 {
+		t.Fatalf("vertices = %d, want 1024", g.NumVertices())
+	}
+	s := graph.ComputeStats(g)
+	if s.GiniDegree < 0.3 {
+		t.Fatalf("RMAT Gini = %.2f, want heavy-tailed (>0.3)", s.GiniDegree)
+	}
+	if s.MaxDegree < 10*int(s.MeanDegree) {
+		t.Fatalf("RMAT max degree %d not skewed vs mean %.1f", s.MaxDegree, s.MeanDegree)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, _ := RMAT(8, 8, 0.57, 0.19, 0.19, 42)
+	b, _ := RMAT(8, 8, 0.57, 0.19, 0.19, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, _ := RMAT(8, 8, 0.57, 0.19, 0.19, 43)
+	if a.NumEdges() == c.NumEdges() && a.Edges[0] == c.Edges[0] && a.Edges[len(a.Edges)-1] == c.Edges[len(c.Edges)-1] {
+		t.Log("different seeds produced suspiciously similar graphs (not fatal)")
+	}
+}
+
+func TestRMATRejectsBadParams(t *testing.T) {
+	if _, err := RMAT(-1, 8, 0.5, 0.2, 0.2, 1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if _, err := RMAT(5, 8, 0.5, 0.3, 0.3, 1); err == nil {
+		t.Fatal("probabilities summing >= 1 accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, g, "ba")
+	s := graph.ComputeStats(g)
+	if s.MinDegree < 1 {
+		t.Fatalf("BA has isolated vertices (min degree %d)", s.MinDegree)
+	}
+	if s.MeanDegree < 8 || s.MeanDegree > 12 {
+		t.Fatalf("BA mean degree = %.1f, want ~10", s.MeanDegree)
+	}
+	if s.MaxDegree < 5*int(s.MeanDegree) {
+		t.Fatalf("BA not skewed: max %d vs mean %.1f", s.MaxDegree, s.MeanDegree)
+	}
+}
+
+func TestBarabasiAlbertSmall(t *testing.T) {
+	g, err := BarabasiAlbert(3, 5, 1) // k clipped to n-1
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, g, "ba-small")
+	if _, err := BarabasiAlbert(0, 1, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(1000, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, g, "er")
+	s := graph.ComputeStats(g)
+	if s.GiniDegree > 0.3 {
+		t.Fatalf("ER Gini = %.2f, want low skew", s.GiniDegree)
+	}
+}
+
+func TestRoadGrid(t *testing.T) {
+	g, err := RoadGrid(50, 40, 0.05, 0.08, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, g, "road")
+	if g.NumVertices() != 2000 {
+		t.Fatalf("vertices = %d, want 2000", g.NumVertices())
+	}
+	s := graph.ComputeStats(g)
+	if s.MaxDegree > 8 {
+		t.Fatalf("road max degree = %d, want bounded (<=8)", s.MaxDegree)
+	}
+	if s.GiniDegree > 0.25 {
+		t.Fatalf("road Gini = %.2f, want near-regular", s.GiniDegree)
+	}
+}
+
+func TestEgoNet(t *testing.T) {
+	g, err := EgoNet(4, 50, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, g, "ego")
+	s := graph.ComputeStats(g)
+	// Hubs must dominate: they touch a full circle each.
+	if s.MaxDegree < 50 {
+		t.Fatalf("ego hub degree = %d, want >= 50", s.MaxDegree)
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	g, err := Community(20, 50, 3, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, g, "community")
+	if g.NumVertices() != 1000 {
+		t.Fatalf("vertices = %d, want 1000", g.NumVertices())
+	}
+}
+
+func TestPowerLawFixed(t *testing.T) {
+	g, err := PowerLawFixed(2000, 10000, 0.8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, g, "powerlaw")
+	s := graph.ComputeStats(g)
+	if s.GiniDegree < 0.3 {
+		t.Fatalf("power-law Gini = %.2f, want skew", s.GiniDegree)
+	}
+	// alpha=0 degenerates to uniform.
+	u, err := PowerLawFixed(2000, 10000, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su := graph.ComputeStats(u)
+	if su.GiniDegree >= s.GiniDegree {
+		t.Fatalf("uniform Gini %.2f >= power-law Gini %.2f", su.GiniDegree, s.GiniDegree)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 10 {
+		t.Fatalf("registry has %d datasets, want 10", len(reg))
+	}
+	want := []string{"EF", "GD", "CD", "CA", "CL", "RC", "RP", "RT", "CO", "CF"}
+	for i, d := range reg {
+		if d.Abbrev != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, d.Abbrev, want[i])
+		}
+		if d.Name == "" || d.Category == "" || d.PaperNodes == 0 || d.PaperEdges == 0 {
+			t.Fatalf("dataset %s missing metadata: %+v", d.Abbrev, d)
+		}
+		if d.Build == nil {
+			t.Fatalf("dataset %s has no builder", d.Abbrev)
+		}
+	}
+}
+
+func TestByAbbrev(t *testing.T) {
+	d, err := ByAbbrev("RC")
+	if err != nil || d.Name != "roadNet-CA" {
+		t.Fatalf("ByAbbrev(RC) = %+v, %v", d, err)
+	}
+	if _, err := ByAbbrev("XX"); err == nil {
+		t.Fatal("unknown abbrev accepted")
+	}
+}
+
+func TestSmallRegistryBuildsAll(t *testing.T) {
+	for _, d := range SmallRegistry() {
+		d := d
+		t.Run(d.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			g, err := d.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWellFormed(t, g, d.Abbrev)
+			if g.NumVertices() < 100 {
+				t.Fatalf("%s too small: %d vertices", d.Abbrev, g.NumVertices())
+			}
+			if d.Name == "" || d.Category == "" {
+				t.Fatalf("%s metadata not inherited", d.Abbrev)
+			}
+		})
+	}
+}
+
+// Category shape checks: road networks near-regular, social heavy-tailed.
+func TestCategoryShapes(t *testing.T) {
+	for _, d := range SmallRegistry() {
+		g, err := d.Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Abbrev, err)
+		}
+		s := graph.ComputeStats(g)
+		switch d.Category {
+		case "Road network":
+			if s.GiniDegree > 0.3 {
+				t.Errorf("%s (road) Gini = %.2f, want low", d.Abbrev, s.GiniDegree)
+			}
+		case "Social network":
+			if d.Abbrev != "EF" && s.GiniDegree < 0.2 {
+				t.Errorf("%s (social) Gini = %.2f, want skewed", d.Abbrev, s.GiniDegree)
+			}
+		}
+	}
+}
+
+func BenchmarkRMATScale14(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RMAT(14, 8, 0.57, 0.19, 0.19, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	// beta=0: pure ring lattice, perfectly regular.
+	lattice, err := WattsStrogatz(1000, 6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, lattice, "ws-lattice")
+	s := graph.ComputeStats(lattice)
+	if s.MinDegree != 6 || s.MaxDegree != 6 {
+		t.Fatalf("lattice degrees [%d,%d], want exactly 6", s.MinDegree, s.MaxDegree)
+	}
+	// beta=0.3: small world, still low variance.
+	sw, err := WattsStrogatz(1000, 6, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, sw, "ws-smallworld")
+	if graph.ComputeStats(sw).GiniDegree > 0.2 {
+		t.Fatal("small-world graph too skewed")
+	}
+}
+
+func TestWattsStrogatzRejectsBadParams(t *testing.T) {
+	for _, c := range []struct {
+		n, k int
+		beta float64
+	}{
+		{0, 2, 0.1}, {10, 3, 0.1}, {10, 0, 0.1}, {4, 6, 0.1}, {10, 2, 1.5}, {10, 2, -0.1},
+	} {
+		if _, err := WattsStrogatz(c.n, c.k, c.beta, 1); err == nil {
+			t.Errorf("params %+v accepted", c)
+		}
+	}
+}
+
+func TestWattsStrogatzLocalityDial(t *testing.T) {
+	// Rewiring destroys index locality: block reuse at beta=0 must beat
+	// beta=0.9. (Uses the same block geometry as the DRAM model.)
+	lattice, _ := WattsStrogatz(4000, 6, 0, 2)
+	random, _ := WattsStrogatz(4000, 6, 0.9, 2)
+	spreadL := averageNeighborDistance(lattice)
+	spreadR := averageNeighborDistance(random)
+	if spreadL >= spreadR {
+		t.Fatalf("lattice spread %.1f >= rewired %.1f", spreadL, spreadR)
+	}
+}
+
+func averageNeighborDistance(g *graph.CSR) float64 {
+	var sum float64
+	var count int64
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			d := int64(w) - int64(v)
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,116 @@
+package gpusim
+
+import (
+	"testing"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/gen"
+	"bitcolor/internal/reorder"
+)
+
+func TestRunProducesProperColoring(t *testing.T) {
+	g, err := gen.RMAT(12, 8, 0.57, 0.19, 0.19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, coloring.MaxColorsDefault, 7, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 1 {
+		t.Fatalf("rounds = %d, want multiple JP rounds", res.Rounds)
+	}
+	if res.Duration <= 0 || res.Throughput() <= 0 {
+		t.Fatalf("timing missing: %v", res.Duration)
+	}
+	// The frontier re-scans make edge work exceed the edge count.
+	if res.EdgeWork <= g.NumEdges() {
+		t.Fatalf("edge work %d <= edges %d; rounds not counted", res.EdgeWork, g.NumEdges())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g, err := gen.BarabasiAlbert(3000, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(g, coloring.MaxColorsDefault, 3, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, coloring.MaxColorsDefault, 3, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.NumColors != b.NumColors || a.Duration != b.Duration {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestRunRejectsBadModel(t *testing.T) {
+	g, _ := gen.BarabasiAlbert(100, 3, 1)
+	if _, err := Run(g, 64, 1, CostModel{}); err == nil {
+		t.Fatal("zero model accepted")
+	}
+}
+
+func TestIndependentSetUsesMoreColorsThanGreedy(t *testing.T) {
+	// Not guaranteed per-instance, but overwhelmingly typical on skewed
+	// graphs — and the basis of the paper's quality comparison.
+	g, err := gen.RMAT(12, 12, 0.57, 0.19, 0.19, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	gpu, err := Run(h, coloring.MaxColorsDefault, 5, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := coloring.Greedy(h, coloring.MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.NumColors < greedy.NumColors {
+		t.Logf("JP used %d colors vs greedy %d (unusual but legal)", gpu.NumColors, greedy.NumColors)
+	}
+}
+
+func TestCacheInterpolationSlowsCacheBustingRuns(t *testing.T) {
+	g, err := gen.BarabasiAlbert(20000, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits := DefaultCostModel()
+	fits.CacheBytes = 1 << 30 // whole color array resident
+	busts := DefaultCostModel()
+	busts.CacheBytes = 1 << 10 // nothing resident
+	rFits, err := Run(g, coloring.MaxColorsDefault, 1, fits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBusts, err := Run(g, coloring.MaxColorsDefault, 1, busts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBusts.Duration <= rFits.Duration {
+		t.Fatalf("cache-busting run %v not slower than resident run %v; cache model inert",
+			rBusts.Duration, rFits.Duration)
+	}
+}
+
+func BenchmarkGPUSim(b *testing.B) {
+	g, err := gen.RMAT(13, 8, 0.57, 0.19, 0.19, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, coloring.MaxColorsDefault, int64(i), DefaultCostModel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

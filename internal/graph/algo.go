@@ -1,0 +1,171 @@
+package graph
+
+// Classic traversal/decomposition utilities used by the experiment
+// harness (dataset sanity checks) and by downstream applications of the
+// coloring library.
+
+// ConnectedComponents labels each vertex with a component ID in [0,k)
+// and returns the labels and the component count k. Iterative DFS so
+// large components cannot overflow the goroutine stack.
+func ConnectedComponents(g *CSR) (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []VertexID
+	var comp int32
+	for start := 0; start < n; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		stack = append(stack[:0], VertexID(start))
+		labels[start] = comp
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(v) {
+				if labels[w] == -1 {
+					labels[w] = comp
+					stack = append(stack, w)
+				}
+			}
+		}
+		comp++
+	}
+	return labels, int(comp)
+}
+
+// LargestComponent returns the vertices of the largest connected
+// component (ascending order).
+func LargestComponent(g *CSR) []VertexID {
+	labels, count := ConnectedComponents(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < count; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]VertexID, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// BFSLevels returns each vertex's hop distance from source (-1 when
+// unreachable) and the eccentricity of the source within its component.
+func BFSLevels(g *CSR, source VertexID) (levels []int32, ecc int) {
+	n := g.NumVertices()
+	levels = make([]int32, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if int(source) >= n {
+		return levels, 0
+	}
+	queue := []VertexID{source}
+	levels[source] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if levels[w] == -1 {
+				levels[w] = levels[v] + 1
+				if int(levels[w]) > ecc {
+					ecc = int(levels[w])
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return levels, ecc
+}
+
+// KCore returns each vertex's core number: the largest k such that the
+// vertex belongs to a subgraph of minimum degree k. The degeneracy of the
+// graph is the maximum core number, and degeneracy+1 upper-bounds the
+// greedy chromatic number under smallest-last order.
+func KCore(g *CSR) (core []int, degeneracy int) {
+	n := g.NumVertices()
+	core = make([]int, n)
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(VertexID(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket queue peeling (Matula–Beck).
+	buckets := make([][]VertexID, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], VertexID(v))
+	}
+	removed := make([]bool, n)
+	cur := 0
+	for peeled := 0; peeled < n; {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale entry
+		}
+		removed[v] = true
+		core[v] = cur
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		peeled++
+		for _, w := range g.Neighbors(v) {
+			if !removed[w] && deg[w] > cur {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+				if deg[w] < cur {
+					cur = deg[w]
+				}
+			}
+		}
+	}
+	return core, degeneracy
+}
+
+// InducedSubgraph returns the subgraph induced by keep (which must be
+// sorted ascending and duplicate-free) with vertices renumbered densely,
+// plus the mapping new → old.
+func InducedSubgraph(g *CSR, keep []VertexID) (*CSR, []VertexID) {
+	newID := make(map[VertexID]VertexID, len(keep))
+	for i, v := range keep {
+		newID[v] = VertexID(i)
+	}
+	var edges []Edge
+	for i, v := range keep {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := newID[w]; ok && VertexID(i) < j {
+				edges = append(edges, Edge{U: VertexID(i), V: j})
+			}
+		}
+	}
+	sub, err := FromEdgeList(len(keep), edges)
+	if err != nil {
+		// keep was validated by construction; unreachable in practice.
+		panic(err)
+	}
+	old := append([]VertexID(nil), keep...)
+	return sub, old
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// Two triangles and an isolated vertex: 3 components.
+	g, err := FromEdgeList(7, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("first triangle split")
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatal("second triangle split")
+	}
+	if labels[0] == labels[3] || labels[6] == labels[0] || labels[6] == labels[3] {
+		t.Fatal("components merged")
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	g, _ := FromEdgeList(0, nil)
+	labels, count := ConnectedComponents(g)
+	if count != 0 || len(labels) != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g, _ := FromEdgeList(6, []Edge{
+		{U: 0, V: 1},
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 2, V: 4},
+	})
+	lc := LargestComponent(g)
+	if len(lc) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(lc))
+	}
+	want := map[VertexID]bool{2: true, 3: true, 4: true}
+	for _, v := range lc {
+		if !want[v] {
+			t.Fatalf("unexpected member %d", v)
+		}
+	}
+	if LargestComponent(&CSR{}) != nil {
+		t.Fatal("empty graph largest component not nil")
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	// Path 0-1-2-3 plus disconnected 4.
+	g, _ := FromEdgeList(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	levels, ecc := BFSLevels(g, 0)
+	wantLevels := []int32{0, 1, 2, 3, -1}
+	for v, w := range wantLevels {
+		if levels[v] != w {
+			t.Fatalf("level[%d] = %d, want %d", v, levels[v], w)
+		}
+	}
+	if ecc != 3 {
+		t.Fatalf("ecc = %d, want 3", ecc)
+	}
+}
+
+func TestKCore(t *testing.T) {
+	// Triangle + pendant: triangle is 2-core, pendant is 1-core.
+	g, _ := FromEdgeList(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}})
+	core, degeneracy := KCore(g)
+	if degeneracy != 2 {
+		t.Fatalf("degeneracy = %d, want 2", degeneracy)
+	}
+	if core[0] != 2 || core[1] != 2 || core[2] != 2 {
+		t.Fatalf("triangle cores = %v, want 2s", core[:3])
+	}
+	if core[3] != 1 {
+		t.Fatalf("pendant core = %d, want 1", core[3])
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	var edges []Edge
+	const k = 8
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, Edge{U: VertexID(u), V: VertexID(v)})
+		}
+	}
+	g, _ := FromEdgeList(k, edges)
+	core, degeneracy := KCore(g)
+	if degeneracy != k-1 {
+		t.Fatalf("K%d degeneracy = %d, want %d", k, degeneracy, k-1)
+	}
+	for v, c := range core {
+		if c != k-1 {
+			t.Fatalf("core[%d] = %d", v, c)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g, _ := FromEdgeList(6, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 0, V: 5},
+	})
+	sub, old := InducedSubgraph(g, []VertexID{0, 1, 2, 5})
+	if sub.NumVertices() != 4 {
+		t.Fatalf("sub vertices = %d", sub.NumVertices())
+	}
+	// Edges inside {0,1,2,5}: (0,1), (1,2), (0,5).
+	if sub.UndirectedEdgeCount() != 3 {
+		t.Fatalf("sub edges = %d, want 3", sub.UndirectedEdgeCount())
+	}
+	if len(old) != 4 || old[3] != 5 {
+		t.Fatalf("old mapping = %v", old)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: component labels partition the graph, BFS stays within one
+// component, and core numbers are bounded by degrees.
+func TestAlgoInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]Edge, 2*n)
+		for i := range edges {
+			edges[i] = Edge{U: VertexID(rng.Intn(n)), V: VertexID(rng.Intn(n))}
+		}
+		g, err := FromEdgeList(n, edges)
+		if err != nil {
+			return false
+		}
+		labels, count := ConnectedComponents(g)
+		if count < 1 || count > n {
+			return false
+		}
+		// Every edge joins same-labeled endpoints.
+		for v := 0; v < n; v++ {
+			for _, w := range g.Neighbors(VertexID(v)) {
+				if labels[v] != labels[w] {
+					return false
+				}
+			}
+		}
+		levels, _ := BFSLevels(g, 0)
+		for v := 0; v < n; v++ {
+			reachable := levels[v] >= 0
+			sameComp := labels[v] == labels[0]
+			if reachable != sameComp {
+				return false
+			}
+		}
+		core, degeneracy := KCore(g)
+		maxCore := 0
+		for v := 0; v < n; v++ {
+			if core[v] > g.Degree(VertexID(v)) || core[v] < 0 {
+				return false
+			}
+			if core[v] > maxCore {
+				maxCore = core[v]
+			}
+		}
+		return maxCore == degeneracy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Degeneracy+1 bounds the smallest-last greedy color count — ties the
+// graph substrate to the coloring package's guarantee.
+func TestDegeneracyBoundsColoring(t *testing.T) {
+	g := func() *CSR {
+		rng := rand.New(rand.NewSource(11))
+		edges := make([]Edge, 3000)
+		for i := range edges {
+			edges[i] = Edge{U: VertexID(rng.Intn(500)), V: VertexID(rng.Intn(500))}
+		}
+		gg, _ := FromEdgeList(500, edges)
+		return gg
+	}()
+	_, degeneracy := KCore(g)
+	if degeneracy <= 0 {
+		t.Fatal("degeneracy not computed")
+	}
+	// (The actual coloring check lives in internal/coloring to avoid an
+	// import cycle; here we check the bound is sane vs max degree.)
+	if degeneracy > g.MaxDegree() {
+		t.Fatalf("degeneracy %d > max degree %d", degeneracy, g.MaxDegree())
+	}
+}

@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// paperExample is the Fig 2 graph of the paper: 6 vertices, edges laid out
+// so vertex 4's neighbors are {0,2,3,5} as in the running example.
+func paperExample(t testing.TB) *CSR {
+	t.Helper()
+	g, err := FromEdgeList(6, []Edge{
+		{0, 1}, {0, 4}, {1, 2}, {2, 4}, {3, 4}, {4, 5}, {2, 3},
+	})
+	if err != nil {
+		t.Fatalf("building paper example: %v", err)
+	}
+	return g
+}
+
+func TestFromEdgeListBasics(t *testing.T) {
+	g := paperExample(t)
+	if g.NumVertices() != 6 {
+		t.Fatalf("NumVertices = %d, want 6", g.NumVertices())
+	}
+	if g.UndirectedEdgeCount() != 7 {
+		t.Fatalf("UndirectedEdgeCount = %d, want 7", g.UndirectedEdgeCount())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsUndirected() {
+		t.Fatal("graph is not symmetric")
+	}
+	want := []VertexID{0, 2, 3, 5}
+	if got := g.Neighbors(4); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors(4) = %v, want %v", got, want)
+	}
+	if g.Degree(4) != 4 {
+		t.Fatalf("Degree(4) = %d, want 4", g.Degree(4))
+	}
+}
+
+func TestEdgeRange(t *testing.T) {
+	g := paperExample(t)
+	se, de := g.EdgeRange(4)
+	if de-se != 4 {
+		t.Fatalf("edge range width = %d, want 4", de-se)
+	}
+	if se != g.Offsets[4] || de != g.Offsets[5] {
+		t.Fatal("EdgeRange disagrees with Offsets")
+	}
+}
+
+func TestFromEdgeListDropsSelfLoopsAndDuplicates(t *testing.T) {
+	g, err := FromEdgeList(3, []Edge{{0, 1}, {1, 0}, {0, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasSelfLoops() {
+		t.Fatal("self loop survived")
+	}
+	if g.UndirectedEdgeCount() != 1 {
+		t.Fatalf("UndirectedEdgeCount = %d, want 1 after dedup", g.UndirectedEdgeCount())
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("Degree(2) = %d, want 0", g.Degree(2))
+	}
+}
+
+func TestFromEdgeListOutOfRange(t *testing.T) {
+	if _, err := FromEdgeList(2, []Edge{{0, 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := FromEdgeList(-1, nil); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdgeList(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() != 0 {
+		t.Fatal("empty graph MaxDegree != 0")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := paperExample(t)
+	if !g.HasEdge(4, 0) || !g.HasEdge(0, 4) {
+		t.Fatal("existing edge not found")
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("phantom edge found")
+	}
+}
+
+func TestHasEdgeUnsorted(t *testing.T) {
+	g, err := FromDirectedEdgeList(5, []Edge{{0, 4}, {0, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 3) || g.HasEdge(0, 1) {
+		t.Fatal("HasEdge wrong on unsorted adjacency")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := paperExample(t)
+	g.Edges[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range destination not caught")
+	}
+	g = paperExample(t)
+	g.Offsets[2] = g.Offsets[3] + 5
+	if err := g.Validate(); err == nil {
+		t.Fatal("non-monotone offsets not caught")
+	}
+	g = paperExample(t)
+	g.Offsets[0] = 1
+	if err := g.Validate(); err == nil {
+		t.Fatal("nonzero first offset not caught")
+	}
+	g = paperExample(t)
+	g.Offsets[len(g.Offsets)-1]--
+	if err := g.Validate(); err == nil {
+		t.Fatal("terminator mismatch not caught")
+	}
+}
+
+func TestSortEdgesAndEdgesSorted(t *testing.T) {
+	g, err := FromDirectedEdgeList(5, []Edge{{0, 4}, {0, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgesSorted() {
+		t.Fatal("unsorted graph claims sorted")
+	}
+	g.SortEdges()
+	if !g.EdgesSorted() {
+		t.Fatal("sorted graph claims unsorted")
+	}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []VertexID{2, 3, 4}) {
+		t.Fatalf("Neighbors(0) = %v after sort", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := paperExample(t)
+	c := g.Clone()
+	c.Edges[0] = 5
+	if g.Edges[0] == 5 {
+		t.Fatal("Clone shares edge storage")
+	}
+}
+
+func TestCollectEdgesRoundTrip(t *testing.T) {
+	g := paperExample(t)
+	edges := g.CollectEdges()
+	if int64(len(edges)) != g.UndirectedEdgeCount() {
+		t.Fatalf("CollectEdges returned %d, want %d", len(edges), g.UndirectedEdgeCount())
+	}
+	g2, err := FromEdgeList(g.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Offsets, g2.Offsets) || !reflect.DeepEqual(g.Edges, g2.Edges) {
+		t.Fatal("edge-list round trip changed the graph")
+	}
+}
+
+// Property: FromEdgeList always yields a valid symmetric simple graph.
+func TestFromEdgeListInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 1
+		m := int(mRaw % 300)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{U: VertexID(rng.Intn(n)), V: VertexID(rng.Intn(n))}
+		}
+		g, err := FromEdgeList(n, edges)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && g.IsUndirected() && !g.HasSelfLoops() && g.EdgesSorted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := paperExample(t)
+	s := ComputeStats(g)
+	if s.Vertices != 6 || s.UndirectedEdges != 7 {
+		t.Fatalf("stats counts wrong: %+v", s)
+	}
+	if s.MaxDegree != 4 {
+		t.Fatalf("MaxDegree = %d, want 4", s.MaxDegree)
+	}
+	if s.MinDegree < 1 {
+		t.Fatalf("MinDegree = %d, want >= 1", s.MinDegree)
+	}
+	if s.MeanDegree <= 0 {
+		t.Fatal("MeanDegree not positive")
+	}
+	if s.Isolated != 0 {
+		t.Fatalf("Isolated = %d, want 0", s.Isolated)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	g, _ := FromEdgeList(0, nil)
+	s := ComputeStats(g)
+	if s.Vertices != 0 || s.MinDegree != 0 || s.GiniDegree != 0 {
+		t.Fatalf("empty stats wrong: %+v", s)
+	}
+}
+
+func TestGiniExtremes(t *testing.T) {
+	// Regular ring: all degrees equal → Gini ~ 0.
+	ring := make([]Edge, 10)
+	for i := 0; i < 10; i++ {
+		ring[i] = Edge{U: VertexID(i), V: VertexID((i + 1) % 10)}
+	}
+	g, _ := FromEdgeList(10, ring)
+	if s := ComputeStats(g); s.GiniDegree > 0.01 {
+		t.Fatalf("ring Gini = %.3f, want ~0", s.GiniDegree)
+	}
+	// Star: one hub → high Gini.
+	star := make([]Edge, 20)
+	for i := range star {
+		star[i] = Edge{U: 0, V: VertexID(i + 1)}
+	}
+	h, _ := FromEdgeList(21, star)
+	if s := ComputeStats(h); s.GiniDegree < 0.4 {
+		t.Fatalf("star Gini = %.3f, want > 0.4", s.GiniDegree)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := paperExample(t)
+	h := DegreeHistogram(g)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("histogram covers %d vertices, want %d", total, g.NumVertices())
+	}
+}
+
+func BenchmarkFromEdgeList(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 10000
+	edges := make([]Edge, 5*n)
+	for i := range edges {
+		edges[i] = Edge{U: VertexID(rng.Intn(n)), V: VertexID(rng.Intn(n))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdgeList(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

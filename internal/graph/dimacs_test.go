@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadDIMACS(t *testing.T) {
+	input := `c a triangle plus an isolated vertex
+p edge 4 3
+e 1 2
+e 2 3
+e 1 3
+`
+	g, err := ReadDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.UndirectedEdgeCount() != 3 {
+		t.Fatalf("parsed %s", g)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Fatal("triangle edges missing (1-based conversion wrong?)")
+	}
+	if g.Degree(3) != 0 {
+		t.Fatal("isolated vertex gained edges")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	for name, input := range map[string]string{
+		"no problem line":   "e 1 2\n",
+		"bad record":        "x 1 2\n",
+		"bad problem":       "p vertex 3 1\n",
+		"edge out of range": "p edge 2 1\ne 1 5\n",
+		"zero-based edge":   "p edge 2 1\ne 0 1\n",
+		"short edge":        "p edge 2 1\ne 1\n",
+		"negative vertices": "p edge -3 1\n",
+		"empty":             "",
+	} {
+		if _, err := ReadDIMACS(strings.NewReader(input)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g, err := Queen(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g, "queen5_5\ngenerated"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "c queen5_5\nc generated\np edge 25") {
+		t.Fatalf("header wrong: %q", buf.String()[:40])
+	}
+	g2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestMycielskiStructure(t *testing.T) {
+	// M_2 = K2, M_3 = C5, M_4 = Grötzsch (11 vertices, 20 edges).
+	m2, err := Mycielski(2)
+	if err != nil || m2.NumVertices() != 2 || m2.UndirectedEdgeCount() != 1 {
+		t.Fatalf("M2: %v %v", m2, err)
+	}
+	m3, err := Mycielski(3)
+	if err != nil || m3.NumVertices() != 5 || m3.UndirectedEdgeCount() != 5 {
+		t.Fatalf("M3: %v %v", m3, err)
+	}
+	m4, err := Mycielski(4)
+	if err != nil || m4.NumVertices() != 11 || m4.UndirectedEdgeCount() != 20 {
+		t.Fatalf("M4 (Grötzsch): %v %v", m4, err)
+	}
+	// Triangle-free: no vertex pair in a common neighborhood edge.
+	if hasTriangle(m4) {
+		t.Fatal("Grötzsch graph has a triangle")
+	}
+	if _, err := Mycielski(1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Mycielski(99); err == nil {
+		t.Fatal("k=99 accepted")
+	}
+}
+
+func hasTriangle(g *CSR) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(VertexID(v)) {
+			if u <= VertexID(v) {
+				continue
+			}
+			for _, w := range g.Neighbors(u) {
+				if w > u && g.HasEdge(VertexID(v), w) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestQueenStructure(t *testing.T) {
+	q5, err := Queen(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q5.NumVertices() != 25 {
+		t.Fatalf("queen5_5 vertices = %d", q5.NumVertices())
+	}
+	// Known: queen5_5 has 160 edges.
+	if q5.UndirectedEdgeCount() != 160 {
+		t.Fatalf("queen5_5 edges = %d, want 160", q5.UndirectedEdgeCount())
+	}
+	if _, err := Queen(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestCompleteAndCycle(t *testing.T) {
+	k5, err := Complete(5)
+	if err != nil || k5.UndirectedEdgeCount() != 10 {
+		t.Fatalf("K5: %v %v", k5, err)
+	}
+	c6, err := Cycle(6)
+	if err != nil || c6.UndirectedEdgeCount() != 6 || c6.MaxDegree() != 2 {
+		t.Fatalf("C6: %v %v", c6, err)
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Fatal("C2 accepted")
+	}
+}

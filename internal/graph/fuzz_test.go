@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the two parsers must never panic and must only return
+// structurally valid graphs.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("999999999999 0\n")
+	f.Add("a b\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, _, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser returned invalid graph: %v", err)
+		}
+		if g.HasSelfLoops() {
+			t.Fatal("parser returned self loops")
+		}
+		if !g.IsUndirected() {
+			t.Fatal("parser returned asymmetric graph")
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid payload and some corruptions.
+	g, _ := FromEdgeList(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add([]byte("BCSR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("binary reader returned invalid graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file provides two interchange formats:
+//
+//   - SNAP-style whitespace-separated edge lists ("u v" per line, '#'
+//     comments), so the real paper datasets can be dropped in when
+//     available;
+//   - a compact little-endian binary CSR format for fast reload of
+//     generated datasets ("BCSR" magic, version, counts, offsets, edges).
+
+// ReadEdgeList parses a SNAP-format undirected edge list. Vertex IDs may
+// be sparse; they are densified in first-appearance order. Returns the
+// graph and the number of input lines used.
+func ReadEdgeList(r io.Reader) (*CSR, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ids := make(map[uint64]VertexID)
+	var edges []Edge
+	lines := 0
+	lookup := func(raw uint64) VertexID {
+		if id, ok := ids[raw]; ok {
+			return id
+		}
+		id := VertexID(len(ids))
+		ids[raw] = id
+		return id
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graph: malformed edge line %q", line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: bad vertex %q: %v", fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: bad vertex %q: %v", fields[1], err)
+		}
+		edges = append(edges, Edge{U: lookup(u), V: lookup(v)})
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	g, err := FromEdgeList(len(ids), edges)
+	return g, lines, err
+}
+
+// LoadEdgeListFile reads a SNAP edge-list file from disk.
+func LoadEdgeListFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, _, err := ReadEdgeList(f)
+	return g, err
+}
+
+// WriteEdgeList writes each undirected edge once as "u v" lines.
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.Neighbors(VertexID(v)) {
+			if VertexID(v) < d {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, d); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+const (
+	binaryMagic   = "BCSR"
+	binaryVersion = uint32(1)
+)
+
+// WriteBinary serializes the CSR in the compact binary format.
+func WriteBinary(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{
+		uint64(binaryVersion),
+		uint64(g.NumVertices()),
+		uint64(len(g.Edges)),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, o := range g.Offsets {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(o)); err != nil {
+			return err
+		}
+	}
+	// Edges written in bulk via a reusable chunk to bound allocation.
+	const chunk = 1 << 16
+	buf := make([]byte, 0, chunk*4)
+	for i, e := range g.Edges {
+		buf = binary.LittleEndian.AppendUint32(buf, e)
+		if len(buf) == cap(buf) || i == len(g.Edges)-1 {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a CSR written by WriteBinary.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var version, nv, ne uint64
+	for _, p := range []*uint64{&version, &nv, &ne} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if uint32(version) != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	g := &CSR{
+		Offsets: make([]int64, nv+1),
+		Edges:   make([]VertexID, ne),
+	}
+	for i := range g.Offsets {
+		var o uint64
+		if err := binary.Read(br, binary.LittleEndian, &o); err != nil {
+			return nil, err
+		}
+		g.Offsets[i] = int64(o)
+	}
+	raw := make([]byte, 4)
+	for i := range g.Edges {
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, err
+		}
+		g.Edges[i] = binary.LittleEndian.Uint32(raw)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
+	}
+	return g, nil
+}
+
+// SaveBinaryFile writes the graph to path in binary CSR format.
+func SaveBinaryFile(path string, g *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinaryFile reads a binary CSR file from disk.
+func LoadBinaryFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# SNAP-style comment
+% matrix-market-style comment
+0 1
+1 2
+2 0
+
+10 11
+`
+	g, lines, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 4 {
+		t.Fatalf("lines = %d, want 4", lines)
+	}
+	// IDs are densified: 0,1,2,10,11 → 0..4.
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	if g.UndirectedEdgeCount() != 4 {
+		t.Fatalf("edges = %d, want 4", g.UndirectedEdgeCount())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(3, 4) {
+		t.Fatal("expected edges missing after densification")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 b\n"} {
+		if _, _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := paperExample(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.UndirectedEdgeCount() != g.UndirectedEdgeCount() {
+		t.Fatalf("round trip changed shape: %s vs %s", g, g2)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 500
+	edges := make([]Edge, 2000)
+	for i := range edges {
+		edges[i] = Edge{U: VertexID(rng.Intn(n)), V: VertexID(rng.Intn(n))}
+	}
+	g, err := FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Offsets, g2.Offsets) || !reflect.DeepEqual(g.Edges, g2.Edges) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated payload.
+	g := paperExample(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := paperExample(t)
+	path := filepath.Join(t.TempDir(), "g.bcsr")
+	if err := SaveBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges, g2.Edges) {
+		t.Fatal("file round trip changed edges")
+	}
+}
+
+func TestLoadEdgeListFileMissing(t *testing.T) {
+	if _, err := LoadEdgeListFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

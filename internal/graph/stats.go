@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarizes the degree structure of a graph. BitColor's
+// optimizations (high-degree caching, pruning) are driven by degree skew,
+// so the experiment harness reports these alongside results.
+type Stats struct {
+	Vertices        int
+	DirectedEdges   int64
+	UndirectedEdges int64
+	MinDegree       int
+	MaxDegree       int
+	MeanDegree      float64
+	MedianDegree    int
+	// DegreeP90 and DegreeP99 are the 90th/99th percentile degrees.
+	DegreeP90, DegreeP99 int
+	// GiniDegree is the Gini coefficient of the degree distribution in
+	// [0,1]; near 0 for regular graphs (road networks), near 1 for
+	// heavy-tailed social networks.
+	GiniDegree float64
+	Isolated   int
+}
+
+// ComputeStats scans the graph once and returns its degree statistics.
+func ComputeStats(g *CSR) Stats {
+	n := g.NumVertices()
+	s := Stats{
+		Vertices:        n,
+		DirectedEdges:   g.NumEdges(),
+		UndirectedEdges: g.UndirectedEdgeCount(),
+		MinDegree:       math.MaxInt,
+	}
+	if n == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	degrees := make([]int, n)
+	var sum int64
+	for v := 0; v < n; v++ {
+		d := g.Degree(VertexID(v))
+		degrees[v] = d
+		sum += int64(d)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.MeanDegree = float64(sum) / float64(n)
+	sort.Ints(degrees)
+	s.MedianDegree = degrees[n/2]
+	s.DegreeP90 = degrees[min(n-1, n*90/100)]
+	s.DegreeP99 = degrees[min(n-1, n*99/100)]
+	s.GiniDegree = gini(degrees, sum)
+	return s
+}
+
+// gini computes the Gini coefficient of an ascending-sorted sample.
+func gini(sorted []int, sum int64) float64 {
+	n := len(sorted)
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	// G = (2*sum_i i*x_i) / (n*sum) - (n+1)/n with 1-based i over the
+	// ascending order.
+	var weighted float64
+	for i, x := range sorted {
+		weighted += float64(i+1) * float64(x)
+	}
+	return 2*weighted/(float64(n)*float64(sum)) - float64(n+1)/float64(n)
+}
+
+// DegreeHistogram returns counts bucketed by power of two: bucket i holds
+// vertices with degree in [2^i, 2^(i+1)), bucket 0 also includes degree 0.
+func DegreeHistogram(g *CSR) []int {
+	var buckets []int
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(VertexID(v))
+		b := 0
+		for 1<<(b+1) <= d {
+			b++
+		}
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b]++
+	}
+	return buckets
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("V=%d E=%d deg[min=%d med=%d mean=%.1f p99=%d max=%d] gini=%.2f",
+		s.Vertices, s.UndirectedEdges, s.MinDegree, s.MedianDegree, s.MeanDegree,
+		s.DegreeP99, s.MaxDegree, s.GiniDegree)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package mem
+
+import "fmt"
+
+// U200 on-chip memory constants (§3.1.2, §5.1.1).
+const (
+	// U200BRAMBits is the total internal BRAM of the Alveo U200:
+	// 1766 blocks × 36 Kb.
+	U200BRAMBlocks    = 1766
+	U200BRAMBlockBits = 36 * 1024
+	U200BRAMBits      = U200BRAMBlocks * U200BRAMBlockBits
+	// BRAMPortsPerBlock: FPGA block RAM is dual-ported (the paper's
+	// "2W2R" building block).
+	BRAMPortsPerBlock = 2
+	// SingleCacheBytes is the paper's per-engine cache size: 1 MB holding
+	// 512K 16-bit colors.
+	SingleCacheBytes    = 1 << 20
+	SingleCacheVertices = SingleCacheBytes * 8 / ColorBits // 512K
+)
+
+// BRAM models an on-chip RAM bank with single-cycle access and a port
+// limit per cycle. It exists to (a) account BRAM bit usage for the
+// resource model and (b) enforce the two-port constraint the multi-port
+// cache design works around.
+type BRAM struct {
+	bits  int64
+	ports int
+	// accesses tracks total reads+writes for utilization reporting.
+	reads, writes int64
+}
+
+// NewBRAM allocates a logical BRAM of the given size in bits with the
+// standard dual-port interface.
+func NewBRAM(bits int64) *BRAM {
+	if bits <= 0 {
+		panic(fmt.Sprintf("mem: BRAM size %d must be positive", bits))
+	}
+	return &BRAM{bits: bits, ports: BRAMPortsPerBlock}
+}
+
+// Bits returns the allocated capacity in bits.
+func (b *BRAM) Bits() int64 { return b.bits }
+
+// Blocks returns the number of physical 36Kb BRAM blocks this bank
+// occupies on the U200.
+func (b *BRAM) Blocks() int {
+	return int((b.bits + U200BRAMBlockBits - 1) / U200BRAMBlockBits)
+}
+
+// Ports returns the read/write port count (always 2 for a block).
+func (b *BRAM) Ports() int { return b.ports }
+
+// Read records a read access; on-chip reads cost one cycle, which callers
+// account in their own pipelines.
+func (b *BRAM) Read() { b.reads++ }
+
+// Write records a write access.
+func (b *BRAM) Write() { b.writes++ }
+
+// Accesses returns (reads, writes).
+func (b *BRAM) Accesses() (int64, int64) { return b.reads, b.writes }
+
+// U200Utilization returns the fraction of the U200's BRAM consumed by
+// totalBits of allocated capacity.
+func U200Utilization(totalBits int64) float64 {
+	return float64(totalBits) / float64(U200BRAMBits)
+}

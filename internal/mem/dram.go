@@ -1,0 +1,163 @@
+// Package mem models the off-chip DRAM channels and on-chip BRAM of the
+// Alveo U200 board at the fidelity the paper's evaluation needs: access
+// counts, block granularity, burst behaviour and per-channel serialization
+// — the quantities behind Fig 5 and the DRAM-access bars of Fig 11.
+package mem
+
+import "fmt"
+
+// Paper constants (§4.1, §4.5, §5.1.1).
+const (
+	// BlockBits is the DRAM access granularity: 512 bits.
+	BlockBits = 512
+	// ColorBits is the stored size of one vertex color: 16 bits (only 10
+	// used for 1024 colors).
+	ColorBits = 16
+	// ColorsPerBlock is how many vertex colors one DRAM block holds.
+	ColorsPerBlock = BlockBits / ColorBits // 32
+)
+
+// DRAM row/bank geometry: a channel has NumBanks banks, each with one
+// open row of BlocksPerRow consecutive 512-bit blocks (a 2KB row slice).
+// Accesses to an open row cost BurstLatency; row misses cost
+// RandomLatency. Rows interleave across banks so independent sequential
+// streams (e.g. several BWPEs sharing a physical channel) each keep their
+// own row open — the bank-level parallelism real DDR4 provides.
+const (
+	NumBanks     = 8
+	BlocksPerRow = 32
+)
+
+// DRAMConfig sets the timing model of one channel.
+type DRAMConfig struct {
+	// RandomLatency is the cycle cost of a block access that misses the
+	// open row of its bank (activate + column access).
+	RandomLatency int64
+	// BurstLatency is the cycle cost of an open-row hit.
+	BurstLatency int64
+	// WriteLatency is the cycle cost of a block write.
+	WriteLatency int64
+}
+
+// DefaultDRAMConfig reflects a DDR4-2400 channel behind an FPGA memory
+// controller at the accelerator's 200MHz fabric clock: ~50 fabric cycles
+// random access, ~4 cycles streaming continuation.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{RandomLatency: 50, BurstLatency: 4, WriteLatency: 12}
+}
+
+// DRAMStats aggregates channel activity.
+type DRAMStats struct {
+	Reads      int64 // block reads issued
+	BurstReads int64 // subset of Reads served as open-row hits
+	Writes     int64 // block writes issued
+	Cycles     int64 // total channel-busy cycles
+	// WaitCycles accumulates queueing delay: time requests spent waiting
+	// for the channel controller behind earlier requests. High values at
+	// high parallelism flag physical-channel contention.
+	WaitCycles int64
+}
+
+// Add accumulates other into s.
+func (s *DRAMStats) Add(other DRAMStats) {
+	s.Reads += other.Reads
+	s.BurstReads += other.BurstReads
+	s.Writes += other.Writes
+	s.Cycles += other.Cycles
+	s.WaitCycles += other.WaitCycles
+}
+
+// RowHitRate returns BurstReads/Reads (0 with no reads).
+func (s DRAMStats) RowHitRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.BurstReads) / float64(s.Reads)
+}
+
+// Channel is one DRAM channel with per-bank open-row state. Requests on
+// a channel serialize (one controller), but each bank keeps its own open
+// row, so interleaved sequential streams from several engines sharing a
+// physical channel still hit open rows.
+type Channel struct {
+	cfg     DRAMConfig
+	openRow [NumBanks]int64 // open row per bank, -1 = closed
+	freeAt  int64           // cycle at which the channel becomes free
+	stats   DRAMStats
+}
+
+// NewChannel returns a channel with the given timing.
+func NewChannel(cfg DRAMConfig) *Channel {
+	if cfg.RandomLatency <= 0 || cfg.BurstLatency <= 0 || cfg.WriteLatency <= 0 {
+		panic(fmt.Sprintf("mem: non-positive DRAM latencies %+v", cfg))
+	}
+	c := &Channel{cfg: cfg}
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+	return c
+}
+
+// rowBank maps a block to its (row, bank).
+func rowBank(block int64) (row int64, bank int) {
+	row = block / BlocksPerRow
+	return row, int(row % NumBanks)
+}
+
+// ReadBlock issues a 512-bit read of block at cycle `now` and returns the
+// cycle at which data is available. Open-row hits are served at burst
+// latency.
+func (c *Channel) ReadBlock(block int64, now int64) int64 {
+	start := now
+	if c.freeAt > start {
+		start = c.freeAt
+		c.stats.WaitCycles += start - now
+	}
+	row, bank := rowBank(block)
+	lat := c.cfg.RandomLatency
+	if c.openRow[bank] == row {
+		lat = c.cfg.BurstLatency
+		c.stats.BurstReads++
+	}
+	done := start + lat
+	c.freeAt = done
+	c.openRow[bank] = row
+	c.stats.Reads++
+	c.stats.Cycles += lat
+	return done
+}
+
+// WriteBlock issues a block write at cycle `now` and returns completion.
+func (c *Channel) WriteBlock(block int64, now int64) int64 {
+	start := now
+	if c.freeAt > start {
+		start = c.freeAt
+		c.stats.WaitCycles += start - now
+	}
+	done := start + c.cfg.WriteLatency
+	c.freeAt = done
+	row, bank := rowBank(block)
+	c.openRow[bank] = row
+	c.stats.Writes++
+	c.stats.Cycles += c.cfg.WriteLatency
+	return done
+}
+
+// Stats returns a copy of the channel's counters.
+func (c *Channel) Stats() DRAMStats { return c.stats }
+
+// Reset clears counters and open-row state.
+func (c *Channel) Reset() {
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+	c.freeAt = 0
+	c.stats = DRAMStats{}
+}
+
+// ColorBlock returns the DRAM block index holding vertex v's color and
+// v's offset within the block (paper §4.5: index = des/32, offset =
+// des%32).
+func ColorBlock(v uint32) (block int64, offset int) {
+	return int64(v) / ColorsPerBlock, int(v) % ColorsPerBlock
+}

@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColorBlock(t *testing.T) {
+	cases := []struct {
+		v      uint32
+		block  int64
+		offset int
+	}{
+		{0, 0, 0},
+		{31, 0, 31},
+		{32, 1, 0},
+		{76, 2, 12}, // the paper's §4.5 example vertex 76: block 76/32=2, offset 76%32=12
+		{1 << 20, 1 << 15, 0},
+	}
+	for _, c := range cases {
+		b, o := ColorBlock(c.v)
+		if b != c.block || o != c.offset {
+			t.Errorf("ColorBlock(%d) = (%d,%d), want (%d,%d)", c.v, b, o, c.block, c.offset)
+		}
+	}
+}
+
+func TestChannelRandomVsBurst(t *testing.T) {
+	cfg := DRAMConfig{RandomLatency: 100, BurstLatency: 4, WriteLatency: 10}
+	ch := NewChannel(cfg)
+	done := ch.ReadBlock(5, 0)
+	if done != 100 {
+		t.Fatalf("first read done at %d, want 100", done)
+	}
+	done = ch.ReadBlock(6, done) // sequential → burst
+	if done != 104 {
+		t.Fatalf("burst read done at %d, want 104", done)
+	}
+	done = ch.ReadBlock(100, done) // jump → random
+	if done != 204 {
+		t.Fatalf("random read done at %d, want 204", done)
+	}
+	st := ch.Stats()
+	if st.Reads != 3 || st.BurstReads != 1 {
+		t.Fatalf("stats %+v, want 3 reads / 1 burst", st)
+	}
+	if st.Cycles != 204 {
+		t.Fatalf("busy cycles %d, want 204", st.Cycles)
+	}
+}
+
+func TestChannelSerializes(t *testing.T) {
+	ch := NewChannel(DRAMConfig{RandomLatency: 50, BurstLatency: 4, WriteLatency: 10})
+	// Two requests issued at the same cycle must serialize.
+	d1 := ch.ReadBlock(10, 0)
+	d2 := ch.ReadBlock(999, 0)
+	if d2 <= d1 {
+		t.Fatalf("second request done %d <= first %d", d2, d1)
+	}
+	if d2 != d1+50 {
+		t.Fatalf("second request done %d, want %d", d2, d1+50)
+	}
+}
+
+func TestChannelWrite(t *testing.T) {
+	ch := NewChannel(DefaultDRAMConfig())
+	done := ch.WriteBlock(3, 7)
+	if done != 7+DefaultDRAMConfig().WriteLatency {
+		t.Fatalf("write done %d", done)
+	}
+	if ch.Stats().Writes != 1 {
+		t.Fatal("write not counted")
+	}
+	// A read of block 4 after writing block 3 counts as burst
+	// (open-row continuation).
+	ch.ReadBlock(4, done)
+	if ch.Stats().BurstReads != 1 {
+		t.Fatal("post-write sequential read not burst")
+	}
+}
+
+func TestChannelReset(t *testing.T) {
+	ch := NewChannel(DefaultDRAMConfig())
+	ch.ReadBlock(1, 0)
+	ch.Reset()
+	if ch.Stats() != (DRAMStats{}) {
+		t.Fatal("reset left stats")
+	}
+	// Block 2 after reset must be random, not burst.
+	ch.ReadBlock(2, 0)
+	if ch.Stats().BurstReads != 0 {
+		t.Fatal("burst detection survived reset")
+	}
+}
+
+func TestNewChannelRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	NewChannel(DRAMConfig{})
+}
+
+func TestDRAMStatsAdd(t *testing.T) {
+	a := DRAMStats{Reads: 1, BurstReads: 1, Writes: 2, Cycles: 10}
+	b := DRAMStats{Reads: 3, Writes: 1, Cycles: 5}
+	a.Add(b)
+	if a.Reads != 4 || a.BurstReads != 1 || a.Writes != 3 || a.Cycles != 15 {
+		t.Fatalf("Add result %+v", a)
+	}
+}
+
+// Property: completion times on a channel are non-decreasing regardless of
+// request pattern, and burst reads never exceed total reads.
+func TestChannelMonotone(t *testing.T) {
+	f := func(blocks []uint16) bool {
+		ch := NewChannel(DefaultDRAMConfig())
+		last := int64(0)
+		for _, b := range blocks {
+			done := ch.ReadBlock(int64(b), last)
+			if done < last {
+				return false
+			}
+			last = done
+		}
+		st := ch.Stats()
+		return st.BurstReads <= st.Reads && st.Reads == int64(len(blocks))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBRAMSizing(t *testing.T) {
+	b := NewBRAM(SingleCacheBytes * 8)
+	if b.Bits() != 1<<23 {
+		t.Fatalf("1MB cache bits = %d", b.Bits())
+	}
+	if b.Blocks() != (1<<23+U200BRAMBlockBits-1)/U200BRAMBlockBits {
+		t.Fatalf("block count %d", b.Blocks())
+	}
+	if b.Ports() != 2 {
+		t.Fatal("BRAM not dual-ported")
+	}
+	b.Read()
+	b.Write()
+	r, w := b.Accesses()
+	if r != 1 || w != 1 {
+		t.Fatal("access counters wrong")
+	}
+}
+
+func TestSingleCacheVertices(t *testing.T) {
+	// The paper: "the single cache is 1MB (512K vertices color data)".
+	if SingleCacheVertices != 512*1024 {
+		t.Fatalf("SingleCacheVertices = %d, want 512K", SingleCacheVertices)
+	}
+	if ColorsPerBlock != 32 {
+		t.Fatalf("ColorsPerBlock = %d, want 32", ColorsPerBlock)
+	}
+}
+
+func TestU200Utilization(t *testing.T) {
+	// Paper §3.1.2: U200 has 7.947MB internal BRAM (1766 × 36Kb).
+	mb := float64(U200BRAMBits) / 8 / 1024 / 1024
+	if mb < 7.7 || mb > 8.1 {
+		t.Fatalf("U200 BRAM = %.3f MB, want ~7.947", mb)
+	}
+	if u := U200Utilization(U200BRAMBits); u != 1 {
+		t.Fatalf("full utilization = %f", u)
+	}
+	if u := U200Utilization(U200BRAMBits / 2); u != 0.5 {
+		t.Fatalf("half utilization = %f", u)
+	}
+}
+
+func TestNewBRAMRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size BRAM accepted")
+		}
+	}()
+	NewBRAM(0)
+}
+
+func TestChannelWaitCycles(t *testing.T) {
+	ch := NewChannel(DRAMConfig{RandomLatency: 50, BurstLatency: 4, WriteLatency: 10})
+	ch.ReadBlock(0, 0)   // busy until 50
+	ch.ReadBlock(999, 0) // queued 50 cycles
+	if got := ch.Stats().WaitCycles; got != 50 {
+		t.Fatalf("wait cycles = %d, want 50", got)
+	}
+	// A request issued after the channel frees does not wait.
+	ch.ReadBlock(5000, 10_000)
+	if got := ch.Stats().WaitCycles; got != 50 {
+		t.Fatalf("idle request accrued wait: %d", got)
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	var s DRAMStats
+	if s.RowHitRate() != 0 {
+		t.Fatal("empty hit rate != 0")
+	}
+	s.Reads, s.BurstReads = 4, 1
+	if s.RowHitRate() != 0.25 {
+		t.Fatalf("hit rate = %f", s.RowHitRate())
+	}
+}

@@ -1,0 +1,110 @@
+// Package metrics computes the evaluation metrics of §5.3: MCV/s
+// throughput (million colored vertices per second), KCV/J energy
+// efficiency (kilo colored vertices per joule) and speedup tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Power draws used for the energy metric, in watts. The paper does not
+// publish its power methodology; these are the board-level figures of the
+// platforms in §5.1 (Xeon Silver 4114 TDP, Titan V board power, U200
+// in-service draw). EXPERIMENTS.md discusses how this choice affects the
+// absolute KCV/J values while preserving the paper's ordering
+// (FPGA ≫ GPU > CPU).
+const (
+	CPUPowerWatts  = 85.0
+	GPUPowerWatts  = 250.0
+	FPGAPowerWatts = 30.0
+)
+
+// MCVps returns million colored vertices per second.
+func MCVps(vertices int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(vertices) / d.Seconds() / 1e6
+}
+
+// KCVpj returns kilo colored vertices per joule at the given power draw.
+func KCVpj(vertices int, d time.Duration, watts float64) float64 {
+	if d <= 0 || watts <= 0 {
+		return 0
+	}
+	joules := watts * d.Seconds()
+	return float64(vertices) / joules / 1e3
+}
+
+// Speedup returns base/target (how many times faster target is than
+// base).
+func Speedup(base, target time.Duration) float64 {
+	if target <= 0 {
+		return 0
+	}
+	return float64(base) / float64(target)
+}
+
+// GeoMean returns the geometric mean of positive samples; zero and
+// negative samples are skipped (matching how the paper averages
+// per-dataset speedups).
+func GeoMean(xs []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			prod *= x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// Mean returns the arithmetic mean of samples (0 for none).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Comparison is one row of the Fig 13 table.
+type Comparison struct {
+	Dataset                       string
+	CPUTime, GPUTime, FPGATime    time.Duration
+	SpeedupVsCPU, SpeedupVsGPU    float64
+	CPUMCVps, GPUMCVps, FPGAMCVps float64
+	CPUKCVpj, GPUKCVpj, FPGAKCVpj float64
+}
+
+// NewComparison derives all metrics from the three measured times.
+func NewComparison(dataset string, vertices int, cpu, gpu, fpga time.Duration) Comparison {
+	return Comparison{
+		Dataset:      dataset,
+		CPUTime:      cpu,
+		GPUTime:      gpu,
+		FPGATime:     fpga,
+		SpeedupVsCPU: Speedup(cpu, fpga),
+		SpeedupVsGPU: Speedup(gpu, fpga),
+		CPUMCVps:     MCVps(vertices, cpu),
+		GPUMCVps:     MCVps(vertices, gpu),
+		FPGAMCVps:    MCVps(vertices, fpga),
+		CPUKCVpj:     KCVpj(vertices, cpu, CPUPowerWatts),
+		GPUKCVpj:     KCVpj(vertices, gpu, GPUPowerWatts),
+		FPGAKCVpj:    KCVpj(vertices, fpga, FPGAPowerWatts),
+	}
+}
+
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s: cpu=%v gpu=%v fpga=%v (%.1fx vs cpu, %.2fx vs gpu)",
+		c.Dataset, c.CPUTime, c.GPUTime, c.FPGATime, c.SpeedupVsCPU, c.SpeedupVsGPU)
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMCVps(t *testing.T) {
+	if v := MCVps(2_000_000, time.Second); v != 2 {
+		t.Fatalf("MCVps = %f, want 2", v)
+	}
+	if MCVps(5, 0) != 0 {
+		t.Fatal("zero duration not handled")
+	}
+}
+
+func TestKCVpj(t *testing.T) {
+	// 1M vertices in 1s at 100W → 10 KCV/J.
+	if v := KCVpj(1_000_000, time.Second, 100); math.Abs(v-10) > 1e-9 {
+		t.Fatalf("KCVpj = %f, want 10", v)
+	}
+	if KCVpj(1, time.Second, 0) != 0 || KCVpj(1, 0, 10) != 0 {
+		t.Fatal("degenerate inputs not handled")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10*time.Second, 2*time.Second); s != 5 {
+		t.Fatalf("speedup = %f", s)
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Fatal("zero target not handled")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean = %f, want 4", g)
+	}
+	if g := GeoMean([]float64{3, 0, -1}); math.Abs(g-3) > 1e-9 {
+		t.Fatalf("geomean with junk = %f, want 3", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean != 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %f", m)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean != 0")
+	}
+}
+
+func TestNewComparison(t *testing.T) {
+	c := NewComparison("EF", 1_000_000, 10*time.Second, time.Second, 200*time.Millisecond)
+	if c.SpeedupVsCPU != 50 {
+		t.Fatalf("vs CPU = %f", c.SpeedupVsCPU)
+	}
+	if c.SpeedupVsGPU != 5 {
+		t.Fatalf("vs GPU = %f", c.SpeedupVsGPU)
+	}
+	if c.FPGAMCVps <= c.GPUMCVps || c.GPUMCVps <= c.CPUMCVps {
+		t.Fatal("throughput ordering broken")
+	}
+	// Energy: FPGA wins by both speed and power.
+	if c.FPGAKCVpj <= c.GPUKCVpj || c.FPGAKCVpj <= c.CPUKCVpj {
+		t.Fatal("energy ordering broken")
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,120 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+)
+
+func testGraph(t testing.TB, n, m int, seed int64) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+	}
+	g, err := graph.FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRanges(t *testing.T) {
+	g := testGraph(t, 100, 300, 1)
+	a, err := Ranges(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes()
+	for p, s := range sizes {
+		if s != 25 {
+			t.Fatalf("part %d size %d, want 25", p, s)
+		}
+	}
+	// Contiguity: parts are monotone in index.
+	for v := 1; v < 100; v++ {
+		if a.Parts[v] < a.Parts[v-1] {
+			t.Fatal("range parts not monotone")
+		}
+	}
+	if _, err := Ranges(g, 0); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestLabelPropagationReducesCut(t *testing.T) {
+	// Community graph with scrambled IDs: ranges cut everything, label
+	// propagation should rediscover most of the block structure.
+	g, err := gen.Community(8, 100, 5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scramble IDs so ranges don't align with blocks.
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(g.NumVertices())
+	var edges []graph.Edge
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < w {
+				edges = append(edges, graph.Edge{U: graph.VertexID(perm[v]), V: graph.VertexID(perm[w])})
+			}
+		}
+	}
+	scrambled, err := graph.FromEdgeList(g.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Ranges(scrambled, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := LabelPropagation(scrambled, 4, 10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lp.EdgeCut(scrambled) >= base.EdgeCut(scrambled) {
+		t.Fatalf("LP cut %d >= ranges cut %d", lp.EdgeCut(scrambled), base.EdgeCut(scrambled))
+	}
+	// Balance respected.
+	limit := int(float64(scrambled.NumVertices())/4*1.15) + 1
+	for p, s := range lp.Sizes() {
+		if s > limit {
+			t.Fatalf("part %d size %d beyond limit %d", p, s, limit)
+		}
+	}
+}
+
+func TestLabelPropagationK1(t *testing.T) {
+	g := testGraph(t, 50, 100, 4)
+	a, err := LabelPropagation(g, 1, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCut(g) != 0 || a.BoundaryVertices(g) != 0 {
+		t.Fatal("single part has a cut")
+	}
+}
+
+func TestAssignmentStats(t *testing.T) {
+	g, _ := graph.FromEdgeList(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 1, V: 2}})
+	a := &Assignment{Parts: []int32{0, 0, 1, 1}, K: 2}
+	if a.EdgeCut(g) != 1 {
+		t.Fatalf("cut = %d, want 1 (edge 1-2)", a.EdgeCut(g))
+	}
+	if a.BoundaryVertices(g) != 2 {
+		t.Fatalf("boundary = %d, want 2", a.BoundaryVertices(g))
+	}
+	bad := &Assignment{Parts: []int32{0, 5}, K: 2}
+	if bad.Validate() == nil {
+		t.Fatal("bad assignment validated")
+	}
+}

@@ -1,0 +1,135 @@
+package resources
+
+import "testing"
+
+func TestEstimateP16MatchesPaperEndpoints(t *testing.T) {
+	u, err := DefaultModel().Estimate(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig 14 at P16: ~51.09% registers, ~47.79% LUTs, ~96.72% BRAM.
+	check := func(name string, got, want, tol float64) {
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %.2f%%, want %.2f%%±%.1f", name, got*100, want*100, tol*100)
+		}
+	}
+	check("REG", u.REGFrac, 0.5109, 0.05)
+	check("LUT", u.LUTFrac, 0.4779, 0.05)
+	check("BRAM", u.BRAMFrac, 0.9672, 0.03)
+	if u.FrequencyMHz <= 200 {
+		t.Errorf("frequency %.0f MHz, paper reports >200", u.FrequencyMHz)
+	}
+	if !u.FitsU200() {
+		t.Error("P16 instance does not fit the U200")
+	}
+}
+
+func TestGrowthShape(t *testing.T) {
+	sweep, err := DefaultModel().Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 5 {
+		t.Fatalf("sweep has %d points", len(sweep))
+	}
+	// Monotone growth in every resource; frequency monotone decreasing.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].LUTs <= sweep[i-1].LUTs ||
+			sweep[i].Registers <= sweep[i-1].Registers ||
+			sweep[i].BRAMBits <= sweep[i-1].BRAMBits {
+			t.Fatalf("resources not monotone at P=%d", sweep[i].Parallelism)
+		}
+		if sweep[i].FrequencyMHz >= sweep[i-1].FrequencyMHz {
+			t.Fatalf("frequency not decreasing at P=%d", sweep[i].Parallelism)
+		}
+		if sweep[i].FrequencyMHz <= 200 {
+			t.Fatalf("frequency %.0f <= 200 MHz at P=%d", sweep[i].FrequencyMHz, sweep[i].Parallelism)
+		}
+	}
+	// Super-linear jump from P8 to P16: the increment P8→P16 exceeds
+	// twice the P4→P8 increment for LUTs and registers ("increases
+	// exponentially" in the paper's words).
+	dLUT1 := sweep[3].LUTs - sweep[2].LUTs
+	dLUT2 := sweep[4].LUTs - sweep[3].LUTs
+	if dLUT2 <= 2*dLUT1 {
+		t.Errorf("LUT growth not super-linear: P4→P8 %d, P8→P16 %d", dLUT1, dLUT2)
+	}
+	dREG1 := sweep[3].Registers - sweep[2].Registers
+	dREG2 := sweep[4].Registers - sweep[3].Registers
+	if dREG2 <= 2*dREG1 {
+		t.Errorf("REG growth not super-linear: P4→P8 %d, P8→P16 %d", dREG1, dREG2)
+	}
+}
+
+func TestEstimateRejectsBadParallelism(t *testing.T) {
+	for _, p := range []int{0, -1, 3, 12} {
+		if _, err := DefaultModel().Estimate(p); err == nil {
+			t.Errorf("P=%d accepted", p)
+		}
+	}
+}
+
+func TestLVTComparison(t *testing.T) {
+	m := DefaultModel()
+	for _, p := range []int64{2, 4, 8, 16} {
+		proposed := m.cacheBits(p)
+		lvt := m.LVTCacheBits(p)
+		if proposed >= lvt {
+			t.Errorf("P=%d: proposed cache %d bits >= LVT %d", p, proposed, lvt)
+		}
+		// The paper's ratio: proposed is 2/P of the LVT data cost.
+		ratio := float64(proposed) / float64(p*p*m.CacheVertices/4*16)
+		want := 2.0 / float64(p)
+		if ratio < want*0.99 || ratio > want*1.01 {
+			t.Errorf("P=%d ratio %.4f, want %.4f", p, ratio, want)
+		}
+	}
+	// At P=16 the LVT design is far beyond the device.
+	if float64(m.LVTCacheBits(16)) <= float64(U200BRAMBits) {
+		t.Error("LVT cache at P16 should not fit the U200")
+	}
+	if m.LVTCacheBits(1) != m.cacheBits(1) {
+		t.Error("P=1 designs should cost the same")
+	}
+}
+
+func TestP1Baseline(t *testing.T) {
+	u, err := DefaultModel().Estimate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.BRAMFrac > 0.2 || u.LUTFrac > 0.1 || u.REGFrac > 0.1 {
+		t.Fatalf("P1 usage implausibly high: %+v", u)
+	}
+}
+
+func TestBreakdownSumsToTotals(t *testing.T) {
+	for _, p := range []int{1, 4, 16} {
+		u, err := DefaultModel().Estimate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := u.Breakdown
+		if b.BaseLUT+b.EngineLUT+b.CrossbarLUT != u.LUTs {
+			t.Fatalf("P=%d LUT breakdown mismatch", p)
+		}
+		if b.BaseREG+b.EngineREG+b.CrossbarREG+b.DCTREG != u.Registers {
+			t.Fatalf("P=%d REG breakdown mismatch", p)
+		}
+		if b.CacheBits+b.BufferBits != u.BRAMBits {
+			t.Fatalf("P=%d BRAM breakdown mismatch", p)
+		}
+	}
+	// The knee: at P16 the quadratic terms dominate the register budget;
+	// at P1 they are negligible.
+	u1, _ := DefaultModel().Estimate(1)
+	u16, _ := DefaultModel().Estimate(16)
+	quad1 := u1.Breakdown.CrossbarREG + u1.Breakdown.DCTREG
+	quad16 := u16.Breakdown.CrossbarREG + u16.Breakdown.DCTREG
+	if quad1*100 > u1.Registers*10 {
+		t.Fatalf("P1 quadratic terms already %d of %d registers", quad1, u1.Registers)
+	}
+	if quad16*2 < u16.Registers {
+		t.Fatalf("P16 quadratic terms %d not dominant in %d", quad16, u16.Registers)
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bitcolor/internal/cache"
+	"bitcolor/internal/engine"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+)
+
+// RunBFS maps level-synchronous breadth-first search onto the BitColor
+// substrate — the second §2.4 generality demonstration. BFS has the same
+// two memory problems as coloring: random reads of per-vertex state
+// (here: discovery levels instead of colors) and multi-port read
+// pressure when engines share the on-chip store. The HVC caches the
+// hottest vertices' levels exactly as it caches colors; the Color Loader
+// merges block reads of sorted adjacency; the multi-port cache's write
+// discipline holds because engine e only discovers vertices it owns in
+// the stripe.
+//
+// Levels are stored as uint16 (0 = undiscovered, level+1 otherwise), the
+// same 16-bit state format as colors, so the block/bank geometry and all
+// channel accounting carry over unchanged.
+
+// BFSResult is the outcome of a substrate BFS run.
+type BFSResult struct {
+	// Levels[v] is the hop distance from the source (-1 if unreachable).
+	Levels []int32
+	// Depth is the eccentricity of the source.
+	Depth int
+	// TotalCycles is the simulated makespan.
+	TotalCycles int64
+	// EdgeWork counts neighbor-state fetches.
+	EdgeWork int64
+	// ColorDRAM aggregates channel activity (the state array lives where
+	// the color array lives).
+	ColorDRAM mem.DRAMStats
+}
+
+// RunBFS traverses g from source on the configured substrate.
+func RunBFS(g *graph.CSR, cfg Config, source graph.VertexID) (*BFSResult, error) {
+	if cfg.Parallelism <= 0 || bits.OnesCount(uint(cfg.Parallelism)) != 1 {
+		return nil, fmt.Errorf("sim: parallelism %d must be a positive power of two", cfg.Parallelism)
+	}
+	n := g.NumVertices()
+	if int(source) >= n {
+		return nil, fmt.Errorf("sim: source %d out of range (n=%d)", source, n)
+	}
+	p := cfg.Parallelism
+
+	vt := cfg.CacheVertices
+	if vt > n {
+		vt = n
+	}
+	if !cfg.Options.HDC {
+		vt = 0
+	}
+	var hvc *cache.HVC
+	if vt > 0 {
+		hvc = cache.NewHVC(cache.NewBitSelectCache(p, vt), vt)
+	}
+	phys := cfg.PhysicalChannels
+	if phys <= 0 {
+		phys = 4
+	}
+	if phys > p {
+		phys = p
+	}
+	channels := make([]*mem.Channel, phys)
+	for i := range channels {
+		channels[i] = mem.NewChannel(cfg.DRAM)
+	}
+
+	// state[v] = level+1, 0 undiscovered — the 16-bit per-vertex word the
+	// substrate moves around.
+	state := make([]uint16, n)
+	loaders := make([]*engine.ColorLoader, p)
+	for i := range loaders {
+		loaders[i] = engine.NewColorLoader(channels[i%phys], state, cfg.Options.MGR)
+	}
+
+	res := &BFSResult{Levels: make([]int32, n)}
+	for i := range res.Levels {
+		res.Levels[i] = -1
+	}
+	state[source] = 1
+	res.Levels[source] = 0
+	if hvc != nil && hvc.Contains(uint32(source)) {
+		hvc.Write(int(source)%p, uint32(source), 1)
+	}
+
+	frontier := []graph.VertexID{source}
+	var clock int64
+	level := int32(0)
+	for len(frontier) > 0 {
+		engineTime := make([]int64, p)
+		var next []graph.VertexID
+		for _, v := range frontier {
+			e := int(v) % p
+			t := clock + engineTime[e]
+			t += engine.DefaultStartupCycles
+			for _, w := range g.Neighbors(v) {
+				res.EdgeWork++
+				t++
+				var sw uint16
+				hit := false
+				if hvc != nil {
+					sw, hit = hvc.Read(e, w)
+				}
+				if !hit {
+					s2, done := loaders[e].Load(w, t)
+					if done > t {
+						t = done
+					}
+					sw = s2
+				}
+				if sw == 0 && state[w] == 0 {
+					// Discover w. Ownership note: w is written by the
+					// engine that owns it in the stripe, preserving the
+					// multi-port write pattern.
+					state[w] = uint16(level + 2)
+					res.Levels[w] = level + 1
+					we := int(w) % p
+					if hvc != nil && hvc.Contains(w) {
+						hvc.Write(we, w, state[w])
+					} else {
+						block, _ := mem.ColorBlock(w)
+						channels[we%phys].WriteBlock(block, t)
+					}
+					next = append(next, w)
+				}
+			}
+			engineTime[e] = t - clock
+		}
+		slowest := int64(0)
+		for _, et := range engineTime {
+			if et > slowest {
+				slowest = et
+			}
+		}
+		clock += slowest + RoundBarrierCycles
+		for i := range loaders {
+			loaders[i].Invalidate()
+		}
+		frontier = next
+		if len(next) > 0 {
+			level++
+		}
+	}
+	res.Depth = int(level)
+	res.TotalCycles = clock
+	for _, ch := range channels {
+		res.ColorDRAM.Add(ch.Stats())
+	}
+	return res, nil
+}

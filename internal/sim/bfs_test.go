@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"bitcolor/internal/graph"
+)
+
+func TestRunBFSMatchesSoftwareBFS(t *testing.T) {
+	g := prepared(t, 800, 5000, 41)
+	want, wantEcc := graph.BFSLevels(g, 0)
+	for _, p := range []int{1, 4, 16} {
+		cfg := smallConfig(p)
+		res, err := RunBFS(g, cfg, 0)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		for v := range want {
+			if res.Levels[v] != want[v] {
+				t.Fatalf("P=%d vertex %d: level %d, want %d", p, v, res.Levels[v], want[v])
+			}
+		}
+		if res.Depth != wantEcc {
+			t.Fatalf("P=%d depth %d, want %d", p, res.Depth, wantEcc)
+		}
+		if res.TotalCycles <= 0 {
+			t.Fatalf("P=%d no cycles", p)
+		}
+	}
+}
+
+func TestRunBFSPath(t *testing.T) {
+	const n = 100
+	edges := make([]graph.Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)}
+	}
+	g, _ := graph.FromEdgeList(n, edges)
+	res, err := RunBFS(g, smallConfig(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != n-1 {
+		t.Fatalf("path depth %d, want %d", res.Depth, n-1)
+	}
+	for v := 0; v < n; v++ {
+		if res.Levels[v] != int32(v) {
+			t.Fatalf("level[%d] = %d", v, res.Levels[v])
+		}
+	}
+}
+
+func TestRunBFSDisconnected(t *testing.T) {
+	g, _ := graph.FromEdgeList(4, []graph.Edge{{U: 0, V: 1}})
+	res, err := RunBFS(g, smallConfig(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels[2] != -1 || res.Levels[3] != -1 {
+		t.Fatal("unreachable vertices got levels")
+	}
+	if res.Depth != 1 {
+		t.Fatalf("depth %d", res.Depth)
+	}
+}
+
+func TestRunBFSHDCReducesDRAM(t *testing.T) {
+	g := prepared(t, 2000, 16000, 42)
+	on := smallConfig(4)
+	on.CacheVertices = 1024
+	off := on
+	off.Options.HDC = false
+	rOn, err := RunBFS(g, on, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOff, err := RunBFS(g, off, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOn.ColorDRAM.Reads >= rOff.ColorDRAM.Reads {
+		t.Fatalf("HDC did not reduce BFS DRAM reads: %d >= %d",
+			rOn.ColorDRAM.Reads, rOff.ColorDRAM.Reads)
+	}
+}
+
+func TestRunBFSErrors(t *testing.T) {
+	g := prepared(t, 20, 40, 43)
+	if _, err := RunBFS(g, smallConfig(3), 0); err == nil {
+		t.Fatal("P=3 accepted")
+	}
+	if _, err := RunBFS(g, smallConfig(2), 999); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/cache"
+	"bitcolor/internal/dispatch"
+	"bitcolor/internal/engine"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+)
+
+// RunRelaxed simulates the accelerator under the paper's literal Fig 10
+// dispatch semantics — each idle engine pops its own HDV sub-FIFO, then
+// the shared LDV FIFO, with no global index-order constraint. Out-of-
+// order issue can let two adjacent vertices miss each other entirely
+// (neither in flight when the other checks), producing color hazards
+// that the conflict table cannot see. RunRelaxed measures that hazard
+// rate and the cost of the sequential repair pass needed afterwards;
+// the result justifies the strict-order dispatcher Run uses (see
+// DESIGN.md and the `relaxed` experiment).
+type RelaxedResult struct {
+	// Colors after repair (proper).
+	Colors    []uint16
+	NumColors int
+	// TotalCycles is the parallel phase makespan (before repair).
+	TotalCycles int64
+	// HazardEdges counts adjacent same-color pairs the relaxed dispatch
+	// produced.
+	HazardEdges int64
+	// RepairedVertices were recolored by the sequential fix-up pass.
+	RepairedVertices int
+	// RepairCycles models the fix-up pass cost on one engine.
+	RepairCycles int64
+}
+
+// RunRelaxed executes the relaxed-dispatch simulation.
+func RunRelaxed(g *graph.CSR, cfg Config) (*RelaxedResult, error) {
+	if cfg.Parallelism <= 0 || bits.OnesCount(uint(cfg.Parallelism)) != 1 {
+		return nil, fmt.Errorf("sim: parallelism %d must be a positive power of two", cfg.Parallelism)
+	}
+	if cfg.MaxColors <= 0 {
+		return nil, fmt.Errorf("sim: MaxColors %d must be positive", cfg.MaxColors)
+	}
+	n := g.NumVertices()
+	p := cfg.Parallelism
+	vt := cfg.CacheVertices
+	if vt > n {
+		vt = n
+	}
+	if !cfg.Options.HDC {
+		vt = 0
+	}
+	colors := make([]uint16, n)
+	var hvc *cache.HVC
+	if cfg.Options.HDC && vt > 0 {
+		hvc = cache.NewHVC(cache.NewBitSelectCache(p, vt), vt)
+	} else {
+		cfg.Options.HDC = false
+	}
+	ecfg := engine.Config{
+		Options:       cfg.Options,
+		MaxColors:     cfg.MaxColors,
+		EdgesPerBlock: mem.BlockBits / 32,
+		SortedEdges:   g.EdgesSorted(),
+		StartupCycles: engine.DefaultStartupCycles,
+	}
+	phys := cfg.PhysicalChannels
+	if phys <= 0 {
+		phys = 4
+	}
+	if phys > p {
+		phys = p
+	}
+	physColor := make([]*mem.Channel, phys)
+	physEdge := make([]*mem.Channel, phys)
+	for i := range physColor {
+		physColor[i] = mem.NewChannel(cfg.DRAM)
+		physEdge[i] = mem.NewChannel(cfg.DRAM)
+	}
+	pes := make([]*engine.BWPE, p)
+	for i := 0; i < p; i++ {
+		pes[i] = engine.NewBWPE(i, g, colors, hvc, physColor[i%phys], physEdge[i%phys], p-1, ecfg)
+	}
+
+	// Relaxed HDV binding: the sub-FIFO of engine e holds vertices
+	// v % p == e, so cache writes stay port-legal even out of order.
+	d := dispatch.NewRelaxed(g, p, uint32(vt))
+	lastRep := make([]engine.VertexReport, p)
+	peerResult := func(peID int) (int64, uint16) {
+		r := lastRep[peID]
+		return r.End, r.Color
+	}
+	var total int64
+	for !d.Done() {
+		task, ok := d.Next()
+		if !ok {
+			return nil, fmt.Errorf("sim: relaxed dispatcher stalled")
+		}
+		peers := d.InFlight(task.PE, task.Start)
+		rep, err := pes[task.PE].ColorVertex(task.Vertex, task.Start, peers, peerResult)
+		if err != nil {
+			return nil, err
+		}
+		d.Complete(task.PE, rep.End)
+		lastRep[task.PE] = rep
+		if rep.End > total {
+			total = rep.End
+		}
+	}
+
+	res := &RelaxedResult{Colors: colors, TotalCycles: total}
+	// Hazard count: adjacent equal colors (each undirected pair once).
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < w && colors[v] == colors[w] && colors[v] != 0 {
+				res.HazardEdges++
+			}
+		}
+	}
+	// Sequential repair: one ascending pass recoloring any vertex that
+	// conflicts with a neighbor, first-fit against all current neighbor
+	// colors. A single pass suffices: after step v, v differs from every
+	// neighbor's then-current color, and earlier vertices are never
+	// touched again.
+	codec := bitops.NewColorCodec(cfg.MaxColors)
+	state := bitops.NewBitSet(cfg.MaxColors)
+	for v := 0; v < n; v++ {
+		conflicted := false
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			if colors[w] == colors[v] {
+				conflicted = true
+				break
+			}
+		}
+		if !conflicted {
+			continue
+		}
+		state.Reset()
+		deg := int64(0)
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			codec.Decompress(colors[w], state)
+			deg++
+		}
+		pick, cycles := codec.FirstFree(state)
+		if pick == 0 {
+			return nil, fmt.Errorf("sim: palette exhausted during repair at vertex %d", v)
+		}
+		colors[v] = pick
+		res.RepairedVertices++
+		res.RepairCycles += engine.DefaultStartupCycles + 2*deg + int64(cycles) + 1
+	}
+	res.NumColors = distinct(colors)
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/graph"
+)
+
+func TestRunRelaxedRepairsToProper(t *testing.T) {
+	g := prepared(t, 1000, 8000, 51)
+	res, err := RunRelaxed(g, smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(g, res.Colors); err != nil {
+		t.Fatalf("repair left conflicts: %v", err)
+	}
+	if res.TotalCycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	// Repairs happen exactly when hazards exist.
+	if (res.HazardEdges > 0) != (res.RepairedVertices > 0) {
+		t.Fatalf("hazards %d vs repairs %d inconsistent", res.HazardEdges, res.RepairedVertices)
+	}
+	if res.RepairedVertices > 0 && res.RepairCycles <= 0 {
+		t.Fatal("repairs not costed")
+	}
+}
+
+// A path graph maximizes the hazard opportunity (every consecutive pair
+// adjacent); relaxed dispatch at high P should produce hazards there,
+// demonstrating why strict order matters.
+func TestRunRelaxedHazardOnChain(t *testing.T) {
+	const n = 4000
+	edges := make([]graph.Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)}
+	}
+	g, err := graph.FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(16)
+	cfg.CacheVertices = n
+	res, err := RunRelaxed(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chain hazards: %d, repairs: %d", res.HazardEdges, res.RepairedVertices)
+}
+
+func TestRunRelaxedP1IsHazardFree(t *testing.T) {
+	// One engine is inherently ordered: no hazards possible.
+	g := prepared(t, 500, 4000, 52)
+	res, err := RunRelaxed(g, smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HazardEdges != 0 || res.RepairedVertices != 0 {
+		t.Fatalf("P1 produced hazards: %+v", res)
+	}
+	// And equals sequential greedy.
+	want, _ := coloring.Greedy(g, coloring.MaxColorsDefault)
+	for v := range want.Colors {
+		if res.Colors[v] != want.Colors[v] {
+			t.Fatalf("vertex %d differs from greedy", v)
+		}
+	}
+}
+
+func TestRunRelaxedRejectsBadConfig(t *testing.T) {
+	g := prepared(t, 20, 40, 53)
+	if _, err := RunRelaxed(g, smallConfig(3)); err == nil {
+		t.Fatal("P=3 accepted")
+	}
+	cfg := smallConfig(2)
+	cfg.MaxColors = 0
+	if _, err := RunRelaxed(g, cfg); err == nil {
+		t.Fatal("MaxColors=0 accepted")
+	}
+}
+
+// The concrete hazard scenario: a huge-degree vertex occupies engine 0
+// while engine 1 races ahead, issuing a vertex whose smaller-indexed
+// neighbor is still queued behind the hub — neither sees the other, and
+// both take the same color. This is the out-of-order failure mode the
+// strict dispatcher exists to prevent.
+func TestRunRelaxedProvokedHazard(t *testing.T) {
+	const leaves = 1200
+	var edges []graph.Edge
+	// Vertex 0: the hub, adjacent to many high-indexed leaves.
+	for i := 0; i < leaves; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.VertexID(100 + i)})
+	}
+	// The hazard pair: 2 (engine 0, queued behind the hub) and 3
+	// (engine 1, issued early).
+	edges = append(edges, graph.Edge{U: 2, V: 3})
+	g, err := graph.FromEdgeList(100+leaves, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(2)
+	cfg.CacheVertices = g.NumVertices() // all HDV: per-engine sub-FIFOs
+	res, err := RunRelaxed(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HazardEdges == 0 {
+		t.Fatal("expected a hazard from the provoked imbalance")
+	}
+	if res.RepairedVertices == 0 {
+		t.Fatal("hazard not repaired")
+	}
+	if err := coloring.Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	// The strict dispatcher handles the same graph without hazards.
+	strict, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(g, strict.Colors); err != nil {
+		t.Fatal(err)
+	}
+}

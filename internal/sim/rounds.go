@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/cache"
+	"bitcolor/internal/engine"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+)
+
+// This file simulates the §2.4 alternative on BitColor's own substrate:
+// independent-set (Jones–Plassmann) coloring mapped onto the same P
+// engines, high-degree vertex cache, bit-wise Stage-1 and per-engine DRAM
+// channels — but with synchronous rounds instead of the data conflict
+// table. Comparing RunJonesPlassmann against Run quantifies the paper's
+// argument that the greedy pipeline wins because the MIS family re-scans
+// frontiers: the hardware is identical, only the algorithm differs.
+
+// RoundsResult is the outcome of a synchronous-rounds simulation.
+type RoundsResult struct {
+	Colors      []uint16
+	NumColors   int
+	Rounds      int
+	TotalCycles int64
+	// EdgeWork counts neighbor-state fetches summed over rounds —
+	// the redundancy the greedy pipeline avoids.
+	EdgeWork int64
+	// ColorDRAM aggregates the per-engine color channels.
+	ColorDRAM mem.DRAMStats
+}
+
+// RoundBarrierCycles is the synchronization cost between rounds: drain
+// the engines, swap the priority/color state, restart the streams.
+const RoundBarrierCycles = 64
+
+// jpVertexSetupCycles is the per-frontier-vertex stream setup: offset
+// fetch, ping-pong priming and pipeline fill — the same work the greedy
+// engine pays once per vertex (engine.DefaultStartupCycles), which the
+// IS algorithm pays once per vertex *per round it stays uncolored*.
+const jpVertexSetupCycles = engine.DefaultStartupCycles
+
+// RunJonesPlassmann simulates Jones–Plassmann coloring on the BitColor
+// substrate with cfg.Parallelism engines. Priorities derive from seed.
+func RunJonesPlassmann(g *graph.CSR, cfg Config, seed int64) (*RoundsResult, error) {
+	if cfg.Parallelism <= 0 || bits.OnesCount(uint(cfg.Parallelism)) != 1 {
+		return nil, fmt.Errorf("sim: parallelism %d must be a positive power of two", cfg.Parallelism)
+	}
+	if cfg.MaxColors <= 0 {
+		return nil, fmt.Errorf("sim: MaxColors %d must be positive", cfg.MaxColors)
+	}
+	n := g.NumVertices()
+	p := cfg.Parallelism
+
+	vt := cfg.CacheVertices
+	if vt > n {
+		vt = n
+	}
+	if !cfg.Options.HDC {
+		vt = 0
+	}
+	var hvc *cache.HVC
+	if vt > 0 {
+		hvc = cache.NewHVC(cache.NewBitSelectCache(p, vt), vt)
+	}
+
+	phys := cfg.PhysicalChannels
+	if phys <= 0 {
+		phys = 4
+	}
+	if phys > p {
+		phys = p
+	}
+	channels := make([]*mem.Channel, phys)
+	for i := range channels {
+		channels[i] = mem.NewChannel(cfg.DRAM)
+	}
+
+	colors := make([]uint16, n)
+	prio := make([]uint64, n)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range prio {
+		s = s*2862933555777941757 + 3037000493
+		prio[i] = s
+	}
+	codec := bitops.NewColorCodec(cfg.MaxColors)
+	states := make([]*bitops.BitSet, p)
+	for i := range states {
+		states[i] = bitops.NewBitSet(cfg.MaxColors)
+	}
+	// loaders give per-engine MGR block reuse over the shared channels.
+	loaders := make([]*engine.ColorLoader, p)
+	for i := range loaders {
+		loaders[i] = engine.NewColorLoader(channels[i%phys], colors, cfg.Options.MGR)
+	}
+
+	res := &RoundsResult{Colors: colors}
+	remaining := n
+	var clock int64
+	winners := make([]uint16, n)
+	for remaining > 0 {
+		res.Rounds++
+		// Engine e processes vertices v with v % p == e, mirroring the
+		// HDV stripe of §4.6 so cache writes stay port-legal.
+		engineTime := make([]int64, p)
+		colored := 0
+		for v := 0; v < n; v++ {
+			if colors[v] != 0 {
+				continue
+			}
+			e := v % p
+			t := clock + engineTime[e]
+			t += jpVertexSetupCycles // offset fetch + stream setup
+			// Win check: fetch each active neighbor's priority; priority
+			// words ride the same state stream as colors, so charge the
+			// same fetch path.
+			win := true
+			adj := g.Neighbors(graph.VertexID(v))
+			for _, u := range adj {
+				res.EdgeWork++
+				t++ // pipeline slot
+				if colors[u] == 0 {
+					hit := false
+					if hvc != nil {
+						_, hit = hvc.Read(e, u)
+					}
+					if !hit {
+						_, done := loaders[e].Load(u, t)
+						if done > t {
+							t = done
+						}
+					}
+					if prio[u] > prio[v] || (prio[u] == prio[v] && u > graph.VertexID(v)) {
+						win = false
+						break
+					}
+				}
+			}
+			if win {
+				// Gather colored-neighbor colors and take the bit-wise
+				// first fit (the substrate's Stage 1).
+				st := states[e]
+				st.Reset()
+				for _, u := range adj {
+					res.EdgeWork++
+					t++
+					var cu uint16
+					hit := false
+					if hvc != nil {
+						cu, hit = hvc.Read(e, u)
+					}
+					if !hit {
+						c2, done := loaders[e].Load(u, t)
+						if done > t {
+							t = done
+						}
+						cu = c2
+					}
+					codec.Decompress(cu, st)
+				}
+				pick, cycles := codec.FirstFree(st)
+				if pick == 0 {
+					return nil, fmt.Errorf("sim: palette exhausted in JP round %d", res.Rounds)
+				}
+				t += int64(cycles)
+				winners[v] = pick
+				colored++
+			}
+			engineTime[e] = t - clock
+		}
+		// Commit winners; writes go through the HVC write ports (stripe-
+		// legal) or posted DRAM writes.
+		for v := 0; v < n; v++ {
+			if winners[v] == 0 {
+				continue
+			}
+			colors[v] = winners[v]
+			winners[v] = 0
+			e := v % p
+			if hvc != nil && hvc.Contains(uint32(v)) {
+				hvc.Write(e, uint32(v), colors[v])
+			} else {
+				block, _ := mem.ColorBlock(uint32(v))
+				channels[e%phys].WriteBlock(block, clock+engineTime[e])
+			}
+		}
+		remaining -= colored
+		if colored == 0 && remaining > 0 {
+			return nil, fmt.Errorf("sim: JP made no progress at round %d", res.Rounds)
+		}
+		// Barrier: the slowest engine plus synchronization.
+		slowest := int64(0)
+		for _, et := range engineTime {
+			if et > slowest {
+				slowest = et
+			}
+		}
+		clock += slowest + RoundBarrierCycles
+		for i := range loaders {
+			loaders[i].Invalidate()
+		}
+	}
+	res.TotalCycles = clock
+	res.NumColors = distinct(colors)
+	for _, ch := range channels {
+		res.ColorDRAM.Add(ch.Stats())
+	}
+	return res, nil
+}

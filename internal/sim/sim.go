@@ -1,0 +1,297 @@
+// Package sim is the discrete-event simulator of the complete BitColor
+// accelerator (paper Fig 6): parallel bit-wise processing engines, the
+// multi-port high-degree vertex cache, per-engine logical DRAM channels,
+// the Color Loader, the Data Conflict Table and the degree-aware Task
+// Dispatcher. It produces the cycle counts, memory-access counts and
+// conflict statistics behind Fig 11, Fig 12, Table 4 and Fig 13.
+//
+// Fidelity notes (see DESIGN.md §5): the simulator advances one virtual
+// clock per engine and serializes requests per DRAM channel. Engine
+// results are computed eagerly in dispatch order and revealed at their
+// simulated completion time, which is sound because the dispatcher issues
+// vertices in strict index order and the conflict table defers on every
+// in-flight smaller-indexed neighbor.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"bitcolor/internal/cache"
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/dispatch"
+	"bitcolor/internal/engine"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/mem"
+)
+
+// Config parameterizes an accelerator instance.
+type Config struct {
+	// Parallelism is the number of BWPEs (P). Must be a power of two;
+	// the paper's BRAM budget caps it at 16.
+	Parallelism int
+	// CacheVertices is the high-degree vertex cache capacity in colors
+	// (paper: 512K per 1MB cache).
+	CacheVertices int
+	// MaxColors bounds the palette (paper: 1024).
+	MaxColors int
+	// DRAM is the channel timing model.
+	DRAM mem.DRAMConfig
+	// PhysicalChannels is the number of DDR channels on the card (U200:
+	// 4 × 16GB DDR4). Each BWPE has its own *logical* channel (paper
+	// §4.1), but logical channels beyond this count share physical
+	// bandwidth — the effect that keeps DRAM-bound graphs from scaling
+	// linearly to P16.
+	PhysicalChannels int
+	// Options toggles the four optimizations.
+	Options engine.Options
+	// FrequencyMHz converts cycles to wall time (paper: >200 MHz; we use
+	// 200 for reporting).
+	FrequencyMHz float64
+	// RecordTimeline keeps a per-vertex task span trace in the result
+	// (engine, start, end, conflict wait) for performance debugging;
+	// costs memory proportional to the vertex count.
+	RecordTimeline bool
+}
+
+// DefaultConfig is the paper's configuration at P engines.
+func DefaultConfig(parallelism int) Config {
+	return Config{
+		Parallelism:      parallelism,
+		CacheVertices:    cache.DefaultCapacityVertices,
+		MaxColors:        coloring.MaxColorsDefault,
+		DRAM:             mem.DefaultDRAMConfig(),
+		PhysicalChannels: 4,
+		Options:          engine.AllOptions(),
+		FrequencyMHz:     200,
+	}
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	// Colors is the final per-vertex assignment (verified proper).
+	Colors []uint16
+	// NumColors is the number of distinct colors used.
+	NumColors int
+	// TotalCycles is the makespan: the last engine's completion cycle.
+	TotalCycles int64
+	// PerPE holds each engine's totals.
+	PerPE []engine.PEStats
+	// Aggregate sums PerPE.
+	Aggregate engine.PEStats
+	// ColorDRAM aggregates the color channels; EdgeDRAM the edge
+	// channels.
+	ColorDRAM, EdgeDRAM mem.DRAMStats
+	// Dispatch holds dispatcher counters.
+	Dispatch dispatch.Stats
+	// CacheHitRate is hits/(hits+misses) on the HVC (0 when HDC off).
+	CacheHitRate float64
+	// Seconds is TotalCycles at the configured frequency.
+	Seconds float64
+	// MCVps is throughput in million colored vertices per second.
+	MCVps float64
+	// Timeline holds one span per vertex when Config.RecordTimeline is
+	// set (dispatch order).
+	Timeline []TaskSpan
+}
+
+// TaskSpan is one vertex's occupancy of an engine.
+type TaskSpan struct {
+	PE           int
+	Vertex       uint32
+	Start, End   int64
+	ConflictWait int64
+	Deferred     int
+}
+
+// WriteTimelineCSV writes the recorded timeline as CSV.
+func (r *Result) WriteTimelineCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "pe,vertex,start,end,conflict_wait,deferred_edges"); err != nil {
+		return err
+	}
+	for _, s := range r.Timeline {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n",
+			s.PE, s.Vertex, s.Start, s.End, s.ConflictWait, s.Deferred); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run simulates coloring g on the configured accelerator. The graph
+// should be DBG-reordered (and edge-sorted unless measuring the unsorted
+// ablation); Run works on any valid graph but the high-degree cache only
+// pays off under the reordering.
+func Run(g *graph.CSR, cfg Config) (*Result, error) {
+	if cfg.Parallelism <= 0 || bits.OnesCount(uint(cfg.Parallelism)) != 1 {
+		return nil, fmt.Errorf("sim: parallelism %d must be a positive power of two", cfg.Parallelism)
+	}
+	if cfg.MaxColors <= 0 {
+		return nil, fmt.Errorf("sim: MaxColors %d must be positive", cfg.MaxColors)
+	}
+	if cfg.FrequencyMHz <= 0 {
+		cfg.FrequencyMHz = 200
+	}
+	n := g.NumVertices()
+	p := cfg.Parallelism
+
+	// The HVC threshold v_t: the cache holds the first CacheVertices
+	// colors (the highest-degree vertices after DBG).
+	vt := cfg.CacheVertices
+	if vt > n {
+		vt = n
+	}
+	if !cfg.Options.HDC {
+		vt = 0
+	}
+
+	colors := make([]uint16, n)
+	var hvc *cache.HVC
+	if cfg.Options.HDC && vt > 0 {
+		hvc = cache.NewHVC(cache.NewBitSelectCache(p, vt), vt)
+	} else {
+		cfg.Options.HDC = false
+	}
+
+	ecfg := engine.Config{
+		Options:       cfg.Options,
+		MaxColors:     cfg.MaxColors,
+		EdgesPerBlock: mem.BlockBits / 32,
+		SortedEdges:   g.EdgesSorted(),
+		StartupCycles: engine.DefaultStartupCycles,
+	}
+	// Logical channels multiplex onto the card's physical DDR channels:
+	// color reads and edge streams occupy separate banks within each
+	// physical channel (each DDR4 DIMM services both, but the two access
+	// streams interleave per channel controller).
+	phys := cfg.PhysicalChannels
+	if phys <= 0 {
+		phys = 4
+	}
+	if phys > p {
+		phys = p
+	}
+	physColor := make([]*mem.Channel, phys)
+	physEdge := make([]*mem.Channel, phys)
+	for i := range physColor {
+		physColor[i] = mem.NewChannel(cfg.DRAM)
+		physEdge[i] = mem.NewChannel(cfg.DRAM)
+	}
+	pes := make([]*engine.BWPE, p)
+	for i := 0; i < p; i++ {
+		pes[i] = engine.NewBWPE(i, g, colors, hvc, physColor[i%phys], physEdge[i%phys], p-1, ecfg)
+	}
+
+	d := dispatch.New(g, p, uint32(vt))
+	lastRep := make([]engine.VertexReport, p)
+	var res0Timeline []TaskSpan
+	peerResult := func(peID int) (int64, uint16) {
+		r := lastRep[peID]
+		return r.End, r.Color
+	}
+
+	var total int64
+	for !d.Done() {
+		task, ok := d.Next()
+		if !ok {
+			return nil, fmt.Errorf("sim: dispatcher stalled with work remaining")
+		}
+		peers := d.InFlight(task.PE, task.Start)
+		rep, err := pes[task.PE].ColorVertex(task.Vertex, task.Start, peers, peerResult)
+		if err != nil {
+			return nil, err
+		}
+		d.Complete(task.PE, rep.End)
+		lastRep[task.PE] = rep
+		if rep.End > total {
+			total = rep.End
+		}
+		if cfg.RecordTimeline {
+			res0Timeline = append(res0Timeline, TaskSpan{
+				PE: task.PE, Vertex: task.Vertex, Start: rep.Start, End: rep.End,
+				ConflictWait: rep.ConflictWaitCycles, Deferred: rep.EdgesDeferred,
+			})
+		}
+	}
+
+	if err := coloring.Verify(g, colors); err != nil {
+		return nil, fmt.Errorf("sim: invalid coloring produced: %w", err)
+	}
+
+	res := &Result{
+		Colors:      colors,
+		NumColors:   distinct(colors),
+		TotalCycles: total,
+		PerPE:       make([]engine.PEStats, p),
+		Dispatch:    d.Stats(),
+		Timeline:    res0Timeline,
+	}
+	for i, pe := range pes {
+		res.PerPE[i] = pe.Stats()
+		res.Aggregate.Merge(res.PerPE[i])
+	}
+	for i := range physColor {
+		res.ColorDRAM.Add(physColor[i].Stats())
+		res.EdgeDRAM.Add(physEdge[i].Stats())
+	}
+	if hvc != nil {
+		res.CacheHitRate = hvc.HitRate()
+	}
+	res.Seconds = float64(total) / (cfg.FrequencyMHz * 1e6)
+	if res.Seconds > 0 {
+		res.MCVps = float64(n) / res.Seconds / 1e6
+	}
+	return res, nil
+}
+
+// distinct counts the distinct nonzero colors.
+func distinct(colors []uint16) int {
+	seen := make(map[uint16]struct{})
+	for _, c := range colors {
+		if c != 0 {
+			seen[c] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Breakdown splits a run's makespan into the Fig 11 categories using the
+// aggregate engine stats: compute cycles, DRAM stall cycles (color reads)
+// and conflict waits, normalized per engine.
+type Breakdown struct {
+	ComputeCycles  int64
+	StartupCycles  int64
+	DRAMCycles     int64
+	ConflictCycles int64
+	TotalCycles    int64
+}
+
+// Breakdown returns the run's cycle decomposition.
+func (r *Result) Breakdown() Breakdown {
+	return Breakdown{
+		ComputeCycles:  r.Aggregate.ComputeCycles,
+		StartupCycles:  r.Aggregate.StartupCycles,
+		DRAMCycles:     r.Aggregate.DRAMStallCycles,
+		ConflictCycles: r.Aggregate.ConflictWaitCycles,
+		TotalCycles:    r.TotalCycles,
+	}
+}
+
+// Utilization returns each engine's busy fraction of the makespan and
+// the mean across engines. Low utilization at high parallelism points at
+// the dispatcher issue rate or engine-binding stalls; high utilization
+// with low speedup points at conflict waits and DRAM contention counted
+// inside busy windows.
+func (r *Result) Utilization() (perPE []float64, mean float64) {
+	if r.TotalCycles == 0 {
+		return make([]float64, len(r.PerPE)), 0
+	}
+	perPE = make([]float64, len(r.PerPE))
+	var sum float64
+	for i, s := range r.PerPE {
+		perPE[i] = float64(s.BusyCycles) / float64(r.TotalCycles)
+		sum += perPE[i]
+	}
+	return perPE, sum / float64(len(perPE))
+}

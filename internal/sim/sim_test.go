@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/engine"
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/reorder"
+)
+
+func prepared(t testing.TB, n, m int, seed int64) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+	}
+	g, err := graph.FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	return h
+}
+
+func smallConfig(p int) Config {
+	cfg := DefaultConfig(p)
+	cfg.CacheVertices = 256
+	return cfg
+}
+
+func TestRunProducesProperColoring(t *testing.T) {
+	g := prepared(t, 800, 6000, 1)
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		res, err := Run(g, smallConfig(p))
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if err := coloring.Verify(g, res.Colors); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if res.TotalCycles <= 0 {
+			t.Fatalf("P=%d: no cycles", p)
+		}
+		if res.MCVps <= 0 || res.Seconds <= 0 {
+			t.Fatalf("P=%d: missing throughput", p)
+		}
+	}
+}
+
+// At P=1 the accelerator must reproduce sequential greedy exactly.
+func TestRunP1MatchesSoftwareGreedy(t *testing.T) {
+	g := prepared(t, 500, 4000, 2)
+	res, err := Run(g, smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := coloring.Greedy(g, coloring.MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Colors {
+		if res.Colors[v] != want.Colors[v] {
+			t.Fatalf("vertex %d: sim %d, software %d", v, res.Colors[v], want.Colors[v])
+		}
+	}
+	if res.NumColors != want.NumColors {
+		t.Fatalf("NumColors %d vs %d", res.NumColors, want.NumColors)
+	}
+}
+
+// Parallel runs also match sequential greedy: the conflict scheme defers
+// rather than diverges (vertex-order priority).
+func TestRunParallelMatchesSequential(t *testing.T) {
+	g := prepared(t, 600, 5000, 3)
+	want, err := coloring.Greedy(g, coloring.MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 16} {
+		res, err := Run(g, smallConfig(p))
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		for v := range want.Colors {
+			if res.Colors[v] != want.Colors[v] {
+				t.Fatalf("P=%d vertex %d: sim %d, software %d", p, v, res.Colors[v], want.Colors[v])
+			}
+		}
+	}
+}
+
+func TestParallelSpeedupShape(t *testing.T) {
+	g := prepared(t, 3000, 30000, 4)
+	cycles := map[int]int64{}
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		cfg := smallConfig(p)
+		cfg.CacheVertices = 1024
+		res, err := Run(g, cfg)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		cycles[p] = res.TotalCycles
+	}
+	// Speedup grows with P…
+	if !(cycles[2] < cycles[1] && cycles[4] < cycles[2] && cycles[8] < cycles[4]) {
+		t.Fatalf("no scaling: %v", cycles)
+	}
+	// …but sublinearly at P=16 (conflicts, paper Fig 12: 3.92–7.01×).
+	speedup16 := float64(cycles[1]) / float64(cycles[16])
+	if speedup16 >= 16 {
+		t.Fatalf("P16 speedup %.1f× not sublinear", speedup16)
+	}
+	if speedup16 < 1.5 {
+		t.Fatalf("P16 speedup %.1f× implausibly low", speedup16)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	// Cumulative optimizations must monotonically reduce the makespan,
+	// mirroring Fig 11.
+	g := prepared(t, 1500, 15000, 5)
+	opts := []engine.Options{
+		{},
+		{HDC: true},
+		{HDC: true, BWC: true},
+		{HDC: true, BWC: true, MGR: true},
+		engine.AllOptions(),
+	}
+	var prev int64 = 1 << 62
+	for i, o := range opts {
+		cfg := smallConfig(1)
+		cfg.CacheVertices = 512
+		cfg.Options = o
+		res, err := Run(g, cfg)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if res.TotalCycles >= prev {
+			t.Fatalf("step %d (%+v) cycles %d >= previous %d", i, o, res.TotalCycles, prev)
+		}
+		prev = res.TotalCycles
+	}
+}
+
+func TestConflictsRecorded(t *testing.T) {
+	// A dense graph at high parallelism must defer some edges.
+	g := prepared(t, 400, 12000, 6)
+	res, err := Run(g, smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.EdgesDeferred == 0 {
+		t.Fatal("no conflicts on a dense parallel run")
+	}
+	if res.Aggregate.ConflictWaitCycles == 0 {
+		t.Log("conflicts deferred but never waited (peers finished early) — acceptable")
+	}
+}
+
+func TestCacheHitRateReported(t *testing.T) {
+	g := prepared(t, 1000, 8000, 7)
+	cfg := smallConfig(4)
+	res, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHitRate <= 0 || res.CacheHitRate > 1 {
+		t.Fatalf("hit rate %f out of range", res.CacheHitRate)
+	}
+	cfg.Options.HDC = false
+	res2, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHitRate != 0 {
+		t.Fatal("HDC-off run reports cache hits")
+	}
+	if res2.ColorDRAM.Reads <= res.ColorDRAM.Reads {
+		t.Fatal("disabling the cache did not increase DRAM reads")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	g := prepared(t, 50, 100, 8)
+	cfg := smallConfig(3) // not a power of two
+	if _, err := Run(g, cfg); err == nil {
+		t.Fatal("P=3 accepted")
+	}
+	cfg = smallConfig(2)
+	cfg.MaxColors = 0
+	if _, err := Run(g, cfg); err == nil {
+		t.Fatal("MaxColors=0 accepted")
+	}
+	// Palette too small for a clique.
+	var edges []graph.Edge
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+		}
+	}
+	k10, _ := graph.FromEdgeList(10, edges)
+	cfg = smallConfig(1)
+	cfg.MaxColors = 5
+	if _, err := Run(k10, cfg); err == nil {
+		t.Fatal("undersized palette accepted")
+	}
+}
+
+func TestRunEmptyAndTinyGraphs(t *testing.T) {
+	empty, _ := graph.FromEdgeList(0, nil)
+	res, err := Run(empty, smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != 0 || res.NumColors != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+	single, _ := graph.FromEdgeList(1, nil)
+	res, err = Run(single, smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 1 {
+		t.Fatalf("single vertex used %d colors", res.NumColors)
+	}
+}
+
+func TestEdgeSortingReducesDRAMReads(t *testing.T) {
+	g := prepared(t, 2000, 16000, 9)
+	sorted := g.Clone()
+	shuffled := g.Clone()
+	reorder.ShuffleEdges(shuffled, 42)
+	cfg := smallConfig(1)
+	cfg.CacheVertices = 64
+	rs, err := Run(sorted, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := Run(shuffled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ColorDRAM.Reads >= ru.ColorDRAM.Reads {
+		t.Fatalf("sorted reads %d >= shuffled %d; MGR not effective",
+			rs.ColorDRAM.Reads, ru.ColorDRAM.Reads)
+	}
+}
+
+func TestRunOnPaperDatasets(t *testing.T) {
+	for _, d := range gen.SmallRegistry() {
+		d := d
+		t.Run(d.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			g, err := d.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, _ := reorder.DBG(g)
+			res, err := Run(h, smallConfig(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := coloring.Verify(h, res.Colors); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBreakdownSumsPlausible(t *testing.T) {
+	g := prepared(t, 1000, 8000, 10)
+	res, err := Run(g, smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Breakdown()
+	if b.ComputeCycles <= 0 || b.TotalCycles <= 0 {
+		t.Fatalf("breakdown %+v", b)
+	}
+	if b.DRAMCycles < 0 || b.ConflictCycles < 0 {
+		t.Fatalf("negative cycles in %+v", b)
+	}
+}
+
+func BenchmarkRunP8(b *testing.B) {
+	g, err := gen.RMAT(13, 8, 0.57, 0.19, 0.19, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	cfg := DefaultConfig(8)
+	cfg.CacheVertices = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(h, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: at any power-of-two parallelism, the accelerator's coloring
+// equals sequential basic greedy on arbitrary random graphs.
+func TestSimEqualsGreedyProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%100) + 4
+		p := 1 << (pRaw % 5) // 1..16
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]graph.Edge, 6*n)
+		for i := range edges {
+			edges[i] = graph.Edge{U: graph.VertexID(rng.Intn(n)), V: graph.VertexID(rng.Intn(n))}
+		}
+		g, err := graph.FromEdgeList(n, edges)
+		if err != nil {
+			return false
+		}
+		h, _ := reorder.DBG(g)
+		cfg := smallConfig(p)
+		cfg.CacheVertices = n/2 + 1
+		res, err := Run(h, cfg)
+		if err != nil {
+			return false
+		}
+		want, err := coloring.Greedy(h, cfg.MaxColors)
+		if err != nil {
+			return false
+		}
+		for v := range want.Colors {
+			if res.Colors[v] != want.Colors[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	g := prepared(t, 700, 5000, 21)
+	a, err := Run(g, smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCycles != b.TotalCycles {
+		t.Fatalf("cycles differ: %d vs %d", a.TotalCycles, b.TotalCycles)
+	}
+	if a.Aggregate != b.Aggregate {
+		t.Fatalf("aggregates differ:\n%+v\n%+v", a.Aggregate, b.Aggregate)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatalf("colors differ at %d", v)
+		}
+	}
+}
+
+// A path graph is the conflict worst case: every vertex is adjacent to
+// its predecessor, so at high parallelism nearly every vertex defers.
+func TestSimConflictChain(t *testing.T) {
+	const n = 2000
+	edges := make([]graph.Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)}
+	}
+	g, err := graph.FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No DBG: the path order IS the adjacency chain.
+	cfg := smallConfig(16)
+	cfg.CacheVertices = n
+	res, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 2 {
+		t.Fatalf("path colored with %d colors, want 2", res.NumColors)
+	}
+	if res.Aggregate.EdgesDeferred < int64(n)/2 {
+		t.Fatalf("only %d deferred edges on a chain of %d", res.Aggregate.EdgesDeferred, n)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	g := prepared(t, 1500, 12000, 22)
+	res, err := Run(g, smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPE, mean := res.Utilization()
+	if len(perPE) != 4 {
+		t.Fatalf("perPE len %d", len(perPE))
+	}
+	for i, u := range perPE {
+		if u <= 0 || u > 1.000001 {
+			t.Fatalf("PE%d utilization %f out of (0,1]", i, u)
+		}
+	}
+	if mean <= 0 || mean > 1 {
+		t.Fatalf("mean utilization %f", mean)
+	}
+	empty := &Result{PerPE: make([]engine.PEStats, 2)}
+	if _, m := empty.Utilization(); m != 0 {
+		t.Fatal("empty utilization not 0")
+	}
+}
+
+// Star graph with a hub of huge degree: the hub occupies one engine for a
+// long time while the leaves stream through the others; validity and
+// stats consistency under extreme imbalance.
+func TestSimStarImbalance(t *testing.T) {
+	const leaves = 5000
+	edges := make([]graph.Edge, leaves)
+	for i := 0; i < leaves; i++ {
+		edges[i] = graph.Edge{U: 0, V: graph.VertexID(i + 1)}
+	}
+	g, err := graph.FromEdgeList(leaves+1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g) // hub becomes vertex 0
+	cfg := smallConfig(8)
+	cfg.CacheVertices = 1024
+	res, err := Run(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 2 {
+		t.Fatalf("star colored with %d colors", res.NumColors)
+	}
+	if res.Aggregate.Vertices != int64(leaves+1) {
+		t.Fatalf("vertices processed %d", res.Aggregate.Vertices)
+	}
+}
+
+func TestTimelineRecording(t *testing.T) {
+	g := prepared(t, 300, 2000, 61)
+	cfg := smallConfig(4)
+	cfg.RecordTimeline = true
+	res, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != g.NumVertices() {
+		t.Fatalf("timeline has %d spans, want %d", len(res.Timeline), g.NumVertices())
+	}
+	var prevStart int64 = -1
+	seen := make([]bool, g.NumVertices())
+	for _, s := range res.Timeline {
+		if s.Start < prevStart {
+			t.Fatal("timeline not in dispatch order")
+		}
+		prevStart = s.Start
+		if s.End < s.Start {
+			t.Fatalf("span %+v inverted", s)
+		}
+		if seen[s.Vertex] {
+			t.Fatalf("vertex %d appears twice", s.Vertex)
+		}
+		seen[s.Vertex] = true
+	}
+	var buf strings.Builder
+	if err := res.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != g.NumVertices()+1 {
+		t.Fatalf("CSV has %d lines", lines)
+	}
+	// Off by default.
+	cfg.RecordTimeline = false
+	res2, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Timeline != nil {
+		t.Fatal("timeline recorded without opt-in")
+	}
+}

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"testing"
+
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/reorder"
+)
+
+func TestOverlapRatioIdenticalNeighborhoods(t *testing.T) {
+	// Two vertices sharing all neighbors: complete bipartite K(2,4) with
+	// parts {0,1} and {2..5}. Vertex 1's window (interval 1) is vertex 0,
+	// whose neighbors are exactly vertex 1's neighbors → ratio 1 at v=1.
+	var edges []graph.Edge
+	for u := 0; u < 2; u++ {
+		for v := 2; v < 6; v++ {
+			edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+		}
+	}
+	g, _ := graph.FromEdgeList(6, edges)
+	r, err := OverlapRatio(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v=1 contributes ratio 1 (4 common / 4 window); v=2..5 contribute
+	// 2 common / window sizes. The mean must be well above zero.
+	if r < 0.3 {
+		t.Fatalf("overlap = %.3f, want high for shared neighborhoods", r)
+	}
+}
+
+func TestOverlapRatioDisjointNeighborhoods(t *testing.T) {
+	// A perfect matching: consecutive vertices share no neighbors.
+	var edges []graph.Edge
+	for i := 0; i < 50; i += 2 {
+		edges = append(edges, graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)})
+	}
+	g, _ := graph.FromEdgeList(50, edges)
+	r, err := OverlapRatio(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window of 4 predecessors includes the partner only when the partner
+	// precedes v; the common neighbor would be v's partner's... partner's
+	// neighbor is v itself, never in v's own list. Ratio must be low.
+	if r > 0.3 {
+		t.Fatalf("overlap = %.3f, want low for a matching", r)
+	}
+}
+
+func TestOverlapRatioErrorsAndEdgeCases(t *testing.T) {
+	g, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := OverlapRatio(g, 0); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+	r, err := OverlapRatio(g, 10) // interval >= n
+	if err != nil || r != 0 {
+		t.Fatalf("oversized interval: %v %v", r, err)
+	}
+}
+
+// The paper's headline measurement: overlap ratios on the datasets are
+// small (average 4.96%, most below 10%).
+func TestOverlapRatioLowOnPaperDatasets(t *testing.T) {
+	intervals := []int{1, 2, 4, 8}
+	var sum float64
+	var count int
+	for _, d := range gen.SmallRegistry() {
+		g, err := d.Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Abbrev, err)
+		}
+		h, _ := reorder.DBG(g)
+		series, err := OverlapSeries(h, intervals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range series {
+			sum += r
+			count++
+			if r > 0.5 {
+				t.Errorf("%s overlap %.3f implausibly high", d.Abbrev, r)
+			}
+		}
+	}
+	avg := sum / float64(count)
+	if avg > 0.25 {
+		t.Fatalf("average overlap %.3f, paper reports ~0.05 (low)", avg)
+	}
+}
+
+func TestOverlapSeriesMonotoneSamples(t *testing.T) {
+	g, err := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := OverlapSeries(g, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("series length %d", len(series))
+	}
+	// Larger windows can only include more potential matches: the ratio's
+	// numerator grows with the window, but so does the denominator. We
+	// only require values in [0,1].
+	for i, r := range series {
+		if r < 0 || r > 1 {
+			t.Fatalf("series[%d] = %f out of range", i, r)
+		}
+	}
+}
+
+func TestAccessSpread(t *testing.T) {
+	// Path graph with sorted adjacency: consecutive reads are near each
+	// other → small spread.
+	var edges []graph.Edge
+	for i := 0; i < 999; i++ {
+		edges = append(edges, graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)})
+	}
+	path, _ := graph.FromEdgeList(1000, edges)
+	spreadPath := AccessSpread(path)
+	rmat, err := gen.RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreadRMAT := AccessSpread(rmat)
+	if spreadPath >= spreadRMAT {
+		t.Fatalf("path spread %.4f >= rmat spread %.4f; expected local << random",
+			spreadPath, spreadRMAT)
+	}
+	if AccessSpread(&graph.CSR{}) != 0 {
+		t.Fatal("empty graph spread != 0")
+	}
+}
+
+func TestBlockReuseSortedVsShuffled(t *testing.T) {
+	g, err := gen.RoadGrid(60, 60, 0.05, 0.08, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := BlockReuse(g, 32)
+	shuffled := g.Clone()
+	reorder.ShuffleEdges(shuffled, 9)
+	after := BlockReuse(shuffled, 32)
+	if sorted <= after {
+		t.Fatalf("sorted reuse %.3f <= shuffled reuse %.3f", sorted, after)
+	}
+	if BlockReuse(g, 0) != BlockReuse(g, 32) {
+		t.Fatal("default block size not applied")
+	}
+}
+
+func TestMeasureReuse(t *testing.T) {
+	g, err := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	hist := MeasureReuse(h)
+	if hist.Total != h.NumEdges() {
+		t.Fatalf("total reads %d, want %d", hist.Total, h.NumEdges())
+	}
+	var bucketSum int64
+	for _, b := range hist.Buckets {
+		bucketSum += b
+	}
+	if bucketSum+hist.Cold != hist.Total {
+		t.Fatalf("histogram does not partition reads: %d + %d != %d",
+			bucketSum, hist.Cold, hist.Total)
+	}
+	if hist.Cold < int64(h.NumVertices())/4 {
+		t.Fatalf("cold reads %d implausibly low", hist.Cold)
+	}
+}
+
+// The quantitative case for HDC over recency caching: on a DBG-ordered
+// skewed graph, the top-eighth of vertices absorb far more reads than a
+// recency window of the same size could capture.
+func TestHDCBeatsRecency(t *testing.T) {
+	g, err := gen.RMAT(12, 10, 0.57, 0.19, 0.19, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	hist := MeasureReuse(h)
+	window := int64(h.NumVertices()) / 8
+	recency := hist.ShortReuseFraction(window) * (1 - float64(hist.Cold)/float64(hist.Total))
+	hot := HotVertexReadShare(h, 1.0/8)
+	if hot <= recency {
+		t.Fatalf("HDC share %.3f not above recency share %.3f", hot, recency)
+	}
+	if hot < 0.3 {
+		t.Fatalf("hot share %.3f shows no skew", hot)
+	}
+}
+
+func TestHotVertexReadShareBounds(t *testing.T) {
+	g, _ := graph.FromEdgeList(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if s := HotVertexReadShare(g, 0); s != 0 {
+		t.Fatal("zero fraction not 0")
+	}
+	if s := HotVertexReadShare(g, 1); s != 1 {
+		t.Fatalf("full fraction = %f", s)
+	}
+	empty, _ := graph.FromEdgeList(0, nil)
+	if HotVertexReadShare(empty, 0.5) != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+}
+
+func TestShortReuseFractionEmpty(t *testing.T) {
+	var h ReuseHistogram
+	h.Buckets = make([]int64, 4)
+	if h.ShortReuseFraction(100) != 0 {
+		t.Fatal("empty histogram fraction != 0")
+	}
+}
+
+func TestLRUHitRateBasics(t *testing.T) {
+	// Path graph sorted adjacency: every vertex's neighbors were just
+	// read (w-1 read at step w-1's list) → high LRU hit rate.
+	var edges []graph.Edge
+	for i := 0; i < 499; i++ {
+		edges = append(edges, graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)})
+	}
+	path, _ := graph.FromEdgeList(500, edges)
+	if r := LRUHitRate(path, 64); r < 0.4 {
+		t.Fatalf("path LRU hit rate %.2f, want high", r)
+	}
+	if LRUHitRate(path, 0) != 0 {
+		t.Fatal("zero capacity hit rate != 0")
+	}
+	// Full capacity: every non-cold read hits.
+	full := LRUHitRate(path, 500)
+	hist := MeasureReuse(path)
+	wantFull := 1 - float64(hist.Cold)/float64(hist.Total)
+	if full < wantFull-1e-9 || full > wantFull+1e-9 {
+		t.Fatalf("full-capacity LRU %.4f != 1-cold %.4f", full, wantFull)
+	}
+}
+
+func TestLRUBelowHDCOnSkewedGraph(t *testing.T) {
+	g, err := gen.RMAT(12, 10, 0.57, 0.19, 0.19, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := reorder.DBG(g)
+	capVertices := h.NumVertices() / 8
+	lru := LRUHitRate(h, capVertices)
+	hdc := HotVertexReadShare(h, 1.0/8)
+	if hdc <= lru {
+		t.Fatalf("HDC %.3f not above LRU %.3f at equal capacity", hdc, lru)
+	}
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bitcolor/internal/graph"
+)
+
+// ReuseHistogram buckets the reuse distances of color-array reads during
+// an index-order greedy pass: for each read of vertex w, the number of
+// *distinct* other vertices read since the previous read of w. Bucket i
+// holds distances in [2^i, 2^(i+1)); the final bucket counts cold (first)
+// reads. Long reuse distances are why an LRU-style cache fails on this
+// workload and the degree-threshold cache (HDC) succeeds.
+type ReuseHistogram struct {
+	// Buckets[i] counts reuses with distance in [2^i, 2^(i+1)).
+	Buckets []int64
+	// Cold counts first-ever reads (infinite distance).
+	Cold int64
+	// Total is the number of reads measured.
+	Total int64
+}
+
+// maxReuseBuckets bounds the histogram (2^30 distinct intervening reads
+// is beyond any on-chip capacity of interest).
+const maxReuseBuckets = 30
+
+// MeasureReuse computes the reuse-distance histogram of the neighbor
+// reads of an index-order traversal. The distance metric is approximate
+// (stack distance approximated by read-count distance, an upper bound),
+// which is standard for workload characterization and errs against the
+// cache — if even the approximation shows no short-distance mass, no
+// real cache geometry can help.
+func MeasureReuse(g *graph.CSR) ReuseHistogram {
+	h := ReuseHistogram{Buckets: make([]int64, maxReuseBuckets)}
+	lastRead := make(map[graph.VertexID]int64)
+	var tick int64
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			h.Total++
+			if prev, ok := lastRead[w]; ok {
+				dist := tick - prev
+				b := 0
+				for int64(1)<<uint(b+1) <= dist && b < maxReuseBuckets-1 {
+					b++
+				}
+				h.Buckets[b]++
+			} else {
+				h.Cold++
+			}
+			lastRead[w] = tick
+			tick++
+		}
+	}
+	return h
+}
+
+// ShortReuseFraction returns the fraction of (non-cold) reuses with
+// distance below `window` reads — the share a recency cache of that
+// size could possibly capture.
+func (h ReuseHistogram) ShortReuseFraction(window int64) float64 {
+	var short, reuses int64
+	for b, c := range h.Buckets {
+		reuses += c
+		if int64(1)<<uint(b+1) <= window {
+			short += c
+		}
+	}
+	if reuses == 0 {
+		return 0
+	}
+	return float64(short) / float64(reuses)
+}
+
+// HotVertexReadShare returns the fraction of all reads that target the
+// `topFraction` highest-degree vertices — the share the degree-threshold
+// cache captures by construction on a DBG-ordered graph. Comparing this
+// against ShortReuseFraction for the same capacity is the quantitative
+// case for HDC over LRU.
+func HotVertexReadShare(g *graph.CSR, topFraction float64) float64 {
+	n := g.NumVertices()
+	if n == 0 || topFraction <= 0 {
+		return 0
+	}
+	threshold := graph.VertexID(float64(n) * topFraction)
+	if threshold < 1 {
+		threshold = 1
+	}
+	var hot, total int64
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			total++
+			if w < threshold {
+				hot++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hot) / float64(total)
+}
