@@ -8,6 +8,7 @@ import (
 	"bitcolor/internal/coloring"
 	"bitcolor/internal/gen"
 	"bitcolor/internal/graph"
+	"bitcolor/internal/metrics"
 	"bitcolor/internal/reorder"
 	"bitcolor/internal/resources"
 	"bitcolor/internal/sim"
@@ -131,7 +132,23 @@ const (
 	// coloring: speculate, detect conflicts, retry — the multicore host
 	// baseline.
 	EngineSpeculative
+	// EngineParallelBitwise fuses the bit-wise color state of Algorithm 2
+	// into the speculative parallel framework, with degree-aware dynamic
+	// dispatch and in-place conflict repair — the fastest host engine and
+	// the multicore reference for accelerator speedup claims.
+	EngineParallelBitwise
 )
+
+// Engines returns every implemented software engine, in declaration
+// order. New engines must be added here (and given a String name) to be
+// reachable from ParseEngine and the CLIs; a round-trip test enforces it.
+func Engines() []Engine {
+	return []Engine{
+		EngineGreedy, EngineBitwise, EngineDSATUR, EngineWelshPowell,
+		EngineSmallestLast, EngineJonesPlassmann, EngineLubyMIS, EngineRLF,
+		EngineSpeculative, EngineParallelBitwise,
+	}
+}
 
 // String names the engine.
 func (e Engine) String() string {
@@ -154,6 +171,8 @@ func (e Engine) String() string {
 		return "rlf"
 	case EngineSpeculative:
 		return "speculative"
+	case EngineParallelBitwise:
+		return "parallelbitwise"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -161,11 +180,7 @@ func (e Engine) String() string {
 
 // ParseEngine resolves an engine name as used by the CLIs.
 func ParseEngine(name string) (Engine, error) {
-	for _, e := range []Engine{
-		EngineGreedy, EngineBitwise, EngineDSATUR, EngineWelshPowell,
-		EngineSmallestLast, EngineJonesPlassmann, EngineLubyMIS, EngineRLF,
-		EngineSpeculative,
-	} {
+	for _, e := range Engines() {
 		if e.String() == name {
 			return e, nil
 		}
@@ -181,8 +196,42 @@ type ColorOptions struct {
 	MaxColors int
 	// Seed feeds the randomized engines (JP, Luby).
 	Seed int64
-	// Workers bounds Jones–Plassmann's parallelism (<=0: GOMAXPROCS).
+	// Workers bounds the parallel engines' goroutine count (JP,
+	// Speculative, ParallelBitwise; <=0: GOMAXPROCS).
 	Workers int
+}
+
+// ParallelStats reports how a host-parallel engine run went: rounds,
+// conflicts found and repaired, and the per-worker work split.
+type ParallelStats = metrics.ParallelStats
+
+// ColorParallel runs one of the host-parallel engines (EngineSpeculative
+// or EngineParallelBitwise) and returns its run statistics alongside the
+// verified coloring. Other engines are rejected; use Color for them.
+func ColorParallel(g *Graph, opts ColorOptions) (*Result, ParallelStats, error) {
+	if opts.MaxColors <= 0 {
+		opts.MaxColors = MaxColorsDefault
+	}
+	var (
+		res *Result
+		st  ParallelStats
+		err error
+	)
+	switch opts.Engine {
+	case EngineSpeculative:
+		res, st, err = coloring.SpeculativeStats(g, opts.MaxColors, opts.Workers)
+	case EngineParallelBitwise:
+		res, st, err = coloring.ParallelBitwise(g, opts.MaxColors, opts.Workers)
+	default:
+		return nil, st, fmt.Errorf("bitcolor: engine %v is not a host-parallel engine", opts.Engine)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	if err := coloring.Verify(g, res.Colors); err != nil {
+		return nil, st, fmt.Errorf("bitcolor: engine %v produced an invalid coloring: %w", opts.Engine, err)
+	}
+	return res, st, nil
 }
 
 // Color runs a software coloring engine on g and returns a verified
@@ -214,6 +263,8 @@ func Color(g *Graph, opts ColorOptions) (*Result, error) {
 		res, err = coloring.RLF(g, opts.MaxColors)
 	case EngineSpeculative:
 		res, _, err = coloring.Speculative(g, opts.MaxColors, opts.Workers)
+	case EngineParallelBitwise:
+		res, _, err = coloring.ParallelBitwise(g, opts.MaxColors, opts.Workers)
 	default:
 		return nil, fmt.Errorf("bitcolor: unknown engine %v", opts.Engine)
 	}

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"bitcolor/internal/graph"
@@ -117,15 +118,39 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-func TestParseEngine(t *testing.T) {
-	for _, e := range []Engine{
-		EngineGreedy, EngineBitwise, EngineDSATUR, EngineWelshPowell,
-		EngineSmallestLast, EngineJonesPlassmann, EngineLubyMIS,
-	} {
-		got, err := ParseEngine(e.String())
-		if err != nil || got != e {
-			t.Fatalf("ParseEngine(%s) = %v, %v", e, got, err)
+// TestParseEngineRoundTrip iterates every declared Engine constant: each
+// must have a real name (not the Engine(%d) fallback) and parse back to
+// itself, so a future engine cannot be added without being reachable
+// from the CLIs.
+func TestParseEngineRoundTrip(t *testing.T) {
+	all := Engines()
+	// Engines are consecutive iota constants starting at EngineGreedy;
+	// Engines() must cover the full range with no gaps or duplicates.
+	seen := map[Engine]bool{}
+	for _, e := range all {
+		if seen[e] {
+			t.Fatalf("Engines() lists %v twice", e)
 		}
+		seen[e] = true
+		if int(e) < 0 || int(e) >= len(all) {
+			t.Fatalf("engine %v outside the iota range [0,%d)", e, len(all))
+		}
+	}
+	for _, e := range all {
+		name := e.String()
+		if strings.HasPrefix(name, "Engine(") {
+			t.Fatalf("engine %d has no String name", int(e))
+		}
+		got, err := ParseEngine(name)
+		if err != nil || got != e {
+			t.Fatalf("ParseEngine(%s) = %v, %v", name, got, err)
+		}
+	}
+	// One past the last declared engine must not be nameable or parseable:
+	// catches an engine added to the iota block but not to Engines().
+	next := Engine(len(all))
+	if !strings.HasPrefix(next.String(), "Engine(") {
+		t.Fatalf("Engine(%d) has a name %q but is not listed in Engines()", len(all), next.String())
 	}
 	if _, err := ParseEngine("quantum"); err == nil {
 		t.Fatal("bogus engine accepted")
@@ -254,6 +279,32 @@ func TestEngineSpeculative(t *testing.T) {
 	}
 	if err := Verify(h, res.Colors); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEngineParallelBitwise(t *testing.T) {
+	g, err := Generate("GD", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := Preprocess(g)
+	res, st, err := ColorParallel(h, ColorOptions{Engine: EngineParallelBitwise, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 || st.Rounds < 1 {
+		t.Fatalf("stats: %v", st)
+	}
+	// Color must accept the engine too (stats dropped).
+	if _, err := Color(h, ColorOptions{Engine: EngineParallelBitwise, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// ColorParallel rejects sequential engines.
+	if _, _, err := ColorParallel(h, ColorOptions{Engine: EngineBitwise}); err == nil {
+		t.Fatal("sequential engine accepted by ColorParallel")
 	}
 }
 

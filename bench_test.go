@@ -7,7 +7,9 @@ package bitcolor
 // the paper's numbers.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"bitcolor/internal/experiments"
@@ -185,6 +187,45 @@ func BenchmarkSoftwareBitwise(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Color(prepared, ColorOptions{Engine: EngineBitwise}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelBitwise measures the host-parallel bit-wise engine
+// across a worker sweep on two Table 3 stand-ins (a power-law social
+// graph and a bounded-degree road network), reporting colors used and
+// ns/edge so it compares directly against BenchmarkSoftwareBitwise.
+func BenchmarkParallelBitwise(b *testing.B) {
+	sweep := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		sweep = append(sweep, p)
+	}
+	for _, ds := range []string{"GD", "RC"} {
+		g, err := Generate(ds, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prepared, err := Preprocess(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges := float64(prepared.NumEdges())
+		for _, w := range sweep {
+			b.Run(fmt.Sprintf("%s/workers=%d", ds, w), func(b *testing.B) {
+				b.ReportAllocs()
+				var colors int
+				for i := 0; i < b.N; i++ {
+					res, _, err := ColorParallel(prepared, ColorOptions{
+						Engine: EngineParallelBitwise, Workers: w,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					colors = res.NumColors
+				}
+				b.ReportMetric(float64(colors), "colors")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/edges, "ns/edge")
+			})
 		}
 	}
 }

@@ -22,8 +22,9 @@ func main() {
 	var (
 		input       = flag.String("input", "", "graph file (SNAP edge list, or .bcsr binary)")
 		dataset     = flag.String("dataset", "", "synthetic dataset abbreviation (EF, GD, CD, CA, CL, RC, RP, RT, CO, CF)")
-		engineName  = flag.String("engine", "bitwise", "engine: greedy | bitwise | dsatur | welshpowell | smallestlast | jonesplassmann | lubymis | rlf | speculative | accelerator")
+		engineName  = flag.String("engine", "bitwise", "engine: greedy | bitwise | dsatur | welshpowell | smallestlast | jonesplassmann | lubymis | rlf | speculative | parallelbitwise | accelerator")
 		parallelism = flag.Int("parallelism", 16, "BWPE count for the accelerator engine (power of two)")
+		workers     = flag.Int("workers", 0, "goroutines for the host-parallel engines (jonesplassmann, speculative, parallelbitwise; 0 = GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 0, "HVC capacity in vertices (0 = auto-scale to ~1/8 of the graph; paper hardware: 512K)")
 		maxColors   = flag.Int("maxcolors", bitcolor.MaxColorsDefault, "palette size")
 		seed        = flag.Int64("seed", 1, "seed for generators and randomized engines")
@@ -33,13 +34,13 @@ func main() {
 		verbose     = flag.Bool("v", false, "print graph statistics")
 	)
 	flag.Parse()
-	if err := run(*input, *dataset, *engineName, *parallelism, *cacheSize, *maxColors, *seed, *noPrep, *verbose, *timeline, *colorsOut); err != nil {
+	if err := run(*input, *dataset, *engineName, *parallelism, *workers, *cacheSize, *maxColors, *seed, *noPrep, *verbose, *timeline, *colorsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "bitcolor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, dataset, engineName string, parallelism, cacheSize, maxColors int, seed int64, noPrep, verbose bool, timeline, colorsOut string) error {
+func run(input, dataset, engineName string, parallelism, workers, cacheSize, maxColors int, seed int64, noPrep, verbose bool, timeline, colorsOut string) error {
 	var (
 		g   *bitcolor.Graph
 		err error
@@ -120,14 +121,28 @@ func run(input, dataset, engineName string, parallelism, cacheSize, maxColors in
 	if err != nil {
 		return err
 	}
-	res, err := bitcolor.Color(g, bitcolor.ColorOptions{
-		Engine: eng, MaxColors: maxColors, Seed: seed,
-	})
-	if err != nil {
-		return err
+	opts := bitcolor.ColorOptions{
+		Engine: eng, MaxColors: maxColors, Seed: seed, Workers: workers,
 	}
-	fmt.Printf("engine: %v\n", eng)
-	fmt.Printf("colors used: %d\n", res.NumColors)
+	var res *bitcolor.Result
+	if eng == bitcolor.EngineSpeculative || eng == bitcolor.EngineParallelBitwise {
+		var st bitcolor.ParallelStats
+		res, st, err = bitcolor.ColorParallel(g, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine: %v (%d workers)\n", eng, st.Workers)
+		fmt.Printf("colors used: %d\n", res.NumColors)
+		fmt.Printf("rounds: %d, conflicts: %d found / %d repaired, worker imbalance: %.2fx\n",
+			st.Rounds, st.ConflictsFound, st.ConflictsRepaired, st.Imbalance())
+	} else {
+		res, err = bitcolor.Color(g, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine: %v\n", eng)
+		fmt.Printf("colors used: %d\n", res.NumColors)
+	}
 	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Microsecond))
 	return writeColors(colorsOut, res.Colors)
 }

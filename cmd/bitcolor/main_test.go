@@ -10,17 +10,26 @@ import (
 )
 
 func TestRunSoftwareEngine(t *testing.T) {
-	if err := run("", "EF", "bitwise", 0, 0, 1024, 1, false, true, "", ""); err != nil {
+	if err := run("", "EF", "bitwise", 0, 4, 0, 1024, 1, false, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelEngines(t *testing.T) {
+	if err := run("", "EF", "parallelbitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "EF", "speculative", 0, 2, 0, 1024, 1, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAcceleratorEngine(t *testing.T) {
-	if err := run("", "EF", "accelerator", 4, 0, 1024, 1, false, false, "", ""); err != nil {
+	if err := run("", "EF", "accelerator", 4, 4, 0, 1024, 1, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit cache size.
-	if err := run("", "EF", "accelerator", 2, 512, 1024, 1, false, false, "", ""); err != nil {
+	if err := run("", "EF", "accelerator", 2, 4, 512, 1024, 1, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -34,20 +43,20 @@ func TestRunFromFile(t *testing.T) {
 	if err := bitcolor.SaveGraph(path, g); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "greedy", 0, 0, 1024, 1, false, false, "", ""); err != nil {
+	if err := run(path, "", "greedy", 0, 4, 0, 1024, 1, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoPreprocess(t *testing.T) {
-	if err := run("", "EF", "dsatur", 0, 0, 1024, 1, true, false, "", ""); err != nil {
+	if err := run("", "EF", "dsatur", 0, 4, 0, 1024, 1, true, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTimeline(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run("", "EF", "accelerator", 2, 512, 1024, 1, false, false, path, ""); err != nil {
+	if err := run("", "EF", "accelerator", 2, 4, 512, 1024, 1, false, false, path, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -61,7 +70,7 @@ func TestRunTimeline(t *testing.T) {
 
 func TestRunColorsOutput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "colors.txt")
-	if err := run("", "EF", "bitwise", 0, 0, 1024, 1, false, false, "", path); err != nil {
+	if err := run("", "EF", "bitwise", 0, 4, 0, 1024, 1, false, false, "", path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -74,19 +83,19 @@ func TestRunColorsOutput(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "bitwise", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run("", "", "bitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
 		t.Fatal("missing input accepted")
 	}
-	if err := run("x.txt", "EF", "bitwise", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run("x.txt", "EF", "bitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
 		t.Fatal("both input and dataset accepted")
 	}
-	if err := run("", "EF", "quantum", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run("", "EF", "quantum", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
 		t.Fatal("bogus engine accepted")
 	}
-	if err := run("", "XX", "bitwise", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run("", "XX", "bitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
 		t.Fatal("bogus dataset accepted")
 	}
-	if err := run("/nonexistent/file.txt", "", "bitwise", 0, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run("/nonexistent/file.txt", "", "bitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -7,7 +7,12 @@
 //   - Software coloring. Color runs any of the implemented algorithms —
 //     the paper's basic greedy (Algorithm 1) and bit-wise greedy
 //     (Algorithm 2), plus DSATUR, Welsh–Powell, smallest-last,
-//     Jones–Plassmann and Luby-MIS baselines — on a CSR graph.
+//     Jones–Plassmann and Luby-MIS baselines — on a CSR graph. The
+//     host-parallel engines (EngineSpeculative and EngineParallelBitwise,
+//     the latter fusing the bit-wise first-fit into speculative
+//     multicore coloring with in-place conflict repair) run via
+//     ColorParallel, which also reports rounds, conflicts and the
+//     per-worker work split.
 //
 //   - Accelerator simulation. Simulate runs the full BitColor design on
 //     a cycle-approximate discrete-event model: parallel BWPEs, the

@@ -523,6 +523,28 @@ func TestSpeculativeSingleWorkerEqualsGreedy(t *testing.T) {
 	}
 }
 
+func TestSpeculativeStats(t *testing.T) {
+	g := randomGraph(t, 800, 8000, 13)
+	res, st, err := SpeculativeStats(g, MaxColorsDefault, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 8 || len(st.VerticesPerWorker) != 8 {
+		t.Fatalf("worker stats: %+v", st)
+	}
+	// Round 1 claims every vertex; re-rounds claim the re-queued ones.
+	if st.TotalVertices() < int64(g.NumVertices()) {
+		t.Fatalf("claimed %d < %d vertices", st.TotalVertices(), g.NumVertices())
+	}
+	if st.TotalVertices() != int64(g.NumVertices())+st.ConflictsRepaired {
+		t.Fatalf("claims %d != vertices %d + repairs %d",
+			st.TotalVertices(), g.NumVertices(), st.ConflictsRepaired)
+	}
+}
+
 func TestSpeculativePaletteExhausted(t *testing.T) {
 	tri, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
 	if _, _, err := Speculative(tri, 2, 2); !errors.Is(err, ErrPaletteExhausted) {

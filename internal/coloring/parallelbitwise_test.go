@@ -1,0 +1,156 @@
+package coloring
+
+import (
+	"errors"
+	"testing"
+
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/reorder"
+)
+
+func TestParallelBitwiseProper(t *testing.T) {
+	g := randomGraph(t, 800, 8000, 13)
+	res, st, err := ParallelBitwise(g, MaxColorsDefault, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds < 1 {
+		t.Fatalf("rounds = %d", st.Rounds)
+	}
+	if st.Workers != 8 || len(st.VerticesPerWorker) != 8 {
+		t.Fatalf("worker stats: %+v", st)
+	}
+	if st.TotalVertices() != int64(g.NumVertices()) {
+		t.Fatalf("speculation claimed %d of %d vertices", st.TotalVertices(), g.NumVertices())
+	}
+	if st.ConflictsRepaired > st.ConflictsFound {
+		t.Fatalf("repaired %d > found %d", st.ConflictsRepaired, st.ConflictsFound)
+	}
+}
+
+// On a DBG-reordered graph the engine's descending-degree order is the
+// identity, so a single worker must reproduce BitwiseGreedy exactly and
+// never conflict.
+func TestParallelBitwiseSingleWorkerEqualsBitwise(t *testing.T) {
+	g := randomGraph(t, 300, 2000, 14)
+	h, _ := reorder.DBG(g)
+	res, st, err := ParallelBitwise(h, MaxColorsDefault, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 1 {
+		t.Fatalf("single worker needed %d rounds", st.Rounds)
+	}
+	if st.ConflictsFound != 0 || st.ConflictsRepaired != 0 {
+		t.Fatalf("single worker found %d conflicts", st.ConflictsFound)
+	}
+	want, _ := BitwiseGreedy(h, MaxColorsDefault, true)
+	for v := range want.Colors {
+		if res.Colors[v] != want.Colors[v] {
+			t.Fatalf("vertex %d: parallel %d bitwise %d", v, res.Colors[v], want.Colors[v])
+		}
+	}
+}
+
+func TestParallelBitwisePaletteExhausted(t *testing.T) {
+	tri, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	if _, _, err := ParallelBitwise(tri, 2, 2); !errors.Is(err, ErrPaletteExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParallelBitwiseEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdgeList(0, nil)
+	res, st, err := ParallelBitwise(g, 4, 4)
+	if err != nil || st.Rounds != 0 || len(res.Colors) != 0 {
+		t.Fatalf("empty: %v %d", err, st.Rounds)
+	}
+}
+
+// The acceptance bar for the host-parallel reference: on every Table 3
+// stand-in, proper colorings with a color count within 10% of the
+// sequential bit-wise engine, at real parallelism.
+func TestParallelBitwiseQualityOnTable3(t *testing.T) {
+	for _, d := range gen.SmallRegistry() {
+		d := d
+		t.Run(d.Abbrev, func(t *testing.T) {
+			g, err := d.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, _ := reorder.DBG(g)
+			seq, err := BitwiseGreedy(h, MaxColorsDefault, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, st, err := ParallelBitwise(h, MaxColorsDefault, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(h, res.Colors); err != nil {
+				t.Fatal(err)
+			}
+			if float64(res.NumColors) > 1.10*float64(seq.NumColors) {
+				t.Fatalf("parallel used %d colors, sequential %d (>10%% worse)",
+					res.NumColors, seq.NumColors)
+			}
+			if st.TotalVertices() != int64(h.NumVertices()) {
+				t.Fatalf("claimed %d of %d vertices", st.TotalVertices(), h.NumVertices())
+			}
+		})
+	}
+}
+
+// Hammer the lock-free hot path: many workers on a dense-ish conflict-
+// heavy graph, repeated so the race detector sees plenty of interleavings.
+func TestParallelBitwiseRaceStress(t *testing.T) {
+	g := randomGraph(t, 500, 12000, 42)
+	for i := 0; i < 10; i++ {
+		res, _, err := ParallelBitwise(g, MaxColorsDefault, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, res.Colors); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBlockCursor(t *testing.T) {
+	var c blockCursor
+	c.reset(dispatchBlock*2 + 5)
+	seen := 0
+	for {
+		lo, hi, ok := c.next()
+		if !ok {
+			break
+		}
+		if hi <= lo {
+			t.Fatalf("empty block [%d,%d)", lo, hi)
+		}
+		seen += hi - lo
+	}
+	if seen != dispatchBlock*2+5 {
+		t.Fatalf("cursor covered %d of %d", seen, dispatchBlock*2+5)
+	}
+	c.reset(0)
+	if _, _, ok := c.next(); ok {
+		t.Fatal("empty range yielded a block")
+	}
+}
+
+func BenchmarkParallelBitwiseInternal(b *testing.B) {
+	g, _ := gen.RMAT(14, 8, 0.57, 0.19, 0.19, 1)
+	h, _ := reorder.DBG(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ParallelBitwise(h, MaxColorsDefault, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

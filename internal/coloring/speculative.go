@@ -7,18 +7,36 @@ import (
 
 	"bitcolor/internal/bitops"
 	"bitcolor/internal/graph"
+	"bitcolor/internal/metrics"
 )
 
 // Speculative implements Gebremedhin–Manne parallel coloring on the host
-// CPU: workers first-fit color disjoint vertex blocks concurrently while
+// CPU: workers first-fit color pending vertices concurrently while
 // reading neighbor colors without synchronization; a detection pass finds
 // adjacent equal pairs; the lower-priority vertex of each pair is
-// re-queued. Rounds repeat until conflict-free. This is the standard
-// shared-memory algorithm the FPGA design competes with on multicore
-// hosts, complementing the single-thread Algorithm 1 baseline.
+// re-queued for the next speculation round. Rounds repeat until
+// conflict-free. This is the standard shared-memory algorithm the FPGA
+// design competes with on multicore hosts, complementing the
+// single-thread Algorithm 1 baseline. ParallelBitwise is the faster
+// formulation (bit-wise Stage 1, in-place repair); Speculative keeps the
+// classic re-round semantics as the literature baseline.
+//
+// Work is distributed by the same shared atomic block cursor as
+// ParallelBitwise rather than a static per-worker chunk split, so a few
+// mega-degree vertices cannot serialize a whole round's tail. All
+// buffers (pending/next queues, per-worker color-state scratch) are
+// allocated once and reused across rounds; the per-vertex loop is
+// allocation-free.
 //
 // Returns the result and the number of rounds (1 = no conflicts ever).
 func Speculative(g *graph.CSR, maxColors int, workers int) (*Result, int, error) {
+	res, st, err := SpeculativeStats(g, maxColors, workers)
+	return res, st.Rounds, err
+}
+
+// SpeculativeStats is Speculative returning the full parallel-run
+// statistics (rounds, conflicts found/re-queued, vertices per worker).
+func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metrics.ParallelStats, error) {
 	n := g.NumVertices()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -26,86 +44,107 @@ func Speculative(g *graph.CSR, maxColors int, workers int) (*Result, int, error)
 	if workers > n && n > 0 {
 		workers = n
 	}
+	st := metrics.ParallelStats{Workers: workers, VerticesPerWorker: make([]int64, workers)}
+	if n == 0 {
+		return &Result{Colors: nil, NumColors: 0}, st, nil
+	}
 	// Shared state uses 32-bit words with atomic access: the algorithm
 	// is speculative by design (workers read neighbors mid-flight), and
 	// atomics keep that well-defined under the Go memory model.
 	shared := make([]uint32, n)
 	// Round 1 colors everything; later rounds only the conflicted set.
+	// pending and next swap roles each round; both are allocated once.
 	pending := make([]graph.VertexID, n)
 	for i := range pending {
 		pending[i] = graph.VertexID(i)
 	}
-	rounds := 0
+	next := make([]graph.VertexID, 0, n)
+	// Per-worker scratch, allocated once and reused every round.
+	type scratch struct {
+		state *bitops.BitSet
+		codec *bitops.ColorCodec
+		err   error
+	}
+	ws := make([]*scratch, workers)
+	for w := range ws {
+		ws[w] = &scratch{
+			state: bitops.NewBitSet(maxColors),
+			codec: bitops.NewColorCodec(maxColors),
+		}
+	}
+	var (
+		cur blockCursor
+		wg  sync.WaitGroup
+	)
 	for len(pending) > 0 {
-		rounds++
-		if rounds > n+1 {
+		st.Rounds++
+		if st.Rounds > n+1 {
 			// Each round permanently finalizes at least the highest-
 			// priority pending vertex, so this cannot trigger; it guards
 			// the loop against future regressions.
 			panic("coloring: speculative coloring failed to converge")
 		}
-		// Speculation: workers color disjoint chunks, racing on reads.
-		chunk := (len(pending) + workers - 1) / workers
-		var wg sync.WaitGroup
-		errs := make([]error, workers)
+		// Speculation: workers pull blocks of the pending set from the
+		// shared cursor, racing on neighbor reads.
+		cur.reset(len(pending))
 		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > len(pending) {
-				hi = len(pending)
-			}
-			if lo >= hi {
-				continue
-			}
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(w int) {
 				defer wg.Done()
-				state := bitops.NewBitSet(maxColors)
-				codec := bitops.NewColorCodec(maxColors)
-				for _, v := range pending[lo:hi] {
-					state.Reset()
-					for _, u := range g.Neighbors(v) {
-						codec.Decompress(uint16(atomic.LoadUint32(&shared[u])), state)
-					}
-					pick, _ := codec.FirstFree(state)
-					if pick == 0 {
-						errs[w] = ErrPaletteExhausted
+				s := ws[w]
+				for {
+					lo, hi, ok := cur.next()
+					if !ok {
 						return
 					}
-					atomic.StoreUint32(&shared[v], uint32(pick))
+					st.VerticesPerWorker[w] += int64(hi - lo)
+					for _, v := range pending[lo:hi] {
+						s.state.Reset()
+						for _, u := range g.Neighbors(v) {
+							s.codec.Decompress(uint16(atomic.LoadUint32(&shared[u])), s.state)
+						}
+						pick, _ := s.codec.FirstFree(s.state)
+						if pick == 0 {
+							s.err = ErrPaletteExhausted
+							return
+						}
+						atomic.StoreUint32(&shared[v], uint32(pick))
+					}
 				}
-			}(w, lo, hi)
+			}(w)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, rounds, err
+		for _, s := range ws {
+			if s.err != nil {
+				return nil, st, s.err
 			}
 		}
 		// Detection: the smaller-indexed endpoint of an equal-colored
-		// edge keeps its color, the larger re-queues.
-		conflicted := map[graph.VertexID]bool{}
+		// edge keeps its color, the larger re-queues. pending holds each
+		// vertex at most once, so appending losers in iteration order
+		// cannot duplicate.
+		next = next[:0]
 		for _, v := range pending {
 			for _, u := range g.Neighbors(v) {
 				if shared[u] == shared[v] && u < v {
-					conflicted[v] = true
+					next = append(next, v)
+					st.ConflictsFound++
 					break
 				}
 			}
 		}
-		pending = pending[:0]
-		for v := range conflicted {
-			pending = append(pending, v)
-		}
-		// Deterministic round composition despite map iteration: order
-		// does not affect the next speculation's outcome distribution,
-		// but sorting keeps runs reproducible for tests.
+		st.ConflictsRepaired += int64(len(next))
+		pending, next = next, pending
+		// Deterministic round composition despite racy block claims:
+		// order does not affect the next speculation's outcome
+		// distribution, but sorting keeps runs reproducible for tests.
 		sortVertexIDs(pending)
 	}
 	colors := make([]uint16, n)
 	for i, c := range shared {
 		colors[i] = uint16(c)
 	}
-	return &Result{Colors: colors, NumColors: countColors(colors)}, rounds, nil
+	return &Result{Colors: colors, NumColors: countColors(colors)}, st, nil
 }
 
 // sortVertexIDs is a small insertion/shell sort to avoid pulling sort

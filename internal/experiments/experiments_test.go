@@ -220,8 +220,8 @@ func TestRunnerRegistryComplete(t *testing.T) {
 	want := []string{
 		"cacheablation", "cachesweep", "conflicts", "dramsweep",
 		"fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
-		"generality", "lruvshdc", "multicard", "quality", "relaxed",
-		"scorecard", "table2", "table3", "table4",
+		"generality", "hostpar", "lruvshdc", "multicard", "quality",
+		"relaxed", "scorecard", "table2", "table3", "table4",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d experiments: %v", len(names), names)
@@ -404,6 +404,36 @@ func TestQuality(t *testing.T) {
 	}
 	r.Print(ctx)
 	if !strings.Contains(buf.String(), "quality") {
+		t.Fatal("print missing")
+	}
+}
+
+func TestHostPar(t *testing.T) {
+	ctx, buf := smallCtx()
+	ctx.Datasets = ctx.Datasets[:2]
+	r, err := HostPar(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := hostParWorkerSweep()
+	if len(r.Rows) != 2*len(sweep) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), 2*len(sweep))
+	}
+	for _, row := range r.Rows {
+		if row.SpecColors <= 0 || row.ParColors <= 0 {
+			t.Fatalf("%s W%d: colors %d/%d", row.Dataset, row.Workers, row.SpecColors, row.ParColors)
+		}
+		if row.SpecStats.Rounds < 1 || row.ParStats.Rounds < 1 {
+			t.Fatalf("%s W%d: rounds %d/%d", row.Dataset, row.Workers,
+				row.SpecStats.Rounds, row.ParStats.Rounds)
+		}
+		// Single-worker runs never conflict.
+		if row.Workers == 1 && (row.SpecStats.ConflictsRepaired != 0 || row.ParStats.ConflictsRepaired != 0) {
+			t.Fatalf("%s W1 repaired conflicts", row.Dataset)
+		}
+	}
+	r.Print(ctx)
+	if !strings.Contains(buf.String(), "Host-parallel") {
 		t.Fatal("print missing")
 	}
 }

@@ -14,7 +14,7 @@ type QualityRow struct {
 }
 
 // QualityAlgorithms names the compared engines in column order.
-var QualityAlgorithms = []string{"greedy", "dsatur", "smallestlast", "rlf*", "jp", "luby", "speculative"}
+var QualityAlgorithms = []string{"greedy", "dsatur", "smallestlast", "rlf*", "jp", "luby", "speculative", "parbitwise"}
 
 // QualityResult compares color quality across the implemented algorithm
 // families — the context for the paper's choice of greedy (§2.2-2.4):
@@ -70,6 +70,10 @@ func Quality(ctx *Context) (*QualityResult, error) {
 		}
 		spec, _, err := coloring.Speculative(prepared, coloring.MaxColorsDefault, 0)
 		if err := add(spec, err); err != nil {
+			return nil, err
+		}
+		par, _, err := coloring.ParallelBitwise(prepared, coloring.MaxColorsDefault, 0)
+		if err := add(par, err); err != nil {
 			return nil, err
 		}
 		res.Rows = append(res.Rows, row)

@@ -131,6 +131,14 @@ func RunnerRegistry() map[string]Runner {
 			r.Print(ctx)
 			return nil
 		},
+		"hostpar": func(ctx *Context) error {
+			r, err := HostPar(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return nil
+		},
 		"quality": func(ctx *Context) error {
 			r, err := Quality(ctx)
 			if err != nil {
@@ -183,8 +191,8 @@ func RunAll(ctx *Context) error {
 	order := []string{
 		"table3", "fig3a", "fig3b", "table2", "fig11", "fig12", "table4",
 		"fig13", "fig14", "cacheablation", "cachesweep", "dramsweep",
-		"conflicts", "generality", "relaxed", "quality", "multicard",
-		"lruvshdc", "scorecard",
+		"conflicts", "generality", "relaxed", "quality", "hostpar",
+		"multicard", "lruvshdc", "scorecard",
 	}
 	reg := RunnerRegistry()
 	for _, name := range order {

@@ -77,6 +77,60 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// ParallelStats describes one run of a host-side speculative parallel
+// coloring engine (Speculative or ParallelBitwise in internal/coloring).
+// It is the software analogue of the per-PE counters the accelerator
+// simulator reports: how evenly the dynamic dispatcher spread the work
+// and how much speculation had to be repaired.
+type ParallelStats struct {
+	// Workers is the number of goroutines that ran the engine.
+	Workers int
+	// Rounds counts speculation/detection sweeps until the coloring was
+	// conflict-free (1 = the first speculation never conflicted; 0 = the
+	// graph was empty).
+	Rounds int
+	// ConflictsFound counts equal-colored adjacent pairs observed from
+	// the losing endpoint during detection.
+	ConflictsFound int64
+	// ConflictsRepaired counts vertices re-colored to resolve conflicts.
+	ConflictsRepaired int64
+	// VerticesPerWorker[w] is how many speculation-phase vertices worker
+	// w claimed from the shared cursor, summed over all rounds.
+	VerticesPerWorker []int64
+}
+
+// TotalVertices sums the per-worker speculation counts.
+func (s ParallelStats) TotalVertices() int64 {
+	var sum int64
+	for _, v := range s.VerticesPerWorker {
+		sum += v
+	}
+	return sum
+}
+
+// Imbalance is the max/mean ratio of per-worker vertex counts: 1.0 is a
+// perfect split, higher means some workers dragged the tail. Returns 0
+// when no work was recorded.
+func (s ParallelStats) Imbalance() float64 {
+	total := s.TotalVertices()
+	if total == 0 || len(s.VerticesPerWorker) == 0 {
+		return 0
+	}
+	var max int64
+	for _, v := range s.VerticesPerWorker {
+		if v > max {
+			max = v
+		}
+	}
+	mean := float64(total) / float64(len(s.VerticesPerWorker))
+	return float64(max) / mean
+}
+
+func (s ParallelStats) String() string {
+	return fmt.Sprintf("workers=%d rounds=%d conflicts=%d/%d repaired, imbalance=%.2f",
+		s.Workers, s.Rounds, s.ConflictsFound, s.ConflictsRepaired, s.Imbalance())
+}
+
 // Comparison is one row of the Fig 13 table.
 type Comparison struct {
 	Dataset                       string

@@ -55,6 +55,34 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestParallelStats(t *testing.T) {
+	s := ParallelStats{
+		Workers:           4,
+		Rounds:            3,
+		ConflictsFound:    12,
+		ConflictsRepaired: 9,
+		VerticesPerWorker: []int64{100, 100, 100, 100},
+	}
+	if s.TotalVertices() != 400 {
+		t.Fatalf("total = %d", s.TotalVertices())
+	}
+	if im := s.Imbalance(); math.Abs(im-1) > 1e-9 {
+		t.Fatalf("balanced imbalance = %f, want 1", im)
+	}
+	s.VerticesPerWorker = []int64{300, 50, 25, 25}
+	// max 300 over mean 100 → 3.0.
+	if im := s.Imbalance(); math.Abs(im-3) > 1e-9 {
+		t.Fatalf("skewed imbalance = %f, want 3", im)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+	var zero ParallelStats
+	if zero.Imbalance() != 0 || zero.TotalVertices() != 0 {
+		t.Fatal("zero stats not handled")
+	}
+}
+
 func TestNewComparison(t *testing.T) {
 	c := NewComparison("EF", 1_000_000, 10*time.Second, time.Second, 200*time.Millisecond)
 	if c.SpeedupVsCPU != 50 {
