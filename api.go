@@ -44,6 +44,13 @@ func NewGraph(n int, edges []Edge) (*Graph, error) {
 	return graph.FromEdgeList(n, edges)
 }
 
+// NewGraphParallel is NewGraph built by `workers` goroutines (<=0:
+// GOMAXPROCS) — per-worker degree counting, prefix sum, scatter fill and
+// parallel per-vertex sorting. The result is identical to NewGraph's.
+func NewGraphParallel(n int, edges []Edge, workers int) (*Graph, error) {
+	return graph.FromEdgeListParallel(n, edges, workers)
+}
+
 // LoadGraph reads a graph from disk: SNAP-style edge lists (any text
 // extension), DIMACS coloring instances (".col") or the binary CSR
 // format produced by SaveGraph (".bcsr").
@@ -81,26 +88,42 @@ func Generate(abbrev string, seed int64) (*Graph, error) {
 // Datasets lists the Table 3 abbreviations.
 func Datasets() []string { return gen.Abbrevs() }
 
+// PreprocessOption configures Preprocess and PreprocessWithPermutation.
+type PreprocessOption func(*preprocessConfig)
+
+type preprocessConfig struct {
+	workers int
+}
+
+// WithPreprocessParallelism sets the number of goroutines the
+// preprocessing pipeline (degree scatter, relabel, per-vertex edge
+// sorting) may use; n <= 0 means GOMAXPROCS. The output is identical to
+// the sequential pipeline at any parallelism.
+func WithPreprocessParallelism(n int) PreprocessOption {
+	return func(c *preprocessConfig) { c.workers = n }
+}
+
 // Preprocess applies the paper's preprocessing: degree-based-grouping
 // reordering (descending degree) and ascending edge sorting. The
 // returned graph is what the accelerator expects; colors assigned to it
 // map back to the original IDs through the permutation available from
 // PreprocessWithPermutation.
-func Preprocess(g *Graph) (*Graph, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	out, _ := reorder.DBG(g)
-	return out, nil
+func Preprocess(g *Graph, opts ...PreprocessOption) (*Graph, error) {
+	out, _, err := PreprocessWithPermutation(g, opts...)
+	return out, err
 }
 
 // PreprocessWithPermutation is Preprocess returning the vertex renaming:
 // NewID[old] gives the reordered index of an original vertex.
-func PreprocessWithPermutation(g *Graph) (*Graph, []VertexID, error) {
+func PreprocessWithPermutation(g *Graph, opts ...PreprocessOption) (*Graph, []VertexID, error) {
+	var cfg preprocessConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if err := g.Validate(); err != nil {
 		return nil, nil, err
 	}
-	out, p := reorder.DBG(g)
+	out, p := reorder.DBGParallel(g, cfg.workers)
 	return out, p.NewID, nil
 }
 
@@ -199,11 +222,26 @@ type ColorOptions struct {
 	// Workers bounds the parallel engines' goroutine count (JP,
 	// Speculative, ParallelBitwise; <=0: GOMAXPROCS).
 	Workers int
+	// DisableGather switches the host-parallel engines (Speculative,
+	// ParallelBitwise) off the blocked color-gather and PUV tail pruning
+	// back onto the naive random-access memory path — the baseline arm of
+	// the locality ablation.
+	DisableGather bool
+	// HotVertices overrides the gather's hot-tier threshold v_t (0:
+	// automatic sizing from the HVC capacity model).
+	HotVertices int
 }
 
 // ParallelStats reports how a host-parallel engine run went: rounds,
-// conflicts found and repaired, and the per-worker work split.
+// conflicts found and repaired, the per-worker work split, and the
+// gather's memory-path classification.
 type ParallelStats = metrics.ParallelStats
+
+// GatherStats classifies the blocked color-gather's neighbor reads:
+// hot-tier hits under v_t, merged same-block reads, cold block loads
+// and PUV-pruned tail entries — the software mirror of the paper's
+// HDC/MGR/PUV counters.
+type GatherStats = metrics.GatherStats
 
 // ColorParallel runs one of the host-parallel engines (EngineSpeculative
 // or EngineParallelBitwise) and returns its run statistics alongside the
@@ -217,11 +255,16 @@ func ColorParallel(g *Graph, opts ColorOptions) (*Result, ParallelStats, error) 
 		st  ParallelStats
 		err error
 	)
+	copts := coloring.Options{
+		Workers:       opts.Workers,
+		DisableGather: opts.DisableGather,
+		HotVertices:   opts.HotVertices,
+	}
 	switch opts.Engine {
 	case EngineSpeculative:
-		res, st, err = coloring.SpeculativeStats(g, opts.MaxColors, opts.Workers)
+		res, st, err = coloring.SpeculativeOpts(g, opts.MaxColors, copts)
 	case EngineParallelBitwise:
-		res, st, err = coloring.ParallelBitwise(g, opts.MaxColors, opts.Workers)
+		res, st, err = coloring.ParallelBitwiseOpts(g, opts.MaxColors, copts)
 	default:
 		return nil, st, fmt.Errorf("bitcolor: engine %v is not a host-parallel engine", opts.Engine)
 	}
@@ -262,9 +305,11 @@ func Color(g *Graph, opts ColorOptions) (*Result, error) {
 	case EngineRLF:
 		res, err = coloring.RLF(g, opts.MaxColors)
 	case EngineSpeculative:
-		res, _, err = coloring.Speculative(g, opts.MaxColors, opts.Workers)
+		res, _, err = coloring.SpeculativeOpts(g, opts.MaxColors, coloring.Options{
+			Workers: opts.Workers, DisableGather: opts.DisableGather, HotVertices: opts.HotVertices})
 	case EngineParallelBitwise:
-		res, _, err = coloring.ParallelBitwise(g, opts.MaxColors, opts.Workers)
+		res, _, err = coloring.ParallelBitwiseOpts(g, opts.MaxColors, coloring.Options{
+			Workers: opts.Workers, DisableGather: opts.DisableGather, HotVertices: opts.HotVertices})
 	default:
 		return nil, fmt.Errorf("bitcolor: unknown engine %v", opts.Engine)
 	}

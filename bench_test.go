@@ -230,6 +230,73 @@ func BenchmarkParallelBitwise(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelBitwiseNoGather is the memory-path ablation arm of
+// BenchmarkParallelBitwise: the same engine at 1 worker with the blocked
+// color-gather and PUV pruning disabled, so the two benchmarks bracket
+// what the software MGR/HDC/PUV path is worth.
+func BenchmarkParallelBitwiseNoGather(b *testing.B) {
+	for _, ds := range []string{"GD", "RC"} {
+		g, err := Generate(ds, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prepared, err := Preprocess(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges := float64(prepared.NumEdges())
+		b.Run(ds, func(b *testing.B) {
+			b.ReportAllocs()
+			var colors int
+			for i := 0; i < b.N; i++ {
+				res, _, err := ColorParallel(prepared, ColorOptions{
+					Engine: EngineParallelBitwise, Workers: 1, DisableGather: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				colors = res.NumColors
+			}
+			b.ReportMetric(float64(colors), "colors")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/edges, "ns/edge")
+		})
+	}
+}
+
+// BenchmarkPreprocessParallel measures the parallel preprocessing
+// pipeline (CSR build + DBG relabel) against its sequential form.
+func BenchmarkPreprocessParallel(b *testing.B) {
+	g, err := Generate("GD", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges []Edge
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(VertexID(v)) {
+			if VertexID(v) < u {
+				edges = append(edges, Edge{U: VertexID(v), V: u})
+			}
+		}
+	}
+	sweep := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		sweep = append(sweep, p)
+	}
+	for _, w := range sweep {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				built, err := NewGraphParallel(g.NumVertices(), edges, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Preprocess(built, WithPreprocessParallelism(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGenerality regenerates the §2.4 same-substrate comparison.
 func BenchmarkGenerality(b *testing.B) {
 	ctx := benchCtx()

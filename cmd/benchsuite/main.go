@@ -28,21 +28,23 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset abbreviations (default: all ten)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		csv      = flag.Bool("csv", false, "emit tables as CSV")
+		jsonDir  = flag.String("json", "", "directory for machine-readable BENCH_<exp>.json records")
 	)
 	flag.Parse()
-	if err := run(*exp, *small, *datasets, *seed, *csv); err != nil {
+	if err := run(*exp, *small, *datasets, *seed, *csv, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, small bool, datasets string, seed int64, csv bool) error {
+func run(exp string, small bool, datasets string, seed int64, csv bool, jsonDir string) error {
 	ctx := experiments.NewContext(os.Stdout)
 	if small {
 		ctx = experiments.NewSmallContext(os.Stdout)
 	}
 	ctx.Seed = seed
 	ctx.CSV = csv
+	ctx.JSONDir = jsonDir
 	if datasets != "" {
 		keep := map[string]bool{}
 		for _, a := range strings.Split(datasets, ",") {

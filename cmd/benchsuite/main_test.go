@@ -1,30 +1,62 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitcolor/internal/experiments"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run("fig14", true, "", 1, false); err != nil {
+	if err := run("fig14", true, "", 1, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithDatasetFilter(t *testing.T) {
-	if err := run("table4", true, "EF,RC", 1, false); err != nil {
+	if err := run("table4", true, "EF,RC", 1, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCSV(t *testing.T) {
-	if err := run("fig14", true, "", 1, true); err != nil {
+	if err := run("fig14", true, "", 1, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunLocalityEmitsJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("locality", true, "EF,RC", 1, false, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_locality.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []experiments.BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	// 2 datasets × 2×2 ablation arms.
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	for _, r := range recs {
+		if r.Exp != "locality" || r.Engine != "parallelbitwise" ||
+			r.Workers <= 0 || r.Colors <= 0 || r.WallNanos <= 0 || r.NsPerEdge <= 0 {
+			t.Fatalf("implausible record: %+v", r)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nonsense", true, "", 1, false); err == nil {
+	if err := run("nonsense", true, "", 1, false, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run("fig14", true, "ZZ", 1, false); err == nil {
+	if err := run("fig14", true, "ZZ", 1, false, ""); err == nil {
 		t.Fatal("empty dataset filter accepted")
 	}
 }

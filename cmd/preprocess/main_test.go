@@ -1,21 +1,23 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
 	"bitcolor"
+	"bitcolor/internal/graph"
 )
 
 func TestRunDatasetWithTiming(t *testing.T) {
-	if err := run("", "EF", "", 1, true); err != nil {
+	if err := run("", "EF", "", 1, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "dbg.bcsr")
-	if err := run("", "EF", out, 1, false); err != nil {
+	if err := run("", "EF", out, 1, false, 2); err != nil {
 		t.Fatal(err)
 	}
 	g, err := bitcolor.LoadGraph(out)
@@ -42,16 +44,50 @@ func TestRunFromFile(t *testing.T) {
 	if err := bitcolor.SaveGraph(in, g); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", "", 1, false); err != nil {
+	if err := run(in, "", "", 1, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// A text edge list goes through the split parse + parallel-build path;
+// the written output must match the dataset path's result.
+func TestRunFromEdgeListText(t *testing.T) {
+	g, err := bitcolor.Generate("EF", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "in.txt")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "dbg.bcsr")
+	if err := run(in, "", out, 1, false, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bitcolor.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The text format only names non-isolated vertices, so compare edge
+	// counts (exact) and vertex counts as an upper bound.
+	if got.NumEdges() != g.NumEdges() || got.NumVertices() > g.NumVertices() || got.NumVertices() == 0 {
+		t.Fatalf("round trip changed the graph: %d/%d vs %d/%d vertices/edges",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 1, false); err == nil {
+	if err := run("", "", "", 1, false, 0); err == nil {
 		t.Fatal("missing input accepted")
 	}
-	if err := run("/nope.txt", "", "", 1, false); err == nil {
+	if err := run("/nope.txt", "", "", 1, false, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

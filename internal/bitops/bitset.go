@@ -106,6 +106,18 @@ func (b *BitSet) FirstZero() int {
 	return len(b.words) * wordBits
 }
 
+// OrColorNum sets the bit for the 1-based color number c; c == ColorNone
+// (0, uncolored) contributes nothing. It is the gather hot path's inlined
+// form of ColorCodec.Decompress: no table lookup and no growth check, so
+// the receiver must be pre-sized (NewBitSet) to hold every color number
+// the caller can observe — out-of-range numbers fail the slice bounds
+// check rather than growing the set.
+func (b *BitSet) OrColorNum(c uint32) {
+	if c != 0 {
+		b.words[(c-1)/wordBits] |= 1 << ((c - 1) % wordBits)
+	}
+}
+
 // Count returns the number of set bits.
 func (b *BitSet) Count() int {
 	n := 0

@@ -101,3 +101,15 @@ func CoverageRatio(offsets []int64, edges []uint32, threshold uint32) float64 {
 // DefaultCapacityVertices is the paper's single-cache capacity (1 MB of
 // 16-bit colors = 512K vertices).
 const DefaultCapacityVertices = mem.SingleCacheVertices
+
+// HotThreshold returns the hot-tier threshold v_t that the host-side
+// blocked color-gather uses for an n-vertex graph: the whole graph when
+// it fits in the paper's cache capacity, DefaultCapacityVertices
+// otherwise. On a DBG-reordered graph indices below v_t are exactly the
+// highest-degree vertices, mirroring HVC residency.
+func HotThreshold(n int) uint32 {
+	if n < DefaultCapacityVertices {
+		return uint32(n)
+	}
+	return uint32(DefaultCapacityVertices)
+}

@@ -1,0 +1,80 @@
+package coloring
+
+import (
+	"sync/atomic"
+
+	"bitcolor/internal/cache"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/metrics"
+)
+
+// The blocked color-gather is the host-side analog of the paper's memory
+// system (§3.2.2). The accelerator wins as much from its memory path as
+// from the bit-wise ALU: sorted adjacency lets the Color Loader merge
+// neighbor color reads that fall in the same DRAM burst (MGR), the
+// high-degree color cache serves vertices below v_t on-chip (HDC), and
+// uncolored-vertex pruning skips the sorted adjacency tail of
+// not-yet-colored neighbors (PUV). In software the same three mechanisms
+// map to: walking sorted adjacency in 64-color blocks so consecutive
+// reads hit the same cache lines, a per-worker last-block register that
+// classifies repeat-block reads as merged, a hot tier boundary v_t
+// (reusing the HVC sizing from internal/cache) under which reads count
+// as cache hits, and an early break at the first neighbor index greater
+// than the current vertex. The counters feed metrics.GatherStats so the
+// locality ablation can relate the software numbers to Fig 11.
+
+// colorBlockShift sizes a gather block at 64 colors: 64 x 16-bit paper
+// colors is one 128-byte DRAM burst, and with this repo's 32-bit shared
+// color words it spans two adjacent 128-byte cache lines.
+const colorBlockShift = 6
+
+// Options configures the host-parallel engines (Speculative and
+// ParallelBitwise).
+type Options struct {
+	// Workers bounds the goroutine count (<=0: GOMAXPROCS).
+	Workers int
+	// DisableGather switches off the blocked color-gather and PUV tail
+	// pruning, restoring the naive per-neighbor random-access path — the
+	// baseline arm of the locality ablation.
+	DisableGather bool
+	// HotVertices overrides the hot-tier threshold v_t (0: automatic via
+	// cache.HotThreshold).
+	HotVertices int
+}
+
+// gather is one worker's locality-aware view of the shared color array.
+// It is not safe for concurrent use; every worker owns one.
+type gather struct {
+	shared    []uint32
+	vt        uint32 // hot-tier threshold v_t
+	lastBlock int64  // last cold-tier 64-color block touched
+	stats     metrics.GatherStats
+}
+
+// newGather builds a worker gather over the live color array. hotVertices
+// <= 0 selects the automatic HVC-derived threshold.
+func newGather(shared []uint32, hotVertices int) *gather {
+	vt := uint32(hotVertices)
+	if hotVertices <= 0 {
+		vt = cache.HotThreshold(len(shared))
+	} else if hotVertices > len(shared) {
+		vt = uint32(len(shared))
+	}
+	return &gather{shared: shared, vt: vt, lastBlock: -1}
+}
+
+// load returns u's live color and classifies the access as hot-tier,
+// merged-within-block, or a cold block load. Small enough to inline into
+// the engines' per-neighbor loops.
+func (ga *gather) load(u graph.VertexID) uint32 {
+	c := atomic.LoadUint32(&ga.shared[u])
+	if u < ga.vt {
+		ga.stats.HotReads++
+	} else if b := int64(u >> colorBlockShift); b == ga.lastBlock {
+		ga.stats.MergedReads++
+	} else {
+		ga.lastBlock = b
+		ga.stats.ColdBlockLoads++
+	}
+	return c
+}

@@ -1,0 +1,167 @@
+package coloring
+
+import (
+	"testing"
+
+	"bitcolor/internal/cache"
+	"bitcolor/internal/gen"
+	"bitcolor/internal/reorder"
+)
+
+// The gather is a memory-path change only: with one worker both engines
+// must produce identical colorings with the gather on and off.
+func TestGatherAblationIdenticalAtOneWorker(t *testing.T) {
+	g := randomGraph(t, 600, 6000, 21)
+	h, _ := reorder.DBG(g)
+	for _, engine := range []string{"parallelbitwise", "speculative"} {
+		run := func(disable bool) []uint16 {
+			opts := Options{Workers: 1, DisableGather: disable}
+			var colors []uint16
+			if engine == "parallelbitwise" {
+				res, _, err := ParallelBitwiseOpts(h, MaxColorsDefault, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				colors = res.Colors
+			} else {
+				res, _, err := SpeculativeOpts(h, MaxColorsDefault, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				colors = res.Colors
+			}
+			return colors
+		}
+		on, off := run(false), run(true)
+		for v := range on {
+			if on[v] != off[v] {
+				t.Fatalf("%s: vertex %d: gather-on %d, gather-off %d", engine, v, on[v], off[v])
+			}
+		}
+	}
+}
+
+// On a DBG-reordered, edge-sorted graph the gather must classify every
+// speculation read, prune a nonempty sorted tail, and serve sub-threshold
+// indices from the hot tier.
+func TestGatherStatsOnDBGGraph(t *testing.T) {
+	g := randomGraph(t, 2000, 24000, 9)
+	h, _ := reorder.DBG(g)
+	res, st, err := ParallelBitwiseOpts(h, MaxColorsDefault, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if st.HotThreshold != cache.HotThreshold(h.NumVertices()) {
+		t.Fatalf("HotThreshold = %d, want %d", st.HotThreshold, cache.HotThreshold(h.NumVertices()))
+	}
+	gst := st.Gather
+	if gst.Reads() == 0 {
+		t.Fatal("gather classified no reads")
+	}
+	if gst.PrunedTail == 0 {
+		t.Fatal("PUV pruned nothing on a sorted DBG graph")
+	}
+	// 2000 vertices fit under the paper's 512K hot capacity: every read
+	// must be a hot-tier hit and the ratios must be consistent.
+	if gst.HotRatio() != 1.0 || gst.HotReads != gst.Reads() {
+		t.Fatalf("expected all-hot reads on a cache-resident graph: %+v", gst)
+	}
+	// Speculation visits the colored prefix, PUV skips the tail: together
+	// they cannot exceed the total directed edge count times the sweeps.
+	if gst.Reads()+gst.PrunedTail < h.NumEdges() {
+		t.Fatalf("round 1 should touch every directed edge: reads=%d pruned=%d edges=%d",
+			gst.Reads(), gst.PrunedTail, h.NumEdges())
+	}
+}
+
+// Overriding the hot threshold must split reads between tiers and engage
+// the last-block merge register on the cold tier.
+func TestGatherHotThresholdOverride(t *testing.T) {
+	g := randomGraph(t, 3000, 40000, 33)
+	h, _ := reorder.DBG(g)
+	_, st, err := ParallelBitwiseOpts(h, MaxColorsDefault, Options{Workers: 2, HotVertices: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gst := st.Gather
+	if st.HotThreshold != 128 {
+		t.Fatalf("HotThreshold = %d, want 128", st.HotThreshold)
+	}
+	if gst.HotReads == 0 {
+		t.Fatal("no hot-tier reads with v_t=128 on a DBG graph")
+	}
+	if gst.MergedReads+gst.ColdBlockLoads == 0 {
+		t.Fatal("no cold-tier reads with v_t=128 on a 3000-vertex graph")
+	}
+	if gst.MergedReads == 0 {
+		t.Fatal("sorted adjacency produced no merged block reads")
+	}
+}
+
+// Disabling the gather must zero the counters and leave the engines on
+// the legacy codec path.
+func TestGatherDisabledZeroStats(t *testing.T) {
+	g := randomGraph(t, 500, 4000, 3)
+	res, st, err := ParallelBitwiseOpts(g, MaxColorsDefault, Options{Workers: 4, DisableGather: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if st.Gather.Reads() != 0 || st.Gather.PrunedTail != 0 || st.HotThreshold != 0 {
+		t.Fatalf("gather disabled but stats nonzero: %+v vt=%d", st.Gather, st.HotThreshold)
+	}
+}
+
+// The quality bar must hold with the gather + PUV path at real
+// parallelism on every Table 3 stand-in (the default path is exercised by
+// TestParallelBitwiseQualityOnTable3; this pins the Speculative engine).
+func TestSpeculativeGatherQualityOnTable3(t *testing.T) {
+	for _, d := range gen.SmallRegistry() {
+		d := d
+		t.Run(d.Abbrev, func(t *testing.T) {
+			g, err := d.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, _ := reorder.DBG(g)
+			seq, err := BitwiseGreedy(h, MaxColorsDefault, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, st, err := SpeculativeOpts(h, MaxColorsDefault, Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(h, res.Colors); err != nil {
+				t.Fatal(err)
+			}
+			if float64(res.NumColors) > 1.10*float64(seq.NumColors) {
+				t.Fatalf("speculative+gather used %d colors, sequential %d (>10%% worse)",
+					res.NumColors, seq.NumColors)
+			}
+			if st.Gather.PrunedTail == 0 {
+				t.Fatal("round-1 PUV pruned nothing on a DBG-sorted graph")
+			}
+		})
+	}
+}
+
+// Race stress over the gather + PUV path for the Speculative engine
+// (ParallelBitwise is covered by TestParallelBitwiseRaceStress).
+func TestSpeculativeGatherRaceStress(t *testing.T) {
+	g := randomGraph(t, 500, 12000, 77)
+	for i := 0; i < 5; i++ {
+		res, _, err := SpeculativeOpts(g, MaxColorsDefault, Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, res.Colors); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -46,7 +46,20 @@ import (
 //
 // Returns the verified-proper result and per-run parallel statistics.
 func ParallelBitwise(g *graph.CSR, maxColors int, workers int) (*Result, metrics.ParallelStats, error) {
+	return ParallelBitwiseOpts(g, maxColors, Options{Workers: workers})
+}
+
+// ParallelBitwiseOpts is ParallelBitwise with the full option set: worker
+// count, the blocked color-gather toggle (on by default — the paper's
+// MGR+HDC memory path in software) and the hot-tier threshold. On a
+// DBG-reordered, edge-sorted graph the gather additionally applies PUV
+// tail-skipping during speculation: adjacency is sorted ascending and
+// processing order is the vertex index, so the first neighbor index above
+// the current vertex starts the still-uncolored tail and the scan stops
+// there. Repair sweeps always see every neighbor.
+func ParallelBitwiseOpts(g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
 	n := g.NumVertices()
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -57,6 +70,7 @@ func ParallelBitwise(g *graph.CSR, maxColors int, workers int) (*Result, metrics
 	if n == 0 {
 		return &Result{Colors: nil, NumColors: 0}, st, nil
 	}
+	useGather := !opts.DisableGather
 
 	// Colors live in 32-bit words accessed atomically: speculation reads
 	// neighbor colors mid-flight by design, and atomics keep those races
@@ -90,21 +104,34 @@ func ParallelBitwise(g *graph.CSR, maxColors int, workers int) (*Result, metrics
 		rank[v] = int32(i)
 	}
 
-	// Per-worker reusable scratch: one color-state BitSet + codec and one
-	// repair queue each. Nothing below allocates in steady state.
+	// PUV tail break: when the processing order is the vertex index (DBG
+	// invariant) and adjacency lists are sorted ascending, the pruned
+	// neighbors form the list's tail, so the prune is a break instead of a
+	// per-neighbor rank probe — the software rendering of the paper's
+	// "stop at the first destination above the current vertex".
+	puv := useGather && sorted && g.EdgesSorted()
+
+	// Per-worker reusable scratch: one color-state BitSet + codec, one
+	// gather view, and one repair queue each. Nothing below allocates in
+	// steady state.
 	type scratch struct {
-		state  *bitops.BitSet
-		codec  *bitops.ColorCodec
-		next   []graph.VertexID // vertices this worker re-colored this sweep
-		err    error
+		state *bitops.BitSet
+		codec *bitops.ColorCodec
+		ga    *gather
+		next  []graph.VertexID // vertices this worker re-colored this sweep
+		err   error
 	}
 	ws := make([]*scratch, workers)
 	for w := range ws {
 		ws[w] = &scratch{
 			state: bitops.NewBitSet(maxColors),
 			codec: bitops.NewColorCodec(maxColors),
+			ga:    newGather(shared, opts.HotVertices),
 			next:  make([]graph.VertexID, 0, 256),
 		}
+	}
+	if useGather {
+		st.HotThreshold = ws[0].ga.vt
 	}
 
 	// firstFit assigns the lowest color not used by any neighbor of v,
@@ -113,12 +140,36 @@ func ParallelBitwise(g *graph.CSR, maxColors int, workers int) (*Result, metrics
 	// Returns false on palette exhaustion.
 	firstFit := func(s *scratch, v graph.VertexID, prune bool) bool {
 		s.state.Reset()
-		rv := rank[v]
-		for _, u := range g.Neighbors(v) {
-			if prune && rank[u] > rv {
-				continue
+		adj := g.Neighbors(v)
+		switch {
+		case prune && puv:
+			// Blocked gather over the colored prefix of the sorted list;
+			// everything past the first index above v is the uncolored tail.
+			for i, u := range adj {
+				if u > v {
+					s.ga.stats.PrunedTail += int64(len(adj) - i)
+					break
+				}
+				s.state.OrColorNum(s.ga.load(u))
 			}
-			s.codec.Decompress(uint16(atomic.LoadUint32(&shared[u])), s.state)
+		case useGather:
+			rv := rank[v]
+			for _, u := range adj {
+				if prune && rank[u] > rv {
+					continue
+				}
+				s.state.OrColorNum(s.ga.load(u))
+			}
+		default:
+			// Ablation baseline: naive per-neighbor random access through
+			// the codec table.
+			rv := rank[v]
+			for _, u := range adj {
+				if prune && rank[u] > rv {
+					continue
+				}
+				s.codec.Decompress(uint16(atomic.LoadUint32(&shared[u])), s.state)
+			}
 		}
 		pick, _ := s.codec.FirstFree(s.state)
 		if pick == 0 {
@@ -247,6 +298,9 @@ func ParallelBitwise(g *graph.CSR, maxColors int, workers int) (*Result, metrics
 	}
 	st.ConflictsFound = found
 	st.ConflictsRepaired = repaired
+	for _, s := range ws {
+		st.Gather.Add(s.ga.stats)
+	}
 
 	colors := make([]uint16, n)
 	for i, c := range shared {

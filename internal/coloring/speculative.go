@@ -37,7 +37,22 @@ func Speculative(g *graph.CSR, maxColors int, workers int) (*Result, int, error)
 // SpeculativeStats is Speculative returning the full parallel-run
 // statistics (rounds, conflicts found/re-queued, vertices per worker).
 func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metrics.ParallelStats, error) {
+	return SpeculativeOpts(g, maxColors, Options{Workers: workers})
+}
+
+// SpeculativeOpts is Speculative with the full option set. With the
+// gather enabled (the default) neighbor colors stream through the blocked
+// color-gather, and on edge-sorted graphs the first speculation round
+// applies PUV tail-skipping: round 1 colors vertices in ascending index
+// order, so a neighbor with a higher index is still uncolored in the
+// single-worker schedule and almost always uncolored under parallelism —
+// the scan breaks at the first one, and any racing exception surfaces as
+// a conflict the detection pass repairs. Later rounds re-color sparse
+// pending sets against stable neighbors and must see every neighbor, so
+// the prune stays off there.
+func SpeculativeOpts(g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
 	n := g.NumVertices()
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -48,6 +63,8 @@ func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metric
 	if n == 0 {
 		return &Result{Colors: nil, NumColors: 0}, st, nil
 	}
+	useGather := !opts.DisableGather
+	puv := useGather && g.EdgesSorted()
 	// Shared state uses 32-bit words with atomic access: the algorithm
 	// is speculative by design (workers read neighbors mid-flight), and
 	// atomics keep that well-defined under the Go memory model.
@@ -63,6 +80,7 @@ func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metric
 	type scratch struct {
 		state *bitops.BitSet
 		codec *bitops.ColorCodec
+		ga    *gather
 		err   error
 	}
 	ws := make([]*scratch, workers)
@@ -70,7 +88,11 @@ func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metric
 		ws[w] = &scratch{
 			state: bitops.NewBitSet(maxColors),
 			codec: bitops.NewColorCodec(maxColors),
+			ga:    newGather(shared, opts.HotVertices),
 		}
+	}
+	if useGather {
+		st.HotThreshold = ws[0].ga.vt
 	}
 	var (
 		cur blockCursor
@@ -86,6 +108,7 @@ func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metric
 		}
 		// Speculation: workers pull blocks of the pending set from the
 		// shared cursor, racing on neighbor reads.
+		puvRound := puv && st.Rounds == 1
 		cur.reset(len(pending))
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -100,8 +123,26 @@ func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metric
 					st.VerticesPerWorker[w] += int64(hi - lo)
 					for _, v := range pending[lo:hi] {
 						s.state.Reset()
-						for _, u := range g.Neighbors(v) {
-							s.codec.Decompress(uint16(atomic.LoadUint32(&shared[u])), s.state)
+						adj := g.Neighbors(v)
+						switch {
+						case puvRound:
+							// Round 1, sorted adjacency: break at the start
+							// of the still-uncolored tail (PUV).
+							for i, u := range adj {
+								if u > v {
+									s.ga.stats.PrunedTail += int64(len(adj) - i)
+									break
+								}
+								s.state.OrColorNum(s.ga.load(u))
+							}
+						case useGather:
+							for _, u := range adj {
+								s.state.OrColorNum(s.ga.load(u))
+							}
+						default:
+							for _, u := range adj {
+								s.codec.Decompress(uint16(atomic.LoadUint32(&shared[u])), s.state)
+							}
 						}
 						pick, _ := s.codec.FirstFree(s.state)
 						if pick == 0 {
@@ -139,6 +180,9 @@ func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metric
 		// order does not affect the next speculation's outcome
 		// distribution, but sorting keeps runs reproducible for tests.
 		sortVertexIDs(pending)
+	}
+	for _, s := range ws {
+		st.Gather.Add(s.ga.stats)
 	}
 	colors := make([]uint16, n)
 	for i, c := range shared {

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// BenchRecord is one machine-readable benchmark measurement, the JSON
+// counterpart of a report-table row: which experiment and arm produced
+// it, the engine and worker count, and the headline numbers (colors,
+// wall-clock, normalized ns per directed adjacency entry).
+type BenchRecord struct {
+	Exp       string  `json:"exp"`
+	Dataset   string  `json:"dataset"`
+	Engine    string  `json:"engine"`
+	Variant   string  `json:"variant,omitempty"`
+	Workers   int     `json:"workers"`
+	Colors    int     `json:"colors"`
+	WallNanos int64   `json:"wall_ns"`
+	NsPerEdge float64 `json:"ns_per_edge"`
+}
+
+// EmitBench writes recs as BENCH_<exp>.json under the context's JSON
+// directory; a no-op when no directory is configured. Records missing an
+// Exp tag inherit exp.
+func (c *Context) EmitBench(exp string, recs []BenchRecord) error {
+	if c.JSONDir == "" || len(recs) == 0 {
+		return nil
+	}
+	for i := range recs {
+		if recs[i].Exp == "" {
+			recs[i].Exp = exp
+		}
+	}
+	if err := os.MkdirAll(c.JSONDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(c.JSONDir, "BENCH_"+exp+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -29,6 +29,9 @@ type Context struct {
 	// CSV switches table rendering to comma-separated output for
 	// machine consumption (benchsuite -csv).
 	CSV bool
+	// JSONDir, when set, receives machine-readable BENCH_<exp>.json
+	// files for the experiments that emit BenchRecords (benchsuite -json).
+	JSONDir string
 }
 
 // NewContext returns a context over the full scaled registry.

@@ -215,13 +215,48 @@ func TestFig14AndCacheAblation(t *testing.T) {
 	}
 }
 
+func TestLocalityAblation(t *testing.T) {
+	ctx, buf := smallCtx()
+	ctx.Datasets = ctx.Datasets[:2]
+	r, err := Locality(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("got %d rows, want 2 datasets x 4 arms", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Gather {
+			if row.Stats.Gather.Reads() == 0 {
+				t.Fatalf("%s dbg=%v: gather arm classified no reads", row.Dataset, row.DBG)
+			}
+			if row.HotCoverage <= 0 || row.HotCoverage > 1 {
+				t.Fatalf("%s dbg=%v: implausible hot coverage %f", row.Dataset, row.DBG, row.HotCoverage)
+			}
+			if row.DBG && row.Stats.Gather.PrunedTail == 0 {
+				t.Fatalf("%s: PUV pruned nothing on the DBG arm", row.Dataset)
+			}
+		} else if row.Stats.Gather.Reads() != 0 {
+			t.Fatalf("%s dbg=%v: gather-off arm recorded reads", row.Dataset, row.DBG)
+		}
+	}
+	r.Print(ctx)
+	if !strings.Contains(buf.String(), "Memory-locality ablation") {
+		t.Fatal("print missing title")
+	}
+	recs := r.BenchRecords()
+	if len(recs) != len(r.Rows) {
+		t.Fatalf("got %d records for %d rows", len(recs), len(r.Rows))
+	}
+}
+
 func TestRunnerRegistryComplete(t *testing.T) {
 	names := Names()
 	want := []string{
 		"cacheablation", "cachesweep", "conflicts", "dramsweep",
 		"fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
-		"generality", "hostpar", "lruvshdc", "multicard", "quality",
-		"relaxed", "scorecard", "table2", "table3", "table4",
+		"generality", "hostpar", "locality", "lruvshdc", "multicard",
+		"quality", "relaxed", "scorecard", "table2", "table3", "table4",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d experiments: %v", len(names), names)

@@ -17,9 +17,11 @@ type HostParRow struct {
 	// Spec is classic Gebremedhin–Manne (index order, re-round repair);
 	// Par is the fused bit-wise engine (degree-order dynamic dispatch,
 	// in-place repair).
-	SpecTime, ParTime   time.Duration
-	SpecStats, ParStats metrics.ParallelStats
+	SpecTime, ParTime     time.Duration
+	SpecStats, ParStats   metrics.ParallelStats
 	SpecColors, ParColors int
+	// Edges is the directed adjacency entry count, for ns/edge records.
+	Edges int64
 }
 
 // HostParResult is the host-side multicore baseline study: how the
@@ -53,7 +55,7 @@ func HostPar(ctx *Context) (*HostParResult, error) {
 			return nil, err
 		}
 		for i, w := range sweep {
-			row := HostParRow{Dataset: d.Abbrev, Workers: w}
+			row := HostParRow{Dataset: d.Abbrev, Workers: w, Edges: prepared.NumEdges()}
 			start := time.Now()
 			spec, specSt, err := coloring.SpeculativeStats(prepared, coloring.MaxColorsDefault, w)
 			if err != nil {
@@ -96,4 +98,25 @@ func (r *HostParResult) Print(ctx *Context) {
 	}
 	t.Render(ctx)
 	fmt.Fprintf(ctx.Out, "geomean bit-wise speedup at max workers: %.2fx\n", r.AvgSpeedup)
+}
+
+// BenchRecords converts the comparison rows to the machine-readable
+// form, one record per engine per row.
+func (r *HostParResult) BenchRecords() []BenchRecord {
+	recs := make([]BenchRecord, 0, 2*len(r.Rows))
+	for _, row := range r.Rows {
+		edges := float64(row.Edges)
+		recs = append(recs,
+			BenchRecord{
+				Dataset: row.Dataset, Engine: "speculative", Workers: row.Workers,
+				Colors: row.SpecColors, WallNanos: row.SpecTime.Nanoseconds(),
+				NsPerEdge: float64(row.SpecTime.Nanoseconds()) / edges,
+			},
+			BenchRecord{
+				Dataset: row.Dataset, Engine: "parallelbitwise", Workers: row.Workers,
+				Colors: row.ParColors, WallNanos: row.ParTime.Nanoseconds(),
+				NsPerEdge: float64(row.ParTime.Nanoseconds()) / edges,
+			})
+	}
+	return recs
 }

@@ -137,7 +137,15 @@ func RunnerRegistry() map[string]Runner {
 				return err
 			}
 			r.Print(ctx)
-			return nil
+			return ctx.EmitBench("hostpar", r.BenchRecords())
+		},
+		"locality": func(ctx *Context) error {
+			r, err := Locality(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(ctx)
+			return ctx.EmitBench("locality", r.BenchRecords())
 		},
 		"quality": func(ctx *Context) error {
 			r, err := Quality(ctx)
@@ -192,7 +200,7 @@ func RunAll(ctx *Context) error {
 		"table3", "fig3a", "fig3b", "table2", "fig11", "fig12", "table4",
 		"fig13", "fig14", "cacheablation", "cachesweep", "dramsweep",
 		"conflicts", "generality", "relaxed", "quality", "hostpar",
-		"multicard", "lruvshdc", "scorecard",
+		"locality", "multicard", "lruvshdc", "scorecard",
 	}
 	reg := RunnerRegistry()
 	for _, name := range order {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -44,6 +45,23 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(valid[:len(valid)-2])
 	f.Add([]byte("BCSR"))
 	f.Add([]byte{})
+	// Headers that lie: huge vertex/edge counts over a tiny payload, a
+	// version from the future, counts right at the sanity caps, and an
+	// offsets array inconsistent with the claimed edge count. None may
+	// panic or balloon memory; all must error.
+	lying := func(version, nv, ne uint64) []byte {
+		b := []byte(binaryMagic)
+		b = binary.LittleEndian.AppendUint64(b, version)
+		b = binary.LittleEndian.AppendUint64(b, nv)
+		b = binary.LittleEndian.AppendUint64(b, ne)
+		return b
+	}
+	f.Add(lying(1, 1<<60, 8))
+	f.Add(lying(1, 8, 1<<60))
+	f.Add(lying(2, 4, 4))
+	f.Add(lying(1, binaryMaxVertices, 0))
+	f.Add(append(lying(1, 0, 5), make([]byte, 8)...)) // Offsets[0] = 0 != ne
+	f.Add(valid[:len(valid)-9])                       // cut inside the edge payload
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
@@ -51,6 +69,47 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("binary reader returned invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip builds a graph from fuzzed edge bytes and requires
+// the binary encode/decode cycle to reproduce it exactly.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(uint16(4), []byte{0, 1, 2, 3, 1, 2})
+	f.Add(uint16(1), []byte{0, 0})
+	f.Add(uint16(200), []byte{7, 7, 3, 9})
+	f.Fuzz(func(t *testing.T, n uint16, raw []byte) {
+		nv := int(n)
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{U: VertexID(raw[i]), V: VertexID(raw[i+1])})
+		}
+		g, err := FromEdgeList(nv, edges)
+		if err != nil {
+			return // out-of-range vertex for this nv: not a round-trip case
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("decode of a freshly encoded graph: %v", err)
+		}
+		if len(got.Offsets) != len(g.Offsets) || len(got.Edges) != len(g.Edges) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				len(got.Offsets), len(got.Edges), len(g.Offsets), len(g.Edges))
+		}
+		for i := range g.Offsets {
+			if got.Offsets[i] != g.Offsets[i] {
+				t.Fatalf("offset %d: %d != %d", i, got.Offsets[i], g.Offsets[i])
+			}
+		}
+		for i := range g.Edges {
+			if got.Edges[i] != g.Edges[i] {
+				t.Fatalf("edge %d: %d != %d", i, got.Edges[i], g.Edges[i])
+			}
 		}
 	})
 }

@@ -22,6 +22,19 @@ import (
 // be sparse; they are densified in first-appearance order. Returns the
 // graph and the number of input lines used.
 func ReadEdgeList(r io.Reader) (*CSR, int, error) {
+	n, edges, lines, err := ReadEdges(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	g, err := FromEdgeList(n, edges)
+	return g, lines, err
+}
+
+// ReadEdges parses a SNAP-format edge list into its densified edge set
+// without building the CSR, so callers can time — and parallelize — the
+// build separately (FromEdgeListParallel). Returns the vertex count, the
+// edges, and the number of input lines used.
+func ReadEdges(r io.Reader) (int, []Edge, int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	ids := make(map[uint64]VertexID)
@@ -42,24 +55,23 @@ func ReadEdgeList(r io.Reader) (*CSR, int, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, 0, fmt.Errorf("graph: malformed edge line %q", line)
+			return 0, nil, 0, fmt.Errorf("graph: malformed edge line %q", line)
 		}
 		u, err := strconv.ParseUint(fields[0], 10, 64)
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: bad vertex %q: %v", fields[0], err)
+			return 0, nil, 0, fmt.Errorf("graph: bad vertex %q: %v", fields[0], err)
 		}
 		v, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: bad vertex %q: %v", fields[1], err)
+			return 0, nil, 0, fmt.Errorf("graph: bad vertex %q: %v", fields[1], err)
 		}
 		edges = append(edges, Edge{U: lookup(u), V: lookup(v)})
 		lines++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return 0, nil, 0, err
 	}
-	g, err := FromEdgeList(len(ids), edges)
-	return g, lines, err
+	return len(ids), edges, lines, nil
 }
 
 // LoadEdgeListFile reads a SNAP edge-list file from disk.
@@ -129,43 +141,74 @@ func WriteBinary(w io.Writer, g *CSR) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a CSR written by WriteBinary.
+// Header sanity caps for ReadBinary. VertexID is 32-bit, so a valid file
+// can never name more vertices than fit in one; the edge cap bounds
+// directed adjacency entries at 2^33 (32 GiB of payload) — generous for
+// any real dataset while rejecting absurd counts up front.
+const (
+	binaryMaxVertices = uint64(1) << 32
+	binaryMaxEdges    = uint64(1) << 33
+	binaryReadChunk   = uint64(1) << 16 // entries read (and allocated) per step
+)
+
+// ReadBinary deserializes a CSR written by WriteBinary. Corrupt or
+// truncated input fails with an explicit error rather than a huge
+// allocation: header counts are sanity-capped, the offsets and edge
+// arrays grow chunk by chunk as payload actually arrives (a lying header
+// hits "truncated" long before exhausting memory), and the final graph
+// is structurally validated.
 func ReadBinary(r io.Reader) (*CSR, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	hdr := make([]byte, 4+3*8) // magic + version, nv, ne
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: truncated binary header: %w", err)
 	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	if string(hdr[:4]) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", hdr[:4])
 	}
-	var version, nv, ne uint64
-	for _, p := range []*uint64{&version, &nv, &ne} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
-		}
-	}
-	if uint32(version) != binaryVersion {
+	version := binary.LittleEndian.Uint64(hdr[4:])
+	nv := binary.LittleEndian.Uint64(hdr[12:])
+	ne := binary.LittleEndian.Uint64(hdr[20:])
+	if version != uint64(binaryVersion) {
 		return nil, fmt.Errorf("graph: unsupported version %d", version)
 	}
-	g := &CSR{
-		Offsets: make([]int64, nv+1),
-		Edges:   make([]VertexID, ne),
+	if nv > binaryMaxVertices {
+		return nil, fmt.Errorf("graph: header claims %d vertices (max %d)", nv, binaryMaxVertices)
 	}
-	for i := range g.Offsets {
-		var o uint64
-		if err := binary.Read(br, binary.LittleEndian, &o); err != nil {
-			return nil, err
+	if ne > binaryMaxEdges {
+		return nil, fmt.Errorf("graph: header claims %d adjacency entries (max %d)", ne, binaryMaxEdges)
+	}
+	buf := make([]byte, 8*binaryReadChunk)
+	offsets := make([]int64, 0, min(nv+1, binaryReadChunk))
+	for remaining := nv + 1; remaining > 0; {
+		c := min(remaining, binaryReadChunk)
+		b := buf[:8*c]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("graph: truncated offsets (%d of %d read): %w",
+				len(offsets), nv+1, err)
 		}
-		g.Offsets[i] = int64(o)
-	}
-	raw := make([]byte, 4)
-	for i := range g.Edges {
-		if _, err := io.ReadFull(br, raw); err != nil {
-			return nil, err
+		for i := uint64(0); i < c; i++ {
+			offsets = append(offsets, int64(binary.LittleEndian.Uint64(b[8*i:])))
 		}
-		g.Edges[i] = binary.LittleEndian.Uint32(raw)
+		remaining -= c
 	}
+	if last := offsets[nv]; last != int64(ne) {
+		return nil, fmt.Errorf("graph: offsets end at %d but header claims %d adjacency entries", last, ne)
+	}
+	edges := make([]VertexID, 0, min(ne, 2*binaryReadChunk))
+	for remaining := ne; remaining > 0; {
+		c := min(remaining, 2*binaryReadChunk)
+		b := buf[:4*c]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("graph: truncated edges (%d of %d read): %w",
+				len(edges), ne, err)
+		}
+		for i := uint64(0); i < c; i++ {
+			edges = append(edges, binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		remaining -= c
+	}
+	g := &CSR{Offsets: offsets, Edges: edges}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
 	}

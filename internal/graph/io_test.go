@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -100,6 +101,45 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()-3]
 	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated payload accepted")
+	}
+}
+
+// Corrupt headers must fail with a specific, explanatory error — and
+// must do so without attempting the allocation the lying counts imply.
+func TestBinaryCorruptHeaderErrors(t *testing.T) {
+	hdr := func(version, nv, ne uint64) []byte {
+		b := []byte(binaryMagic)
+		b = binary.LittleEndian.AppendUint64(b, version)
+		b = binary.LittleEndian.AppendUint64(b, nv)
+		b = binary.LittleEndian.AppendUint64(b, ne)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"short header", []byte("BCSR\x01\x00"), "truncated binary header"},
+		{"future version", hdr(99, 1, 0), "unsupported version"},
+		{"absurd vertices", hdr(1, 1<<60, 0), "vertices (max"},
+		{"absurd edges", hdr(1, 1, 1<<60), "adjacency entries (max"},
+		{"missing offsets", hdr(1, 1000, 0), "truncated offsets"},
+		{"offsets disagree with ne", append(hdr(1, 0, 5), make([]byte, 8)...),
+			"header claims 5 adjacency entries"},
+		{"missing edges", append(hdr(1, 0, 4), make([]byte, 8)...), "truncated edges"},
+	}
+	// The "missing edges" case needs Offsets[0] == ne to get past the
+	// consistency check.
+	binary.LittleEndian.PutUint64(cases[6].data[len(cases[6].data)-8:], 4)
+	for _, tc := range cases {
+		_, err := ReadBinary(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
 	}
 }
 

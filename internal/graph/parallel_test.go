@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomEdges returns m random edges over n vertices, including a salting
+// of self loops and exact duplicates so dedup paths are exercised.
+func randomEdges(n, m int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m+m/8)
+	for i := 0; i < m; i++ {
+		edges = append(edges, Edge{U: VertexID(rng.Intn(n)), V: VertexID(rng.Intn(n))})
+	}
+	for i := 0; i < m/16; i++ { // duplicates of existing edges
+		edges = append(edges, edges[rng.Intn(len(edges))])
+	}
+	for i := 0; i < m/32; i++ { // self loops
+		v := VertexID(rng.Intn(n))
+		edges = append(edges, Edge{U: v, V: v})
+	}
+	return edges
+}
+
+func graphsEqual(t *testing.T, want, got *CSR, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Offsets, got.Offsets) {
+		t.Fatalf("%s: offsets differ: want %v got %v", label, want.Offsets[:min(len(want.Offsets), 20)], got.Offsets[:min(len(got.Offsets), 20)])
+	}
+	if !reflect.DeepEqual(want.Edges, got.Edges) {
+		t.Fatalf("%s: edges differ", label)
+	}
+}
+
+// The acceptance bar for the parallel builder: byte-identical CSR output
+// versus FromEdgeList across random graphs of varying density, at several
+// worker counts (including more workers than a 1-CPU box has cores).
+func TestFromEdgeListParallelEquivalence(t *testing.T) {
+	cases := []struct{ n, m int }{
+		{50, 100},     // below the parallel threshold: sequential fallback
+		{300, 9000},   // above the edge threshold, below the sort threshold
+		{2000, 30000}, // all parallel passes active
+		{5000, 12000}, // sparse
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2, 3, 8} {
+			t.Run(fmt.Sprintf("n=%d/m=%d/w=%d", tc.n, tc.m, workers), func(t *testing.T) {
+				edges := randomEdges(tc.n, tc.m, int64(tc.n*31+tc.m))
+				want, err := FromEdgeList(tc.n, edges)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := FromEdgeListParallel(tc.n, edges, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				graphsEqual(t, want, got, "parallel build")
+				if err := got.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if !got.EdgesSorted() {
+					t.Fatal("parallel build output not edge-sorted")
+				}
+			})
+		}
+	}
+}
+
+func TestFromEdgeListParallelErrors(t *testing.T) {
+	if _, err := FromEdgeListParallel(-1, nil, 4); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+	// Out-of-range edge must error identically to the sequential builder,
+	// reporting the lowest-indexed offending edge.
+	edges := randomEdges(1000, 20000, 7)
+	edges[123] = Edge{U: 5000, V: 1}
+	edges[9000] = Edge{U: 1, V: 9999}
+	_, wantErr := FromEdgeList(1000, edges)
+	_, gotErr := FromEdgeListParallel(1000, edges, 4)
+	if wantErr == nil || gotErr == nil {
+		t.Fatalf("out-of-range edge accepted: seq=%v par=%v", wantErr, gotErr)
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("error mismatch: seq %q, par %q", wantErr, gotErr)
+	}
+}
+
+func TestSortEdgesParallelEquivalence(t *testing.T) {
+	g, err := FromEdgeList(3000, randomEdges(3000, 40000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := g.Clone()
+	// Reverse each adjacency list to unsort it deterministically.
+	for v := 0; v < shuffled.NumVertices(); v++ {
+		adj := shuffled.Neighbors(VertexID(v))
+		for i, j := 0, len(adj)-1; i < j; i, j = i+1, j-1 {
+			adj[i], adj[j] = adj[j], adj[i]
+		}
+	}
+	if shuffled.EdgesSorted() {
+		t.Fatal("reverse failed to unsort")
+	}
+	shuffled.SortEdgesParallel(6)
+	graphsEqual(t, g, shuffled, "parallel sort")
+}
+
+func TestDedupSortedParallelEquivalence(t *testing.T) {
+	// Build duplicate-heavy directed layouts and dedup them both ways.
+	edges := randomEdges(2000, 25000, 5)
+	seq, err := FromDirectedEdgeList(2000, append(edges, edges...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := seq.Clone()
+	seq.SortEdges()
+	seq.dedupSorted()
+	par.SortEdgesParallel(4)
+	par.dedupSortedParallel(4)
+	graphsEqual(t, seq, par, "parallel dedup")
+	// Idempotence: a second dedup must be a no-op on both.
+	again := par.Clone()
+	again.dedupSortedParallel(4)
+	graphsEqual(t, par, again, "parallel dedup idempotence")
+}

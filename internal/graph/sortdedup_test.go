@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Interplay of SortEdges, EdgesSorted and dedupSorted: dedup assumes
+// sorted lists, sorting must make EdgesSorted true, and both passes must
+// be idempotent — including on inputs salted with self loops and
+// duplicate edges.
+
+func TestSortEdgesIdempotence(t *testing.T) {
+	g, err := FromDirectedEdgeList(4, []Edge{
+		{0, 3}, {0, 1}, {0, 2}, {2, 1}, {2, 0}, {3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SortEdges()
+	if !g.EdgesSorted() {
+		t.Fatal("EdgesSorted false after SortEdges")
+	}
+	// Idempotence: sorting a sorted graph changes nothing.
+	before := g.Clone()
+	g.SortEdges()
+	graphsEqual(t, before, g, "SortEdges idempotence")
+}
+
+func TestDedupSortedRemovesDuplicatesKeepsSelfLoops(t *testing.T) {
+	// Directed layout with duplicates of both a normal edge and a self
+	// loop: dedup must collapse each run to one entry and must not drop
+	// self loops (only FromEdgeList filters those).
+	g, err := FromDirectedEdgeList(3, []Edge{
+		{0, 1}, {0, 1}, {0, 2}, {1, 1}, {1, 1}, {1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SortEdges()
+	g.dedupSorted()
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []VertexID{1, 2}) {
+		t.Fatalf("Neighbors(0) = %v, want [1 2]", got)
+	}
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []VertexID{0, 1}) {
+		t.Fatalf("Neighbors(1) = %v, want [0 1]", got)
+	}
+	if !g.HasSelfLoops() {
+		t.Fatal("dedup dropped the self loop")
+	}
+	// Idempotence.
+	before := g.Clone()
+	g.dedupSorted()
+	graphsEqual(t, before, g, "dedupSorted idempotence")
+}

@@ -102,10 +102,3 @@ func (s Stats) String() string {
 		s.Vertices, s.UndirectedEdges, s.MinDegree, s.MedianDegree, s.MeanDegree,
 		s.DegreeP99, s.MaxDegree, s.GiniDegree)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -77,6 +77,59 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// GatherStats describes the memory-locality behaviour of a blocked
+// color-gather run — the software analogue of the accelerator's memory
+// counters. HotReads are neighbor colors served by the hot tier (index
+// below v_t, the HVC/HDC analog, §3.2.2); MergedReads stayed within the
+// worker's last-touched 64-color block (the DRAM read-merging analog,
+// MGR); ColdBlockLoads are fresh block fetches; PrunedTail counts sorted
+// adjacency entries skipped by uncolored-vertex pruning's tail break
+// (PUV).
+type GatherStats struct {
+	HotReads       int64
+	MergedReads    int64
+	ColdBlockLoads int64
+	PrunedTail     int64
+}
+
+// Add accumulates another worker's counters into g.
+func (g *GatherStats) Add(o GatherStats) {
+	g.HotReads += o.HotReads
+	g.MergedReads += o.MergedReads
+	g.ColdBlockLoads += o.ColdBlockLoads
+	g.PrunedTail += o.PrunedTail
+}
+
+// Reads returns the total number of neighbor color reads classified.
+func (g GatherStats) Reads() int64 {
+	return g.HotReads + g.MergedReads + g.ColdBlockLoads
+}
+
+// MergeRatio returns the fraction of cold-tier reads served by the
+// last-loaded block (the read-merging rate); 0 with no cold-tier reads.
+func (g GatherStats) MergeRatio() float64 {
+	cold := g.MergedReads + g.ColdBlockLoads
+	if cold == 0 {
+		return 0
+	}
+	return float64(g.MergedReads) / float64(cold)
+}
+
+// HotRatio returns the fraction of all reads served by the hot tier;
+// 0 with no reads.
+func (g GatherStats) HotRatio() float64 {
+	total := g.Reads()
+	if total == 0 {
+		return 0
+	}
+	return float64(g.HotReads) / float64(total)
+}
+
+func (g GatherStats) String() string {
+	return fmt.Sprintf("reads=%d (hot %.1f%%, merged %.1f%% of cold), pruned=%d",
+		g.Reads(), 100*g.HotRatio(), 100*g.MergeRatio(), g.PrunedTail)
+}
+
 // ParallelStats describes one run of a host-side speculative parallel
 // coloring engine (Speculative or ParallelBitwise in internal/coloring).
 // It is the software analogue of the per-PE counters the accelerator
@@ -97,6 +150,11 @@ type ParallelStats struct {
 	// VerticesPerWorker[w] is how many speculation-phase vertices worker
 	// w claimed from the shared cursor, summed over all rounds.
 	VerticesPerWorker []int64
+	// Gather aggregates the blocked color-gather's locality counters
+	// across workers; zero when the engine ran with the gather disabled.
+	Gather GatherStats
+	// HotThreshold is the gather's hot-tier boundary v_t (0 = disabled).
+	HotThreshold uint32
 }
 
 // TotalVertices sums the per-worker speculation counts.
