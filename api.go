@@ -1,6 +1,7 @@
 package bitcolor
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -162,53 +163,48 @@ const (
 	EngineParallelBitwise
 )
 
-// Engines returns every implemented software engine, in declaration
-// order. New engines must be added here (and given a String name) to be
-// reachable from ParseEngine and the CLIs; a round-trip test enforces it.
+// Engines returns every implemented software engine, in registry
+// (= declaration) order. The list is derived from the internal/coloring
+// engine registry, so a newly registered engine appears here, in
+// ParseEngine and in every CLI automatically.
 func Engines() []Engine {
-	return []Engine{
-		EngineGreedy, EngineBitwise, EngineDSATUR, EngineWelshPowell,
-		EngineSmallestLast, EngineJonesPlassmann, EngineLubyMIS, EngineRLF,
-		EngineSpeculative, EngineParallelBitwise,
+	infos := coloring.Engines()
+	out := make([]Engine, len(infos))
+	for i := range infos {
+		out[i] = Engine(i)
 	}
+	return out
 }
 
-// String names the engine.
+// String names the engine (the registry name used by the CLIs).
 func (e Engine) String() string {
-	switch e {
-	case EngineGreedy:
-		return "greedy"
-	case EngineBitwise:
-		return "bitwise"
-	case EngineDSATUR:
-		return "dsatur"
-	case EngineWelshPowell:
-		return "welshpowell"
-	case EngineSmallestLast:
-		return "smallestlast"
-	case EngineJonesPlassmann:
-		return "jonesplassmann"
-	case EngineLubyMIS:
-		return "lubymis"
-	case EngineRLF:
-		return "rlf"
-	case EngineSpeculative:
-		return "speculative"
-	case EngineParallelBitwise:
-		return "parallelbitwise"
-	default:
-		return fmt.Sprintf("Engine(%d)", int(e))
+	if info, ok := coloring.LookupIndex(int(e)); ok {
+		return info.Name
 	}
+	return fmt.Sprintf("Engine(%d)", int(e))
 }
+
+// Info returns the registry metadata for the engine: name, whether it is
+// parallel and/or seeded, which run statistics it emits, and a one-line
+// description.
+func (e Engine) Info() (EngineInfo, bool) {
+	return coloring.LookupIndex(int(e))
+}
+
+// EngineInfo is the registry's description of one engine.
+type EngineInfo = coloring.EngineInfo
+
+// EngineNames returns the registered engine names in registry order —
+// what ParseEngine accepts and the CLIs advertise.
+func EngineNames() []string { return coloring.EngineNames() }
 
 // ParseEngine resolves an engine name as used by the CLIs.
 func ParseEngine(name string) (Engine, error) {
-	for _, e := range Engines() {
-		if e.String() == name {
-			return e, nil
-		}
+	if i := coloring.Index(name); i >= 0 {
+		return Engine(i), nil
 	}
-	return 0, fmt.Errorf("bitcolor: unknown engine %q", name)
+	return 0, fmt.Errorf("bitcolor: unknown engine %q (have %s)",
+		name, strings.Join(coloring.EngineNames(), ", "))
 }
 
 // ColorOptions configure Color.
@@ -232,9 +228,15 @@ type ColorOptions struct {
 	HotVertices int
 }
 
-// ParallelStats reports how a host-parallel engine run went: rounds,
-// conflicts found and repaired, the per-worker work split, and the
-// gather's memory-path classification.
+// RunStats is the unified per-run statistics record every engine fills:
+// rounds, conflicts found and repaired, the per-worker work split, and
+// the gather's memory-path classification. Engines without a subsystem
+// leave the corresponding fields zero-valued (see the field docs in
+// internal/metrics).
+type RunStats = metrics.RunStats
+
+// ParallelStats is the former name of RunStats, kept for the original
+// host-parallel API surface.
 type ParallelStats = metrics.ParallelStats
 
 // GatherStats classifies the blocked color-gather's neighbor reads:
@@ -243,31 +245,29 @@ type ParallelStats = metrics.ParallelStats
 // HDC/MGR/PUV counters.
 type GatherStats = metrics.GatherStats
 
-// ColorParallel runs one of the host-parallel engines (EngineSpeculative
-// or EngineParallelBitwise) and returns its run statistics alongside the
-// verified coloring. Other engines are rejected; use Color for them.
-func ColorParallel(g *Graph, opts ColorOptions) (*Result, ParallelStats, error) {
-	if opts.MaxColors <= 0 {
-		opts.MaxColors = MaxColorsDefault
-	}
-	var (
-		res *Result
-		st  ParallelStats
-		err error
-	)
-	copts := coloring.Options{
+// engineOptions maps the public ColorOptions onto the registry's
+// engine-independent option set.
+func (opts ColorOptions) engineOptions() coloring.Options {
+	return coloring.Options{
+		MaxColors:     opts.MaxColors,
+		Seed:          opts.Seed,
 		Workers:       opts.Workers,
 		DisableGather: opts.DisableGather,
 		HotVertices:   opts.HotVertices,
 	}
-	switch opts.Engine {
-	case EngineSpeculative:
-		res, st, err = coloring.SpeculativeOpts(g, opts.MaxColors, copts)
-	case EngineParallelBitwise:
-		res, st, err = coloring.ParallelBitwiseOpts(g, opts.MaxColors, copts)
-	default:
-		return nil, st, fmt.Errorf("bitcolor: engine %v is not a host-parallel engine", opts.Engine)
+}
+
+// ColorContext runs a software coloring engine on g under ctx and returns
+// the verified proper coloring together with the engine's run statistics.
+// This is the single dispatch path: every engine resolves through the
+// registry, so no statistics are ever dropped and cancellation/deadlines
+// on ctx abort the run promptly with ctx.Err().
+func ColorContext(ctx context.Context, g *Graph, opts ColorOptions) (*Result, RunStats, error) {
+	info, ok := coloring.LookupIndex(int(opts.Engine))
+	if !ok {
+		return nil, RunStats{}, fmt.Errorf("bitcolor: unknown engine %v", opts.Engine)
 	}
+	res, st, err := info.Run(ctx, g, opts.engineOptions())
 	if err != nil {
 		return nil, st, err
 	}
@@ -278,48 +278,32 @@ func ColorParallel(g *Graph, opts ColorOptions) (*Result, ParallelStats, error) 
 }
 
 // Color runs a software coloring engine on g and returns a verified
-// proper coloring.
+// proper coloring. It is ColorContext without cancellation and with the
+// statistics dropped; use ColorContext when either matters.
 func Color(g *Graph, opts ColorOptions) (*Result, error) {
-	if opts.MaxColors <= 0 {
-		opts.MaxColors = MaxColorsDefault
+	res, _, err := ColorContext(context.Background(), g, opts)
+	return res, err
+}
+
+// ColorParallel runs one of the parallel engines (per the registry's
+// Parallel flag: EngineJonesPlassmann, EngineSpeculative or
+// EngineParallelBitwise) and returns its run statistics alongside the
+// verified coloring. Sequential engines are rejected; use Color or
+// ColorContext for them.
+func ColorParallel(g *Graph, opts ColorOptions) (*Result, ParallelStats, error) {
+	return ColorParallelContext(context.Background(), g, opts)
+}
+
+// ColorParallelContext is ColorParallel under a context.
+func ColorParallelContext(ctx context.Context, g *Graph, opts ColorOptions) (*Result, ParallelStats, error) {
+	info, ok := coloring.LookupIndex(int(opts.Engine))
+	if !ok {
+		return nil, ParallelStats{}, fmt.Errorf("bitcolor: unknown engine %v", opts.Engine)
 	}
-	var (
-		res *Result
-		err error
-	)
-	switch opts.Engine {
-	case EngineGreedy:
-		res, err = coloring.Greedy(g, opts.MaxColors)
-	case EngineBitwise:
-		res, err = coloring.BitwiseGreedy(g, opts.MaxColors, true)
-	case EngineDSATUR:
-		res, err = coloring.DSATUR(g, opts.MaxColors)
-	case EngineWelshPowell:
-		res, err = coloring.WelshPowell(g, opts.MaxColors)
-	case EngineSmallestLast:
-		res, err = coloring.SmallestLast(g, opts.MaxColors)
-	case EngineJonesPlassmann:
-		res, _, err = coloring.JonesPlassmann(g, opts.MaxColors, opts.Seed, opts.Workers)
-	case EngineLubyMIS:
-		res, _, err = coloring.LubyMIS(g, opts.MaxColors, opts.Seed)
-	case EngineRLF:
-		res, err = coloring.RLF(g, opts.MaxColors)
-	case EngineSpeculative:
-		res, _, err = coloring.SpeculativeOpts(g, opts.MaxColors, coloring.Options{
-			Workers: opts.Workers, DisableGather: opts.DisableGather, HotVertices: opts.HotVertices})
-	case EngineParallelBitwise:
-		res, _, err = coloring.ParallelBitwiseOpts(g, opts.MaxColors, coloring.Options{
-			Workers: opts.Workers, DisableGather: opts.DisableGather, HotVertices: opts.HotVertices})
-	default:
-		return nil, fmt.Errorf("bitcolor: unknown engine %v", opts.Engine)
+	if !info.Parallel {
+		return nil, ParallelStats{}, fmt.Errorf("bitcolor: engine %v is not a host-parallel engine", opts.Engine)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if err := coloring.Verify(g, res.Colors); err != nil {
-		return nil, fmt.Errorf("bitcolor: engine %v produced an invalid coloring: %w", opts.Engine, err)
-	}
-	return res, nil
+	return ColorContext(ctx, g, opts)
 }
 
 // Verify checks that colors is a proper coloring of g.
@@ -346,6 +330,12 @@ type ImproveOptions struct {
 // color count: iterated greedy re-coloring, Kempe-chain elimination of
 // the top color, and optional equitable rebalancing.
 func Improve(g *Graph, initial *Result, opts ImproveOptions) (*Result, error) {
+	return ImproveContext(context.Background(), g, initial, opts)
+}
+
+// ImproveContext is Improve under a context: the iterated-greedy rounds
+// poll ctx and a cancelled run returns ctx.Err().
+func ImproveContext(ctx context.Context, g *Graph, initial *Result, opts ImproveOptions) (*Result, error) {
 	if err := coloring.Verify(g, initial.Colors); err != nil {
 		return nil, fmt.Errorf("bitcolor: Improve needs a proper initial coloring: %w", err)
 	}
@@ -354,7 +344,7 @@ func Improve(g *Graph, initial *Result, opts ImproveOptions) (*Result, error) {
 	}
 	cur := initial
 	if opts.IteratedRounds > 0 {
-		improved, err := coloring.IteratedGreedy(g, cur, opts.IteratedRounds, opts.Seed, opts.MaxColors)
+		improved, err := coloring.IteratedGreedy(ctx, g, cur, opts.IteratedRounds, opts.Seed, opts.MaxColors)
 		if err != nil {
 			return nil, err
 		}

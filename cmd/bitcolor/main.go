@@ -6,149 +6,220 @@
 //	bitcolor -dataset GD -engine bitwise
 //	bitcolor -input graph.txt -engine accelerator -parallelism 16
 //	bitcolor -input graph.bcsr -engine dsatur -maxcolors 256
+//	bitcolor -dataset CL -engine parallelbitwise -timeout 30s
+//
+// Software-engine runs are cancellable: Ctrl-C (SIGINT) or -timeout
+// aborts the run promptly and prints the stages that completed instead
+// of dying mid-flight.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"bitcolor"
 )
 
+// runConfig carries every CLI knob; flags map onto it 1:1.
+type runConfig struct {
+	input       string // graph file (SNAP edge list or .bcsr)
+	dataset     string // synthetic dataset abbreviation
+	engine      string // engine name (registry) or "accelerator"
+	parallelism int    // accelerator BWPE count
+	workers     int    // host-parallel goroutines
+	cacheSize   int    // HVC capacity override
+	maxColors   int    // palette size
+	seed        int64
+	noPrep      bool // skip DBG reordering + edge sorting
+	verbose     bool
+	timeline    string // accelerator timeline CSV path
+	colorsOut   string // coloring output path
+}
+
 func main() {
-	var (
-		input       = flag.String("input", "", "graph file (SNAP edge list, or .bcsr binary)")
-		dataset     = flag.String("dataset", "", "synthetic dataset abbreviation (EF, GD, CD, CA, CL, RC, RP, RT, CO, CF)")
-		engineName  = flag.String("engine", "bitwise", "engine: greedy | bitwise | dsatur | welshpowell | smallestlast | jonesplassmann | lubymis | rlf | speculative | parallelbitwise | accelerator")
-		parallelism = flag.Int("parallelism", 16, "BWPE count for the accelerator engine (power of two)")
-		workers     = flag.Int("workers", 0, "goroutines for the host-parallel engines (jonesplassmann, speculative, parallelbitwise; 0 = GOMAXPROCS)")
-		cacheSize   = flag.Int("cache", 0, "HVC capacity in vertices (0 = auto-scale to ~1/8 of the graph; paper hardware: 512K)")
-		maxColors   = flag.Int("maxcolors", bitcolor.MaxColorsDefault, "palette size")
-		seed        = flag.Int64("seed", 1, "seed for generators and randomized engines")
-		noPrep      = flag.Bool("no-preprocess", false, "skip DBG reordering + edge sorting")
-		timeline    = flag.String("timeline", "", "write the accelerator's per-vertex task timeline to this CSV file")
-		colorsOut   = flag.String("colors", "", "write the final coloring (vertex color per line) to this file")
-		verbose     = flag.Bool("v", false, "print graph statistics")
-	)
+	var cfg runConfig
+	engineUsage := "engine: " + strings.Join(bitcolor.EngineNames(), " | ") + " | accelerator"
+	flag.StringVar(&cfg.input, "input", "", "graph file (SNAP edge list, or .bcsr binary)")
+	flag.StringVar(&cfg.dataset, "dataset", "", "synthetic dataset abbreviation (EF, GD, CD, CA, CL, RC, RP, RT, CO, CF)")
+	flag.StringVar(&cfg.engine, "engine", "bitwise", engineUsage)
+	flag.IntVar(&cfg.parallelism, "parallelism", 16, "BWPE count for the accelerator engine (power of two)")
+	flag.IntVar(&cfg.workers, "workers", 0, "goroutines for the host-parallel engines (jonesplassmann, speculative, parallelbitwise; 0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.cacheSize, "cache", 0, "HVC capacity in vertices (0 = auto-scale to ~1/8 of the graph; paper hardware: 512K)")
+	flag.IntVar(&cfg.maxColors, "maxcolors", bitcolor.MaxColorsDefault, "palette size")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for generators and randomized engines")
+	flag.BoolVar(&cfg.noPrep, "no-preprocess", false, "skip DBG reordering + edge sorting")
+	flag.StringVar(&cfg.timeline, "timeline", "", "write the accelerator's per-vertex task timeline to this CSV file")
+	flag.StringVar(&cfg.colorsOut, "colors", "", "write the final coloring (vertex color per line) to this file")
+	flag.BoolVar(&cfg.verbose, "v", false, "print graph statistics")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
-	if err := run(*input, *dataset, *engineName, *parallelism, *workers, *cacheSize, *maxColors, *seed, *noPrep, *verbose, *timeline, *colorsOut); err != nil {
+
+	// Ctrl-C cancels the in-flight run; the software engines notice at
+	// their next context checkpoint and the CLI reports partial progress.
+	// A second Ctrl-C kills the process via the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bitcolor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, dataset, engineName string, parallelism, workers, cacheSize, maxColors int, seed int64, noPrep, verbose bool, timeline, colorsOut string) error {
+func run(ctx context.Context, cfg runConfig) error {
 	var (
 		g   *bitcolor.Graph
 		err error
 	)
 	switch {
-	case input != "" && dataset != "":
+	case cfg.input != "" && cfg.dataset != "":
 		return fmt.Errorf("give either -input or -dataset, not both")
-	case input != "":
-		g, err = bitcolor.LoadGraph(input)
-	case dataset != "":
-		g, err = bitcolor.Generate(dataset, seed)
+	case cfg.input != "":
+		g, err = bitcolor.LoadGraph(cfg.input)
+	case cfg.dataset != "":
+		g, err = bitcolor.Generate(cfg.dataset, cfg.seed)
 	default:
 		return fmt.Errorf("need -input FILE or -dataset ABBREV (one of %v)", bitcolor.Datasets())
 	}
 	if err != nil {
 		return err
 	}
-	if verbose {
+	if cfg.verbose {
 		fmt.Printf("graph: %v vertices, %v undirected edges, max degree %d\n",
 			g.NumVertices(), g.UndirectedEdgeCount(), g.MaxDegree())
 	}
-	if !noPrep {
+
+	if cfg.engine == "accelerator" {
+		return runAccelerator(g, cfg)
+	}
+
+	eng, err := bitcolor.ParseEngine(cfg.engine)
+	if err != nil {
+		return err
+	}
+	info, _ := eng.Info()
+	pipe := bitcolor.Pipeline{
+		SkipPreprocess: cfg.noPrep,
+		Color: bitcolor.ColorOptions{
+			Engine: eng, MaxColors: cfg.maxColors, Seed: cfg.seed, Workers: cfg.workers,
+		},
+	}
+	start := time.Now()
+	pr, err := pipe.Run(ctx, g)
+	if err != nil {
+		if pr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			printPartial(pr, err, time.Since(start))
+		}
+		return err
+	}
+	if info.Parallel {
+		fmt.Printf("engine: %v (%d workers)\n", eng, pr.Stats.Workers)
+	} else {
+		fmt.Printf("engine: %v\n", eng)
+	}
+	fmt.Printf("colors used: %d\n", pr.Result.NumColors)
+	if pr.Stats.Rounds > 0 {
+		fmt.Printf("rounds: %d, conflicts: %d found / %d repaired, worker imbalance: %.2fx\n",
+			pr.Stats.Rounds, pr.Stats.ConflictsFound, pr.Stats.ConflictsRepaired, pr.Stats.Imbalance())
+	}
+	for _, s := range pr.Stages {
+		fmt.Printf("  %-10s %v\n", s.Name, s.Duration.Round(time.Microsecond))
+	}
+	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Microsecond))
+	return writeColors(cfg.colorsOut, pr.Result.Colors)
+}
+
+// printPartial reports how far a cancelled or deadlined run got.
+func printPartial(pr *bitcolor.PipelineResult, cause error, elapsed time.Duration) {
+	reason := "cancelled"
+	if errors.Is(cause, context.DeadlineExceeded) {
+		reason = "timed out"
+	}
+	fmt.Printf("%s after %v\n", reason, elapsed.Round(time.Microsecond))
+	if len(pr.Stages) == 0 {
+		fmt.Println("no stage completed")
+	}
+	for _, s := range pr.Stages {
+		fmt.Printf("  completed %-10s %v\n", s.Name, s.Duration.Round(time.Microsecond))
+	}
+	if pr.Stats.Workers > 0 {
+		fmt.Printf("  partial stats: %v\n", pr.Stats)
+	}
+}
+
+// runAccelerator drives the discrete-event simulator (not cancellable:
+// simulated time, not wall time, dominates and runs are short).
+func runAccelerator(g *bitcolor.Graph, cfg runConfig) error {
+	var err error
+	if !cfg.noPrep {
 		g, err = bitcolor.Preprocess(g)
 		if err != nil {
 			return err
 		}
 	}
-
 	start := time.Now()
-	if engineName == "accelerator" {
-		cfg := bitcolor.DefaultSimConfig(parallelism)
-		cfg.MaxColors = maxColors
-		cfg.RecordTimeline = timeline != ""
-		switch {
-		case cacheSize > 0:
-			cfg.CacheVertices = cacheSize
-		default:
-			// Auto-scale: cover roughly the top eighth of vertices so
-			// cache behaviour on scaled graphs matches the paper-scale
-			// regime (512K of millions).
-			auto := 64
-			for auto < g.NumVertices()/8 {
-				auto *= 2
-			}
-			cfg.CacheVertices = auto
+	simCfg := bitcolor.DefaultSimConfig(cfg.parallelism)
+	simCfg.MaxColors = cfg.maxColors
+	simCfg.RecordTimeline = cfg.timeline != ""
+	switch {
+	case cfg.cacheSize > 0:
+		simCfg.CacheVertices = cfg.cacheSize
+	default:
+		// Auto-scale: cover roughly the top eighth of vertices so
+		// cache behaviour on scaled graphs matches the paper-scale
+		// regime (512K of millions).
+		auto := 64
+		for auto < g.NumVertices()/8 {
+			auto *= 2
 		}
-		res, err := bitcolor.Simulate(g, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("engine: accelerator (P=%d)\n", parallelism)
-		fmt.Printf("colors used: %d\n", res.NumColors)
-		fmt.Printf("simulated cycles: %d (%.3f ms at 200 MHz)\n", res.TotalCycles, res.Seconds*1e3)
-		fmt.Printf("throughput: %.2f MCV/s (simulated), cache hit rate %.1f%%\n",
-			res.MCVps, 100*res.CacheHitRate)
-		fmt.Printf("DRAM: %d color reads (%d bursts), %d writes; conflicts deferred: %d\n",
-			res.ColorDRAM.Reads, res.ColorDRAM.BurstReads, res.ColorDRAM.Writes,
-			res.Aggregate.EdgesDeferred)
-		if timeline != "" {
-			f, err := os.Create(timeline)
-			if err != nil {
-				return err
-			}
-			if err := res.WriteTimelineCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("timeline written to %s (%d spans)\n", timeline, len(res.Timeline))
-		}
-		fmt.Printf("host wall time: %v\n", time.Since(start).Round(time.Millisecond))
-		return writeColors(colorsOut, res.Colors)
+		simCfg.CacheVertices = auto
 	}
-
-	eng, err := bitcolor.ParseEngine(engineName)
+	res, err := bitcolor.Simulate(g, simCfg)
 	if err != nil {
 		return err
 	}
-	opts := bitcolor.ColorOptions{
-		Engine: eng, MaxColors: maxColors, Seed: seed, Workers: workers,
-	}
-	var res *bitcolor.Result
-	if eng == bitcolor.EngineSpeculative || eng == bitcolor.EngineParallelBitwise {
-		var st bitcolor.ParallelStats
-		res, st, err = bitcolor.ColorParallel(g, opts)
+	fmt.Printf("engine: accelerator (P=%d)\n", cfg.parallelism)
+	fmt.Printf("colors used: %d\n", res.NumColors)
+	fmt.Printf("simulated cycles: %d (%.3f ms at 200 MHz)\n", res.TotalCycles, res.Seconds*1e3)
+	fmt.Printf("throughput: %.2f MCV/s (simulated), cache hit rate %.1f%%\n",
+		res.MCVps, 100*res.CacheHitRate)
+	fmt.Printf("DRAM: %d color reads (%d bursts), %d writes; conflicts deferred: %d\n",
+		res.ColorDRAM.Reads, res.ColorDRAM.BurstReads, res.ColorDRAM.Writes,
+		res.Aggregate.EdgesDeferred)
+	if cfg.timeline != "" {
+		f, err := os.Create(cfg.timeline)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("engine: %v (%d workers)\n", eng, st.Workers)
-		fmt.Printf("colors used: %d\n", res.NumColors)
-		fmt.Printf("rounds: %d, conflicts: %d found / %d repaired, worker imbalance: %.2fx\n",
-			st.Rounds, st.ConflictsFound, st.ConflictsRepaired, st.Imbalance())
-	} else {
-		res, err = bitcolor.Color(g, opts)
-		if err != nil {
+		if err := res.WriteTimelineCSV(f); err != nil {
+			f.Close()
 			return err
 		}
-		fmt.Printf("engine: %v\n", eng)
-		fmt.Printf("colors used: %d\n", res.NumColors)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("timeline written to %s (%d spans)\n", cfg.timeline, len(res.Timeline))
 	}
-	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Microsecond))
-	return writeColors(colorsOut, res.Colors)
+	fmt.Printf("host wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	return writeColors(cfg.colorsOut, res.Colors)
 }
 
-// writeColors emits "vertex color" lines, 0-based vertices on the
-// (possibly reordered) processing graph.
+// writeColors emits "vertex color" lines. Software engines write colors
+// for the ORIGINAL vertex IDs (the pipeline undoes the preprocessing
+// permutation); the accelerator writes colors on its reordered
+// processing graph.
 func writeColors(path string, colors []uint16) error {
 	if path == "" {
 		return nil

@@ -1,35 +1,62 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"bitcolor"
 )
 
+// cfg builds a runConfig with the defaults the flag set would apply.
+func cfg(mut func(*runConfig)) runConfig {
+	c := runConfig{
+		engine:    "bitwise",
+		maxColors: 1024,
+		seed:      1,
+		workers:   4,
+	}
+	if mut != nil {
+		mut(&c)
+	}
+	return c
+}
+
 func TestRunSoftwareEngine(t *testing.T) {
-	if err := run("", "EF", "bitwise", 0, 4, 0, 1024, 1, false, true, "", ""); err != nil {
+	c := cfg(func(c *runConfig) { c.dataset = "EF"; c.verbose = true })
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunParallelEngines(t *testing.T) {
-	if err := run("", "EF", "parallelbitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err != nil {
+	c := cfg(func(c *runConfig) { c.dataset = "EF"; c.engine = "parallelbitwise" })
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "EF", "speculative", 0, 2, 0, 1024, 1, false, false, "", ""); err != nil {
+	c = cfg(func(c *runConfig) { c.dataset = "EF"; c.engine = "speculative"; c.workers = 2 })
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAcceleratorEngine(t *testing.T) {
-	if err := run("", "EF", "accelerator", 4, 4, 0, 1024, 1, false, false, "", ""); err != nil {
+	c := cfg(func(c *runConfig) { c.dataset = "EF"; c.engine = "accelerator"; c.parallelism = 4 })
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit cache size.
-	if err := run("", "EF", "accelerator", 2, 4, 512, 1024, 1, false, false, "", ""); err != nil {
+	c = cfg(func(c *runConfig) {
+		c.dataset = "EF"
+		c.engine = "accelerator"
+		c.parallelism = 2
+		c.cacheSize = 512
+	})
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,20 +70,29 @@ func TestRunFromFile(t *testing.T) {
 	if err := bitcolor.SaveGraph(path, g); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "greedy", 0, 4, 0, 1024, 1, false, false, "", ""); err != nil {
+	c := cfg(func(c *runConfig) { c.input = path; c.engine = "greedy" })
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoPreprocess(t *testing.T) {
-	if err := run("", "EF", "dsatur", 0, 4, 0, 1024, 1, true, false, "", ""); err != nil {
+	c := cfg(func(c *runConfig) { c.dataset = "EF"; c.engine = "dsatur"; c.noPrep = true })
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTimeline(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tl.csv")
-	if err := run("", "EF", "accelerator", 2, 4, 512, 1024, 1, false, false, path, ""); err != nil {
+	c := cfg(func(c *runConfig) {
+		c.dataset = "EF"
+		c.engine = "accelerator"
+		c.parallelism = 2
+		c.cacheSize = 512
+		c.timeline = path
+	})
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -70,7 +106,8 @@ func TestRunTimeline(t *testing.T) {
 
 func TestRunColorsOutput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "colors.txt")
-	if err := run("", "EF", "bitwise", 0, 4, 0, 1024, 1, false, false, "", path); err != nil {
+	c := cfg(func(c *runConfig) { c.dataset = "EF"; c.colorsOut = path })
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -82,20 +119,46 @@ func TestRunColorsOutput(t *testing.T) {
 	}
 }
 
+// TestRunCancelPartialStats exercises the Ctrl-C / -timeout path: a
+// pre-cancelled context must abort the software run with ctx.Err()
+// instead of completing or crashing.
+func TestRunCancelPartialStats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := cfg(func(c *runConfig) { c.dataset = "EF"; c.engine = "parallelbitwise" })
+	err := run(ctx, c)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunTimeoutExpired drives the -timeout wiring end to end with a
+// deadline that has already passed.
+func TestRunTimeoutExpired(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	c := cfg(func(c *runConfig) { c.dataset = "EF"; c.engine = "greedy" })
+	err := run(ctx, c)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "bitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
+	bg := context.Background()
+	if err := run(bg, cfg(func(c *runConfig) { c.dataset = "" })); err == nil {
 		t.Fatal("missing input accepted")
 	}
-	if err := run("x.txt", "EF", "bitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run(bg, cfg(func(c *runConfig) { c.input = "x.txt"; c.dataset = "EF" })); err == nil {
 		t.Fatal("both input and dataset accepted")
 	}
-	if err := run("", "EF", "quantum", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run(bg, cfg(func(c *runConfig) { c.dataset = "EF"; c.engine = "quantum" })); err == nil {
 		t.Fatal("bogus engine accepted")
 	}
-	if err := run("", "XX", "bitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run(bg, cfg(func(c *runConfig) { c.dataset = "XX" })); err == nil {
 		t.Fatal("bogus dataset accepted")
 	}
-	if err := run("/nonexistent/file.txt", "", "bitwise", 0, 4, 0, 1024, 1, false, false, "", ""); err == nil {
+	if err := run(bg, cfg(func(c *runConfig) { c.input = "/nonexistent/file.txt" })); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

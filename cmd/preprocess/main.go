@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -111,7 +112,7 @@ func run(input, dataset, out string, seed int64, showTime bool, parallel int) er
 
 	if showTime {
 		start = time.Now()
-		res, err := coloring.Greedy(prepared, coloring.MaxColorsDefault)
+		res, err := coloring.Greedy(context.Background(), prepared, coloring.MaxColorsDefault)
 		if err != nil {
 			return err
 		}

@@ -4,15 +4,18 @@
 //
 // The package offers three levels of use:
 //
-//   - Software coloring. Color runs any of the implemented algorithms —
+//   - Software coloring. Color runs any of the registered engines —
 //     the paper's basic greedy (Algorithm 1) and bit-wise greedy
 //     (Algorithm 2), plus DSATUR, Welsh–Powell, smallest-last,
-//     Jones–Plassmann and Luby-MIS baselines — on a CSR graph. The
-//     host-parallel engines (EngineSpeculative and EngineParallelBitwise,
-//     the latter fusing the bit-wise first-fit into speculative
-//     multicore coloring with in-place conflict repair) run via
-//     ColorParallel, which also reports rounds, conflicts and the
-//     per-worker work split.
+//     Jones–Plassmann, Luby-MIS, RLF and two speculative multicore
+//     engines (EngineParallelBitwise fuses the bit-wise first-fit into
+//     speculative coloring with in-place conflict repair) — on a CSR
+//     graph. All engines share one registry contract: ColorContext
+//     takes a context.Context (cancellation is honored mid-run) and
+//     returns RunStats (rounds, conflicts, work split, gather counters)
+//     alongside the result. Pipeline composes
+//     Preprocess → Color → Improve → Verify with per-stage timings and
+//     returns colors in the original vertex IDs.
 //
 //   - Accelerator simulation. Simulate runs the full BitColor design on
 //     a cycle-approximate discrete-event model: parallel BWPEs, the

@@ -1,0 +1,61 @@
+package bitcolor
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRegistryReadmeTable keeps the README engine table in lock-step
+// with the engine registry: one row per registered engine, in
+// registration order, with the registry's name, description, Parallel
+// flag and Stats string.
+func TestRegistryReadmeTable(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]string
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "| `Engine") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		// Leading/trailing pipes give empty first/last cells.
+		if len(cells) != 7 {
+			t.Fatalf("engine row has %d cells: %q", len(cells)-2, line)
+		}
+		row := make([]string, 0, 5)
+		for _, c := range cells[1:6] {
+			row = append(row, strings.Trim(strings.TrimSpace(c), "`"))
+		}
+		rows = append(rows, row)
+	}
+	engines := Engines()
+	if len(rows) != len(engines) {
+		t.Fatalf("README lists %d engines, registry has %d", len(rows), len(engines))
+	}
+	for i, e := range engines {
+		info, ok := e.Info()
+		if !ok {
+			t.Fatalf("%v: no registry entry", e)
+		}
+		row := rows[i]
+		if row[1] != info.Name {
+			t.Errorf("row %d: README name %q, registry %q", i, row[1], info.Name)
+		}
+		if row[2] != info.Description {
+			t.Errorf("%s: README algorithm %q, registry description %q", info.Name, row[2], info.Description)
+		}
+		wantPar := "no"
+		if info.Parallel {
+			wantPar = "yes"
+		}
+		if row[3] != wantPar {
+			t.Errorf("%s: README parallel %q, registry %q", info.Name, row[3], wantPar)
+		}
+		if row[4] != info.Stats {
+			t.Errorf("%s: README stats %q, registry %q", info.Name, row[4], info.Stats)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -101,7 +102,7 @@ func ChromaticNumber(g *graph.CSR) (int, error) {
 		return 0, ErrTooLarge
 	}
 	// Upper bound from greedy on degeneracy order; lower bound 1.
-	res, err := SmallestLast(g, n+1)
+	res, err := SmallestLast(context.Background(), g, n+1)
 	if err != nil {
 		return 0, err
 	}

@@ -18,6 +18,13 @@ import (
 // MaxColorsDefault is the paper's configured palette size (§5.1.1).
 const MaxColorsDefault = 1024
 
+// ctxStrideMask sets how often the sequential engines poll ctx.Err():
+// every 64K vertices (indices where v&mask == 0, so a pre-cancelled
+// context is caught before the first vertex). One atomic load per 2^16
+// vertices is unmeasurable next to the per-vertex work; the parallel
+// engines poll at block-claim and round boundaries instead.
+const ctxStrideMask = 1<<16 - 1
+
 // Result is the output of a coloring run.
 type Result struct {
 	// Colors[v] is the 1-based color of vertex v; 0 means uncolored.

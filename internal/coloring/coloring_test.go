@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -39,7 +40,7 @@ func paperExample(t testing.TB) *graph.CSR {
 
 func TestGreedyPaperExample(t *testing.T) {
 	g := paperExample(t)
-	res, err := Greedy(g, 16)
+	res, err := Greedy(context.Background(), g, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestGreedyPaperExample(t *testing.T) {
 
 func TestGreedyTriangle(t *testing.T) {
 	g, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
-	res, err := Greedy(g, 16)
+	res, err := Greedy(context.Background(), g, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestGreedyBipartite(t *testing.T) {
 		}
 	}
 	g, _ := graph.FromEdgeList(6, edges)
-	res, err := Greedy(g, 16)
+	res, err := Greedy(context.Background(), g, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,11 +93,11 @@ func TestGreedyBipartite(t *testing.T) {
 
 func TestGreedyPaletteExhausted(t *testing.T) {
 	g, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
-	_, err := Greedy(g, 2)
+	_, err := Greedy(context.Background(), g, 2)
 	if !errors.Is(err, ErrPaletteExhausted) {
 		t.Fatalf("err = %v, want palette exhausted", err)
 	}
-	_, err = BitwiseGreedy(g, 2, false)
+	_, err = BitwiseGreedy(context.Background(), g, 2, false)
 	if !errors.Is(err, ErrPaletteExhausted) {
 		t.Fatalf("bitwise err = %v, want palette exhausted", err)
 	}
@@ -104,7 +105,7 @@ func TestGreedyPaletteExhausted(t *testing.T) {
 
 func TestGreedyStatsBreakdown(t *testing.T) {
 	g := paperExample(t)
-	res, err := Greedy(g, 16)
+	res, err := Greedy(context.Background(), g, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,12 +129,12 @@ func TestGreedyStatsBreakdown(t *testing.T) {
 func TestBitwiseMatchesBasicGreedy(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		g := randomGraph(t, 300, 2500, seed)
-		basic, err := Greedy(g, MaxColorsDefault)
+		basic, err := Greedy(context.Background(), g, MaxColorsDefault)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, prune := range []bool{false, true} {
-			bw, err := BitwiseGreedy(g, MaxColorsDefault, prune)
+			bw, err := BitwiseGreedy(context.Background(), g, MaxColorsDefault, prune)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -149,7 +150,7 @@ func TestBitwiseMatchesBasicGreedy(t *testing.T) {
 
 func TestBitwiseStage1IsConstant(t *testing.T) {
 	g := randomGraph(t, 500, 6000, 1)
-	res, err := BitwiseGreedy(g, MaxColorsDefault, false)
+	res, err := BitwiseGreedy(context.Background(), g, MaxColorsDefault, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestBitwiseStage1IsConstant(t *testing.T) {
 		t.Fatalf("bitwise Stage1 ops = %d+%d, want %d+%d (O(1) per vertex)",
 			res.Stats.Stage1ScanOps, res.Stats.Stage1ClearOps, n, n)
 	}
-	basic, err := Greedy(g, MaxColorsDefault)
+	basic, err := Greedy(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestPruningSkipsExactlyHigherNeighbors(t *testing.T) {
 	g := randomGraph(t, 200, 1200, 2)
 	// In a symmetric graph exactly half the directed edges point to a
 	// higher index (no self loops).
-	res, err := BitwiseGreedy(g, MaxColorsDefault, true)
+	res, err := BitwiseGreedy(context.Background(), g, MaxColorsDefault, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestGreedyOrderedCustomOrder(t *testing.T) {
 	for i := range order {
 		order[i] = graph.VertexID(99 - i)
 	}
-	res, err := GreedyOrdered(g, order, MaxColorsDefault)
+	res, err := GreedyOrdered(context.Background(), g, order, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestGreedyOrderedCustomOrder(t *testing.T) {
 
 func TestWelshPowell(t *testing.T) {
 	g := randomGraph(t, 300, 3000, 4)
-	res, err := WelshPowell(g, MaxColorsDefault)
+	res, err := WelshPowell(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,11 +217,11 @@ func TestWelshPowell(t *testing.T) {
 func TestWelshPowellEqualsDBGGreedy(t *testing.T) {
 	g := randomGraph(t, 200, 1500, 5)
 	h, _ := reorder.DBG(g)
-	wp, err := WelshPowell(h, MaxColorsDefault)
+	wp, err := WelshPowell(context.Background(), h, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bw, err := BitwiseGreedy(h, MaxColorsDefault, true)
+	bw, err := BitwiseGreedy(context.Background(), h, MaxColorsDefault, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestWelshPowellEqualsDBGGreedy(t *testing.T) {
 
 func TestDSATUR(t *testing.T) {
 	g := randomGraph(t, 300, 3000, 6)
-	res, err := DSATUR(g, MaxColorsDefault)
+	res, err := DSATUR(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestDSATUR(t *testing.T) {
 		t.Fatal(err)
 	}
 	// DSATUR should not be worse than naive greedy by much; sanity bound.
-	basic, _ := Greedy(g, MaxColorsDefault)
+	basic, _ := Greedy(context.Background(), g, MaxColorsDefault)
 	if res.NumColors > basic.NumColors+2 {
 		t.Fatalf("DSATUR used %d colors vs greedy %d", res.NumColors, basic.NumColors)
 	}
@@ -247,7 +248,7 @@ func TestDSATUR(t *testing.T) {
 
 func TestDSATURTriangleExact(t *testing.T) {
 	g, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
-	res, err := DSATUR(g, 8)
+	res, err := DSATUR(context.Background(), g, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestSmallestLast(t *testing.T) {
 		}
 		seen[v] = true
 	}
-	res, err := SmallestLast(g, MaxColorsDefault)
+	res, err := SmallestLast(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestSmallestLast(t *testing.T) {
 
 func TestJonesPlassmann(t *testing.T) {
 	g := randomGraph(t, 500, 4000, 8)
-	res, rounds, err := JonesPlassmann(g, MaxColorsDefault, 42, 4)
+	res, rounds, err := JonesPlassmann(context.Background(), g, MaxColorsDefault, 42, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,11 +295,11 @@ func TestJonesPlassmann(t *testing.T) {
 
 func TestJonesPlassmannSingleWorkerMatchesParallelValidity(t *testing.T) {
 	g := randomGraph(t, 200, 1500, 9)
-	r1, _, err := JonesPlassmann(g, MaxColorsDefault, 7, 1)
+	r1, _, err := JonesPlassmann(context.Background(), g, MaxColorsDefault, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, _, err := JonesPlassmann(g, MaxColorsDefault, 7, 8)
+	r8, _, err := JonesPlassmann(context.Background(), g, MaxColorsDefault, 7, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestJonesPlassmannSingleWorkerMatchesParallelValidity(t *testing.T) {
 
 func TestLubyMIS(t *testing.T) {
 	g := randomGraph(t, 300, 2000, 10)
-	res, rounds, err := LubyMIS(g, MaxColorsDefault, 11)
+	res, rounds, err := LubyMIS(context.Background(), g, MaxColorsDefault, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestChromaticNumberEmptyAndEdgeless(t *testing.T) {
 
 func TestVerifyDetectsViolations(t *testing.T) {
 	g := paperExample(t)
-	res, _ := Greedy(g, 16)
+	res, _ := Greedy(context.Background(), g, 16)
 	bad := append([]uint16(nil), res.Colors...)
 	bad[0] = bad[1]
 	if err := Verify(g, bad); err == nil {
@@ -417,26 +418,26 @@ func TestAllAlgorithmsProper(t *testing.T) {
 		n := int(nRaw%80) + 5
 		g := randomGraph(t, n, 5*n, seed)
 		maxDeg := g.MaxDegree()
-		basic, err := Greedy(g, n+1)
+		basic, err := Greedy(context.Background(), g, n+1)
 		if err != nil || Verify(g, basic.Colors) != nil {
 			return false
 		}
 		if basic.NumColors > maxDeg+1 {
 			return false
 		}
-		bw, err := BitwiseGreedy(g, n+1, true)
+		bw, err := BitwiseGreedy(context.Background(), g, n+1, true)
 		if err != nil || Verify(g, bw.Colors) != nil {
 			return false
 		}
-		ds, err := DSATUR(g, n+1)
+		ds, err := DSATUR(context.Background(), g, n+1)
 		if err != nil || Verify(g, ds.Colors) != nil {
 			return false
 		}
-		jp, _, err := JonesPlassmann(g, n+1, seed, 2)
+		jp, _, err := JonesPlassmann(context.Background(), g, n+1, seed, 2)
 		if err != nil || Verify(g, jp.Colors) != nil {
 			return false
 		}
-		lb, _, err := LubyMIS(g, n+1, seed)
+		lb, _, err := LubyMIS(context.Background(), g, n+1, seed)
 		if err != nil || Verify(g, lb.Colors) != nil {
 			return false
 		}
@@ -457,7 +458,7 @@ func TestGreedyOnPaperDatasets(t *testing.T) {
 				t.Fatal(err)
 			}
 			h, _ := reorder.DBG(g)
-			res, err := BitwiseGreedy(h, MaxColorsDefault, true)
+			res, err := BitwiseGreedy(context.Background(), h, MaxColorsDefault, true)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -474,7 +475,7 @@ func BenchmarkGreedyBasic(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Greedy(h, MaxColorsDefault); err != nil {
+		if _, err := Greedy(context.Background(), h, MaxColorsDefault); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -486,7 +487,7 @@ func BenchmarkGreedyBitwise(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := BitwiseGreedy(h, MaxColorsDefault, true); err != nil {
+		if _, err := BitwiseGreedy(context.Background(), h, MaxColorsDefault, true); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -494,7 +495,7 @@ func BenchmarkGreedyBitwise(b *testing.B) {
 
 func TestSpeculativeProper(t *testing.T) {
 	g := randomGraph(t, 800, 8000, 13)
-	res, rounds, err := Speculative(g, MaxColorsDefault, 8)
+	res, rounds, err := Speculative(context.Background(), g, MaxColorsDefault, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,14 +509,14 @@ func TestSpeculativeProper(t *testing.T) {
 
 func TestSpeculativeSingleWorkerEqualsGreedy(t *testing.T) {
 	g := randomGraph(t, 300, 2000, 14)
-	res, rounds, err := Speculative(g, MaxColorsDefault, 1)
+	res, rounds, err := Speculative(context.Background(), g, MaxColorsDefault, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rounds != 1 {
 		t.Fatalf("single worker needed %d rounds", rounds)
 	}
-	want, _ := Greedy(g, MaxColorsDefault)
+	want, _ := Greedy(context.Background(), g, MaxColorsDefault)
 	for v := range want.Colors {
 		if res.Colors[v] != want.Colors[v] {
 			t.Fatalf("vertex %d: speculative %d greedy %d", v, res.Colors[v], want.Colors[v])
@@ -525,7 +526,7 @@ func TestSpeculativeSingleWorkerEqualsGreedy(t *testing.T) {
 
 func TestSpeculativeStats(t *testing.T) {
 	g := randomGraph(t, 800, 8000, 13)
-	res, st, err := SpeculativeStats(g, MaxColorsDefault, 8)
+	res, st, err := SpeculativeStats(context.Background(), g, MaxColorsDefault, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -547,14 +548,14 @@ func TestSpeculativeStats(t *testing.T) {
 
 func TestSpeculativePaletteExhausted(t *testing.T) {
 	tri, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
-	if _, _, err := Speculative(tri, 2, 2); !errors.Is(err, ErrPaletteExhausted) {
+	if _, _, err := Speculative(context.Background(), tri, 2, 2); !errors.Is(err, ErrPaletteExhausted) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestSpeculativeEmptyGraph(t *testing.T) {
 	g, _ := graph.FromEdgeList(0, nil)
-	res, rounds, err := Speculative(g, 4, 4)
+	res, rounds, err := Speculative(context.Background(), g, 4, 4)
 	if err != nil || rounds != 0 || len(res.Colors) != 0 {
 		t.Fatalf("empty: %v %d", err, rounds)
 	}
@@ -591,9 +592,9 @@ func TestKnownChromaticNumbers(t *testing.T) {
 			}
 			// Every heuristic must use at least chi colors and stay proper.
 			for name, run := range map[string]func() (*Result, error){
-				"greedy": func() (*Result, error) { return Greedy(g, 64) },
-				"dsatur": func() (*Result, error) { return DSATUR(g, 64) },
-				"rlf":    func() (*Result, error) { return RLF(g, 64) },
+				"greedy": func() (*Result, error) { return Greedy(context.Background(), g, 64) },
+				"dsatur": func() (*Result, error) { return DSATUR(context.Background(), g, 64) },
+				"rlf":    func() (*Result, error) { return RLF(context.Background(), g, 64) },
 			} {
 				res, err := run()
 				if err != nil {
@@ -614,11 +615,11 @@ func TestKnownChromaticNumbers(t *testing.T) {
 // clear-loop implementation differs.
 func TestGreedyLiteralEqualsGreedy(t *testing.T) {
 	g := randomGraph(t, 400, 3500, 15)
-	a, err := Greedy(g, MaxColorsDefault)
+	a, err := Greedy(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := GreedyLiteral(g, MaxColorsDefault)
+	b, err := GreedyLiteral(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -632,7 +633,7 @@ func TestGreedyLiteralEqualsGreedy(t *testing.T) {
 		b.Stats.Stage1ClearOps != int64(g.NumVertices())*int64(MaxColorsDefault) {
 		t.Fatalf("literal clear ops = %d", b.Stats.Stage1ClearOps)
 	}
-	if _, err := GreedyLiteral(g, 2); err == nil {
+	if _, err := GreedyLiteral(context.Background(), g, 2); err == nil {
 		t.Fatal("undersized palette accepted")
 	}
 }

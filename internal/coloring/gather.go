@@ -28,9 +28,16 @@ import (
 // color words it spans two adjacent 128-byte cache lines.
 const colorBlockShift = 6
 
-// Options configures the host-parallel engines (Speculative and
-// ParallelBitwise).
+// Options is the engine-independent option set of the EngineFunc registry
+// contract. Every registered engine reads MaxColors; the randomized
+// engines read Seed; the parallel engines read Workers; the host-parallel
+// speculative engines additionally read the gather fields. Engines ignore
+// options that do not apply to them.
 type Options struct {
+	// MaxColors bounds the palette (<=0: MaxColorsDefault).
+	MaxColors int
+	// Seed feeds the randomized engines (Jones–Plassmann, Luby).
+	Seed int64
 	// Workers bounds the goroutine count (<=0: GOMAXPROCS).
 	Workers int
 	// DisableGather switches off the blocked color-gather and PUV tail
@@ -40,6 +47,14 @@ type Options struct {
 	// HotVertices overrides the hot-tier threshold v_t (0: automatic via
 	// cache.HotThreshold).
 	HotVertices int
+}
+
+// maxColors resolves the palette bound, applying the default.
+func (o Options) maxColors() int {
+	if o.MaxColors <= 0 {
+		return MaxColorsDefault
+	}
+	return o.MaxColors
 }
 
 // gather is one worker's locality-aware view of the shared color array.

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"testing"
 
 	"bitcolor/internal/cache"
@@ -18,13 +19,13 @@ func TestGatherAblationIdenticalAtOneWorker(t *testing.T) {
 			opts := Options{Workers: 1, DisableGather: disable}
 			var colors []uint16
 			if engine == "parallelbitwise" {
-				res, _, err := ParallelBitwiseOpts(h, MaxColorsDefault, opts)
+				res, _, err := ParallelBitwiseOpts(context.Background(), h, MaxColorsDefault, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
 				colors = res.Colors
 			} else {
-				res, _, err := SpeculativeOpts(h, MaxColorsDefault, opts)
+				res, _, err := SpeculativeOpts(context.Background(), h, MaxColorsDefault, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -47,7 +48,7 @@ func TestGatherAblationIdenticalAtOneWorker(t *testing.T) {
 func TestGatherStatsOnDBGGraph(t *testing.T) {
 	g := randomGraph(t, 2000, 24000, 9)
 	h, _ := reorder.DBG(g)
-	res, st, err := ParallelBitwiseOpts(h, MaxColorsDefault, Options{Workers: 4})
+	res, st, err := ParallelBitwiseOpts(context.Background(), h, MaxColorsDefault, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestGatherStatsOnDBGGraph(t *testing.T) {
 func TestGatherHotThresholdOverride(t *testing.T) {
 	g := randomGraph(t, 3000, 40000, 33)
 	h, _ := reorder.DBG(g)
-	_, st, err := ParallelBitwiseOpts(h, MaxColorsDefault, Options{Workers: 2, HotVertices: 128})
+	_, st, err := ParallelBitwiseOpts(context.Background(), h, MaxColorsDefault, Options{Workers: 2, HotVertices: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestGatherHotThresholdOverride(t *testing.T) {
 // the legacy codec path.
 func TestGatherDisabledZeroStats(t *testing.T) {
 	g := randomGraph(t, 500, 4000, 3)
-	res, st, err := ParallelBitwiseOpts(g, MaxColorsDefault, Options{Workers: 4, DisableGather: true})
+	res, st, err := ParallelBitwiseOpts(context.Background(), g, MaxColorsDefault, Options{Workers: 4, DisableGather: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +130,11 @@ func TestSpeculativeGatherQualityOnTable3(t *testing.T) {
 				t.Fatal(err)
 			}
 			h, _ := reorder.DBG(g)
-			seq, err := BitwiseGreedy(h, MaxColorsDefault, true)
+			seq, err := BitwiseGreedy(context.Background(), h, MaxColorsDefault, true)
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, st, err := SpeculativeOpts(h, MaxColorsDefault, Options{Workers: 4})
+			res, st, err := SpeculativeOpts(context.Background(), h, MaxColorsDefault, Options{Workers: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,7 +157,7 @@ func TestSpeculativeGatherQualityOnTable3(t *testing.T) {
 func TestSpeculativeGatherRaceStress(t *testing.T) {
 	g := randomGraph(t, 500, 12000, 77)
 	for i := 0; i < 5; i++ {
-		res, _, err := SpeculativeOpts(g, MaxColorsDefault, Options{Workers: 8})
+		res, _, err := SpeculativeOpts(context.Background(), g, MaxColorsDefault, Options{Workers: 8})
 		if err != nil {
 			t.Fatal(err)
 		}

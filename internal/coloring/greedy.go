@@ -1,6 +1,8 @@
 package coloring
 
 import (
+	"context"
+
 	"bitcolor/internal/bitops"
 	"bitcolor/internal/graph"
 )
@@ -8,11 +10,12 @@ import (
 // Greedy runs the paper's Algorithm 1, the basic greedy coloring, over
 // vertices in index order, with a flag-array color scan. maxColors bounds
 // the palette (use MaxColorsDefault for the paper's configuration).
+// Cancellation via ctx is polled every ctxStride vertices.
 //
 // The returned OpStats separates the three stages so the Fig 3(a)
 // breakdown can be reproduced: Stage 0 neighbor traversal, Stage 1 color
 // traversal + flag clearing, Stage 2 color update.
-func Greedy(g *graph.CSR, maxColors int) (*Result, error) {
+func Greedy(ctx context.Context, g *graph.CSR, maxColors int) (*Result, error) {
 	n := g.NumVertices()
 	colors := make([]uint16, n)
 	// color_flag[COLOR_NUMBER]: allocated once. Algorithm 1's clear loop
@@ -24,6 +27,11 @@ func Greedy(g *graph.CSR, maxColors int) (*Result, error) {
 	flags := make([]bool, maxColors+1)
 	var st OpStats
 	for v := 0; v < n; v++ {
+		if v&ctxStrideMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Stage 0: neighbor vertices traversal.
 		highest := 0
 		for _, w := range g.Neighbors(graph.VertexID(v)) {
@@ -67,12 +75,17 @@ func Greedy(g *graph.CSR, maxColors int) (*Result, error) {
 // exists for wall-clock measurements (Table 2) where the baseline's real
 // cost matters, and as the reference the optimized variants are checked
 // against.
-func GreedyLiteral(g *graph.CSR, maxColors int) (*Result, error) {
+func GreedyLiteral(ctx context.Context, g *graph.CSR, maxColors int) (*Result, error) {
 	n := g.NumVertices()
 	colors := make([]uint16, n)
 	flags := make([]bool, maxColors+1)
 	var st OpStats
 	for v := 0; v < n; v++ {
+		if v&ctxStrideMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, w := range g.Neighbors(graph.VertexID(v)) {
 			st.Stage0Ops++
 			flags[colors[w]] = true
@@ -107,13 +120,18 @@ func GreedyLiteral(g *graph.CSR, maxColors int) (*Result, error) {
 // greater than the current vertex cannot be colored yet and are skipped.
 // Pruning never changes the result, only the work done — a property the
 // tests assert.
-func BitwiseGreedy(g *graph.CSR, maxColors int, prune bool) (*Result, error) {
+func BitwiseGreedy(ctx context.Context, g *graph.CSR, maxColors int, prune bool) (*Result, error) {
 	n := g.NumVertices()
 	colors := make([]uint16, n)
 	codec := bitops.NewColorCodec(maxColors)
 	state := bitops.NewBitSet(maxColors)
 	var st OpStats
 	for v := 0; v < n; v++ {
+		if v&ctxStrideMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Stage 0: neighbor traversal with Bit-OR accumulation.
 		for _, w := range g.Neighbors(graph.VertexID(v)) {
 			if prune && int(w) > v {
@@ -142,13 +160,18 @@ func BitwiseGreedy(g *graph.CSR, maxColors int, prune bool) (*Result, error) {
 // first-fit rule. Unlike BitwiseGreedy it cannot prune by index (order is
 // arbitrary), so it checks all neighbors. Used by Welsh–Powell and by
 // experiments that decouple coloring order from vertex numbering.
-func GreedyOrdered(g *graph.CSR, order []graph.VertexID, maxColors int) (*Result, error) {
+func GreedyOrdered(ctx context.Context, g *graph.CSR, order []graph.VertexID, maxColors int) (*Result, error) {
 	n := g.NumVertices()
 	colors := make([]uint16, n)
 	codec := bitops.NewColorCodec(maxColors)
 	state := bitops.NewBitSet(maxColors)
 	var st OpStats
-	for _, v := range order {
+	for i, v := range order {
+		if i&ctxStrideMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, w := range g.Neighbors(v) {
 			st.Stage0Ops++
 			codec.Decompress(colors[w], state)

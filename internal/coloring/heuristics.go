@@ -2,6 +2,7 @@ package coloring
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"bitcolor/internal/bitops"
@@ -11,7 +12,10 @@ import (
 // WelshPowell colors vertices in descending degree order with first-fit.
 // With DBG-reordered graphs this coincides with index order, which is why
 // the paper's reordering tends to reduce color counts.
-func WelshPowell(g *graph.CSR, maxColors int) (*Result, error) {
+func WelshPowell(ctx context.Context, g *graph.CSR, maxColors int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := g.NumVertices()
 	order := make([]graph.VertexID, n)
 	for i := range order {
@@ -20,7 +24,7 @@ func WelshPowell(g *graph.CSR, maxColors int) (*Result, error) {
 	sort.SliceStable(order, func(i, j int) bool {
 		return g.Degree(order[i]) > g.Degree(order[j])
 	})
-	return GreedyOrdered(g, order, maxColors)
+	return GreedyOrdered(ctx, g, order, maxColors)
 }
 
 // satEntry is a priority-queue element for DSATUR.
@@ -66,7 +70,7 @@ func (h *satHeap) Pop() any {
 // color the uncolored vertex with the most distinctly-colored neighbors.
 // Usually uses fewer colors than first-fit at higher cost; it is the
 // quality baseline the greedy family is compared against.
-func DSATUR(g *graph.CSR, maxColors int) (*Result, error) {
+func DSATUR(ctx context.Context, g *graph.CSR, maxColors int) (*Result, error) {
 	n := g.NumVertices()
 	colors := make([]uint16, n)
 	codec := bitops.NewColorCodec(maxColors)
@@ -82,6 +86,11 @@ func DSATUR(g *graph.CSR, maxColors int) (*Result, error) {
 	}
 	colored := 0
 	for colored < n {
+		if colored&ctxStrideMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := heap.Pop(&h).(*satEntry)
 		if e.stale {
 			continue
@@ -115,6 +124,13 @@ func DSATUR(g *graph.CSR, maxColors int) (*Result, error) {
 // SmallestLastOrder computes the smallest-last (degeneracy) ordering; an
 // additional high-quality ordering for ablation experiments.
 func SmallestLastOrder(g *graph.CSR) []graph.VertexID {
+	order, _ := smallestLastOrder(context.Background(), g)
+	return order
+}
+
+// smallestLastOrder is SmallestLastOrder with cancellation, polled every
+// ctxStride removals.
+func smallestLastOrder(ctx context.Context, g *graph.CSR) ([]graph.VertexID, error) {
 	n := g.NumVertices()
 	deg := make([]int, n)
 	maxDeg := 0
@@ -132,6 +148,11 @@ func SmallestLastOrder(g *graph.CSR) []graph.VertexID {
 	order := make([]graph.VertexID, 0, n)
 	cur := 0
 	for len(order) < n {
+		if len(order)&ctxStrideMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for cur <= maxDeg && len(buckets[cur]) == 0 {
 			cur++
 		}
@@ -160,11 +181,15 @@ func SmallestLastOrder(g *graph.CSR) []graph.VertexID {
 	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
 		order[i], order[j] = order[j], order[i]
 	}
-	return order
+	return order, nil
 }
 
 // SmallestLast colors with the degeneracy ordering; uses at most
 // degeneracy+1 colors.
-func SmallestLast(g *graph.CSR, maxColors int) (*Result, error) {
-	return GreedyOrdered(g, SmallestLastOrder(g), maxColors)
+func SmallestLast(ctx context.Context, g *graph.CSR, maxColors int) (*Result, error) {
+	order, err := smallestLastOrder(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return GreedyOrdered(ctx, g, order, maxColors)
 }

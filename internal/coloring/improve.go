@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"math/rand"
 
 	"bitcolor/internal/bitops"
@@ -19,7 +20,10 @@ import (
 // every class is processed contiguously). rounds bounds the iterations;
 // the permutation of class order is randomized by seed ("reverse" and
 // "largest-first" class orders are mixed in).
-func IteratedGreedy(g *graph.CSR, initial *Result, rounds int, seed int64, maxColors int) (*Result, error) {
+func IteratedGreedy(ctx context.Context, g *graph.CSR, initial *Result, rounds int, seed int64, maxColors int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := g.NumVertices()
 	best := &Result{
 		Colors:    append([]uint16(nil), initial.Colors...),
@@ -30,6 +34,9 @@ func IteratedGreedy(g *graph.CSR, initial *Result, rounds int, seed int64, maxCo
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Group vertices by color class.
 		classes := make([][]graph.VertexID, best.NumColors+1)
 		for v := 0; v < n; v++ {
@@ -58,7 +65,7 @@ func IteratedGreedy(g *graph.CSR, initial *Result, rounds int, seed int64, maxCo
 		for _, c := range classOrder {
 			order = append(order, classes[c]...)
 		}
-		res, err := GreedyOrdered(g, order, maxColors)
+		res, err := GreedyOrdered(ctx, g, order, maxColors)
 		if err != nil {
 			return nil, err
 		}

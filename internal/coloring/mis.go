@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -17,8 +18,10 @@ import (
 // JonesPlassmann colors the graph with the Jones–Plassmann algorithm:
 // every vertex gets a random priority; in each round, vertices whose
 // priority beats all uncolored neighbors color themselves with the first
-// fit, in parallel. workers <= 0 uses GOMAXPROCS.
-func JonesPlassmann(g *graph.CSR, maxColors int, seed int64, workers int) (*Result, int, error) {
+// fit, in parallel. workers <= 0 uses GOMAXPROCS. Cancellation is polled
+// at round boundaries: a cancelled ctx finishes the in-flight round (the
+// synchronous schedule keeps state consistent) and then returns ctx.Err().
+func JonesPlassmann(ctx context.Context, g *graph.CSR, maxColors int, seed int64, workers int) (*Result, int, error) {
 	n := g.NumVertices()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,6 +38,9 @@ func JonesPlassmann(g *graph.CSR, maxColors int, seed int64, workers int) (*Resu
 	// previous round, then committed — a synchronous parallel schedule.
 	winners := make([]uint16, n)
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, rounds, err
+		}
 		rounds++
 		var wg sync.WaitGroup
 		chunk := (n + workers - 1) / workers
@@ -116,8 +122,12 @@ func JonesPlassmann(g *graph.CSR, maxColors int, seed int64, workers int) (*Resu
 // This is the MIS-based family of §2.4: rounds are parallel but the color
 // count equals the number of MIS extractions, typically higher than
 // greedy. Returns the result and the number of MIS rounds (total inner
-// iterations across all colors).
-func LubyMIS(g *graph.CSR, maxColors int, seed int64) (*Result, int, error) {
+// iterations across all colors). Cancellation is polled once per MIS
+// round.
+func LubyMIS(ctx context.Context, g *graph.CSR, maxColors int, seed int64) (*Result, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	n := g.NumVertices()
 	rng := rand.New(rand.NewSource(seed))
 	colors := make([]uint16, n)
@@ -139,6 +149,9 @@ func LubyMIS(g *graph.CSR, maxColors int, seed int64) (*Result, int, error) {
 		inMIS := make([]bool, n)
 		prio := make([]uint64, n)
 		for live > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, totalRounds, err
+			}
 			totalRounds++
 			for v := 0; v < n; v++ {
 				if active[v] {

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -45,8 +46,8 @@ import (
 // allocated once up front and reused across sweeps.
 //
 // Returns the verified-proper result and per-run parallel statistics.
-func ParallelBitwise(g *graph.CSR, maxColors int, workers int) (*Result, metrics.ParallelStats, error) {
-	return ParallelBitwiseOpts(g, maxColors, Options{Workers: workers})
+func ParallelBitwise(ctx context.Context, g *graph.CSR, maxColors int, workers int) (*Result, metrics.ParallelStats, error) {
+	return ParallelBitwiseOpts(ctx, g, maxColors, Options{MaxColors: maxColors, Workers: workers})
 }
 
 // ParallelBitwiseOpts is ParallelBitwise with the full option set: worker
@@ -57,7 +58,16 @@ func ParallelBitwise(g *graph.CSR, maxColors int, workers int) (*Result, metrics
 // processing order is the vertex index, so the first neighbor index above
 // the current vertex starts the still-uncolored tail and the scan stops
 // there. Repair sweeps always see every neighbor.
-func ParallelBitwiseOpts(g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
+//
+// Cancellation is polled at block-claim granularity (one ctx.Err() per
+// dispatchBlock vertices — the per-edge hot path never sees it) and at
+// sweep boundaries; on cancellation the call returns ctx.Err() and no
+// result. All mutable state is private to the call, so an abandoned run
+// poisons nothing.
+func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, metrics.ParallelStats{}, err
+	}
 	n := g.NumVertices()
 	workers := opts.Workers
 	if workers <= 0 {
@@ -195,6 +205,10 @@ func ParallelBitwiseOpts(g *graph.CSR, maxColors int, opts Options) (*Result, me
 				if !ok {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					s.err = err
+					return
+				}
 				st.VerticesPerWorker[w] += int64(hi - lo)
 				for _, v := range order[lo:hi] {
 					if !firstFit(s, v, true) {
@@ -256,6 +270,10 @@ func ParallelBitwiseOpts(g *graph.CSR, maxColors int, opts Options) (*Result, me
 				for {
 					lo, hi, ok := cur.next()
 					if !ok {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						s.err = err
 						return
 					}
 					for _, v := range pending[lo:hi] {

@@ -1,0 +1,222 @@
+package coloring
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"bitcolor/internal/graph"
+	"bitcolor/internal/metrics"
+)
+
+// This file is the engine registry: the single point where every software
+// coloring algorithm is adapted onto one uniform contract. The public API
+// (bitcolor.Color/ColorParallel/Pipeline), the CLIs and the experiment
+// harness all dispatch through Lookup instead of maintaining their own
+// per-engine switches, so adding an engine means writing it and
+// registering it here — nothing else in the tree changes.
+
+// EngineFunc is the uniform engine contract. Implementations must:
+//   - honor ctx: return ctx.Err() promptly on cancellation (sequential
+//     engines poll every ctxStride vertices, parallel ones at block-claim
+//     and round boundaries) and never leave shared state poisoned — all
+//     mutable state is private to the call, and the input graph is
+//     read-only;
+//   - read the palette bound from opts.MaxColors (<=0 means
+//     MaxColorsDefault) and ignore options that do not apply;
+//   - fill the metrics.RunStats fields their subsystems produce and leave
+//     the rest zero-valued.
+type EngineFunc func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error)
+
+// EngineInfo describes one registered engine.
+type EngineInfo struct {
+	// Name is the stable CLI/API identifier (lower-case, no spaces).
+	Name string
+	// Parallel reports whether the engine runs worker goroutines and
+	// honors Options.Workers.
+	Parallel bool
+	// Seeded reports whether the engine is randomized via Options.Seed.
+	Seeded bool
+	// Stats summarizes which RunStats fields the engine fills ("-" for
+	// none) — the source of the README engine table's stats column.
+	Stats string
+	// Description is a one-line summary for docs and CLI usage strings.
+	Description string
+	// Run executes the engine.
+	Run EngineFunc
+}
+
+// registry holds engines in registration order; the order is part of the
+// contract — bitcolor.Engine constants index into it, and a test enforces
+// the correspondence.
+var (
+	registry      []EngineInfo
+	registryIndex = map[string]int{}
+)
+
+// Register adds an engine to the registry. It panics on a duplicate or
+// empty name or a nil Run — registration happens in init, so a bad entry
+// is a programming error that should fail loudly at startup.
+func Register(info EngineInfo) {
+	if info.Name == "" || info.Run == nil {
+		panic("coloring: Register needs a name and a Run func")
+	}
+	if _, dup := registryIndex[info.Name]; dup {
+		panic(fmt.Sprintf("coloring: engine %q registered twice", info.Name))
+	}
+	registryIndex[info.Name] = len(registry)
+	registry = append(registry, info)
+}
+
+// Lookup resolves an engine by name.
+func Lookup(name string) (EngineInfo, bool) {
+	i, ok := registryIndex[name]
+	if !ok {
+		return EngineInfo{}, false
+	}
+	return registry[i], true
+}
+
+// LookupIndex resolves an engine by registration index (the value of the
+// corresponding bitcolor.Engine constant).
+func LookupIndex(i int) (EngineInfo, bool) {
+	if i < 0 || i >= len(registry) {
+		return EngineInfo{}, false
+	}
+	return registry[i], true
+}
+
+// Index returns the registration index for a name (-1 if unknown).
+func Index(name string) int {
+	if i, ok := registryIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Engines returns a copy of the registry in registration order.
+func Engines() []EngineInfo {
+	out := make([]EngineInfo, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// EngineNames returns the registered names in registration order.
+func EngineNames() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// resolveWorkers mirrors the parallel engines' worker-count defaulting so
+// adapters can report the effective count in RunStats.
+func resolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	return workers
+}
+
+func init() {
+	// Registration order mirrors the bitcolor.Engine iota order; the
+	// api-level round-trip test enforces the correspondence.
+	Register(EngineInfo{
+		Name:        "greedy",
+		Stats:       "-",
+		Description: "paper Algorithm 1: first-fit with flag-array color scan",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			res, err := Greedy(ctx, g, opts.maxColors())
+			return res, metrics.RunStats{}, err
+		},
+	})
+	Register(EngineInfo{
+		Name:        "bitwise",
+		Stats:       "-",
+		Description: "paper Algorithm 2: bit-vector state, (^s)&(s+1) first-fit, uncolored-vertex pruning",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			res, err := BitwiseGreedy(ctx, g, opts.maxColors(), true)
+			return res, metrics.RunStats{}, err
+		},
+	})
+	Register(EngineInfo{
+		Name:        "dsatur",
+		Stats:       "-",
+		Description: "Brélaz saturation-degree heuristic",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			res, err := DSATUR(ctx, g, opts.maxColors())
+			return res, metrics.RunStats{}, err
+		},
+	})
+	Register(EngineInfo{
+		Name:        "welshpowell",
+		Stats:       "-",
+		Description: "descending-degree greedy",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			res, err := WelshPowell(ctx, g, opts.maxColors())
+			return res, metrics.RunStats{}, err
+		},
+	})
+	Register(EngineInfo{
+		Name:        "smallestlast",
+		Stats:       "-",
+		Description: "degeneracy-order greedy",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			res, err := SmallestLast(ctx, g, opts.maxColors())
+			return res, metrics.RunStats{}, err
+		},
+	})
+	Register(EngineInfo{
+		Name:        "jonesplassmann",
+		Parallel:    true,
+		Seeded:      true,
+		Stats:       "workers, rounds",
+		Description: "random-priority independent sets (the GPU baseline's algorithm)",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			res, rounds, err := JonesPlassmann(ctx, g, opts.maxColors(), opts.Seed, opts.Workers)
+			st := metrics.RunStats{Workers: resolveWorkers(opts.Workers, g.NumVertices()), Rounds: rounds}
+			return res, st, err
+		},
+	})
+	Register(EngineInfo{
+		Name:        "lubymis",
+		Seeded:      true,
+		Stats:       "rounds",
+		Description: "one maximal independent set per color",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			res, rounds, err := LubyMIS(ctx, g, opts.maxColors(), opts.Seed)
+			return res, metrics.RunStats{Rounds: rounds}, err
+		},
+	})
+	Register(EngineInfo{
+		Name:        "rlf",
+		Stats:       "-",
+		Description: "Recursive Largest First (best quality, quadratic)",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			res, err := RLF(ctx, g, opts.maxColors())
+			return res, metrics.RunStats{}, err
+		},
+	})
+	Register(EngineInfo{
+		Name:        "speculative",
+		Parallel:    true,
+		Stats:       "workers, rounds, conflicts, work split, gather",
+		Description: "Gebremedhin–Manne speculation with re-round conflict repair",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			return SpeculativeOpts(ctx, g, opts.maxColors(), opts)
+		},
+	})
+	Register(EngineInfo{
+		Name:        "parallelbitwise",
+		Parallel:    true,
+		Stats:       "workers, rounds, conflicts, work split, gather",
+		Description: "bit-wise first-fit fused into speculative parallelism with in-place repair",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			return ParallelBitwiseOpts(ctx, g, opts.maxColors(), opts)
+		},
+	})
+}

@@ -1,6 +1,8 @@
 package coloring
 
 import (
+	"context"
+
 	"bitcolor/internal/graph"
 )
 
@@ -10,8 +12,13 @@ import (
 // set (vertices adjacent to the class under construction). RLF typically
 // uses fewer colors than first-fit greedy and DSATUR at higher cost —
 // it rounds out the quality end of the algorithm landscape the paper
-// surveys in §2.
-func RLF(g *graph.CSR, maxColors int) (*Result, error) {
+// surveys in §2. Cancellation is polled per class-grow iteration — each
+// iteration is an O(n) scan, so the poll is prompt and cheap relative to
+// the work it guards.
+func RLF(ctx context.Context, g *graph.CSR, maxColors int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := g.NumVertices()
 	colors := make([]uint16, n)
 	remaining := n
@@ -85,6 +92,9 @@ func RLF(g *graph.CSR, maxColors int) (*Result, error) {
 		// Grow the class: repeatedly take the candidate with the most
 		// forbidden neighbors (ties: most candidate neighbors).
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			best := -1
 			for v := 0; v < n; v++ {
 				if state[v] != candidate {

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -12,7 +13,7 @@ import (
 
 func TestRLFProper(t *testing.T) {
 	g := randomGraph(t, 300, 2500, 1)
-	res, err := RLF(g, MaxColorsDefault)
+	res, err := RLF(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestRLFProper(t *testing.T) {
 
 func TestRLFTriangleAndBipartite(t *testing.T) {
 	tri, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
-	res, err := RLF(tri, 8)
+	res, err := RLF(context.Background(), tri, 8)
 	if err != nil || res.NumColors != 3 {
 		t.Fatalf("RLF triangle: %d colors, %v", res.NumColors, err)
 	}
@@ -34,7 +35,7 @@ func TestRLFTriangleAndBipartite(t *testing.T) {
 		}
 	}
 	bip, _ := graph.FromEdgeList(8, edges)
-	res, err = RLF(bip, 8)
+	res, err = RLF(context.Background(), bip, 8)
 	if err != nil || res.NumColors != 2 {
 		t.Fatalf("RLF K(4,4): %d colors, %v", res.NumColors, err)
 	}
@@ -49,11 +50,11 @@ func TestRLFQualityVsGreedy(t *testing.T) {
 		t.Fatal(err)
 	}
 	h, _ := reorder.DBG(g)
-	greedy, err := Greedy(h, MaxColorsDefault)
+	greedy, err := Greedy(context.Background(), h, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rlf, err := RLF(h, MaxColorsDefault)
+	rlf, err := RLF(context.Background(), h, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +65,14 @@ func TestRLFQualityVsGreedy(t *testing.T) {
 
 func TestRLFPaletteExhausted(t *testing.T) {
 	tri, _ := graph.FromEdgeList(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
-	if _, err := RLF(tri, 2); err == nil {
+	if _, err := RLF(context.Background(), tri, 2); err == nil {
 		t.Fatal("undersized palette accepted")
 	}
 }
 
 func TestRLFEdgeless(t *testing.T) {
 	g, _ := graph.FromEdgeList(5, nil)
-	res, err := RLF(g, 4)
+	res, err := RLF(context.Background(), g, 4)
 	if err != nil || res.NumColors != 1 {
 		t.Fatalf("edgeless RLF: %d colors, %v", res.NumColors, err)
 	}
@@ -80,11 +81,11 @@ func TestRLFEdgeless(t *testing.T) {
 func TestIteratedGreedyNeverWorse(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		g := randomGraph(t, 200, 1800, seed)
-		initial, err := Greedy(g, MaxColorsDefault)
+		initial, err := Greedy(context.Background(), g, MaxColorsDefault)
 		if err != nil {
 			t.Fatal(err)
 		}
-		improved, err := IteratedGreedy(g, initial, 9, seed, MaxColorsDefault)
+		improved, err := IteratedGreedy(context.Background(), g, initial, 9, seed, MaxColorsDefault)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,8 +101,8 @@ func TestIteratedGreedyNeverWorse(t *testing.T) {
 
 func TestIteratedGreedyZeroRounds(t *testing.T) {
 	g := randomGraph(t, 50, 200, 1)
-	initial, _ := Greedy(g, MaxColorsDefault)
-	same, err := IteratedGreedy(g, initial, 0, 1, MaxColorsDefault)
+	initial, _ := Greedy(context.Background(), g, MaxColorsDefault)
+	same, err := IteratedGreedy(context.Background(), g, initial, 0, 1, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestKempeReduceProperAndNotWorse(t *testing.T) {
 		for i := range order {
 			order[i] = graph.VertexID(g.NumVertices() - 1 - i)
 		}
-		initial, err := GreedyOrdered(g, order, MaxColorsDefault)
+		initial, err := GreedyOrdered(context.Background(), g, order, MaxColorsDefault)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func TestKempeReduceEliminatesRemovableColor(t *testing.T) {
 func TestEquitableBalances(t *testing.T) {
 	// Sparse random graph: plenty of room to rebalance.
 	g := randomGraph(t, 400, 600, 2)
-	initial, err := Greedy(g, MaxColorsDefault)
+	initial, err := Greedy(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestEquitableDegenerateInputs(t *testing.T) {
 		t.Fatal("empty graph mishandled")
 	}
 	h, _ := graph.FromEdgeList(3, nil)
-	one, _ := Greedy(h, 4)
+	one, _ := Greedy(context.Background(), h, 4)
 	if out := Equitable(h, one, 0); Verify(h, out.Colors) != nil {
 		t.Fatal("single-class graph broken")
 	}
@@ -210,11 +211,11 @@ func TestImprovementPipelineInvariant(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		initial, err := Greedy(g, n+1)
+		initial, err := Greedy(context.Background(), g, n+1)
 		if err != nil {
 			return false
 		}
-		ig, err := IteratedGreedy(g, initial, 3, seed, n+1)
+		ig, err := IteratedGreedy(context.Background(), g, initial, 3, seed, n+1)
 		if err != nil || Verify(g, ig.Colors) != nil || ig.NumColors > initial.NumColors {
 			return false
 		}
@@ -235,7 +236,7 @@ func BenchmarkRLF(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RLF(g, MaxColorsDefault); err != nil {
+		if _, err := RLF(context.Background(), g, MaxColorsDefault); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -243,11 +244,11 @@ func BenchmarkRLF(b *testing.B) {
 
 func BenchmarkIteratedGreedy(b *testing.B) {
 	g, _ := gen.RMAT(12, 8, 0.57, 0.19, 0.19, 1)
-	initial, _ := Greedy(g, MaxColorsDefault)
+	initial, _ := Greedy(context.Background(), g, MaxColorsDefault)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := IteratedGreedy(g, initial, 5, int64(i), MaxColorsDefault); err != nil {
+		if _, err := IteratedGreedy(context.Background(), g, initial, 5, int64(i), MaxColorsDefault); err != nil {
 			b.Fatal(err)
 		}
 	}

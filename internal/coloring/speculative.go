@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,15 +30,15 @@ import (
 // allocation-free.
 //
 // Returns the result and the number of rounds (1 = no conflicts ever).
-func Speculative(g *graph.CSR, maxColors int, workers int) (*Result, int, error) {
-	res, st, err := SpeculativeStats(g, maxColors, workers)
+func Speculative(ctx context.Context, g *graph.CSR, maxColors int, workers int) (*Result, int, error) {
+	res, st, err := SpeculativeStats(ctx, g, maxColors, workers)
 	return res, st.Rounds, err
 }
 
 // SpeculativeStats is Speculative returning the full parallel-run
 // statistics (rounds, conflicts found/re-queued, vertices per worker).
-func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metrics.ParallelStats, error) {
-	return SpeculativeOpts(g, maxColors, Options{Workers: workers})
+func SpeculativeStats(ctx context.Context, g *graph.CSR, maxColors int, workers int) (*Result, metrics.ParallelStats, error) {
+	return SpeculativeOpts(ctx, g, maxColors, Options{MaxColors: maxColors, Workers: workers})
 }
 
 // SpeculativeOpts is Speculative with the full option set. With the
@@ -50,7 +51,16 @@ func SpeculativeStats(g *graph.CSR, maxColors int, workers int) (*Result, metric
 // a conflict the detection pass repairs. Later rounds re-color sparse
 // pending sets against stable neighbors and must see every neighbor, so
 // the prune stays off there.
-func SpeculativeOpts(g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
+//
+// Cancellation is polled at block-claim granularity inside the
+// speculation workers (one ctx.Err() per dispatchBlock vertices — off the
+// per-edge hot path) and between rounds. On cancellation the engine
+// returns ctx.Err() with no result; all intermediate state is private to
+// the call, so nothing shared is poisoned.
+func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, metrics.ParallelStats{}, err
+	}
 	n := g.NumVertices()
 	workers := opts.Workers
 	if workers <= 0 {
@@ -120,6 +130,10 @@ func SpeculativeOpts(g *graph.CSR, maxColors int, opts Options) (*Result, metric
 					if !ok {
 						return
 					}
+					if err := ctx.Err(); err != nil {
+						s.err = err
+						return
+					}
 					st.VerticesPerWorker[w] += int64(hi - lo)
 					for _, v := range pending[lo:hi] {
 						s.state.Reset()
@@ -165,7 +179,12 @@ func SpeculativeOpts(g *graph.CSR, maxColors int, opts Options) (*Result, metric
 		// vertex at most once, so appending losers in iteration order
 		// cannot duplicate.
 		next = next[:0]
-		for _, v := range pending {
+		for i, v := range pending {
+			if i&ctxStrideMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, st, err
+				}
+			}
 			for _, u := range g.Neighbors(v) {
 				if shared[u] == shared[v] && u < v {
 					next = append(next, v)

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestTabuColFindsProperColoring(t *testing.T) {
 	g := randomGraph(t, 200, 1200, 71)
-	greedy, err := Greedy(g, MaxColorsDefault)
+	greedy, err := Greedy(context.Background(), g, MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestTabuColReduceImproves(t *testing.T) {
 		t.Fatal(err)
 	}
 	order := []graph.VertexID{0, 2, 4, 6, 1, 3, 5, 7}
-	bad, err := GreedyOrdered(g, order, 8)
+	bad, err := GreedyOrdered(context.Background(), g, order, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestTabuColReduceImproves(t *testing.T) {
 
 func TestTabuColReduceNeverWorse(t *testing.T) {
 	g := randomGraph(t, 150, 900, 72)
-	initial, _ := Greedy(g, MaxColorsDefault)
+	initial, _ := Greedy(context.Background(), g, MaxColorsDefault)
 	out := TabuColReduce(g, initial, 9, 5_000)
 	if out.NumColors > initial.NumColors {
 		t.Fatalf("reduce went from %d to %d", initial.NumColors, out.NumColors)
@@ -115,7 +116,7 @@ func TestDynamicColoringIncremental(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Online quality: within a small factor of batch greedy.
-	batch, err := Greedy(g, 64)
+	batch, err := Greedy(context.Background(), g, 64)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package cpuref
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -93,7 +94,7 @@ func (s StageTimes) Shares() (f0, f1, f2 float64) {
 // Run executes the basic greedy algorithm, returning the coloring result,
 // the modeled stage breakdown, and the modeled wall time.
 func Run(g *graph.CSR, maxColors int, m CostModel) (*coloring.Result, StageTimes, time.Duration, error) {
-	res, err := coloring.Greedy(g, maxColors)
+	res, err := coloring.Greedy(context.Background(), g, maxColors)
 	if err != nil {
 		return nil, StageTimes{}, 0, err
 	}

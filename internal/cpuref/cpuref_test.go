@@ -1,6 +1,7 @@
 package cpuref
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -111,7 +112,7 @@ func TestModelChargesAllStages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coloring.Greedy(g, coloring.MaxColorsDefault)
+	res, err := coloring.Greedy(context.Background(), g, coloring.MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}

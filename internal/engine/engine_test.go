@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -63,7 +64,7 @@ func runSingle(t testing.TB, g *graph.CSR, opts Options, cacheVertices int) (*BW
 
 func TestSingleBWPEMatchesSoftwareGreedy(t *testing.T) {
 	g := randomSortedGraph(t, 400, 3000, 1)
-	want, err := coloring.Greedy(g, 1024)
+	want, err := coloring.Greedy(context.Background(), g, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -54,22 +55,30 @@ func HostPar(ctx *Context) (*HostParResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Both engines resolve through the registry — the same dispatch
+		// path the public API and CLIs use.
+		spec, okS := coloring.Lookup("speculative")
+		par, okP := coloring.Lookup("parallelbitwise")
+		if !okS || !okP {
+			return nil, fmt.Errorf("hostpar: parallel engines missing from registry")
+		}
 		for i, w := range sweep {
 			row := HostParRow{Dataset: d.Abbrev, Workers: w, Edges: prepared.NumEdges()}
+			opts := coloring.Options{Workers: w}
 			start := time.Now()
-			spec, specSt, err := coloring.SpeculativeStats(prepared, coloring.MaxColorsDefault, w)
+			specRes, specSt, err := spec.Run(context.Background(), prepared, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s speculative: %w", d.Abbrev, err)
 			}
 			row.SpecTime = time.Since(start)
-			row.SpecStats, row.SpecColors = specSt, spec.NumColors
+			row.SpecStats, row.SpecColors = specSt, specRes.NumColors
 			start = time.Now()
-			par, parSt, err := coloring.ParallelBitwise(prepared, coloring.MaxColorsDefault, w)
+			parRes, parSt, err := par.Run(context.Background(), prepared, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s parallelbitwise: %w", d.Abbrev, err)
 			}
 			row.ParTime = time.Since(start)
-			row.ParStats, row.ParColors = parSt, par.NumColors
+			row.ParStats, row.ParColors = parSt, parRes.NumColors
 			if i == len(sweep)-1 {
 				speedups = append(speedups, metrics.Speedup(row.SpecTime, row.ParTime))
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -45,6 +46,10 @@ type LocalityResult struct {
 // Locality measures the 2×2 ablation on every context dataset.
 func Locality(ctx *Context) (*LocalityResult, error) {
 	res := &LocalityResult{}
+	eng, ok := coloring.Lookup("parallelbitwise")
+	if !ok {
+		return nil, fmt.Errorf("locality: parallelbitwise missing from registry")
+	}
 	workers := runtime.GOMAXPROCS(0)
 	var gatherSpeedups, dbgSpeedups []float64
 	for _, d := range ctx.Datasets {
@@ -62,7 +67,7 @@ func Locality(ctx *Context) (*LocalityResult, error) {
 			for _, gather := range []bool{false, true} {
 				row := LocalityRow{Dataset: d.Abbrev, DBG: dbg, Gather: gather, Workers: workers}
 				start := time.Now()
-				out, st, err := coloring.ParallelBitwiseOpts(g, coloring.MaxColorsDefault, coloring.Options{
+				out, st, err := eng.Run(context.Background(), g, coloring.Options{
 					Workers:       workers,
 					DisableGather: !gather,
 					HotVertices:   vt,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bitcolor/internal/coloring"
@@ -13,8 +14,19 @@ type QualityRow struct {
 	Counts []int
 }
 
-// QualityAlgorithms names the compared engines in column order.
-var QualityAlgorithms = []string{"greedy", "dsatur", "smallestlast", "rlf*", "jp", "luby", "speculative", "parbitwise"}
+// QualityAlgorithms names the compared engines in column order — every
+// registered engine, in registry order, so a newly registered engine
+// joins the comparison without touching this file. The trailing "*"
+// marks RLF's vertex budget.
+var QualityAlgorithms = func() []string {
+	names := coloring.EngineNames()
+	for i, n := range names {
+		if n == "rlf" {
+			names[i] = "rlf*"
+		}
+	}
+	return names
+}()
 
 // QualityResult compares color quality across the implemented algorithm
 // families — the context for the paper's choice of greedy (§2.2-2.4):
@@ -28,7 +40,7 @@ type QualityResult struct {
 // is quadratic); above the budget the column is skipped.
 const rlfVertexBudget = 30000
 
-// Quality colors every dataset with every engine.
+// Quality colors every dataset with every registered engine.
 func Quality(ctx *Context) (*QualityResult, error) {
 	res := &QualityResult{}
 	for _, d := range ctx.Datasets {
@@ -37,49 +49,27 @@ func Quality(ctx *Context) (*QualityResult, error) {
 			return nil, err
 		}
 		row := QualityRow{Dataset: d.Abbrev}
-		add := func(r *coloring.Result, err error) error {
+		for _, eng := range coloring.Engines() {
+			if eng.Name == "rlf" && prepared.NumVertices() > rlfVertexBudget {
+				row.Counts = append(row.Counts, 0) // skipped
+				continue
+			}
+			opts := coloring.Options{Seed: ctx.Seed}
+			r, _, err := eng.Run(context.Background(), prepared, opts)
 			if err != nil {
-				return fmt.Errorf("%s: %w", d.Abbrev, err)
+				return nil, fmt.Errorf("%s %s: %w", d.Abbrev, eng.Name, err)
 			}
 			row.Counts = append(row.Counts, r.NumColors)
-			return nil
-		}
-		if err := add(coloring.Greedy(prepared, coloring.MaxColorsDefault)); err != nil {
-			return nil, err
-		}
-		if err := add(coloring.DSATUR(prepared, coloring.MaxColorsDefault)); err != nil {
-			return nil, err
-		}
-		if err := add(coloring.SmallestLast(prepared, coloring.MaxColorsDefault)); err != nil {
-			return nil, err
-		}
-		if prepared.NumVertices() <= rlfVertexBudget {
-			if err := add(coloring.RLF(prepared, coloring.MaxColorsDefault)); err != nil {
-				return nil, err
-			}
-		} else {
-			row.Counts = append(row.Counts, 0) // skipped
-		}
-		jp, _, err := coloring.JonesPlassmann(prepared, coloring.MaxColorsDefault, ctx.Seed, 0)
-		if err := add(jp, err); err != nil {
-			return nil, err
-		}
-		luby, _, err := coloring.LubyMIS(prepared, coloring.MaxColorsDefault, ctx.Seed)
-		if err := add(luby, err); err != nil {
-			return nil, err
-		}
-		spec, _, err := coloring.Speculative(prepared, coloring.MaxColorsDefault, 0)
-		if err := add(spec, err); err != nil {
-			return nil, err
-		}
-		par, _, err := coloring.ParallelBitwise(prepared, coloring.MaxColorsDefault, 0)
-		if err := add(par, err); err != nil {
-			return nil, err
 		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
+
+// QualityColumn returns the Counts index of a registered engine name
+// (-1 if unknown) — the stable way to address a column now that the
+// list derives from the registry.
+func QualityColumn(name string) int { return coloring.Index(name) }
 
 // Print writes the quality comparison.
 func (r *QualityResult) Print(ctx *Context) {

@@ -8,177 +8,56 @@ import (
 // Runner executes one experiment and prints its report.
 type Runner func(ctx *Context) error
 
+// printer is what every experiment result knows how to do.
+type printer interface {
+	Print(ctx *Context)
+}
+
+// report adapts an experiment function onto the Runner shape: run, then
+// print. The post hook (may be nil) runs after printing — used by the
+// experiments that also emit machine-readable benchmark records.
+func report[T printer](run func(*Context) (T, error), post func(*Context, T) error) Runner {
+	return func(ctx *Context) error {
+		r, err := run(ctx)
+		if err != nil {
+			return err
+		}
+		r.Print(ctx)
+		if post != nil {
+			return post(ctx, r)
+		}
+		return nil
+	}
+}
+
 // Registry maps experiment IDs (as used by `benchsuite -exp`) to runners.
 func RunnerRegistry() map[string]Runner {
 	return map[string]Runner{
-		"fig3a": func(ctx *Context) error {
-			r, err := Fig3a(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"fig3b": func(ctx *Context) error {
-			r, err := Fig3b(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"table2": func(ctx *Context) error {
-			r, err := Table2(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"fig11": func(ctx *Context) error {
-			r, err := Fig11(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"fig12": func(ctx *Context) error {
-			r, err := Fig12(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"table4": func(ctx *Context) error {
-			r, err := Table4(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"fig13": func(ctx *Context) error {
-			r, err := Fig13(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"fig14": func(ctx *Context) error {
-			r, err := Fig14(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"cacheablation": func(ctx *Context) error {
-			r, err := CacheAblation(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"cachesweep": func(ctx *Context) error {
-			r, err := CacheSweep(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"dramsweep": func(ctx *Context) error {
-			r, err := DRAMSweep(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"conflicts": func(ctx *Context) error {
-			r, err := ConflictAnalysis(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"generality": func(ctx *Context) error {
-			r, err := Generality(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"relaxed": func(ctx *Context) error {
-			r, err := Relaxed(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"table3": func(ctx *Context) error {
-			r, err := Table3(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"hostpar": func(ctx *Context) error {
-			r, err := HostPar(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
+		"fig3a":         report(Fig3a, nil),
+		"fig3b":         report(Fig3b, nil),
+		"table2":        report(Table2, nil),
+		"fig11":         report(Fig11, nil),
+		"fig12":         report(Fig12, nil),
+		"table4":        report(Table4, nil),
+		"fig13":         report(Fig13, nil),
+		"fig14":         report(Fig14, nil),
+		"cacheablation": report(CacheAblation, nil),
+		"cachesweep":    report(CacheSweep, nil),
+		"dramsweep":     report(DRAMSweep, nil),
+		"conflicts":     report(ConflictAnalysis, nil),
+		"generality":    report(Generality, nil),
+		"relaxed":       report(Relaxed, nil),
+		"table3":        report(Table3, nil),
+		"quality":       report(Quality, nil),
+		"multicard":     report(MultiCard, nil),
+		"lruvshdc":      report(LRUvsHDC, nil),
+		"scorecard":     report(Scorecard, nil),
+		"hostpar": report(HostPar, func(ctx *Context, r *HostParResult) error {
 			return ctx.EmitBench("hostpar", r.BenchRecords())
-		},
-		"locality": func(ctx *Context) error {
-			r, err := Locality(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
+		}),
+		"locality": report(Locality, func(ctx *Context, r *LocalityResult) error {
 			return ctx.EmitBench("locality", r.BenchRecords())
-		},
-		"quality": func(ctx *Context) error {
-			r, err := Quality(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"multicard": func(ctx *Context) error {
-			r, err := MultiCard(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"lruvshdc": func(ctx *Context) error {
-			r, err := LRUvsHDC(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
-		"scorecard": func(ctx *Context) error {
-			r, err := Scorecard(ctx)
-			if err != nil {
-				return err
-			}
-			r.Print(ctx)
-			return nil
-		},
+		}),
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bitcolor/internal/coloring"
@@ -40,11 +41,11 @@ func Table4(ctx *Context) (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := coloring.BitwiseGreedy(raw, coloring.MaxColorsDefault, true)
+		base, err := coloring.BitwiseGreedy(context.Background(), raw, coloring.MaxColorsDefault, true)
 		if err != nil {
 			return nil, fmt.Errorf("%s baseline: %w", d.Abbrev, err)
 		}
-		sorted, err := coloring.BitwiseGreedy(prepared, coloring.MaxColorsDefault, true)
+		sorted, err := coloring.BitwiseGreedy(context.Background(), prepared, coloring.MaxColorsDefault, true)
 		if err != nil {
 			return nil, fmt.Errorf("%s sorted: %w", d.Abbrev, err)
 		}

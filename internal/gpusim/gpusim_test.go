@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"context"
 	"testing"
 
 	"bitcolor/internal/coloring"
@@ -69,7 +70,7 @@ func TestIndependentSetUsesMoreColorsThanGreedy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	greedy, err := coloring.Greedy(h, coloring.MaxColorsDefault)
+	greedy, err := coloring.Greedy(context.Background(), h, coloring.MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}

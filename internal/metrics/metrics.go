@@ -130,12 +130,15 @@ func (g GatherStats) String() string {
 		g.Reads(), 100*g.HotRatio(), 100*g.MergeRatio(), g.PrunedTail)
 }
 
-// ParallelStats describes one run of a host-side speculative parallel
-// coloring engine (Speculative or ParallelBitwise in internal/coloring).
-// It is the software analogue of the per-PE counters the accelerator
-// simulator reports: how evenly the dynamic dispatcher spread the work
-// and how much speculation had to be repaired.
-type ParallelStats struct {
+// RunStats is the unified per-run statistics record every registered
+// coloring engine fills (the EngineFunc contract in internal/coloring).
+// Engines without a subsystem leave its fields zero-valued: sequential
+// engines report neither workers nor rounds, the round-based parallel
+// engines (Jones–Plassmann, Luby) fill Workers/Rounds only, and the
+// speculative host engines additionally fill the conflict, work-split
+// and gather counters — the software analogue of the per-PE counters the
+// accelerator simulator reports.
+type RunStats struct {
 	// Workers is the number of goroutines that ran the engine.
 	Workers int
 	// Rounds counts speculation/detection sweeps until the coloring was
@@ -157,8 +160,12 @@ type ParallelStats struct {
 	HotThreshold uint32
 }
 
+// ParallelStats is the former name of RunStats, kept as an alias for the
+// host-parallel engines' original API surface.
+type ParallelStats = RunStats
+
 // TotalVertices sums the per-worker speculation counts.
-func (s ParallelStats) TotalVertices() int64 {
+func (s RunStats) TotalVertices() int64 {
 	var sum int64
 	for _, v := range s.VerticesPerWorker {
 		sum += v
@@ -169,7 +176,7 @@ func (s ParallelStats) TotalVertices() int64 {
 // Imbalance is the max/mean ratio of per-worker vertex counts: 1.0 is a
 // perfect split, higher means some workers dragged the tail. Returns 0
 // when no work was recorded.
-func (s ParallelStats) Imbalance() float64 {
+func (s RunStats) Imbalance() float64 {
 	total := s.TotalVertices()
 	if total == 0 || len(s.VerticesPerWorker) == 0 {
 		return 0
@@ -184,7 +191,7 @@ func (s ParallelStats) Imbalance() float64 {
 	return float64(max) / mean
 }
 
-func (s ParallelStats) String() string {
+func (s RunStats) String() string {
 	return fmt.Sprintf("workers=%d rounds=%d conflicts=%d/%d repaired, imbalance=%.2f",
 		s.Workers, s.Rounds, s.ConflictsFound, s.ConflictsRepaired, s.Imbalance())
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"bitcolor/internal/coloring"
@@ -64,7 +65,7 @@ func TestRunRelaxedP1IsHazardFree(t *testing.T) {
 		t.Fatalf("P1 produced hazards: %+v", res)
 	}
 	// And equals sequential greedy.
-	want, _ := coloring.Greedy(g, coloring.MaxColorsDefault)
+	want, _ := coloring.Greedy(context.Background(), g, coloring.MaxColorsDefault)
 	for v := range want.Colors {
 		if res.Colors[v] != want.Colors[v] {
 			t.Fatalf("vertex %d differs from greedy", v)

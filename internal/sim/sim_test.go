@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -60,7 +61,7 @@ func TestRunP1MatchesSoftwareGreedy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := coloring.Greedy(g, coloring.MaxColorsDefault)
+	want, err := coloring.Greedy(context.Background(), g, coloring.MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestRunP1MatchesSoftwareGreedy(t *testing.T) {
 // rather than diverges (vertex-order priority).
 func TestRunParallelMatchesSequential(t *testing.T) {
 	g := prepared(t, 600, 5000, 3)
-	want, err := coloring.Greedy(g, coloring.MaxColorsDefault)
+	want, err := coloring.Greedy(context.Background(), g, coloring.MaxColorsDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestSimEqualsGreedyProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		want, err := coloring.Greedy(h, cfg.MaxColors)
+		want, err := coloring.Greedy(context.Background(), h, cfg.MaxColors)
 		if err != nil {
 			return false
 		}

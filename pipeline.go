@@ -1,0 +1,129 @@
+package bitcolor
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Pipeline composes the full coloring flow — Preprocess → Color →
+// Improve → Verify — behind one call, with per-stage wall-clock timings
+// and automatic un-permutation of colors back to the caller's original
+// vertex IDs. It is the entry point a service layer calls: one ctx
+// cancels or deadlines the whole flow, and a partial result with the
+// stages completed so far comes back even on error.
+type Pipeline struct {
+	// SkipPreprocess runs the coloring on g as-is. By default the
+	// pipeline applies DBG reordering + edge sorting first (what the
+	// engines are tuned for) and maps the colors back afterwards.
+	SkipPreprocess bool
+	// PreprocessWorkers bounds the preprocessing parallelism
+	// (<=0: GOMAXPROCS).
+	PreprocessWorkers int
+	// Color selects and configures the engine (registry dispatch).
+	Color ColorOptions
+	// Improve optionally post-processes the coloring; the zero value
+	// skips the stage entirely.
+	Improve ImproveOptions
+}
+
+// StageTiming is one pipeline stage's wall-clock measurement.
+type StageTiming struct {
+	// Name is "preprocess", "color", "improve" or "verify".
+	Name string
+	// Duration is the stage's wall time.
+	Duration time.Duration
+}
+
+// PipelineResult is a pipeline run's outcome.
+type PipelineResult struct {
+	// Result holds the coloring indexed by the ORIGINAL vertex IDs of
+	// the input graph (the preprocessing permutation is undone).
+	Result *Result
+	// Stats is the engine's run statistics (registry contract).
+	Stats RunStats
+	// Stages lists the completed stages in execution order with their
+	// wall-clock times; on error it covers the stages that finished.
+	Stages []StageTiming
+	// Total is the summed stage wall time.
+	Total time.Duration
+}
+
+// StageDuration returns the named stage's wall time (0 if it did not
+// run).
+func (r *PipelineResult) StageDuration(name string) time.Duration {
+	for _, s := range r.Stages {
+		if s.Name == name {
+			return s.Duration
+		}
+	}
+	return 0
+}
+
+// Run executes the pipeline on g under ctx. On error (including
+// cancellation) it returns the error together with a non-nil
+// PipelineResult carrying the stages that completed and any statistics
+// collected so far, so callers can report partial progress; Result is
+// only set when the run finished.
+func (p Pipeline) Run(ctx context.Context, g *Graph) (*PipelineResult, error) {
+	pr := &PipelineResult{}
+	stage := func(name string, start time.Time) {
+		d := time.Since(start)
+		pr.Stages = append(pr.Stages, StageTiming{Name: name, Duration: d})
+		pr.Total += d
+	}
+
+	colored := g
+	var perm []VertexID
+	if !p.SkipPreprocess {
+		if err := ctx.Err(); err != nil {
+			return pr, err
+		}
+		start := time.Now()
+		prepared, newID, err := PreprocessWithPermutation(g, WithPreprocessParallelism(p.PreprocessWorkers))
+		if err != nil {
+			return pr, fmt.Errorf("bitcolor: pipeline preprocess: %w", err)
+		}
+		stage("preprocess", start)
+		colored, perm = prepared, newID
+	}
+
+	start := time.Now()
+	res, st, err := ColorContext(ctx, colored, p.Color)
+	pr.Stats = st
+	if err != nil {
+		return pr, err
+	}
+	stage("color", start)
+
+	if p.Improve != (ImproveOptions{}) {
+		start = time.Now()
+		res, err = ImproveContext(ctx, colored, res, p.Improve)
+		if err != nil {
+			return pr, err
+		}
+		stage("improve", start)
+	}
+
+	// Un-permute: colors were assigned on the reordered graph, where the
+	// original vertex old sits at index perm[old].
+	if perm != nil {
+		orig := make([]uint16, len(res.Colors))
+		for old, newID := range perm {
+			orig[old] = res.Colors[newID]
+		}
+		res = &Result{Colors: orig, NumColors: res.NumColors, Stats: res.Stats}
+	}
+
+	// Verify against the ORIGINAL graph — this also proves the
+	// un-permutation is consistent, since a misapplied permutation would
+	// break properness on g.
+	start = time.Now()
+	if err := Verify(g, res.Colors); err != nil {
+		return pr, fmt.Errorf("bitcolor: pipeline produced an invalid coloring: %w", err)
+	}
+	stage("verify", start)
+
+	pr.Result = res
+	return pr, nil
+}
