@@ -226,6 +226,11 @@ type ColorOptions struct {
 	// HotVertices overrides the gather's hot-tier threshold v_t (0:
 	// automatic sizing from the HVC capacity model).
 	HotVertices int
+	// Observer is an explicit run-scoped observability sink. It takes
+	// precedence over an Observer attached to the context via
+	// WithObserver; nil falls back to the context (and then to no
+	// observation at all, at the cost of one branch per run).
+	Observer *Observer
 }
 
 // RunStats is the unified per-run statistics record every engine fills:
@@ -254,6 +259,7 @@ func (opts ColorOptions) engineOptions() coloring.Options {
 		Workers:       opts.Workers,
 		DisableGather: opts.DisableGather,
 		HotVertices:   opts.HotVertices,
+		Obs:           opts.Observer,
 	}
 }
 

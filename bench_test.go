@@ -7,6 +7,7 @@ package bitcolor
 // the paper's numbers.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -228,6 +229,36 @@ func BenchmarkParallelBitwise(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkParallelBitwiseObserved is BenchmarkParallelBitwise at 1
+// worker with a live Observer attached — comparing its ns/edge against
+// the nil-observer GD/workers=1 arm measures what the observability
+// layer costs on the hot path (the benchguard_test.go guard bounds it
+// at 2%).
+func BenchmarkParallelBitwiseObserved(b *testing.B) {
+	g, err := Generate("GD", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prepared, err := Preprocess(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := float64(prepared.NumEdges())
+	o := NewObserver()
+	ctx := WithObserver(context.Background(), o)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ColorContext(ctx, prepared, ColorOptions{
+			Engine: EngineParallelBitwise, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/edges, "ns/edge")
+	b.ReportMetric(float64(o.SpanCount("round"))/float64(b.N), "round_spans/run")
 }
 
 // BenchmarkParallelBitwiseNoGather is the memory-path ablation arm of

@@ -17,18 +17,29 @@ import (
 	"bitcolor"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/mem"
+	"bitcolor/internal/obs"
 	"bitcolor/internal/reorder"
 	"bitcolor/internal/trace"
 )
 
 func main() {
 	var (
-		input   = flag.String("input", "", "graph file (edge list or .bcsr)")
-		dataset = flag.String("dataset", "", "synthetic dataset abbreviation")
-		seed    = flag.Int64("seed", 1, "generator seed")
+		input      = flag.String("input", "", "graph file (edge list or .bcsr)")
+		dataset    = flag.String("dataset", "", "synthetic dataset abbreviation")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *input, *dataset, *seed); err != nil {
+	stopProf, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	err = run(os.Stdout, *input, *dataset, *seed)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}

@@ -8,18 +8,33 @@
 //	benchsuite -exp fig12      # one experiment
 //	benchsuite -small          # fast reduced datasets
 //	benchsuite -datasets EF,GD # restrict datasets
+//	benchsuite -listen :9090   # live Prometheus /metrics while running
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"bitcolor/internal/experiments"
 	"bitcolor/internal/gen"
+	"bitcolor/internal/obs"
 )
+
+// obsConfig carries the observability flags shared with cmd/bitcolor:
+// a metrics/expvar endpoint, CPU+heap profile capture, and a Chrome
+// trace of the whole suite's engine-run span tree.
+type obsConfig struct {
+	listen   string
+	pprofDir string
+	traceOut string
+}
+
+func (c obsConfig) observing() bool { return c.listen != "" || c.traceOut != "" }
 
 func main() {
 	var (
@@ -29,15 +44,19 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed")
 		csv      = flag.Bool("csv", false, "emit tables as CSV")
 		jsonDir  = flag.String("json", "", "directory for machine-readable BENCH_<exp>.json records")
+		oc       obsConfig
 	)
+	flag.StringVar(&oc.listen, "listen", "", "serve Prometheus /metrics and expvar /debug/vars on this address (e.g. :9090) while the suite runs")
+	flag.StringVar(&oc.pprofDir, "pprof", "", "write cpu.pprof and heap.pprof for the suite into this directory, and mount /debug/pprof on -listen")
+	flag.StringVar(&oc.traceOut, "trace-out", "", "write the suite's engine-run span tree as Chrome trace_event JSON to this file")
 	flag.Parse()
-	if err := run(*exp, *small, *datasets, *seed, *csv, *jsonDir); err != nil {
+	if err := run(*exp, *small, *datasets, *seed, *csv, *jsonDir, oc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, small bool, datasets string, seed int64, csv bool, jsonDir string) error {
+func run(exp string, small bool, datasets string, seed int64, csv bool, jsonDir string, oc obsConfig) error {
 	ctx := experiments.NewContext(os.Stdout)
 	if small {
 		ctx = experiments.NewSmallContext(os.Stdout)
@@ -45,6 +64,44 @@ func run(exp string, small bool, datasets string, seed int64, csv bool, jsonDir 
 	ctx.Seed = seed
 	ctx.CSV = csv
 	ctx.JSONDir = jsonDir
+	if oc.observing() {
+		o := obs.New()
+		ctx.BaseCtx = obs.NewContext(context.Background(), o)
+		if oc.listen != "" {
+			srv, err := obs.Serve(oc.listen, o, oc.pprofDir != "")
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("observability endpoint on http://%s (run %s)\n", srv.Addr, o.RunID())
+		}
+		if oc.traceOut != "" {
+			defer func() {
+				if err := o.WriteTraceFile(oc.traceOut); err != nil {
+					fmt.Fprintln(os.Stderr, "benchsuite: trace:", err)
+				} else {
+					fmt.Printf("trace written to %s\n", oc.traceOut)
+				}
+			}()
+		}
+	}
+	if oc.pprofDir != "" {
+		if err := os.MkdirAll(oc.pprofDir, 0o755); err != nil {
+			return err
+		}
+		stopCPU, err := obs.StartCPUProfile(filepath.Join(oc.pprofDir, "cpu.pprof"))
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite: pprof:", err)
+			}
+			if err := obs.WriteHeapProfile(filepath.Join(oc.pprofDir, "heap.pprof")); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite: pprof:", err)
+			}
+		}()
+	}
 	if datasets != "" {
 		keep := map[string]bool{}
 		for _, a := range strings.Split(datasets, ",") {

@@ -21,11 +21,35 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"bitcolor"
+	"bitcolor/internal/obs"
 )
+
+// startProfiles begins CPU profiling into dir/cpu.pprof and returns a
+// stop func that also snapshots dir/heap.pprof. dir == "" makes both a
+// no-op.
+func startProfiles(dir string) (func() error, error) {
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	stopCPU, err := obs.StartCPUProfile(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		if err := stopCPU(); err != nil {
+			return err
+		}
+		return obs.WriteHeapProfile(filepath.Join(dir, "heap.pprof"))
+	}, nil
+}
 
 // runConfig carries every CLI knob; flags map onto it 1:1.
 type runConfig struct {
@@ -41,7 +65,13 @@ type runConfig struct {
 	verbose     bool
 	timeline    string // accelerator timeline CSV path
 	colorsOut   string // coloring output path
+	listen      string // observability HTTP endpoint address
+	pprofDir    string // CPU/heap profile output directory
+	traceOut    string // Chrome trace_event JSON output path
 }
+
+// observing reports whether the run needs a live Observer.
+func (c runConfig) observing() bool { return c.listen != "" || c.traceOut != "" }
 
 func main() {
 	var cfg runConfig
@@ -58,6 +88,9 @@ func main() {
 	flag.StringVar(&cfg.timeline, "timeline", "", "write the accelerator's per-vertex task timeline to this CSV file")
 	flag.StringVar(&cfg.colorsOut, "colors", "", "write the final coloring (vertex color per line) to this file")
 	flag.BoolVar(&cfg.verbose, "v", false, "print graph statistics")
+	flag.StringVar(&cfg.listen, "listen", "", "serve Prometheus /metrics and expvar /debug/vars on this address (e.g. :9090) for the duration of the run")
+	flag.StringVar(&cfg.pprofDir, "pprof", "", "write cpu.pprof and heap.pprof for the run into this directory, and mount /debug/pprof on -listen")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the run's span tree as Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
 
@@ -79,6 +112,30 @@ func main() {
 }
 
 func run(ctx context.Context, cfg runConfig) error {
+	var o *bitcolor.Observer
+	if cfg.observing() {
+		o = bitcolor.NewObserver()
+		ctx = bitcolor.WithObserver(ctx, o)
+		if cfg.listen != "" {
+			srv, err := bitcolor.ServeObserver(cfg.listen, o, cfg.pprofDir != "")
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("observability endpoint on http://%s (run %s)\n", srv.Addr, o.RunID())
+		}
+		if cfg.traceOut != "" {
+			// Written on the way out so cancelled runs still leave a
+			// trace of the stages that did execute.
+			defer func() {
+				if err := o.WriteTraceFile(cfg.traceOut); err != nil {
+					fmt.Fprintln(os.Stderr, "bitcolor: trace:", err)
+				} else {
+					fmt.Printf("trace written to %s\n", cfg.traceOut)
+				}
+			}()
+		}
+	}
 	var (
 		g   *bitcolor.Graph
 		err error
@@ -116,8 +173,15 @@ func run(ctx context.Context, cfg runConfig) error {
 			Engine: eng, MaxColors: cfg.maxColors, Seed: cfg.seed, Workers: cfg.workers,
 		},
 	}
+	stopProf, err := startProfiles(cfg.pprofDir)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	pr, err := pipe.Run(ctx, g)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		if pr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			printPartial(pr, err, time.Since(start))
@@ -169,6 +233,15 @@ func runAccelerator(g *bitcolor.Graph, cfg runConfig) error {
 			return err
 		}
 	}
+	stopProf, err := startProfiles(cfg.pprofDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "bitcolor: pprof:", perr)
+		}
+	}()
 	start := time.Now()
 	simCfg := bitcolor.DefaultSimConfig(cfg.parallelism)
 	simCfg.MaxColors = cfg.maxColors

@@ -18,6 +18,7 @@ import (
 	"bitcolor"
 	"bitcolor/internal/gen"
 	"bitcolor/internal/graph"
+	"bitcolor/internal/obs"
 )
 
 func main() {
@@ -28,9 +29,19 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed")
 		rmat       = flag.Int("rmat", 0, "generate an RMAT graph of this scale instead of a named dataset")
 		edgeFactor = flag.Int("edgefactor", 8, "RMAT edges per vertex")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the generation to this file")
 	)
 	flag.Parse()
-	if err := run(*dataset, *out, *dir, *seed, *rmat, *edgeFactor); err != nil {
+	stopProf, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	err = run(*dataset, *out, *dir, *seed, *rmat, *edgeFactor)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}

@@ -21,20 +21,31 @@ import (
 	"bitcolor"
 	"bitcolor/internal/coloring"
 	"bitcolor/internal/graph"
+	"bitcolor/internal/obs"
 	"bitcolor/internal/reorder"
 )
 
 func main() {
 	var (
-		input    = flag.String("input", "", "graph file (edge list, .col or .bcsr)")
-		dataset  = flag.String("dataset", "", "synthetic dataset abbreviation")
-		out      = flag.String("out", "", "write the reordered graph here (.bcsr)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		showTime = flag.Bool("time", false, "report reordering vs coloring wall time (Table 2)")
-		parallel = flag.Int("parallel", 0, "preprocessing workers (<=0: GOMAXPROCS)")
+		input      = flag.String("input", "", "graph file (edge list, .col or .bcsr)")
+		dataset    = flag.String("dataset", "", "synthetic dataset abbreviation")
+		out        = flag.String("out", "", "write the reordered graph here (.bcsr)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		showTime   = flag.Bool("time", false, "report reordering vs coloring wall time (Table 2)")
+		parallel   = flag.Int("parallel", 0, "preprocessing workers (<=0: GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the preprocessing to this file")
 	)
 	flag.Parse()
-	if err := run(*input, *dataset, *out, *seed, *showTime, *parallel); err != nil {
+	stopProf, err := obs.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "preprocess:", err)
+		os.Exit(1)
+	}
+	err = run(*input, *dataset, *out, *seed, *showTime, *parallel)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "preprocess:", err)
 		os.Exit(1)
 	}

@@ -5,7 +5,7 @@ import (
 
 	"bitcolor/internal/cache"
 	"bitcolor/internal/graph"
-	"bitcolor/internal/metrics"
+	"bitcolor/internal/obs"
 )
 
 // The blocked color-gather is the host-side analog of the paper's memory
@@ -47,6 +47,14 @@ type Options struct {
 	// HotVertices overrides the hot-tier threshold v_t (0: automatic via
 	// cache.HotThreshold).
 	HotVertices int
+	// Obs is the optional run-scoped observability sink. The registry's
+	// instrumentation decorator fills it (from the caller or the
+	// context); a nil observer is the zero-overhead default.
+	Obs *obs.Observer
+	// Span is the enclosing engine span (set by the instrumentation
+	// decorator alongside Obs); the speculative engines hang their
+	// per-round spans off it. All span methods are nil-safe.
+	Span *obs.Span
 }
 
 // maxColors resolves the palette bound, applying the default.
@@ -58,24 +66,27 @@ func (o Options) maxColors() int {
 }
 
 // gather is one worker's locality-aware view of the shared color array.
-// It is not safe for concurrent use; every worker owns one.
+// It is not safe for concurrent use; every worker owns one. Read
+// classifications land in the worker's padded counter shard (obs.Shard),
+// which the engine folds into metrics.RunStats after the workers join.
 type gather struct {
 	shared    []uint32
 	vt        uint32 // hot-tier threshold v_t
 	lastBlock int64  // last cold-tier 64-color block touched
-	stats     metrics.GatherStats
+	sh        *obs.Shard
 }
 
-// newGather builds a worker gather over the live color array. hotVertices
-// <= 0 selects the automatic HVC-derived threshold.
-func newGather(shared []uint32, hotVertices int) *gather {
+// newGather builds a worker gather over the live color array, counting
+// into shard sh. hotVertices <= 0 selects the automatic HVC-derived
+// threshold.
+func newGather(shared []uint32, hotVertices int, sh *obs.Shard) *gather {
 	vt := uint32(hotVertices)
 	if hotVertices <= 0 {
 		vt = cache.HotThreshold(len(shared))
 	} else if hotVertices > len(shared) {
 		vt = uint32(len(shared))
 	}
-	return &gather{shared: shared, vt: vt, lastBlock: -1}
+	return &gather{shared: shared, vt: vt, lastBlock: -1, sh: sh}
 }
 
 // load returns u's live color and classifies the access as hot-tier,
@@ -84,12 +95,12 @@ func newGather(shared []uint32, hotVertices int) *gather {
 func (ga *gather) load(u graph.VertexID) uint32 {
 	c := atomic.LoadUint32(&ga.shared[u])
 	if u < ga.vt {
-		ga.stats.HotReads++
+		ga.sh.Inc(obs.CtrHotReads)
 	} else if b := int64(u >> colorBlockShift); b == ga.lastBlock {
-		ga.stats.MergedReads++
+		ga.sh.Inc(obs.CtrMergedReads)
 	} else {
 		ga.lastBlock = b
-		ga.stats.ColdBlockLoads++
+		ga.sh.Inc(obs.CtrColdBlockLoads)
 	}
 	return c
 }

@@ -1,0 +1,117 @@
+package coloring
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"bitcolor/internal/obs"
+)
+
+// lookupRun resolves an engine's decorated Run through the registry —
+// the same path the public API takes, so the test exercises the
+// instrumentation decorator, not the raw engine.
+func lookupRun(t *testing.T, name string) EngineFunc {
+	t.Helper()
+	info, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("engine %q not registered", name)
+	}
+	return info.Run
+}
+
+// TestRoundSpansMatchRunStats pins the ISSUE acceptance criterion: for
+// each speculative engine, the observer records exactly one "round"
+// span per RunStats round.
+func TestRoundSpansMatchRunStats(t *testing.T) {
+	for _, name := range []string{"speculative", "parallelbitwise"} {
+		for _, workers := range []int{1, 4} {
+			t.Run(name, func(t *testing.T) {
+				g := randomGraph(t, 400, 3000, 11)
+				o := obs.New()
+				ctx := obs.NewContext(context.Background(), o)
+				res, st, err := lookupRun(t, name)(ctx, g, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := Verify(g, res.Colors); err != nil {
+					t.Fatal(err)
+				}
+				if st.Rounds < 1 {
+					t.Fatalf("Rounds = %d", st.Rounds)
+				}
+				if got := o.SpanCount("round"); got != st.Rounds {
+					t.Fatalf("%s workers=%d: %d round spans, RunStats.Rounds = %d",
+						name, workers, got, st.Rounds)
+				}
+				if o.SpanCount("engine/"+name) != 1 {
+					t.Fatalf("engine span count = %d", o.SpanCount("engine/"+name))
+				}
+			})
+		}
+	}
+}
+
+// TestInstrumentFoldsRunIntoFamilies checks the decorator's RecordRun
+// wiring end to end: after a run through the registry, the observer's
+// families reflect the returned RunStats.
+func TestInstrumentFoldsRunIntoFamilies(t *testing.T) {
+	g := randomGraph(t, 300, 2500, 12)
+	o := obs.New()
+	ctx := obs.NewContext(context.Background(), o)
+	res, st, err := lookupRun(t, "parallelbitwise")(ctx, g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := o.Metrics()
+	if v := r.Counter("bitcolor_engine_runs_total").Value("parallelbitwise"); v != 1 {
+		t.Fatalf("runs counter = %d", v)
+	}
+	if v := r.Counter("bitcolor_rounds_total").Value("parallelbitwise"); v != int64(st.Rounds) {
+		t.Fatalf("rounds counter = %d, RunStats %d", v, st.Rounds)
+	}
+	gather := st.Gather
+	if v := r.Counter("bitcolor_gather_hot_reads_total").Value(""); v != gather.HotReads {
+		t.Fatalf("hot reads counter = %d, RunStats %d", v, gather.HotReads)
+	}
+	if v := r.Counter("bitcolor_gather_pruned_tail_total").Value(""); v != gather.PrunedTail {
+		t.Fatalf("pruned counter = %d, RunStats %d", v, gather.PrunedTail)
+	}
+	var wv int64
+	for w := 0; w < st.Workers; w++ {
+		wv += r.Counter("bitcolor_worker_vertices_total").Value(strconv.Itoa(w))
+	}
+	if wv != st.TotalVertices() {
+		t.Fatalf("worker vertices folded = %d, RunStats %d", wv, st.TotalVertices())
+	}
+	if res.NumColors <= 0 {
+		t.Fatal("no colors")
+	}
+}
+
+// TestEngineOptionObserver checks the Options.Obs path (explicit
+// observer, no context).
+func TestEngineOptionObserver(t *testing.T) {
+	g := randomGraph(t, 200, 1200, 13)
+	o := obs.New()
+	_, st, err := lookupRun(t, "speculative")(context.Background(), g, Options{Workers: 2, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.SpanCount("round"); got != st.Rounds {
+		t.Fatalf("explicit Obs: %d round spans, Rounds %d", got, st.Rounds)
+	}
+}
+
+// TestNoObserverNoSpans guards the nil path: without an observer the
+// engines must not record anything or fail.
+func TestNoObserverNoSpans(t *testing.T) {
+	g := randomGraph(t, 200, 1200, 14)
+	res, st, err := lookupRun(t, "parallelbitwise")(context.Background(), g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || st.Rounds < 1 {
+		t.Fatalf("run without observer degraded: %v %+v", res, st)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"bitcolor/internal/bitops"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
+	"bitcolor/internal/obs"
 )
 
 // ParallelBitwise fuses the paper's bit-wise color-state determination
@@ -76,10 +77,30 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	if workers > n && n > 0 {
 		workers = n
 	}
-	st := metrics.ParallelStats{Workers: workers, VerticesPerWorker: make([]int64, workers)}
+	// Per-worker hot-path counters live in cache-line-padded shards; the
+	// fold into RunStats happens once, after the worker goroutines join.
+	ss := obs.NewShardSet(workers)
+	st := metrics.ParallelStats{Workers: workers}
+	foldStats := func() {
+		st.VerticesPerWorker = ss.PerWorker(obs.CtrVertices)
+		st.BlocksPerWorker = ss.PerWorker(obs.CtrBlocks)
+		st.ConflictsFound = ss.Total(obs.CtrConflictsFound)
+		st.ConflictsRepaired = ss.Total(obs.CtrConflictsRepaired)
+		st.Gather = metrics.GatherStats{
+			HotReads:       ss.Total(obs.CtrHotReads),
+			MergedReads:    ss.Total(obs.CtrMergedReads),
+			ColdBlockLoads: ss.Total(obs.CtrColdBlockLoads),
+			PrunedTail:     ss.Total(obs.CtrPrunedTail),
+		}
+	}
 	if n == 0 {
+		foldStats()
 		return &Result{Colors: nil, NumColors: 0}, st, nil
 	}
+	// esp is the enclosing engine span (nil without an observer; every
+	// span method is a no-op then). Spans are touched only at phase and
+	// sweep boundaries, never inside the per-block or per-edge loops.
+	esp := opts.Span
 	useGather := !opts.DisableGather
 
 	// Colors live in 32-bit words accessed atomically: speculation reads
@@ -128,15 +149,18 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 		state *bitops.BitSet
 		codec *bitops.ColorCodec
 		ga    *gather
+		sh    *obs.Shard
 		next  []graph.VertexID // vertices this worker re-colored this sweep
 		err   error
 	}
 	ws := make([]*scratch, workers)
 	for w := range ws {
+		sh := ss.Shard(w)
 		ws[w] = &scratch{
 			state: bitops.NewBitSet(maxColors),
 			codec: bitops.NewColorCodec(maxColors),
-			ga:    newGather(shared, opts.HotVertices),
+			ga:    newGather(shared, opts.HotVertices, sh),
+			sh:    sh,
 			next:  make([]graph.VertexID, 0, 256),
 		}
 	}
@@ -157,7 +181,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 			// everything past the first index above v is the uncolored tail.
 			for i, u := range adj {
 				if u > v {
-					s.ga.stats.PrunedTail += int64(len(adj) - i)
+					s.sh.Add(obs.CtrPrunedTail, int64(len(adj)-i))
 					break
 				}
 				s.state.OrColorNum(s.ga.load(u))
@@ -192,6 +216,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 
 	// Speculation: every vertex colored once, workers pulling
 	// degree-sorted blocks from the shared cursor.
+	ssp := esp.Child("speculate").Attr("vertices", int64(n))
 	var cur blockCursor
 	cur.reset(n)
 	var wg sync.WaitGroup
@@ -209,7 +234,8 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 					s.err = err
 					return
 				}
-				st.VerticesPerWorker[w] += int64(hi - lo)
+				s.sh.Inc(obs.CtrBlocks)
+				s.sh.Add(obs.CtrVertices, int64(hi-lo))
 				for _, v := range order[lo:hi] {
 					if !firstFit(s, v, true) {
 						return
@@ -219,8 +245,10 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 		}(w)
 	}
 	wg.Wait()
+	ssp.Attr("blocks", ss.Total(obs.CtrBlocks)).End()
 	for _, s := range ws {
 		if s.err != nil {
+			foldStats()
 			return nil, st, s.err
 		}
 	}
@@ -242,12 +270,15 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	)
 	if workers == 1 {
 		st.Rounds = 1
+		// The single conflict-free round still gets its span so the
+		// per-round record count always matches RunStats.Rounds.
+		esp.Child("round").Attr("round", 1).Attr("pending", int64(n)).
+			Attr("conflicts_found", int64(0)).Attr("recolored", int64(0)).End()
 	} else {
 		pending = make([]graph.VertexID, n)
 		copy(pending, order)
 		pendingEpoch = make([]uint32, n)
 	}
-	var found, repaired int64
 	sweep := uint32(0)
 	for len(pending) > 0 {
 		sweep++
@@ -256,6 +287,20 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 			// Each sweep finalizes at least the lowest-indexed vertex of
 			// every conflicting cluster; this guards future regressions.
 			panic("coloring: parallel bitwise coloring failed to converge")
+		}
+		// Round telemetry: the snapshot/delta work runs only with a live
+		// observer; sweeps under a nil observer skip it entirely.
+		var (
+			rsp                       *obs.Span
+			foundBefore, repairBefore int64
+			blocksBefore              []int64
+		)
+		if esp != nil {
+			foundBefore = ss.Total(obs.CtrConflictsFound)
+			repairBefore = ss.Total(obs.CtrConflictsRepaired)
+			blocksBefore = ss.PerWorker(obs.CtrBlocks)
+			rsp = esp.Child("round").Attr("round", int64(st.Rounds)).
+				Attr("pending", int64(len(pending)))
 		}
 		for _, v := range pending {
 			pendingEpoch[v] = sweep
@@ -276,6 +321,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 						s.err = err
 						return
 					}
+					s.sh.Inc(obs.CtrBlocks)
 					for _, v := range pending[lo:hi] {
 						cv := atomic.LoadUint32(&shared[v])
 						lost := false
@@ -287,12 +333,12 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 								continue // u is pending and loses; its worker repairs it
 							}
 							lost = true
-							atomic.AddInt64(&found, 1)
+							s.sh.Inc(obs.CtrConflictsFound)
 						}
 						if !lost {
 							continue
 						}
-						atomic.AddInt64(&repaired, 1)
+						s.sh.Inc(obs.CtrConflictsRepaired)
 						if !firstFit(s, v, false) {
 							return
 						}
@@ -304,21 +350,45 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 		wg.Wait()
 		// Collect the re-colored vertices as the next sweep's pending set.
 		pending = pending[:0]
+		var sweepErr error
 		for _, s := range ws {
 			if s.err != nil {
-				return nil, st, s.err
+				sweepErr = s.err
+				break
 			}
 			pending = append(pending, s.next...)
+		}
+		if rsp != nil {
+			claims := ss.PerWorker(obs.CtrBlocks)
+			var total, steals int64
+			for w := range claims {
+				claims[w] -= blocksBefore[w]
+				total += claims[w]
+			}
+			fair := (total + int64(workers) - 1) / int64(workers)
+			for _, b := range claims {
+				if b > fair {
+					steals += b - fair
+				}
+			}
+			rsp.Attr("conflicts_found", ss.Total(obs.CtrConflictsFound)-foundBefore).
+				Attr("recolored", ss.Total(obs.CtrConflictsRepaired)-repairBefore).
+				Attr("blocks_per_worker", claims).
+				Attr("steals", steals)
+			if sweepErr != nil {
+				rsp.Attr("cancelled", true)
+			}
+			rsp.End()
+		}
+		if sweepErr != nil {
+			foldStats()
+			return nil, st, sweepErr
 		}
 		// Deterministic sweep composition despite racy block claims:
 		// sorting keeps the detection order reproducible for tests.
 		sortVertexIDs(pending)
 	}
-	st.ConflictsFound = found
-	st.ConflictsRepaired = repaired
-	for _, s := range ws {
-		st.Gather.Add(s.ga.stats)
-	}
+	foldStats()
 
 	colors := make([]uint16, n)
 	for i, c := range shared {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
+	"bitcolor/internal/obs"
 )
 
 // This file is the engine registry: the single point where every software
@@ -56,7 +58,10 @@ var (
 
 // Register adds an engine to the registry. It panics on a duplicate or
 // empty name or a nil Run — registration happens in init, so a bad entry
-// is a programming error that should fail loudly at startup.
+// is a programming error that should fail loudly at startup. Every
+// engine is wrapped by the instrumentation decorator at registration,
+// so tracing and metric folding are uniform across engines without any
+// per-engine code.
 func Register(info EngineInfo) {
 	if info.Name == "" || info.Run == nil {
 		panic("coloring: Register needs a name and a Run func")
@@ -64,8 +69,49 @@ func Register(info EngineInfo) {
 	if _, dup := registryIndex[info.Name]; dup {
 		panic(fmt.Sprintf("coloring: engine %q registered twice", info.Name))
 	}
+	info.Run = instrument(info.Name, info.Run)
 	registryIndex[info.Name] = len(registry)
 	registry = append(registry, info)
+}
+
+// instrument is the uniform EngineFunc decorator: it resolves the
+// observer (explicit Options.Obs first, then the context), opens the
+// engine span, hands both to the engine via Options, and folds the
+// run's statistics into the observer's metric families afterwards.
+// Without an observer the only cost is one nil check per run.
+func instrument(name string, run EngineFunc) EngineFunc {
+	return func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+		o := opts.Obs
+		if o == nil {
+			o = obs.FromContext(ctx)
+		}
+		if o == nil {
+			return run(ctx, g, opts)
+		}
+		opts.Obs = o
+		sp := o.StartSpan("engine/"+name).
+			Attr("vertices", int64(g.NumVertices())).
+			Attr("edges", g.NumEdges())
+		opts.Span = sp
+		start := time.Now()
+		res, st, err := run(ctx, g, opts)
+		d := time.Since(start)
+		sp.Attr("workers", int64(st.Workers)).
+			Attr("rounds", int64(st.Rounds)).
+			Attr("conflicts_found", st.ConflictsFound).
+			Attr("conflicts_repaired", st.ConflictsRepaired)
+		colors := 0
+		if res != nil {
+			colors = res.NumColors
+			sp.Attr("colors", int64(colors))
+		}
+		if err != nil {
+			sp.Attr("error", err.Error())
+		}
+		sp.End()
+		o.RecordRun(name, colors, d, st, err)
+		return res, st, err
+	}
 }
 
 // Lookup resolves an engine by name.

@@ -9,6 +9,7 @@ import (
 	"bitcolor/internal/bitops"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
+	"bitcolor/internal/obs"
 )
 
 // Speculative implements Gebremedhin–Manne parallel coloring on the host
@@ -69,10 +70,27 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 	if workers > n && n > 0 {
 		workers = n
 	}
-	st := metrics.ParallelStats{Workers: workers, VerticesPerWorker: make([]int64, workers)}
+	// Per-worker hot-path counters live in cache-line-padded shards; the
+	// fold into RunStats happens after the worker goroutines join.
+	ss := obs.NewShardSet(workers)
+	st := metrics.ParallelStats{Workers: workers}
+	foldStats := func() {
+		st.VerticesPerWorker = ss.PerWorker(obs.CtrVertices)
+		st.BlocksPerWorker = ss.PerWorker(obs.CtrBlocks)
+		st.Gather = metrics.GatherStats{
+			HotReads:       ss.Total(obs.CtrHotReads),
+			MergedReads:    ss.Total(obs.CtrMergedReads),
+			ColdBlockLoads: ss.Total(obs.CtrColdBlockLoads),
+			PrunedTail:     ss.Total(obs.CtrPrunedTail),
+		}
+	}
 	if n == 0 {
+		foldStats()
 		return &Result{Colors: nil, NumColors: 0}, st, nil
 	}
+	// esp is the enclosing engine span (nil without an observer); spans
+	// are touched only at round boundaries, never in the per-edge loops.
+	esp := opts.Span
 	useGather := !opts.DisableGather
 	puv := useGather && g.EdgesSorted()
 	// Shared state uses 32-bit words with atomic access: the algorithm
@@ -91,14 +109,17 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 		state *bitops.BitSet
 		codec *bitops.ColorCodec
 		ga    *gather
+		sh    *obs.Shard
 		err   error
 	}
 	ws := make([]*scratch, workers)
 	for w := range ws {
+		sh := ss.Shard(w)
 		ws[w] = &scratch{
 			state: bitops.NewBitSet(maxColors),
 			codec: bitops.NewColorCodec(maxColors),
-			ga:    newGather(shared, opts.HotVertices),
+			ga:    newGather(shared, opts.HotVertices, sh),
+			sh:    sh,
 		}
 	}
 	if useGather {
@@ -115,6 +136,19 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 			// priority pending vertex, so this cannot trigger; it guards
 			// the loop against future regressions.
 			panic("coloring: speculative coloring failed to converge")
+		}
+		// Round telemetry: snapshot/delta work runs only with a live
+		// observer; rounds under a nil observer skip it entirely.
+		var (
+			rsp             *obs.Span
+			blocksBefore    []int64
+			conflictsBefore int64
+		)
+		if esp != nil {
+			blocksBefore = ss.PerWorker(obs.CtrBlocks)
+			conflictsBefore = st.ConflictsFound
+			rsp = esp.Child("round").Attr("round", int64(st.Rounds)).
+				Attr("pending", int64(len(pending)))
 		}
 		// Speculation: workers pull blocks of the pending set from the
 		// shared cursor, racing on neighbor reads.
@@ -134,7 +168,8 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 						s.err = err
 						return
 					}
-					st.VerticesPerWorker[w] += int64(hi - lo)
+					s.sh.Inc(obs.CtrBlocks)
+					s.sh.Add(obs.CtrVertices, int64(hi-lo))
 					for _, v := range pending[lo:hi] {
 						s.state.Reset()
 						adj := g.Neighbors(v)
@@ -144,7 +179,7 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 							// of the still-uncolored tail (PUV).
 							for i, u := range adj {
 								if u > v {
-									s.ga.stats.PrunedTail += int64(len(adj) - i)
+									s.sh.Add(obs.CtrPrunedTail, int64(len(adj)-i))
 									break
 								}
 								s.state.OrColorNum(s.ga.load(u))
@@ -169,8 +204,38 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 			}(w)
 		}
 		wg.Wait()
+		// endRound closes the round span with this round's outcomes and
+		// dispatch split; abort marks a cancelled round.
+		endRound := func(abort bool) {
+			if rsp == nil {
+				return
+			}
+			claims := ss.PerWorker(obs.CtrBlocks)
+			var total, steals int64
+			for w := range claims {
+				claims[w] -= blocksBefore[w]
+				total += claims[w]
+			}
+			fair := (total + int64(workers) - 1) / int64(workers)
+			for _, b := range claims {
+				if b > fair {
+					steals += b - fair
+				}
+			}
+			rsp.Attr("conflicts_found", st.ConflictsFound-conflictsBefore).
+				Attr("blocks_per_worker", claims).
+				Attr("steals", steals)
+			if abort {
+				rsp.Attr("cancelled", true)
+			} else {
+				rsp.Attr("recolored", int64(len(next)))
+			}
+			rsp.End()
+		}
 		for _, s := range ws {
 			if s.err != nil {
+				endRound(true)
+				foldStats()
 				return nil, st, s.err
 			}
 		}
@@ -182,6 +247,8 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 		for i, v := range pending {
 			if i&ctxStrideMask == 0 {
 				if err := ctx.Err(); err != nil {
+					endRound(true)
+					foldStats()
 					return nil, st, err
 				}
 			}
@@ -194,15 +261,14 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 			}
 		}
 		st.ConflictsRepaired += int64(len(next))
+		endRound(false)
 		pending, next = next, pending
 		// Deterministic round composition despite racy block claims:
 		// order does not affect the next speculation's outcome
 		// distribution, but sorting keeps runs reproducible for tests.
 		sortVertexIDs(pending)
 	}
-	for _, s := range ws {
-		st.Gather.Add(s.ga.stats)
-	}
+	foldStats()
 	colors := make([]uint16, n)
 	for i, c := range shared {
 		colors[i] = uint16(c)

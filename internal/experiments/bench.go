@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"sync"
 )
 
 // BenchRecord is one machine-readable benchmark measurement, the JSON
@@ -21,9 +23,51 @@ type BenchRecord struct {
 	NsPerEdge float64 `json:"ns_per_edge"`
 }
 
+// BenchSchemaVersion identifies the BENCH_<exp>.json envelope layout;
+// bump it on any incompatible change to BenchFile or BenchRecord.
+const BenchSchemaVersion = 1
+
+// BenchFile is the on-disk envelope of one BENCH_<exp>.json emission:
+// a schema version so downstream tooling can detect layout changes, the
+// VCS revision the binary was built from (when the build recorded one),
+// and the records themselves.
+type BenchFile struct {
+	SchemaVersion int           `json:"schema_version"`
+	GitRevision   string        `json:"git_revision,omitempty"`
+	Exp           string        `json:"exp"`
+	Records       []BenchRecord `json:"records"`
+}
+
+var gitRevisionOnce = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	return rev + dirty
+})
+
+// GitRevision returns the vcs.revision the running binary was built
+// from (with a "+dirty" suffix for modified trees), or "" when the
+// build info carries no VCS stamp (e.g. `go test` binaries).
+func GitRevision() string { return gitRevisionOnce() }
+
 // EmitBench writes recs as BENCH_<exp>.json under the context's JSON
 // directory; a no-op when no directory is configured. Records missing an
-// Exp tag inherit exp.
+// Exp tag inherit exp. The write is atomic — marshal to a temp file in
+// the target directory, fsync, rename — so a crashed or interrupted
+// suite never leaves a truncated JSON file where a previous good one
+// was, and concurrent readers only ever observe complete emissions.
 func (c *Context) EmitBench(exp string, recs []BenchRecord) error {
 	if c.JSONDir == "" || len(recs) == 0 {
 		return nil
@@ -36,10 +80,50 @@ func (c *Context) EmitBench(exp string, recs []BenchRecord) error {
 	if err := os.MkdirAll(c.JSONDir, 0o755); err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(recs, "", "  ")
+	file := BenchFile{
+		SchemaVersion: BenchSchemaVersion,
+		GitRevision:   GitRevision(),
+		Exp:           exp,
+		Records:       recs,
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(c.JSONDir, "BENCH_"+exp+".json")
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeFileAtomic(filepath.Join(c.JSONDir, "BENCH_"+exp+".json"), append(data, '\n'))
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync and rename.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() { os.Remove(tmp) }
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		cleanup()
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		cleanup()
+		return err
+	}
+	return nil
 }

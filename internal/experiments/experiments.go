@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -32,6 +33,19 @@ type Context struct {
 	// JSONDir, when set, receives machine-readable BENCH_<exp>.json
 	// files for the experiments that emit BenchRecords (benchsuite -json).
 	JSONDir string
+	// BaseCtx is the context the experiments run engines under; nil
+	// means context.Background(). benchsuite attaches its -listen /
+	// -trace-out observer here, so per-round engine telemetry flows
+	// through the registry decorator during a suite run.
+	BaseCtx context.Context
+}
+
+// RunCtx returns the context engine runs should use.
+func (c *Context) RunCtx() context.Context {
+	if c.BaseCtx != nil {
+		return c.BaseCtx
+	}
+	return context.Background()
 }
 
 // NewContext returns a context over the full scaled registry.

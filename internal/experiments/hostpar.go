@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -66,14 +65,14 @@ func HostPar(ctx *Context) (*HostParResult, error) {
 			row := HostParRow{Dataset: d.Abbrev, Workers: w, Edges: prepared.NumEdges()}
 			opts := coloring.Options{Workers: w}
 			start := time.Now()
-			specRes, specSt, err := spec.Run(context.Background(), prepared, opts)
+			specRes, specSt, err := spec.Run(ctx.RunCtx(), prepared, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s speculative: %w", d.Abbrev, err)
 			}
 			row.SpecTime = time.Since(start)
 			row.SpecStats, row.SpecColors = specSt, specRes.NumColors
 			start = time.Now()
-			parRes, parSt, err := par.Run(context.Background(), prepared, opts)
+			parRes, parSt, err := par.Run(ctx.RunCtx(), prepared, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s parallelbitwise: %w", d.Abbrev, err)
 			}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -67,7 +66,7 @@ func Locality(ctx *Context) (*LocalityResult, error) {
 			for _, gather := range []bool{false, true} {
 				row := LocalityRow{Dataset: d.Abbrev, DBG: dbg, Gather: gather, Workers: workers}
 				start := time.Now()
-				out, st, err := eng.Run(context.Background(), g, coloring.Options{
+				out, st, err := eng.Run(ctx.RunCtx(), g, coloring.Options{
 					Workers:       workers,
 					DisableGather: !gather,
 					HotVertices:   vt,

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"bitcolor/internal/coloring"
@@ -55,7 +54,7 @@ func Quality(ctx *Context) (*QualityResult, error) {
 				continue
 			}
 			opts := coloring.Options{Seed: ctx.Seed}
-			r, _, err := eng.Run(context.Background(), prepared, opts)
+			r, _, err := eng.Run(ctx.RunCtx(), prepared, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", d.Abbrev, eng.Name, err)
 			}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -45,7 +44,7 @@ func Table2(ctx *Context) (*Table2Result, error) {
 		// The coloring side runs the literal Algorithm 1 (full flag wipe
 		// per vertex), as the paper's C baseline does.
 		tColor, err := cpuref.MeasureWall(func() error {
-			_, err := coloring.GreedyLiteral(context.Background(), prepared, coloring.MaxColorsDefault)
+			_, err := coloring.GreedyLiteral(ctx.RunCtx(), prepared, coloring.MaxColorsDefault)
 			return err
 		})
 		if err != nil {

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"bitcolor/internal/coloring"
@@ -41,11 +40,11 @@ func Table4(ctx *Context) (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := coloring.BitwiseGreedy(context.Background(), raw, coloring.MaxColorsDefault, true)
+		base, err := coloring.BitwiseGreedy(ctx.RunCtx(), raw, coloring.MaxColorsDefault, true)
 		if err != nil {
 			return nil, fmt.Errorf("%s baseline: %w", d.Abbrev, err)
 		}
-		sorted, err := coloring.BitwiseGreedy(context.Background(), prepared, coloring.MaxColorsDefault, true)
+		sorted, err := coloring.BitwiseGreedy(ctx.RunCtx(), prepared, coloring.MaxColorsDefault, true)
 		if err != nil {
 			return nil, fmt.Errorf("%s sorted: %w", d.Abbrev, err)
 		}

@@ -153,6 +153,10 @@ type RunStats struct {
 	// VerticesPerWorker[w] is how many speculation-phase vertices worker
 	// w claimed from the shared cursor, summed over all rounds.
 	VerticesPerWorker []int64
+	// BlocksPerWorker[w] is how many dispatch blocks worker w claimed
+	// from the shared cursor across speculation and repair sweeps — the
+	// dynamic-dispatch telemetry behind the imbalance and steal numbers.
+	BlocksPerWorker []int64
 	// Gather aggregates the blocked color-gather's locality counters
 	// across workers; zero when the engine ran with the gather disabled.
 	Gather GatherStats
@@ -189,6 +193,42 @@ func (s RunStats) Imbalance() float64 {
 	}
 	mean := float64(total) / float64(len(s.VerticesPerWorker))
 	return float64(max) / mean
+}
+
+// TotalBlocks sums the per-worker dispatch block claims.
+func (s RunStats) TotalBlocks() int64 {
+	var sum int64
+	for _, b := range s.BlocksPerWorker {
+		sum += b
+	}
+	return sum
+}
+
+// FairShareBlocks is the per-worker block count a static split would
+// have assigned: ceil(total blocks / workers). 0 when no blocks were
+// claimed or no per-worker counts were recorded.
+func (s RunStats) FairShareBlocks() int64 {
+	total := s.TotalBlocks()
+	if total == 0 || len(s.BlocksPerWorker) == 0 {
+		return 0
+	}
+	w := int64(len(s.BlocksPerWorker))
+	return (total + w - 1) / w
+}
+
+// Steals counts dispatch blocks claimed beyond the static fair share,
+// summed over workers — how much work the dynamic cursor moved away
+// from a hypothetical static partition. 0 means the dynamic dispatch
+// degenerated to the static split.
+func (s RunStats) Steals() int64 {
+	fair := s.FairShareBlocks()
+	var steals int64
+	for _, b := range s.BlocksPerWorker {
+		if b > fair {
+			steals += b - fair
+		}
+	}
+	return steals
 }
 
 func (s RunStats) String() string {

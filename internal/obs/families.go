@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric families — counters, gauges and
+// histograms, each with at most one label dimension — and renders them
+// in the Prometheus text exposition format and as an expvar-compatible
+// snapshot. Families are registered once (typically up front, so an
+// early scrape already shows them at zero) and series are created on
+// first touch of a label value. All operations are safe for concurrent
+// use; updates after registration are lock-free on the family map's
+// read path.
+type Registry struct {
+	mu    sync.RWMutex
+	fams  map[string]*Family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*Family{}}
+}
+
+// Kind distinguishes the family types.
+type Kind int
+
+// The metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Family is one named metric family. Label is the single label
+// dimension ("" for an unlabeled family with exactly one series).
+type Family struct {
+	Name  string
+	Help  string
+	Label string
+	Kind  Kind
+
+	buckets []float64 // histogram upper bounds, ascending
+
+	mu     sync.Mutex
+	series map[string]*series
+	keys   []string
+}
+
+// series is one (family, label value) time series. Counters and
+// histogram bucket counts are int64; gauges and histogram sums store
+// float64 bits.
+type series struct {
+	count   atomic.Int64
+	gauge   atomic.Uint64 // float64 bits
+	sumBits atomic.Uint64 // histogram sum, float64 bits
+	buckets []atomic.Int64
+}
+
+func (r *Registry) register(name, help, label string, kind Kind, buckets []float64) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		return f
+	}
+	f := &Family{Name: name, Help: help, Label: label, Kind: kind,
+		buckets: buckets, series: map[string]*series{}}
+	r.fams[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// RegisterCounter registers (idempotently) a counter family.
+func (r *Registry) RegisterCounter(name, help, label string) *Family {
+	return r.register(name, help, label, KindCounter, nil)
+}
+
+// RegisterGauge registers (idempotently) a gauge family.
+func (r *Registry) RegisterGauge(name, help, label string) *Family {
+	return r.register(name, help, label, KindGauge, nil)
+}
+
+// RegisterHistogram registers (idempotently) a histogram family with the
+// given ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) RegisterHistogram(name, help, label string, buckets []float64) *Family {
+	return r.register(name, help, label, KindHistogram, buckets)
+}
+
+func (r *Registry) lookup(name string, kind Kind) *Family {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil || f.Kind != kind {
+		panic(fmt.Sprintf("obs: metric family %q not registered as %v", name, kind))
+	}
+	return f
+}
+
+// Counter returns a registered counter family.
+func (r *Registry) Counter(name string) *Family { return r.lookup(name, KindCounter) }
+
+// Gauge returns a registered gauge family.
+func (r *Registry) Gauge(name string) *Family { return r.lookup(name, KindGauge) }
+
+// Histogram returns a registered histogram family.
+func (r *Registry) Histogram(name string) *Family { return r.lookup(name, KindHistogram) }
+
+// at returns (creating if needed) the series for a label value.
+func (f *Family) at(labelValue string) *series {
+	f.mu.Lock()
+	s, ok := f.series[labelValue]
+	if !ok {
+		s = &series{}
+		if f.Kind == KindHistogram {
+			s.buckets = make([]atomic.Int64, len(f.buckets)+1) // +Inf last
+		}
+		f.series[labelValue] = s
+		f.keys = append(f.keys, labelValue)
+		sort.Strings(f.keys)
+	}
+	f.mu.Unlock()
+	return s
+}
+
+// Add increments a counter series.
+func (f *Family) Add(labelValue string, delta int64) {
+	if delta == 0 {
+		// Still materialize the series so the family scrapes at 0.
+		f.at(labelValue)
+		return
+	}
+	f.at(labelValue).count.Add(delta)
+}
+
+// Value reads a counter series (0 if the label value never appeared).
+func (f *Family) Value(labelValue string) int64 {
+	f.mu.Lock()
+	s := f.series[labelValue]
+	f.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Set stores a gauge series value.
+func (f *Family) Set(labelValue string, v float64) {
+	f.at(labelValue).gauge.Store(math.Float64bits(v))
+}
+
+// Observe records one histogram sample.
+func (f *Family) Observe(labelValue string, v float64) {
+	s := f.at(labelValue)
+	i := sort.SearchFloat64s(f.buckets, v)
+	s.buckets[i].Add(1)
+	s.count.Add(1)
+	for {
+		old := s.sumBits.Load()
+		if s.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// escapeLabel escapes a label value for the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func (f *Family) labelled(value string, extra string) string {
+	var parts []string
+	if f.Label != "" {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, f.Label, escapeLabel(value)))
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	if len(parts) == 0 {
+		return f.Name
+	}
+	return f.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families in registration order and series in
+// sorted label order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*Family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, f.Help, f.Name, f.Kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		f.mu.Unlock()
+		if len(keys) == 0 && f.Label == "" {
+			keys = []string{""} // unlabeled family scrapes at zero
+			f.at("")
+		}
+		for _, k := range keys {
+			s := f.at(k)
+			var err error
+			switch f.Kind {
+			case KindCounter:
+				_, err = fmt.Fprintf(w, "%s %d\n", f.labelled(k, ""), s.count.Load())
+			case KindGauge:
+				_, err = fmt.Fprintf(w, "%s %v\n", f.labelled(k, ""), math.Float64frombits(s.gauge.Load()))
+			case KindHistogram:
+				var cum int64
+				for i, ub := range f.buckets {
+					cum += s.buckets[i].Load()
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.Name, bucketSuffix(f, k, fmt.Sprintf("%v", ub)), cum); err != nil {
+						return err
+					}
+				}
+				cum += s.buckets[len(f.buckets)].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, bucketSuffix(f, k, "+Inf"), cum); err != nil {
+					return err
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %v\n", f.Name, plainSuffix(f, k),
+					math.Float64frombits(s.sumBits.Load())); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.Name, plainSuffix(f, k), s.count.Load())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func bucketSuffix(f *Family, labelValue, le string) string {
+	if f.Label != "" {
+		return fmt.Sprintf(`{%s=%q,le=%q}`, f.Label, escapeLabel(labelValue), le)
+	}
+	return fmt.Sprintf(`{le=%q}`, le)
+}
+
+func plainSuffix(f *Family, labelValue string) string {
+	if f.Label != "" {
+		return fmt.Sprintf(`{%s=%q}`, f.Label, escapeLabel(labelValue))
+	}
+	return ""
+}
+
+// Snapshot renders the registry as a nested map — the expvar export
+// shape: family name → series label value → numeric value (histograms
+// export {count, sum}).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*Family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.RUnlock()
+	out := make(map[string]any, len(fams))
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		f.mu.Unlock()
+		vals := make(map[string]any, len(keys))
+		for _, k := range keys {
+			s := f.at(k)
+			name := k
+			if name == "" {
+				name = "value"
+			}
+			switch f.Kind {
+			case KindCounter:
+				vals[name] = s.count.Load()
+			case KindGauge:
+				vals[name] = math.Float64frombits(s.gauge.Load())
+			case KindHistogram:
+				vals[name] = map[string]any{
+					"count": s.count.Load(),
+					"sum":   math.Float64frombits(s.sumBits.Load()),
+				}
+			}
+		}
+		out[f.Name] = vals
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// HTTP exposition: one mux serving the Prometheus text format on
+// /metrics, the expvar JSON dump on /debug/vars, and (opt-in) the
+// net/http/pprof profiler endpoints. The CLIs mount it via -listen.
+
+// currentObserver backs the process-wide expvar publication: expvar
+// names are global and can only be published once, so the expvar Func
+// dereferences this pointer and re-runs just swap it.
+var currentObserver atomic.Pointer[Observer]
+
+var publishOnce atomic.Bool
+
+// publishExpvar exposes the observer's registry under the expvar name
+// "bitcolor" (idempotent; later observers take over the name).
+func publishExpvar(o *Observer) {
+	currentObserver.Store(o)
+	if publishOnce.CompareAndSwap(false, true) {
+		expvar.Publish("bitcolor", expvar.Func(func() any {
+			cur := currentObserver.Load()
+			if cur == nil {
+				return nil
+			}
+			return map[string]any{
+				"run_id":  cur.RunID(),
+				"metrics": cur.Metrics().Snapshot(),
+			}
+		}))
+	}
+}
+
+// Handler returns the observability mux for o: /metrics (Prometheus
+// text), /debug/vars (expvar), and with pprofEnabled the full
+// /debug/pprof tree.
+func Handler(o *Observer, pprofEnabled bool) http.Handler {
+	publishExpvar(o)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cur := currentObserver.Load()
+		if cur == nil {
+			return
+		}
+		_ = cur.Metrics().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "bitcolor observability: /metrics /debug/vars")
+		if pprofEnabled {
+			fmt.Fprintf(w, " /debug/pprof/")
+		}
+		fmt.Fprintln(w)
+	})
+	if pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a started observability endpoint.
+type Server struct {
+	Addr string // the bound address (resolved, so ":0" works)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve binds addr and serves Handler(o, pprofEnabled) in a background
+// goroutine. Close to stop.
+func Serve(addr string, o *Observer, pprofEnabled bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler(o, pprofEnabled), ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bitcolor/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServeScrape(t *testing.T) {
+	o := New(WithRunID("http-run"))
+	o.RecordRun("parallelbitwise", 8, 50*time.Millisecond, metrics.RunStats{Workers: 2, Rounds: 1}, nil)
+	srv, err := Serve("127.0.0.1:0", o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(body, `bitcolor_engine_runs_total{engine="parallelbitwise"} 1`) {
+		t.Fatalf("scrape missing run counter:\n%s", body)
+	}
+	if strings.Count(body, "# TYPE ") < 10 {
+		t.Fatalf("scrape below 10 families:\n%s", body)
+	}
+
+	code, body, _ = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	var published struct {
+		RunID   string         `json:"run_id"`
+		Metrics map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(vars["bitcolor"], &published); err != nil {
+		t.Fatalf("no bitcolor expvar: %v", err)
+	}
+	if published.RunID != "http-run" || len(published.Metrics) == 0 {
+		t.Fatalf("expvar snapshot = %+v", published)
+	}
+
+	// pprof disabled: the endpoints must not exist.
+	if code, _, _ = get(t, base+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -pprof: status %d, want 404", code)
+	}
+
+	// Index page lists the endpoints.
+	code, body, _ = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+}
+
+func TestServePprofEnabled(t *testing.T) {
+	o := New()
+	srv, err := Serve("127.0.0.1:0", o, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body, _ := get(t, "http://"+srv.Addr+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d %q", code, body)
+	}
+}
+
+// TestServeObserverSwap pins the expvar single-publication contract: a
+// second observer takes over the process-global "bitcolor" name.
+func TestServeObserverSwap(t *testing.T) {
+	o1 := New(WithRunID("first"))
+	srv1, err := Serve("127.0.0.1:0", o1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	o2 := New(WithRunID("second"))
+	srv2, err := Serve("127.0.0.1:0", o2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	_, body, _ := get(t, "http://"+srv2.Addr+"/debug/vars")
+	if !strings.Contains(body, `"second"`) {
+		t.Fatalf("expvar still bound to the first observer:\n%s", body)
+	}
+}

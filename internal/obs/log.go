@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// runIDHandler decorates an inner slog.Handler so every record carries
+// the observer's run ID — the correlation key that ties log lines to the
+// trace and the scraped metrics of the same run.
+type runIDHandler struct {
+	inner slog.Handler
+	runID string
+}
+
+func (h *runIDHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *runIDHandler) Handle(ctx context.Context, r slog.Record) error {
+	r = r.Clone()
+	r.AddAttrs(slog.String("run_id", h.runID))
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *runIDHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &runIDHandler{inner: h.inner.WithAttrs(attrs), runID: h.runID}
+}
+
+func (h *runIDHandler) WithGroup(name string) slog.Handler {
+	return &runIDHandler{inner: h.inner.WithGroup(name), runID: h.runID}
+}
+
+// discardHandler drops everything: the Logger() result for observers
+// without a log sink (and for nil observers), so call sites log
+// unconditionally.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

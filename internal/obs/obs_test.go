@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+
+	"bitcolor/internal/metrics"
+)
+
+func TestSpanTree(t *testing.T) {
+	o := New(WithRunID("test-run"))
+	if o.RunID() != "test-run" {
+		t.Fatalf("RunID = %q", o.RunID())
+	}
+	root := o.StartSpan("pipeline")
+	child := root.Child("color").Attr("vertices", int64(10))
+	worker := child.Child("round").Worker(2)
+	worker.End()
+	child.End()
+	root.End()
+
+	spans := o.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// End order: worker, child, root.
+	if spans[0].Name != "round" || spans[1].Name != "color" || spans[2].Name != "pipeline" {
+		t.Fatalf("span order = %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[2].Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", spans[2].Parent)
+	}
+	if spans[1].Parent != spans[2].ID {
+		t.Fatalf("child parent = %d, want root ID %d", spans[1].Parent, spans[2].ID)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("grandchild parent = %d, want child ID %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[0].TID != 3 {
+		t.Fatalf("worker lane TID = %d, want 3 (1+w)", spans[0].TID)
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0].Key != "vertices" {
+		t.Fatalf("attrs = %v", spans[1].Attrs)
+	}
+	for _, s := range spans {
+		if s.End < s.Start || s.Duration() < 0 {
+			t.Fatalf("non-monotonic span %+v", s)
+		}
+	}
+	if n := o.SpanCount("round"); n != 1 {
+		t.Fatalf("SpanCount(round) = %d", n)
+	}
+	if v := o.Metrics().Counter("bitcolor_spans_total").Value(""); v != 3 {
+		t.Fatalf("spans counter = %d, want 3", v)
+	}
+}
+
+// TestNilSafety pins the overhead contract: every Observer and Span
+// method must be a no-op on a nil receiver, so instrumented code pays a
+// single branch when no observer is attached.
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	if o.RunID() != "" || o.Metrics() != nil || o.Spans() != nil || o.SpanCount("x") != 0 {
+		t.Fatal("nil observer getters not neutral")
+	}
+	sp := o.StartSpan("anything")
+	if sp != nil {
+		t.Fatal("nil observer must produce nil spans")
+	}
+	// The full chain must be callable on nil without panicking.
+	sp.Child("c").Worker(3).Attr("k", 1).End()
+	sp.End()
+	o.RecordRun("engine", 4, time.Second, metrics.RunStats{}, nil)
+	o.RecordStage("color", time.Second, true)
+	o.Logger().Info("dropped")
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	var tf map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("nil trace not valid JSON: %v", err)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded an observer")
+	}
+	o := New()
+	ctx := NewContext(context.Background(), o)
+	if FromContext(ctx) != o {
+		t.Fatal("observer lost in context round trip")
+	}
+}
+
+func TestShards(t *testing.T) {
+	if sz := unsafe.Sizeof(Shard{}); sz%128 != 0 {
+		t.Fatalf("Shard size %d is not cache-line padded to 128", sz)
+	}
+	ss := NewShardSet(3)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := ss.Shard(w)
+			for i := 0; i < 1000; i++ {
+				sh.Inc(CtrBlocks)
+				sh.Add(CtrVertices, 2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ss.Total(CtrBlocks); got != 3000 {
+		t.Fatalf("Total blocks = %d, want 3000", got)
+	}
+	if got := ss.Total(CtrVertices); got != 6000 {
+		t.Fatalf("Total vertices = %d, want 6000", got)
+	}
+	pw := ss.PerWorker(CtrBlocks)
+	if len(pw) != 3 || pw[0] != 1000 || pw[1] != 1000 || pw[2] != 1000 {
+		t.Fatalf("PerWorker = %v", pw)
+	}
+	if ss.Shard(1).Get(CtrVertices) != 2000 {
+		t.Fatalf("Get = %d", ss.Shard(1).Get(CtrVertices))
+	}
+}
+
+// fullRunStats is a RunStats with every subsystem populated, so a single
+// RecordRun touches all engine-side families.
+func fullRunStats() metrics.RunStats {
+	return metrics.RunStats{
+		Workers:           2,
+		Rounds:            3,
+		ConflictsFound:    7,
+		ConflictsRepaired: 5,
+		VerticesPerWorker: []int64{60, 40},
+		BlocksPerWorker:   []int64{8, 2},
+		Gather: metrics.GatherStats{
+			HotReads: 10, MergedReads: 20, ColdBlockLoads: 30, PrunedTail: 40,
+		},
+		HotThreshold: 128,
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	o := New(WithRunID("prom"))
+	o.StartSpan("pipeline").End()
+	o.RecordRun("parallelbitwise", 12, 250*time.Millisecond, fullRunStats(), nil)
+	o.RecordStage("color", 100*time.Millisecond, false)
+	o.RecordStage("verify", 10*time.Millisecond, true)
+
+	var buf bytes.Buffer
+	if err := o.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// The ISSUE acceptance bar: a scrape exposes at least 10 metric
+	// families, each with HELP and TYPE headers.
+	types := strings.Count(out, "# TYPE ")
+	helps := strings.Count(out, "# HELP ")
+	if types < 10 || helps < 10 {
+		t.Fatalf("scrape has %d TYPE / %d HELP lines, want >= 10 each:\n%s", types, helps, out)
+	}
+	for _, want := range []string{
+		`bitcolor_engine_runs_total{engine="parallelbitwise"} 1`,
+		`bitcolor_rounds_total{engine="parallelbitwise"} 3`,
+		`bitcolor_conflicts_found_total{engine="parallelbitwise"} 7`,
+		`bitcolor_worker_vertices_total{worker="0"} 60`,
+		`bitcolor_worker_blocks_total{worker="1"} 2`,
+		// fair share ceil(10/2)=5; worker 0 claimed 8 → 3 steals.
+		`bitcolor_worker_steals_total{worker="0"} 3`,
+		`bitcolor_gather_hot_reads_total 10`,
+		`bitcolor_gather_pruned_tail_total 40`,
+		`bitcolor_stage_cancelled_total{stage="verify"} 1`,
+		`bitcolor_engine_duration_seconds_count{engine="parallelbitwise"} 1`,
+		`le="0.5"`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram sum ≈ 0.25s.
+	if !strings.Contains(out, "bitcolor_engine_duration_seconds_sum") {
+		t.Fatalf("no histogram sum:\n%s", out)
+	}
+}
+
+func TestRecordRunError(t *testing.T) {
+	o := New()
+	o.RecordRun("speculative", 0, time.Millisecond, metrics.RunStats{Rounds: 2}, errors.New("boom"))
+	r := o.Metrics()
+	if r.Counter("bitcolor_engine_runs_total").Value("speculative") != 1 {
+		t.Fatal("errored run not counted as a run")
+	}
+	if r.Counter("bitcolor_engine_run_errors_total").Value("speculative") != 1 {
+		t.Fatal("error not counted")
+	}
+	if r.Counter("bitcolor_rounds_total").Value("speculative") != 0 {
+		t.Fatal("partial stats folded for an errored run")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	o := New()
+	o.RecordRun("greedy", 9, time.Millisecond, metrics.RunStats{}, nil)
+	snap := o.Metrics().Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestLoggerRunID(t *testing.T) {
+	var buf bytes.Buffer
+	h := slog.NewJSONHandler(&buf, nil)
+	o := New(WithRunID("corr-42"), WithLogHandler(h))
+	o.Logger().Info("hello", "k", 1)
+	o.RecordStage("color", time.Millisecond, false)
+
+	dec := json.NewDecoder(&buf)
+	var n int
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec["run_id"] != "corr-42" {
+			t.Fatalf("record missing run_id: %v", rec)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("got %d log records, want 2", n)
+	}
+	// Without a handler the logger must swallow records silently.
+	New().Logger().Info("dropped")
+}

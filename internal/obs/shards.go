@@ -1,0 +1,81 @@
+package obs
+
+// Per-worker counter shards. The host-parallel engines count everything
+// their hot loops touch — vertices and dispatch blocks claimed, gather
+// read classifications, conflicts — into one shard per worker. A shard
+// is padded out to two cache lines so two workers' counters never share
+// a line (the false-sharing trap the previous ad-hoc accumulation into a
+// shared []int64 slice stepped on), and increments are plain stores:
+// only the owning worker writes its shard, and the fold happens after
+// the worker goroutines join.
+
+// Counter indices within a shard.
+const (
+	// CtrVertices counts speculation-phase vertices claimed from the
+	// shared cursor.
+	CtrVertices = iota
+	// CtrBlocks counts dispatch blocks claimed from the shared cursor
+	// (speculation and repair sweeps).
+	CtrBlocks
+	// CtrHotReads / CtrMergedReads / CtrColdBlockLoads / CtrPrunedTail
+	// are the blocked color-gather's read classification (HDC / MGR /
+	// cold / PUV analogs).
+	CtrHotReads
+	CtrMergedReads
+	CtrColdBlockLoads
+	CtrPrunedTail
+	// CtrConflictsFound / CtrConflictsRepaired are the detection sweep's
+	// outcomes.
+	CtrConflictsFound
+	CtrConflictsRepaired
+
+	// NumCounters is the shard width.
+	NumCounters
+)
+
+// Shard is one worker's private counter block, padded to 128 bytes so
+// adjacent workers' shards never share a cache line.
+type Shard struct {
+	c [NumCounters]int64
+	_ [128 - (NumCounters*8)%128]byte
+}
+
+// Inc bumps one counter.
+func (s *Shard) Inc(id int) { s.c[id]++ }
+
+// Add bumps one counter by delta.
+func (s *Shard) Add(id int, delta int64) { s.c[id] += delta }
+
+// Get reads one counter (owner or post-join only).
+func (s *Shard) Get(id int) int64 { return s.c[id] }
+
+// ShardSet is the per-run collection of worker shards.
+type ShardSet struct {
+	shards []Shard
+}
+
+// NewShardSet allocates one padded shard per worker.
+func NewShardSet(workers int) *ShardSet {
+	return &ShardSet{shards: make([]Shard, workers)}
+}
+
+// Shard returns worker w's shard.
+func (s *ShardSet) Shard(w int) *Shard { return &s.shards[w] }
+
+// Total folds one counter across workers. Call after the workers join.
+func (s *ShardSet) Total(id int) int64 {
+	var sum int64
+	for w := range s.shards {
+		sum += s.shards[w].c[id]
+	}
+	return sum
+}
+
+// PerWorker returns one counter's per-worker values as a fresh slice.
+func (s *ShardSet) PerWorker(id int) []int64 {
+	out := make([]int64, len(s.shards))
+	for w := range s.shards {
+		out[w] = s.shards[w].c[id]
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Chrome trace_event export: every finished span becomes one complete
+// ("ph":"X") event, so the run loads directly into chrome://tracing or
+// https://ui.perfetto.dev and renders the stage → engine → round
+// hierarchy as nested slices. Worker-lane spans (Span.Worker) land on
+// their own horizontal track via the tid field.
+
+// traceEvent is one trace_event record (the subset we emit).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of the trace_event spec.
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTrace renders every finished span as Chrome trace_event JSON.
+// No-op (but still a valid empty trace) on a nil observer.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	tf := traceFile{
+		TraceEvents:     []traceEvent{},
+		DisplayTimeUnit: "ms",
+	}
+	if o != nil {
+		tf.OtherData = map[string]any{"run_id": o.runID}
+		spans := o.Spans()
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		tids := map[int]bool{}
+		for _, s := range spans {
+			ev := traceEvent{
+				Name: s.Name,
+				Cat:  "bitcolor",
+				Ph:   "X",
+				TS:   float64(s.Start.Nanoseconds()) / 1e3,
+				Dur:  float64(s.Duration().Nanoseconds()) / 1e3,
+				PID:  1,
+				TID:  s.TID,
+			}
+			if len(s.Attrs) > 0 {
+				ev.Args = make(map[string]any, len(s.Attrs))
+				for _, a := range s.Attrs {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			tf.TraceEvents = append(tf.TraceEvents, ev)
+			tids[s.TID] = true
+		}
+		// Thread-name metadata gives the tracks readable labels.
+		for tid := range tids {
+			name := "coordinator"
+			if tid > 0 {
+				name = "worker"
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// WriteTraceFile writes the Chrome trace to a file atomically
+// (temp + rename), so a crash mid-export never leaves a torn trace.
+func (o *Observer) WriteTraceFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "trace-*.json.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := o.WriteTrace(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bitcolor/internal/metrics"
+)
+
+// chromeTrace mirrors the trace_event JSON object format for decoding.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+func TestWriteTrace(t *testing.T) {
+	o := New(WithRunID("trace-run"))
+	root := o.StartSpan("pipeline")
+	eng := root.Child("engine/parallelbitwise").Attr("vertices", int64(100))
+	round := eng.Child("round").Attr("round", int64(1))
+	wsp := eng.Child("claim").Worker(0)
+	time.Sleep(time.Millisecond)
+	wsp.End()
+	round.End()
+	eng.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	if tr.OtherData["run_id"] != "trace-run" {
+		t.Fatalf("otherData = %v", tr.OtherData)
+	}
+	var complete, meta int
+	tids := map[int]bool{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.PID != 1 {
+				t.Fatalf("pid = %d", ev.PID)
+			}
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Fatalf("negative timing on %q: ts=%f dur=%f", ev.Name, ev.TS, ev.Dur)
+			}
+			tids[ev.TID] = true
+			if ev.Name == "round" && ev.Args["round"] != float64(1) {
+				t.Fatalf("round args = %v", ev.Args)
+			}
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Fatalf("metadata event %q", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("got %d complete events, want 4", complete)
+	}
+	// Coordinator lane 0 and worker lane 1 → one thread_name each.
+	if !tids[0] || !tids[1] || meta != 2 {
+		t.Fatalf("lanes %v, %d metadata events", tids, meta)
+	}
+}
+
+func TestWriteTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	o := New()
+	sp := o.StartSpan("engine/greedy")
+	o.RecordRun("greedy", 3, time.Millisecond, metrics.RunStats{}, nil)
+	sp.End()
+	if err := o.WriteTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("empty trace file")
+	}
+	// Atomic write: no temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "trace.json" {
+		t.Fatalf("unexpected dir contents: %v", entries)
+	}
+	// Overwrite must also succeed (rename onto an existing file).
+	if err := o.WriteTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package bitcolor
+
+import (
+	"context"
+	"log/slog"
+
+	"bitcolor/internal/obs"
+)
+
+// Observer is the run-scoped observability sink: it collects spans
+// (pipeline stages, engine runs, speculative rounds), counter/gauge/
+// histogram families folded from the engines' per-worker shards, and
+// correlates structured logs with the run ID. One Observer covers one
+// logical run (a CLI invocation, a benchmark suite, a service request);
+// it is safe for concurrent use by the engines' workers. All methods —
+// including every Span method — are nil-receiver safe, so code paths
+// instrumented with an Observer cost a single predictable branch when
+// none is attached.
+type Observer = obs.Observer
+
+// Span is one timed region in an Observer's trace: a pipeline stage, an
+// engine run, or one speculative round. Nil-safe like the Observer.
+type Span = obs.Span
+
+// ObserverOption configures NewObserver.
+type ObserverOption = obs.Option
+
+// NewObserver creates an Observer. Attach it to a context with
+// WithObserver and pass that context to Pipeline.Run / ColorContext, or
+// set ColorOptions.Observer explicitly.
+func NewObserver(opts ...ObserverOption) *Observer { return obs.New(opts...) }
+
+// WithRunID sets the run-correlation ID stamped on logs, the trace file
+// and the expvar snapshot (default: a time-derived ID).
+func WithRunID(id string) ObserverOption { return obs.WithRunID(id) }
+
+// WithLogHandler routes the Observer's structured log records (with the
+// run_id attribute injected) to h.
+func WithLogHandler(h slog.Handler) ObserverOption { return obs.WithLogHandler(h) }
+
+// WithObserver attaches o to ctx. Pipeline.Run, ColorContext and the
+// registry's engine decorator pick it up from there, so existing call
+// signatures keep working unchanged.
+func WithObserver(ctx context.Context, o *Observer) context.Context {
+	return obs.NewContext(ctx, o)
+}
+
+// ObserverFromContext returns the Observer attached by WithObserver
+// (nil if none — and a nil Observer is valid to use).
+func ObserverFromContext(ctx context.Context) *Observer {
+	return obs.FromContext(ctx)
+}
+
+// ObserverServer is the observability HTTP server: Prometheus text
+// exposition on /metrics, the expvar JSON snapshot on /debug/vars, and
+// (when enabled) the net/http/pprof handlers under /debug/pprof/.
+type ObserverServer = obs.Server
+
+// ServeObserver starts an ObserverServer for o on addr (":0" picks a
+// free port; the resolved address is available from the server). The
+// server runs in a background goroutine until Close.
+func ServeObserver(addr string, o *Observer, enablePprof bool) (*ObserverServer, error) {
+	return obs.Serve(addr, o, enablePprof)
+}

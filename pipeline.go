@@ -2,8 +2,11 @@ package bitcolor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
+
+	"bitcolor/internal/obs"
 )
 
 // Pipeline composes the full coloring flow — Preprocess → Color →
@@ -11,7 +14,9 @@ import (
 // and automatic un-permutation of colors back to the caller's original
 // vertex IDs. It is the entry point a service layer calls: one ctx
 // cancels or deadlines the whole flow, and a partial result with the
-// stages completed so far comes back even on error.
+// stages completed so far comes back even on error. An observer
+// attached to ctx (WithObserver) receives one span per stage plus the
+// engine's own span tree and per-stage metric families.
 type Pipeline struct {
 	// SkipPreprocess runs the coloring on g as-is. By default the
 	// pipeline applies DBG reordering + edge sorting first (what the
@@ -31,8 +36,12 @@ type Pipeline struct {
 type StageTiming struct {
 	// Name is "preprocess", "color", "improve" or "verify".
 	Name string
-	// Duration is the stage's wall time.
+	// Duration is the stage's wall time. For a cancelled stage it is the
+	// time spent until the cancellation was noticed.
 	Duration time.Duration
+	// Cancelled marks a stage that was cut short by ctx cancellation or
+	// deadline instead of completing.
+	Cancelled bool
 }
 
 // PipelineResult is a pipeline run's outcome.
@@ -42,8 +51,10 @@ type PipelineResult struct {
 	Result *Result
 	// Stats is the engine's run statistics (registry contract).
 	Stats RunStats
-	// Stages lists the completed stages in execution order with their
-	// wall-clock times; on error it covers the stages that finished.
+	// Stages lists the stages in execution order with their wall-clock
+	// times. On error it covers the stages that finished PLUS the
+	// in-flight stage, marked Cancelled when ctx cut it short — so
+	// partial-progress reports account for all time spent.
 	Stages []StageTiming
 	// Total is the summed stage wall time.
 	Total time.Duration
@@ -62,15 +73,37 @@ func (r *PipelineResult) StageDuration(name string) time.Duration {
 
 // Run executes the pipeline on g under ctx. On error (including
 // cancellation) it returns the error together with a non-nil
-// PipelineResult carrying the stages that completed and any statistics
+// PipelineResult carrying the stages that ran — the in-flight stage's
+// elapsed time included, marked cancelled — and any statistics
 // collected so far, so callers can report partial progress; Result is
 // only set when the run finished.
 func (p Pipeline) Run(ctx context.Context, g *Graph) (*PipelineResult, error) {
+	o := obs.FromContext(ctx)
+	root := o.StartSpan("pipeline").
+		Attr("vertices", int64(g.NumVertices())).
+		Attr("edges", g.NumEdges()).
+		Attr("engine", p.Color.Engine.String())
+	defer root.End()
+
 	pr := &PipelineResult{}
-	stage := func(name string, start time.Time) {
+	// stage records a finished or cut-short stage: the timing lands in
+	// pr.Stages either way, the span carries cancelled=true when ctx
+	// ended the stage early, and the observer's per-stage families
+	// update.
+	stage := func(name string, start time.Time, sp *obs.Span, err error) {
 		d := time.Since(start)
-		pr.Stages = append(pr.Stages, StageTiming{Name: name, Duration: d})
+		cancelled := err != nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		pr.Stages = append(pr.Stages, StageTiming{Name: name, Duration: d, Cancelled: cancelled})
 		pr.Total += d
+		if cancelled {
+			sp.Attr("cancelled", true)
+		}
+		if err != nil {
+			sp.Attr("error", err.Error())
+		}
+		sp.End()
+		o.RecordStage(name, d, cancelled)
 	}
 
 	colored := g
@@ -79,30 +112,33 @@ func (p Pipeline) Run(ctx context.Context, g *Graph) (*PipelineResult, error) {
 		if err := ctx.Err(); err != nil {
 			return pr, err
 		}
+		sp := root.Child("preprocess")
 		start := time.Now()
 		prepared, newID, err := PreprocessWithPermutation(g, WithPreprocessParallelism(p.PreprocessWorkers))
+		stage("preprocess", start, sp, err)
 		if err != nil {
 			return pr, fmt.Errorf("bitcolor: pipeline preprocess: %w", err)
 		}
-		stage("preprocess", start)
 		colored, perm = prepared, newID
 	}
 
+	sp := root.Child("color")
 	start := time.Now()
 	res, st, err := ColorContext(ctx, colored, p.Color)
 	pr.Stats = st
+	stage("color", start, sp, err)
 	if err != nil {
 		return pr, err
 	}
-	stage("color", start)
 
 	if p.Improve != (ImproveOptions{}) {
+		sp = root.Child("improve")
 		start = time.Now()
 		res, err = ImproveContext(ctx, colored, res, p.Improve)
+		stage("improve", start, sp, err)
 		if err != nil {
 			return pr, err
 		}
-		stage("improve", start)
 	}
 
 	// Un-permute: colors were assigned on the reordered graph, where the
@@ -118,11 +154,13 @@ func (p Pipeline) Run(ctx context.Context, g *Graph) (*PipelineResult, error) {
 	// Verify against the ORIGINAL graph — this also proves the
 	// un-permutation is consistent, since a misapplied permutation would
 	// break properness on g.
+	sp = root.Child("verify")
 	start = time.Now()
-	if err := Verify(g, res.Colors); err != nil {
+	err = Verify(g, res.Colors)
+	stage("verify", start, sp, err)
+	if err != nil {
 		return pr, fmt.Errorf("bitcolor: pipeline produced an invalid coloring: %w", err)
 	}
-	stage("verify", start)
 
 	pr.Result = res
 	return pr, nil
