@@ -39,6 +39,12 @@ type ResourceUsage = resources.Usage
 // MaxColorsDefault is the paper's palette size (1024).
 const MaxColorsDefault = coloring.MaxColorsDefault
 
+// ForwardRingCap is EngineDCT's per-worker forwarding-ring bound: how
+// many vertices a worker may park (the scan window it may run ahead of
+// its slowest dependency) before it falls back to an inline wait.
+// RunStats.ForwardRingPeak reports against this bound.
+const ForwardRingCap = coloring.ForwardRingCap
+
 // NewGraph builds an undirected simple graph over n vertices; self loops
 // and duplicate edges are dropped, adjacency lists come out sorted.
 func NewGraph(n int, edges []Edge) (*Graph, error) {
@@ -161,6 +167,14 @@ const (
 	// dispatch and in-place conflict repair — the fastest host engine and
 	// the multicore reference for accelerator speedup claims.
 	EngineParallelBitwise
+	// EngineDCT is the host port of the accelerator's conflict-avoidance
+	// scheme (contributions 5–7): owner-computes pattern-p dispatch
+	// (worker i colors vertices i, i+P, …, in index order) with
+	// cross-worker color forwarding through bounded per-worker rings —
+	// the Data Conflict Table in software. It completes in exactly one
+	// pass with zero repairs and produces a coloring byte-identical to
+	// EngineGreedy at every worker count.
+	EngineDCT
 )
 
 // Engines returns every implemented software engine, in registry
@@ -219,10 +233,18 @@ type ColorOptions struct {
 	// Speculative, ParallelBitwise; <=0: GOMAXPROCS).
 	Workers int
 	// DisableGather switches the host-parallel engines (Speculative,
-	// ParallelBitwise) off the blocked color-gather and PUV tail pruning
-	// back onto the naive random-access memory path — the baseline arm of
-	// the locality ablation.
+	// ParallelBitwise, DCT) off the blocked color-gather and PUV tail
+	// pruning back onto the naive random-access memory path — the
+	// baseline arm of the locality ablation. When neither DisableGather
+	// nor ForceGather is set, the engines decide adaptively: graphs with
+	// average degree below 8 (the road-network regime, where per-read
+	// classification overhead beats the locality win) run with the gather
+	// off, and RunStats.Gather.AutoDisabled records the decision.
 	DisableGather bool
+	// ForceGather keeps the blocked color-gather on even when the
+	// adaptive average-degree heuristic would switch it off. Ignored when
+	// DisableGather is set.
+	ForceGather bool
 	// HotVertices overrides the gather's hot-tier threshold v_t (0:
 	// automatic sizing from the HVC capacity model).
 	HotVertices int
@@ -258,6 +280,7 @@ func (opts ColorOptions) engineOptions() coloring.Options {
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
 		DisableGather: opts.DisableGather,
+		ForceGather:   opts.ForceGather,
 		HotVertices:   opts.HotVertices,
 		Obs:           opts.Observer,
 	}
@@ -292,10 +315,10 @@ func Color(g *Graph, opts ColorOptions) (*Result, error) {
 }
 
 // ColorParallel runs one of the parallel engines (per the registry's
-// Parallel flag: EngineJonesPlassmann, EngineSpeculative or
-// EngineParallelBitwise) and returns its run statistics alongside the
-// verified coloring. Sequential engines are rejected; use Color or
-// ColorContext for them.
+// Parallel flag: EngineJonesPlassmann, EngineSpeculative,
+// EngineParallelBitwise or EngineDCT) and returns its run statistics
+// alongside the verified coloring. Sequential engines are rejected; use
+// Color or ColorContext for them.
 func ColorParallel(g *Graph, opts ColorOptions) (*Result, ParallelStats, error) {
 	return ColorParallelContext(context.Background(), g, opts)
 }

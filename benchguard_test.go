@@ -29,6 +29,7 @@ type benchBaseline struct {
 	SchemaVersion int     `json:"schema_version"`
 	Note          string  `json:"note"`
 	GDRatio       float64 `json:"parallelbitwise_gd_vs_bitwise_ratio"`
+	DCTRatio      float64 `json:"dct_gd_vs_bitwise_ratio"`
 }
 
 func loadBaseline(t *testing.T) benchBaseline {
@@ -41,7 +42,7 @@ func loadBaseline(t *testing.T) benchBaseline {
 	if err := json.Unmarshal(data, &b); err != nil {
 		t.Fatal(err)
 	}
-	if b.SchemaVersion != 1 || b.GDRatio <= 0 {
+	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 {
 		t.Fatalf("implausible baseline %+v", b)
 	}
 	return b
@@ -130,6 +131,35 @@ func TestBenchGuardParallelBitwiseRegression(t *testing.T) {
 	if ratio > limit {
 		t.Fatalf("ParallelBitwise regressed: ratio %.4f exceeds baseline %.4f by more than 10%%",
 			ratio, base.GDRatio)
+	}
+}
+
+func TestBenchGuardDCTRegression(t *testing.T) {
+	if os.Getenv(benchGuardEnv) == "" {
+		t.Skipf("set %s=1 to run the benchmark regression guard", benchGuardEnv)
+	}
+	prepared := guardGraph(t, "GD")
+	base := loadBaseline(t)
+
+	bitwise := minTime(7, func() {
+		if _, err := Color(prepared, ColorOptions{Engine: EngineBitwise}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	dct := minTime(9, func() {
+		if _, _, err := ColorParallel(prepared, ColorOptions{
+			Engine: EngineDCT, Workers: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ratio := float64(dct) / float64(bitwise)
+	limit := base.DCTRatio * 1.10
+	t.Logf("dct %v / bitwise %v = ratio %.4f (baseline %.4f, limit %.4f)",
+		dct, bitwise, ratio, base.DCTRatio, limit)
+	if ratio > limit {
+		t.Fatalf("DCT engine regressed: ratio %.4f exceeds baseline %.4f by more than 10%%",
+			ratio, base.DCTRatio)
 	}
 }
 

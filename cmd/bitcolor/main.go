@@ -80,7 +80,7 @@ func main() {
 	flag.StringVar(&cfg.dataset, "dataset", "", "synthetic dataset abbreviation (EF, GD, CD, CA, CL, RC, RP, RT, CO, CF)")
 	flag.StringVar(&cfg.engine, "engine", "bitwise", engineUsage)
 	flag.IntVar(&cfg.parallelism, "parallelism", 16, "BWPE count for the accelerator engine (power of two)")
-	flag.IntVar(&cfg.workers, "workers", 0, "goroutines for the host-parallel engines (jonesplassmann, speculative, parallelbitwise; 0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.workers, "workers", 0, "goroutines for the host-parallel engines (jonesplassmann, speculative, parallelbitwise, dct; 0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "HVC capacity in vertices (0 = auto-scale to ~1/8 of the graph; paper hardware: 512K)")
 	flag.IntVar(&cfg.maxColors, "maxcolors", bitcolor.MaxColorsDefault, "palette size")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for generators and randomized engines")
@@ -197,6 +197,11 @@ func run(ctx context.Context, cfg runConfig) error {
 	if pr.Stats.Rounds > 0 {
 		fmt.Printf("rounds: %d, conflicts: %d found / %d repaired, worker imbalance: %.2fx\n",
 			pr.Stats.Rounds, pr.Stats.ConflictsFound, pr.Stats.ConflictsRepaired, pr.Stats.Imbalance())
+	}
+	if pr.Stats.Deferred > 0 || pr.Stats.SpinWaits > 0 {
+		fmt.Printf("deferred: %d parked / %d replays, ring peak: %d/%d, spin waits: %d\n",
+			pr.Stats.Deferred, pr.Stats.DeferRetries, pr.Stats.ForwardRingPeak,
+			bitcolor.ForwardRingCap, pr.Stats.SpinWaits)
 	}
 	for _, s := range pr.Stages {
 		fmt.Printf("  %-10s %v\n", s.Name, s.Duration.Round(time.Microsecond))

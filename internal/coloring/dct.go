@@ -1,0 +1,335 @@
+package coloring
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bitcolor/internal/bitops"
+	"bitcolor/internal/dispatch"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/metrics"
+	"bitcolor/internal/obs"
+)
+
+// DCTColor is the host port of the accelerator's conflict-avoidance
+// scheme (paper §4.3 + §4.6, contributions 5–7): a single-pass parallel
+// engine that never speculates and never repairs. Worker i owns vertices
+// i, i+P, i+2P, … (the pattern-p HDV pinning of the hardware dispatcher,
+// dispatch.Owner) and colors them in strictly ascending index order;
+// colors are published to a shared array with atomic release stores.
+// When a vertex's lower-indexed neighbor is owned by a still-behind
+// worker and its color has not landed yet, the vertex is parked on the
+// worker's bounded forwarding ring (dispatch.ForwardRing — the host
+// rendering of the Data Conflict Table) keyed by the awaited vertex, and
+// the worker moves on; parked vertices are replayed when the awaited
+// color arrives. The engine.Defers rule (lower index wins) orients every
+// wait edge at a strictly smaller vertex, so wait chains follow the
+// total vertex order and cannot cycle; a fallback spin (when a ring is
+// full or a final drain stalls) yields until the awaited color lands.
+//
+// The payoff is structural: exactly one pass (RunStats.Rounds == 1,
+// ConflictsFound == ConflictsRepaired == 0) and a coloring byte-identical
+// to sequential greedy in index order — for every worker count, which the
+// speculative engines cannot offer.
+func DCTColor(ctx context.Context, g *graph.CSR, maxColors int, workers int) (*Result, metrics.ParallelStats, error) {
+	return DCTOpts(ctx, g, maxColors, Options{MaxColors: maxColors, Workers: workers})
+}
+
+// ForwardRingCap bounds each worker's forwarding ring — the scan window
+// of vertices a worker may run ahead of its slowest dependency. Small
+// enough that a drain pass stays cheap, large enough that a worker
+// rarely blocks inline on path-shaped dependency chains.
+const ForwardRingCap = 64
+
+// Outcomes of one coloring attempt.
+const (
+	dctColored  = iota // color published
+	dctDeferred        // a lower-indexed neighbor's color is pending
+	dctFailed          // palette exhausted
+)
+
+// DCTOpts is DCTColor with the full option set: worker count, the
+// blocked color-gather (with the adaptive average-degree heuristic,
+// ForceGather/DisableGather overrides) and the hot-tier threshold v_t.
+// Neighbor-color loads go through the same gather/PUV path as the
+// speculative engines; the uncolored tail above the current vertex is
+// never scanned at all, because under the DCT discipline every
+// higher-indexed neighbor defers on this vertex, not the other way
+// around.
+//
+// Cancellation is polled every few owned vertices and inside every spin
+// wait; a cancelled or failed worker raises a shared abort flag so no
+// peer spins forever on a color that will never be published. On
+// cancellation the call returns ctx.Err() and no result; all mutable
+// state is private to the call.
+func DCTOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, metrics.ParallelStats{}, err
+	}
+	n := g.NumVertices()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	ss := obs.NewShardSet(workers)
+	st := metrics.ParallelStats{Workers: workers}
+	useGather, gatherAuto := gatherDecision(g, opts)
+	rings := make([]*dispatch.ForwardRing, workers)
+	foldStats := func() {
+		st.VerticesPerWorker = ss.PerWorker(obs.CtrVertices)
+		st.Deferred = ss.Total(obs.CtrDeferred)
+		st.DeferRetries = ss.Total(obs.CtrDeferRetries)
+		st.SpinWaits = ss.Total(obs.CtrSpinWaits)
+		st.Gather = metrics.GatherStats{
+			HotReads:       ss.Total(obs.CtrHotReads),
+			MergedReads:    ss.Total(obs.CtrMergedReads),
+			ColdBlockLoads: ss.Total(obs.CtrColdBlockLoads),
+			PrunedTail:     ss.Total(obs.CtrPrunedTail),
+			AutoDisabled:   gatherAuto,
+		}
+		for _, r := range rings {
+			if r != nil && r.Peak() > st.ForwardRingPeak {
+				st.ForwardRingPeak = r.Peak()
+			}
+		}
+	}
+	if n == 0 {
+		foldStats()
+		return &Result{Colors: nil, NumColors: 0}, st, nil
+	}
+	esp := opts.Span
+	o := opts.Obs
+	// The forwarding-latency histogram needs park timestamps; the clock
+	// is read only when an observer is live, and only on the (rare)
+	// defer path — never per vertex or per edge.
+	var obsStart time.Time
+	if o != nil {
+		obsStart = time.Now()
+	}
+
+	// Colors in 32-bit words, written exactly once by the owning worker
+	// (atomic release store) and read by peers with acquire loads. 0 is
+	// "not yet published" — the same convention the hardware's valid bit
+	// encodes.
+	shared := make([]uint32, n)
+	sorted := g.EdgesSorted()
+
+	// abort lets a failed or cancelled worker unblock every peer's spin
+	// loop: a worker that exits early never publishes its remaining
+	// colors, and without the flag a peer waiting on one would spin
+	// forever.
+	var abort atomic.Bool
+
+	type scratch struct {
+		state *bitops.BitSet
+		codec *bitops.ColorCodec
+		ga    *gather
+		sh    *obs.Shard
+		ring  *dispatch.ForwardRing
+		err   error
+	}
+	ws := make([]*scratch, workers)
+	for w := range ws {
+		sh := ss.Shard(w)
+		ws[w] = &scratch{
+			state: bitops.NewBitSet(maxColors),
+			codec: bitops.NewColorCodec(maxColors),
+			ga:    newGather(shared, opts.HotVertices, sh),
+			sh:    sh,
+			ring:  dispatch.NewForwardRing(ForwardRingCap),
+		}
+		rings[w] = ws[w].ring
+	}
+	if useGather {
+		st.HotThreshold = ws[0].ga.vt
+	}
+
+	// attempt colors v if every lower-indexed neighbor has published,
+	// reading neighbor colors through the gather (or the naive atomic
+	// path). Higher-indexed neighbors are never read: under the DCT
+	// discipline they defer on v. On a sorted adjacency list they form
+	// the tail and the scan breaks (the PUV break of §3.2.2). Returns
+	// the first pending neighbor on deferral.
+	attempt := func(s *scratch, v graph.VertexID) (graph.VertexID, int) {
+		s.state.Reset()
+		adj := g.Neighbors(v)
+		for i, u := range adj {
+			if u > v {
+				if !sorted {
+					continue
+				}
+				if useGather {
+					s.sh.Add(obs.CtrPrunedTail, int64(len(adj)-i))
+				}
+				break
+			}
+			var c uint32
+			if useGather {
+				c = s.ga.load(u)
+			} else {
+				c = atomic.LoadUint32(&shared[u])
+			}
+			if c == 0 {
+				return u, dctDeferred
+			}
+			s.state.OrColorNum(c)
+		}
+		pick, _ := s.codec.FirstFree(s.state)
+		if pick == 0 {
+			return 0, dctFailed
+		}
+		atomic.StoreUint32(&shared[v], uint32(pick))
+		s.sh.Inc(obs.CtrVertices)
+		return 0, dctColored
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := ws[w]
+			fail := func(err error) {
+				s.err = err
+				abort.Store(true)
+			}
+			// spin is the deadlock-free fallback: yield, re-check abort
+			// and cancellation, and let the dependency's owner run.
+			// Returns false when the run is aborting.
+			spin := func() bool {
+				s.sh.Inc(obs.CtrSpinWaits)
+				if abort.Load() {
+					return false
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return false
+				}
+				runtime.Gosched()
+				return true
+			}
+			// resolve replays one parked vertex: not yet if the awaited
+			// color still hasn't landed, re-park (with an updated key,
+			// keeping the original park time) if the replay hits another
+			// pending neighbor, otherwise colored.
+			resolve := func(p dispatch.Parked) (dispatch.Parked, bool) {
+				if atomic.LoadUint32(&shared[p.Awaited]) == 0 {
+					return p, false
+				}
+				s.sh.Inc(obs.CtrDeferRetries)
+				awaited, code := attempt(s, graph.VertexID(p.Vertex))
+				switch code {
+				case dctDeferred:
+					p.Awaited = uint32(awaited)
+					return p, false
+				case dctFailed:
+					fail(ErrPaletteExhausted)
+					return dispatch.Parked{}, true // drop; the run is over
+				}
+				if p.ParkedAt != 0 {
+					o.ObserveForwardWait(float64(int64(time.Since(obsStart))-p.ParkedAt) / 1e9)
+				}
+				return dispatch.Parked{}, true
+			}
+			// Owner-computes pass: the worker's HDV FIFO is the
+			// arithmetic sequence w, w+P, w+2P, … walked in index order.
+			polled := 0
+			for v := uint32(w); v < uint32(n); v += uint32(workers) {
+				if polled++; polled&63 == 0 {
+					if abort.Load() {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				for {
+					awaited, code := attempt(s, graph.VertexID(v))
+					if code == dctColored {
+						break
+					}
+					if code == dctFailed {
+						fail(ErrPaletteExhausted)
+						return
+					}
+					var at int64
+					if o != nil {
+						at = int64(time.Since(obsStart))
+					}
+					if s.ring.Push(dispatch.Parked{Vertex: uint32(v), Awaited: uint32(awaited), ParkedAt: at}) {
+						// Deferred counts parked vertices only; a ring-full
+						// inline wait shows up in SpinWaits instead, keeping
+						// DeferRetries >= Deferred (every park is replayed).
+						s.sh.Inc(obs.CtrDeferred)
+						break
+					}
+					// Ring full: the scan window is exhausted. Wait inline
+					// for this vertex's dependency, draining between
+					// yields — the dependency chain can run through this
+					// worker's own parked entries, so the wait loop must
+					// keep replaying them. The globally smallest uncolored
+					// vertex is always colorable, so somebody makes
+					// progress and the wait is finite.
+					for {
+						s.ring.Drain(resolve)
+						if s.err != nil {
+							return
+						}
+						if atomic.LoadUint32(&shared[awaited]) != 0 {
+							break
+						}
+						if !spin() {
+							return
+						}
+					}
+				}
+				// Opportunistic drain keeps forwarding latency low: any
+				// parked vertex whose color landed replays now.
+				if s.ring.Len() > 0 {
+					s.ring.Drain(resolve)
+					if s.err != nil {
+						return
+					}
+				}
+			}
+			// Final drain: everything owned is colored or parked; replay
+			// until the ring empties, yielding when a pass is dry.
+			for s.ring.Len() > 0 {
+				if s.ring.Drain(resolve) == 0 {
+					if !spin() {
+						return
+					}
+				}
+				if s.err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	foldStats()
+	for _, s := range ws {
+		if s.err != nil {
+			return nil, st, s.err
+		}
+	}
+	st.Rounds = 1
+	// The single pass is the engine's one round; the span keeps the
+	// round-record count equal to RunStats.Rounds across all engines.
+	esp.Child("round").Attr("round", 1).Attr("pending", int64(n)).
+		Attr("conflicts_found", int64(0)).Attr("recolored", int64(0)).
+		Attr("deferred", st.Deferred).Attr("ring_peak", int64(st.ForwardRingPeak)).End()
+
+	colors := make([]uint16, n)
+	for i, c := range shared {
+		colors[i] = uint16(c)
+	}
+	return &Result{Colors: colors, NumColors: countColors(colors)}, st, nil
+}

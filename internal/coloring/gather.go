@@ -44,6 +44,10 @@ type Options struct {
 	// pruning, restoring the naive per-neighbor random-access path — the
 	// baseline arm of the locality ablation.
 	DisableGather bool
+	// ForceGather keeps the blocked color-gather on even when the
+	// adaptive heuristic would switch it off (average degree below
+	// adaptiveGatherMinDegree). Ignored when DisableGather is set.
+	ForceGather bool
 	// HotVertices overrides the hot-tier threshold v_t (0: automatic via
 	// cache.HotThreshold).
 	HotVertices int
@@ -63,6 +67,34 @@ func (o Options) maxColors() int {
 		return MaxColorsDefault
 	}
 	return o.MaxColors
+}
+
+// adaptiveGatherMinDegree is the average-degree floor (directed
+// adjacency entries per vertex) below which the gather hurts more than
+// it helps: on road-network-shaped graphs (degree ~2–4) almost every
+// 64-color block load serves a single neighbor, so the per-read
+// classification overhead exceeds the locality and PUV savings — the
+// honest regression the PR 2 locality ablation recorded on RT/RP.
+const adaptiveGatherMinDegree = 8
+
+// gatherDecision resolves whether a run uses the blocked color-gather:
+// an explicit DisableGather always wins, an explicit ForceGather bypasses
+// the heuristic, and otherwise the gather switches itself off on graphs
+// whose average degree is below adaptiveGatherMinDegree. autoDisabled
+// reports the heuristic (not an explicit option) made the off decision,
+// for metrics.GatherStats.AutoDisabled.
+func gatherDecision(g *graph.CSR, opts Options) (enabled, autoDisabled bool) {
+	if opts.DisableGather {
+		return false, false
+	}
+	if opts.ForceGather {
+		return true, false
+	}
+	n := g.NumVertices()
+	if n > 0 && g.NumEdges() < int64(n)*adaptiveGatherMinDegree {
+		return false, true
+	}
+	return true, false
 }
 
 // gather is one worker's locality-aware view of the shared color array.

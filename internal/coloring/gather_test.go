@@ -121,6 +121,9 @@ func TestGatherDisabledZeroStats(t *testing.T) {
 // The quality bar must hold with the gather + PUV path at real
 // parallelism on every Table 3 stand-in (the default path is exercised by
 // TestParallelBitwiseQualityOnTable3; this pins the Speculative engine).
+// ForceGather pins the gather on: the road-network stand-ins sit below
+// the adaptive average-degree threshold and would otherwise run (and
+// assert on) the plain path.
 func TestSpeculativeGatherQualityOnTable3(t *testing.T) {
 	for _, d := range gen.SmallRegistry() {
 		d := d
@@ -134,7 +137,7 @@ func TestSpeculativeGatherQualityOnTable3(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, st, err := SpeculativeOpts(context.Background(), h, MaxColorsDefault, Options{Workers: 4})
+			res, st, err := SpeculativeOpts(context.Background(), h, MaxColorsDefault, Options{Workers: 4, ForceGather: true})
 			if err != nil {
 				t.Fatal(err)
 			}

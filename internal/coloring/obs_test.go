@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"testing"
 
+	"bitcolor/internal/graph"
+	"bitcolor/internal/metrics"
 	"bitcolor/internal/obs"
 )
 
@@ -24,7 +26,7 @@ func lookupRun(t *testing.T, name string) EngineFunc {
 // each speculative engine, the observer records exactly one "round"
 // span per RunStats round.
 func TestRoundSpansMatchRunStats(t *testing.T) {
-	for _, name := range []string{"speculative", "parallelbitwise"} {
+	for _, name := range []string{"speculative", "parallelbitwise", "dct"} {
 		for _, workers := range []int{1, 4} {
 			t.Run(name, func(t *testing.T) {
 				g := randomGraph(t, 400, 3000, 11)
@@ -113,5 +115,67 @@ func TestNoObserverNoSpans(t *testing.T) {
 	}
 	if res == nil || st.Rounds < 1 {
 		t.Fatalf("run without observer degraded: %v %+v", res, st)
+	}
+}
+
+// TestDCTFamiliesFold checks the DCT-specific observability families
+// end to end: a multi-worker run over a path graph (which forces
+// deferrals) must fold RunStats.Deferred/DeferRetries/SpinWaits into the
+// counters, set the ring-occupancy gauge to the ring peak, and record
+// every park's wait in the forwarding-latency histogram.
+func TestDCTFamiliesFold(t *testing.T) {
+	edges := make([]graph.Edge, 9999)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.VertexID(i), V: graph.VertexID(i + 1)}
+	}
+	g, err := graph.FromEdgeList(10000, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	var st metrics.RunStats
+	// Deferrals are scheduling-dependent; repeat until one lands (the
+	// counters accumulate across runs, the gauge tracks the last run).
+	for i := 0; i < 20; i++ {
+		_, s, err := lookupRun(t, "dct")(obs.NewContext(context.Background(), o), g, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Deferred += s.Deferred
+		st.DeferRetries += s.DeferRetries
+		st.SpinWaits += s.SpinWaits
+		if s.ForwardRingPeak > st.ForwardRingPeak {
+			st.ForwardRingPeak = s.ForwardRingPeak
+		}
+		if st.Deferred > 0 {
+			break
+		}
+	}
+	if st.Deferred == 0 {
+		t.Fatal("multi-worker path runs never deferred; cannot exercise the families")
+	}
+	r := o.Metrics()
+	if v := r.Counter("bitcolor_dct_deferred_total").Value(""); v != st.Deferred {
+		t.Fatalf("deferred counter = %d, RunStats %d", v, st.Deferred)
+	}
+	if v := r.Counter("bitcolor_dct_defer_retries_total").Value(""); v != st.DeferRetries {
+		t.Fatalf("retries counter = %d, RunStats %d", v, st.DeferRetries)
+	}
+	if v := r.Counter("bitcolor_dct_spin_waits_total").Value(""); v != st.SpinWaits {
+		t.Fatalf("spin counter = %d, RunStats %d", v, st.SpinWaits)
+	}
+	snap := r.Snapshot()
+	gauge, _ := snap["bitcolor_dct_ring_occupancy"].(map[string]any)
+	if len(gauge) == 0 {
+		t.Fatal("ring-occupancy gauge never set despite deferrals")
+	}
+	hist, _ := snap["bitcolor_dct_forward_wait_seconds"].(map[string]any)
+	hv, _ := hist["value"].(map[string]any)
+	count, _ := hv["count"].(int64)
+	if count == 0 {
+		t.Fatal("forwarding-latency histogram recorded no samples despite deferrals")
+	}
+	if count > st.DeferRetries {
+		t.Fatalf("histogram samples %d exceed replay attempts %d", count, st.DeferRetries)
 	}
 }

@@ -81,6 +81,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	// fold into RunStats happens once, after the worker goroutines join.
 	ss := obs.NewShardSet(workers)
 	st := metrics.ParallelStats{Workers: workers}
+	useGather, gatherAuto := gatherDecision(g, opts)
 	foldStats := func() {
 		st.VerticesPerWorker = ss.PerWorker(obs.CtrVertices)
 		st.BlocksPerWorker = ss.PerWorker(obs.CtrBlocks)
@@ -91,6 +92,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 			MergedReads:    ss.Total(obs.CtrMergedReads),
 			ColdBlockLoads: ss.Total(obs.CtrColdBlockLoads),
 			PrunedTail:     ss.Total(obs.CtrPrunedTail),
+			AutoDisabled:   gatherAuto,
 		}
 	}
 	if n == 0 {
@@ -101,7 +103,6 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	// span method is a no-op then). Spans are touched only at phase and
 	// sweep boundaries, never inside the per-block or per-edge loops.
 	esp := opts.Span
-	useGather := !opts.DisableGather
 
 	// Colors live in 32-bit words accessed atomically: speculation reads
 	// neighbor colors mid-flight by design, and atomics keep those races

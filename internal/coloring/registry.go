@@ -265,4 +265,13 @@ func init() {
 			return ParallelBitwiseOpts(ctx, g, opts.maxColors(), opts)
 		},
 	})
+	Register(EngineInfo{
+		Name:        "dct",
+		Parallel:    true,
+		Stats:       "workers, deferred, work split, gather",
+		Description: "single-pass owner-computes bit-wise coloring with DCT color forwarding — deterministic, identical to greedy at any worker count",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			return DCTOpts(ctx, g, opts.maxColors(), opts)
+		},
+	})
 }

@@ -74,6 +74,7 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 	// fold into RunStats happens after the worker goroutines join.
 	ss := obs.NewShardSet(workers)
 	st := metrics.ParallelStats{Workers: workers}
+	useGather, gatherAuto := gatherDecision(g, opts)
 	foldStats := func() {
 		st.VerticesPerWorker = ss.PerWorker(obs.CtrVertices)
 		st.BlocksPerWorker = ss.PerWorker(obs.CtrBlocks)
@@ -82,6 +83,7 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 			MergedReads:    ss.Total(obs.CtrMergedReads),
 			ColdBlockLoads: ss.Total(obs.CtrColdBlockLoads),
 			PrunedTail:     ss.Total(obs.CtrPrunedTail),
+			AutoDisabled:   gatherAuto,
 		}
 	}
 	if n == 0 {
@@ -91,7 +93,6 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 	// esp is the enclosing engine span (nil without an observer); spans
 	// are touched only at round boundaries, never in the per-edge loops.
 	esp := opts.Span
-	useGather := !opts.DisableGather
 	puv := useGather && g.EdgesSorted()
 	// Shared state uses 32-bit words with atomic access: the algorithm
 	// is speculative by design (workers read neighbors mid-flight), and

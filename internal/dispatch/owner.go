@@ -1,0 +1,119 @@
+package dispatch
+
+// Host-side owner-computes dispatch: the software rendering of the
+// pattern-p per-PE HDV FIFOs (paper §4.6, contribution 7) used by the
+// single-pass DCT coloring engine in internal/coloring. The hardware
+// dispatcher pins vertex v to PE v % P so the multi-port cache's address
+// bit-selection stays valid (§4.4) and pre-fills one FIFO per PE in
+// ascending index order; on the host the same schedule needs no queue at
+// all — worker w's FIFO *is* the arithmetic sequence w, w+P, w+2P, …,
+// walked in place. What does need real storage is the Data Conflict
+// Table's defer-and-forward behaviour (§4.3): when a worker reaches a
+// vertex whose lower-indexed neighbor is still being colored by another
+// worker, it parks the vertex on its ForwardRing keyed by the awaited
+// vertex and moves on, draining the ring when the color lands.
+
+import "bitcolor/internal/engine"
+
+// Owner returns the worker that owns vertex v under pattern-p dispatch:
+// v mod p, the paper's HDV-to-PE pinning rule. Every worker colors its
+// owned vertices in strictly ascending index order, which together with
+// the engine.Defers rule makes the single pass deterministic.
+func Owner(v uint32, p int) int { return int(v % uint32(p)) }
+
+// Parked is one deferred vertex on a forwarding ring: the vertex whose
+// coloring is suspended, the lower-indexed vertex whose color it awaits
+// (engine.Defers(Vertex, Awaited) always holds), and an optional
+// observer timestamp (monotonic nanoseconds since engine start; 0 when
+// no observer is live) for the forwarding-latency histogram.
+type Parked struct {
+	Vertex   uint32
+	Awaited  uint32
+	ParkedAt int64
+}
+
+// ForwardRing is the host-side Data Conflict Table row storage of one
+// worker: a bounded buffer of parked vertices awaiting a peer's color.
+// Exactly one goroutine pushes and drains (the owning worker); the
+// cross-worker communication happens through the shared color array the
+// drain callback reads, not through the ring itself.
+//
+// The drain deliberately scans the whole ring rather than only its head:
+// a replayed vertex can re-park awaiting a *different* neighbor, which
+// breaks any ordering a FIFO head-only drain would rely on — an entry at
+// the head may await a vertex parked behind it, and head-only draining
+// would deadlock. A full scan restores the progress argument: once every
+// vertex below some bound m is colored, one pass resolves every entry
+// awaiting a vertex below m.
+type ForwardRing struct {
+	entries []Parked
+	cap     int
+	peak    int
+}
+
+// NewForwardRing builds a ring bounding at most capacity parked vertices
+// (<=0 selects a default suited to the engines' scan window).
+func NewForwardRing(capacity int) *ForwardRing {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &ForwardRing{entries: make([]Parked, 0, capacity), cap: capacity}
+}
+
+// Len returns the number of parked vertices.
+func (r *ForwardRing) Len() int { return len(r.entries) }
+
+// Cap returns the ring's bound.
+func (r *ForwardRing) Cap() int { return r.cap }
+
+// Full reports whether another Push would exceed the bound.
+func (r *ForwardRing) Full() bool { return len(r.entries) >= r.cap }
+
+// Peak returns the maximum occupancy the ring ever reached.
+func (r *ForwardRing) Peak() int { return r.peak }
+
+// Push parks p; it reports false (and parks nothing) when the ring is
+// full — the caller falls back to an inline spin wait.
+func (r *ForwardRing) Push(p Parked) bool {
+	if !engine.Defers(p.Vertex, p.Awaited) {
+		// A park that does not follow the lower-index-wins rule could wait
+		// on a vertex that waits back; refuse it loudly.
+		panic("dispatch: forward ring park violates the DCT priority rule")
+	}
+	if r.Full() {
+		return false
+	}
+	r.entries = append(r.entries, p)
+	if len(r.entries) > r.peak {
+		r.peak = len(r.entries)
+	}
+	return true
+}
+
+// Drain replays every parked vertex through resolve until a full pass
+// resolves nothing. resolve attempts to color p.Vertex: it returns
+// (Parked{}, true) when the vertex was colored, or (reparked, false)
+// when it is still blocked — typically the same entry, or one with an
+// updated Awaited when the replay got further and hit a different
+// pending neighbor (the original ParkedAt is preserved by convention so
+// the forwarding latency stays honest). Returns the number of vertices
+// resolved.
+func (r *ForwardRing) Drain(resolve func(p Parked) (Parked, bool)) int {
+	resolved := 0
+	for {
+		kept := r.entries[:0]
+		progress := false
+		for _, p := range r.entries {
+			if next, ok := resolve(p); ok {
+				resolved++
+				progress = true
+			} else {
+				kept = append(kept, next)
+			}
+		}
+		r.entries = kept
+		if !progress || len(r.entries) == 0 {
+			return resolved
+		}
+	}
+}

@@ -48,15 +48,25 @@ type PeerTask struct {
 	Vertex uint32
 }
 
+// Defers is the single defer/forward decision shared by the simulator's
+// conflict table and the host DCT engine (internal/coloring): vertex self
+// defers on an in-flight peer vertex iff the peer's index is smaller
+// (lower index wins). Because every wait edge points to a strictly
+// smaller vertex, the wait graph follows the total vertex order and can
+// never cycle — the deadlock-freedom argument both implementations rely
+// on — and resolving waits in that order reproduces sequential greedy
+// exactly.
+func Defers(self, peer uint32) bool { return peer < self }
+
 // Configure loads the table for a new vertex: the Task Dispatch Unit
 // supplies the vertices currently in flight on other BWPEs. Only peers
-// coloring a smaller vertex are recorded (see the priority rule above);
-// larger in-flight vertices are uncolored from this vertex's perspective
-// and are handled by pruning.
+// this vertex Defers on (smaller vertex index — the priority rule above)
+// are recorded; larger in-flight vertices are uncolored from this
+// vertex's perspective and are handled by pruning.
 func (d *DCT) Configure(selfVertex uint32, peers []PeerTask) {
 	d.rows = d.rows[:0]
 	for _, p := range peers {
-		if p.Vertex >= selfVertex {
+		if !Defers(selfVertex, p.Vertex) {
 			continue
 		}
 		d.rows = append(d.rows, DCTRow{PEID: p.PEID, Vertex: p.Vertex})

@@ -1,4 +1,4 @@
-package engine
+package engine_test
 
 import (
 	"context"
@@ -8,6 +8,7 @@ import (
 	"bitcolor/internal/bitops"
 	"bitcolor/internal/cache"
 	"bitcolor/internal/coloring"
+	"bitcolor/internal/engine"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/mem"
 	"bitcolor/internal/reorder"
@@ -29,9 +30,9 @@ func randomSortedGraph(t testing.TB, n, m int, seed int64) *graph.CSR {
 }
 
 // singlePE builds a one-engine rig over g with the given options.
-func singlePE(g *graph.CSR, opts Options, cacheVertices int) (*BWPE, []uint16) {
+func singlePE(g *graph.CSR, opts engine.Options, cacheVertices int) (*engine.BWPE, []uint16) {
 	colors := make([]uint16, g.NumVertices())
-	cfg := DefaultConfig()
+	cfg := engine.DefaultConfig()
 	cfg.Options = opts
 	cfg.SortedEdges = g.EdgesSorted()
 	var hvc *cache.HVC
@@ -41,14 +42,14 @@ func singlePE(g *graph.CSR, opts Options, cacheVertices int) (*BWPE, []uint16) {
 		}
 		hvc = cache.NewHVC(cache.NewBitSelectCache(1, cacheVertices), cacheVertices)
 	}
-	pe := NewBWPE(0, g, colors, hvc,
+	pe := engine.NewBWPE(0, g, colors, hvc,
 		mem.NewChannel(mem.DefaultDRAMConfig()),
 		mem.NewChannel(mem.DefaultDRAMConfig()), 0, cfg)
 	return pe, colors
 }
 
 // runSingle colors the whole graph on one engine in index order.
-func runSingle(t testing.TB, g *graph.CSR, opts Options, cacheVertices int) (*BWPE, []uint16, int64) {
+func runSingle(t testing.TB, g *graph.CSR, opts engine.Options, cacheVertices int) (*engine.BWPE, []uint16, int64) {
 	t.Helper()
 	pe, colors := singlePE(g, opts, cacheVertices)
 	now := int64(0)
@@ -68,12 +69,12 @@ func TestSingleBWPEMatchesSoftwareGreedy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, opts := range []Options{
+	for _, opts := range []engine.Options{
 		{},
 		{HDC: true},
 		{HDC: true, BWC: true},
 		{HDC: true, BWC: true, MGR: true},
-		AllOptions(),
+		engine.AllOptions(),
 	} {
 		_, colors, _ := runSingle(t, g, opts, 0)
 		for v := range colors {
@@ -86,10 +87,10 @@ func TestSingleBWPEMatchesSoftwareGreedy(t *testing.T) {
 
 func TestOptimizationsReduceCycles(t *testing.T) {
 	g := randomSortedGraph(t, 600, 6000, 2)
-	_, _, baseline := runSingle(t, g, Options{}, 0)
-	peHDC, _, hdc := runSingle(t, g, Options{HDC: true}, 0)
-	_, _, bwc := runSingle(t, g, Options{HDC: true, BWC: true}, 0)
-	peAll, _, all := runSingle(t, g, AllOptions(), 0)
+	_, _, baseline := runSingle(t, g, engine.Options{}, 0)
+	peHDC, _, hdc := runSingle(t, g, engine.Options{HDC: true}, 0)
+	_, _, bwc := runSingle(t, g, engine.Options{HDC: true, BWC: true}, 0)
+	peAll, _, all := runSingle(t, g, engine.AllOptions(), 0)
 	if hdc >= baseline {
 		t.Fatalf("HDC did not reduce cycles: %d >= %d", hdc, baseline)
 	}
@@ -109,8 +110,8 @@ func TestOptimizationsReduceCycles(t *testing.T) {
 
 func TestBWCReducesComputeOnly(t *testing.T) {
 	g := randomSortedGraph(t, 500, 5000, 3)
-	peNo, _, _ := runSingle(t, g, Options{HDC: true}, 0)
-	peYes, _, _ := runSingle(t, g, Options{HDC: true, BWC: true}, 0)
+	peNo, _, _ := runSingle(t, g, engine.Options{HDC: true}, 0)
+	peYes, _, _ := runSingle(t, g, engine.Options{HDC: true, BWC: true}, 0)
 	if peYes.Stats().ComputeCycles >= peNo.Stats().ComputeCycles {
 		t.Fatalf("BWC compute %d >= baseline %d",
 			peYes.Stats().ComputeCycles, peNo.Stats().ComputeCycles)
@@ -125,7 +126,7 @@ func TestHDCPartialCache(t *testing.T) {
 	g := randomSortedGraph(t, 1000, 8000, 4)
 	// Cache only the top 100 vertices: hits and misses must both occur,
 	// and the result must stay correct.
-	pe, colors, _ := runSingle(t, g, Options{HDC: true, BWC: true, MGR: true, PUV: true}, 100)
+	pe, colors, _ := runSingle(t, g, engine.Options{HDC: true, BWC: true, MGR: true, PUV: true}, 100)
 	if err := coloring.Verify(g, colors); err != nil {
 		t.Fatal(err)
 	}
@@ -144,8 +145,8 @@ func TestHDCPartialCache(t *testing.T) {
 
 func TestMGRMergesSortedReads(t *testing.T) {
 	g := randomSortedGraph(t, 2000, 16000, 5)
-	peOff, _, _ := runSingle(t, g, Options{PUV: true}, 0)
-	peOn, _, _ := runSingle(t, g, Options{MGR: true, PUV: true}, 0)
+	peOff, _, _ := runSingle(t, g, engine.Options{PUV: true}, 0)
+	peOn, _, _ := runSingle(t, g, engine.Options{MGR: true, PUV: true}, 0)
 	offReads := peOff.Loader().Stats().DRAMReads
 	onReads := peOn.Loader().Stats().DRAMReads
 	if onReads >= offReads {
@@ -168,7 +169,7 @@ func TestPUVTailPruning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pe, colors := singlePE(g, AllOptions(), 0)
+	pe, colors := singlePE(g, engine.AllOptions(), 0)
 	rep, err := pe.ColorVertex(0, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -192,20 +193,20 @@ func TestDCTConflictDeferral(t *testing.T) {
 		t.Fatal(err)
 	}
 	colors := make([]uint16, 2)
-	cfg := DefaultConfig()
-	cfg.Options = Options{BWC: true} // no cache: simplest rig
-	mk := func(id int) *BWPE {
-		return NewBWPE(id, g, colors, nil,
+	cfg := engine.DefaultConfig()
+	cfg.Options = engine.Options{BWC: true} // no cache: simplest rig
+	mk := func(id int) *engine.BWPE {
+		return engine.NewBWPE(id, g, colors, nil,
 			mem.NewChannel(mem.DefaultDRAMConfig()),
 			mem.NewChannel(mem.DefaultDRAMConfig()), 2, cfg)
 	}
 	pe0, pe1 := mk(0), mk(1)
-	rep0, err := pe0.ColorVertex(0, 0, []PeerTask{{PEID: 1, Vertex: 1}}, nil)
+	rep0, err := pe0.ColorVertex(0, 0, []engine.PeerTask{{PEID: 1, Vertex: 1}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const forwardAt = int64(500)
-	rep1, err := pe1.ColorVertex(1, 0, []PeerTask{{PEID: 0, Vertex: 0}},
+	rep1, err := pe1.ColorVertex(1, 0, []engine.PeerTask{{PEID: 0, Vertex: 0}},
 		func(peID int) (int64, uint16) {
 			if peID != 0 {
 				t.Fatalf("asked for peer %d", peID)
@@ -233,9 +234,9 @@ func TestDCTConflictDeferral(t *testing.T) {
 }
 
 func TestDCTVertexOrderPriority(t *testing.T) {
-	d := NewDCT(4)
+	d := engine.NewDCT(4)
 	// Self vertex 10: peers with vertices 3 (smaller) and 20 (larger).
-	d.Configure(10, []PeerTask{{PEID: 1, Vertex: 3}, {PEID: 2, Vertex: 20}})
+	d.Configure(10, []engine.PeerTask{{PEID: 1, Vertex: 3}, {PEID: 2, Vertex: 20}})
 	if len(d.Rows()) != 1 || d.Rows()[0].Vertex != 3 {
 		t.Fatalf("DCT recorded %+v, want only vertex 3", d.Rows())
 	}
@@ -262,8 +263,8 @@ func TestDCTVertexOrderPriority(t *testing.T) {
 }
 
 func TestDCTResolveIncompletePanics(t *testing.T) {
-	d := NewDCT(2)
-	d.Configure(5, []PeerTask{{PEID: 0, Vertex: 1}})
+	d := engine.NewDCT(2)
+	d.Configure(5, []engine.PeerTask{{PEID: 0, Vertex: 1}})
 	d.Check(1)
 	defer func() {
 		if recover() == nil {
@@ -279,7 +280,7 @@ func TestColorLoaderMerge(t *testing.T) {
 		colors[i] = uint16(i)
 	}
 	ch := mem.NewChannel(mem.DefaultDRAMConfig())
-	l := NewColorLoader(ch, colors, true)
+	l := engine.NewColorLoader(ch, colors, true)
 	c1, t1 := l.Load(0, 0)
 	if c1 != 0 || t1 <= 0 {
 		t.Fatalf("first load = (%d,%d)", c1, t1)
@@ -302,7 +303,7 @@ func TestColorLoaderMerge(t *testing.T) {
 
 func TestColorLoaderNoMerge(t *testing.T) {
 	colors := make([]uint16, 64)
-	l := NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), colors, false)
+	l := engine.NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), colors, false)
 	l.Load(0, 0)
 	l.Load(1, 0)
 	if l.Stats().MergedReads != 0 || l.Stats().DRAMReads != 2 {
@@ -312,7 +313,7 @@ func TestColorLoaderNoMerge(t *testing.T) {
 
 func TestColorLoaderInvalidate(t *testing.T) {
 	colors := make([]uint16, 64)
-	l := NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), colors, true)
+	l := engine.NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), colors, true)
 	_, now := l.Load(0, 0)
 	l.Invalidate()
 	l.Load(1, now)
@@ -322,7 +323,7 @@ func TestColorLoaderInvalidate(t *testing.T) {
 }
 
 func TestColorLoaderOutOfRangePanics(t *testing.T) {
-	l := NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), make([]uint16, 4), true)
+	l := engine.NewColorLoader(mem.NewChannel(mem.DefaultDRAMConfig()), make([]uint16, 4), true)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("out-of-range load did not panic")
@@ -333,7 +334,7 @@ func TestColorLoaderOutOfRangePanics(t *testing.T) {
 
 func TestVertexReportAccounting(t *testing.T) {
 	g := randomSortedGraph(t, 300, 2400, 6)
-	pe, _ := singlePE(g, AllOptions(), 0)
+	pe, _ := singlePE(g, engine.AllOptions(), 0)
 	now := int64(0)
 	for v := 0; v < g.NumVertices(); v++ {
 		rep, err := pe.ColorVertex(uint32(v), now, nil, nil)
@@ -364,8 +365,8 @@ func TestVertexReportAccounting(t *testing.T) {
 }
 
 func TestPEStatsMerge(t *testing.T) {
-	a := PEStats{Vertices: 1, ComputeCycles: 10, EdgesTotal: 5, CacheHits: 2, BusyCycles: 20}
-	b := PEStats{Vertices: 2, ComputeCycles: 5, EdgesTotal: 3, DRAMColorReads: 1, BusyCycles: 7}
+	a := engine.PEStats{Vertices: 1, ComputeCycles: 10, EdgesTotal: 5, CacheHits: 2, BusyCycles: 20}
+	b := engine.PEStats{Vertices: 2, ComputeCycles: 5, EdgesTotal: 3, DRAMColorReads: 1, BusyCycles: 7}
 	a.Merge(b)
 	if a.Vertices != 3 || a.ComputeCycles != 15 || a.EdgesTotal != 8 ||
 		a.CacheHits != 2 || a.DRAMColorReads != 1 || a.BusyCycles != 27 {
@@ -378,7 +379,7 @@ func BenchmarkBWPEFullOpt(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pe, _ := singlePE(g, AllOptions(), 0)
+		pe, _ := singlePE(g, engine.AllOptions(), 0)
 		now := int64(0)
 		for v := 0; v < g.NumVertices(); v++ {
 			rep, err := pe.ColorVertex(uint32(v), now, nil, nil)
@@ -407,7 +408,7 @@ func TestStage0AccumulateCostAsymmetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(bwc bool) int64 {
-		opts := Options{HDC: true, BWC: bwc, PUV: true, MGR: true}
+		opts := engine.Options{HDC: true, BWC: bwc, PUV: true, MGR: true}
 		pe, _ := singlePE(g, opts, 0)
 		now := int64(0)
 		for v := 0; v < g.NumVertices(); v++ {

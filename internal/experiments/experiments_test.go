@@ -253,7 +253,7 @@ func TestLocalityAblation(t *testing.T) {
 func TestRunnerRegistryComplete(t *testing.T) {
 	names := Names()
 	want := []string{
-		"cacheablation", "cachesweep", "conflicts", "dramsweep",
+		"cacheablation", "cachesweep", "conflicts", "dct", "dramsweep",
 		"fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
 		"generality", "hostpar", "locality", "lruvshdc", "multicard",
 		"quality", "relaxed", "scorecard", "table2", "table3", "table4",
@@ -575,5 +575,47 @@ func TestScorecard(t *testing.T) {
 	r.Print(ctx)
 	if !strings.Contains(buf.String(), "scorecard") {
 		t.Fatal("print missing")
+	}
+}
+
+func TestDCTExperiment(t *testing.T) {
+	ctx, buf := smallCtx()
+	ctx.Datasets = ctx.Datasets[:2]
+	r, err := DCT(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := hostParWorkerSweep()
+	if len(r.Rows) != 2*len(sweep) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), 2*len(sweep))
+	}
+	for _, row := range r.Rows {
+		if !row.Deterministic {
+			t.Fatalf("%s W%d: dct diverged from sequential greedy", row.Dataset, row.Workers)
+		}
+		if row.DCTStats.Rounds != 1 || row.DCTStats.ConflictsRepaired != 0 {
+			t.Fatalf("%s W%d: dct not single-pass: %+v", row.Dataset, row.Workers, row.DCTStats)
+		}
+		if row.DCTColors <= 0 || row.ParColors <= 0 || row.SpecColors <= 0 {
+			t.Fatalf("%s W%d: colors %d/%d/%d", row.Dataset, row.Workers,
+				row.DCTColors, row.ParColors, row.SpecColors)
+		}
+		// One worker walks the whole index order itself: nothing to wait on.
+		if row.Workers == 1 && row.DCTStats.Deferred != 0 {
+			t.Fatalf("%s W1 deferred %d vertices", row.Dataset, row.DCTStats.Deferred)
+		}
+	}
+	r.Print(ctx)
+	if !strings.Contains(buf.String(), "Conflict handling ablation") {
+		t.Fatal("print missing title")
+	}
+	recs := r.BenchRecords()
+	if len(recs) != 3*len(r.Rows) {
+		t.Fatalf("got %d records for %d rows", len(recs), len(r.Rows))
+	}
+	for _, rec := range recs {
+		if rec.NsPerEdge <= 0 || rec.WallNanos <= 0 {
+			t.Fatalf("empty measurement in record %+v", rec)
+		}
 	}
 }

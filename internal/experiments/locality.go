@@ -69,7 +69,11 @@ func Locality(ctx *Context) (*LocalityResult, error) {
 				out, st, err := eng.Run(ctx.RunCtx(), g, coloring.Options{
 					Workers:       workers,
 					DisableGather: !gather,
-					HotVertices:   vt,
+					// The ablation's gather arm must actually run the gather
+					// even on the low-degree road datasets the adaptive
+					// heuristic would switch off.
+					ForceGather: gather,
+					HotVertices: vt,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%s dbg=%v gather=%v: %w", d.Abbrev, dbg, gather, err)

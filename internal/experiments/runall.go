@@ -58,6 +58,9 @@ func RunnerRegistry() map[string]Runner {
 		"locality": report(Locality, func(ctx *Context, r *LocalityResult) error {
 			return ctx.EmitBench("locality", r.BenchRecords())
 		}),
+		"dct": report(DCT, func(ctx *Context, r *DCTResult) error {
+			return ctx.EmitBench("dct", r.BenchRecords())
+		}),
 	}
 }
 
@@ -79,7 +82,7 @@ func RunAll(ctx *Context) error {
 		"table3", "fig3a", "fig3b", "table2", "fig11", "fig12", "table4",
 		"fig13", "fig14", "cacheablation", "cachesweep", "dramsweep",
 		"conflicts", "generality", "relaxed", "quality", "hostpar",
-		"locality", "multicard", "lruvshdc", "scorecard",
+		"locality", "dct", "multicard", "lruvshdc", "scorecard",
 	}
 	reg := RunnerRegistry()
 	for _, name := range order {

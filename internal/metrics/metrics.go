@@ -90,6 +90,12 @@ type GatherStats struct {
 	MergedReads    int64
 	ColdBlockLoads int64
 	PrunedTail     int64
+	// AutoDisabled records that the engine switched the gather off on its
+	// own because the graph's average degree was below the adaptive
+	// threshold (road-network regime: classification overhead beats the
+	// locality win). False when the gather ran, was explicitly disabled,
+	// or was explicitly forced on.
+	AutoDisabled bool
 }
 
 // Add accumulates another worker's counters into g.
@@ -98,6 +104,7 @@ func (g *GatherStats) Add(o GatherStats) {
 	g.MergedReads += o.MergedReads
 	g.ColdBlockLoads += o.ColdBlockLoads
 	g.PrunedTail += o.PrunedTail
+	g.AutoDisabled = g.AutoDisabled || o.AutoDisabled
 }
 
 // Reads returns the total number of neighbor color reads classified.
@@ -162,6 +169,22 @@ type RunStats struct {
 	Gather GatherStats
 	// HotThreshold is the gather's hot-tier boundary v_t (0 = disabled).
 	HotThreshold uint32
+	// Deferred counts vertices the DCT engine parked on a forwarding ring
+	// because a lower-indexed neighbor's color had not been published yet
+	// (zero for the speculative engines — they never defer, they repair).
+	Deferred int64
+	// DeferRetries counts coloring attempts replayed from the forwarding
+	// rings; a drained vertex that hits another pending neighbor re-parks,
+	// so DeferRetries >= Deferred resolved on the first replay.
+	DeferRetries int64
+	// SpinWaits counts fallback busy-wait yields the DCT workers took
+	// when a forwarding ring was full or a final drain pass resolved
+	// nothing.
+	SpinWaits int64
+	// ForwardRingPeak is the maximum forwarding-ring occupancy any worker
+	// reached — how deep the worst wait chain got relative to the bounded
+	// ring capacity.
+	ForwardRingPeak int
 }
 
 // ParallelStats is the former name of RunStats, kept as an alias for the

@@ -264,11 +264,24 @@ const (
 	famLastColors        = "bitcolor_last_run_colors"
 	famLastWorkers       = "bitcolor_last_run_workers"
 	famLastHotThreshold  = "bitcolor_last_run_hot_threshold"
+	famDCTDeferred       = "bitcolor_dct_deferred_total"
+	famDCTRetries        = "bitcolor_dct_defer_retries_total"
+	famDCTSpinWaits      = "bitcolor_dct_spin_waits_total"
+	famDCTRingOccupancy  = "bitcolor_dct_ring_occupancy"
+	famDCTForwardWait    = "bitcolor_dct_forward_wait_seconds"
 )
 
 // engineDurationBuckets covers 100µs .. ~100s exponentially.
 var engineDurationBuckets = []float64{
 	1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 60, 100,
+}
+
+// forwardWaitBuckets covers the DCT forwarding latency — the time a
+// parked vertex waits for its lower-indexed neighbor's color to land.
+// Waits are sub-microsecond when the owner is one drain behind and can
+// reach milliseconds when a worker stalls on a long chain.
+var forwardWaitBuckets = []float64{
+	1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1,
 }
 
 func registerStandardFamilies(r *Registry) {
@@ -291,6 +304,22 @@ func registerStandardFamilies(r *Registry) {
 	r.RegisterGauge(famLastColors, "Colors used by the last run.", "engine")
 	r.RegisterGauge(famLastWorkers, "Worker goroutines of the last run.", "")
 	r.RegisterGauge(famLastHotThreshold, "Gather hot-tier threshold v_t of the last run.", "")
+	r.RegisterCounter(famDCTDeferred, "Vertices parked on a DCT forwarding ring awaiting a pending neighbor color.", "")
+	r.RegisterCounter(famDCTRetries, "Coloring attempts replayed from a DCT forwarding ring.", "")
+	r.RegisterCounter(famDCTSpinWaits, "Fallback spin-wait yields taken by the DCT engine (ring full or drain stalled).", "")
+	r.RegisterGauge(famDCTRingOccupancy, "Peak forwarding-ring occupancy of the last DCT run (max over workers).", "")
+	r.RegisterHistogram(famDCTForwardWait, "Time a parked vertex waited for the awaited color to be forwarded.", "", forwardWaitBuckets)
+}
+
+// ObserveForwardWait records one DCT forwarding-latency sample: the time
+// between parking a vertex on the ring and successfully coloring it after
+// the awaited color landed. Nil-safe; the engine calls it only when an
+// observer is live (the park timestamp is not even taken otherwise).
+func (o *Observer) ObserveForwardWait(seconds float64) {
+	if o == nil {
+		return
+	}
+	o.reg.Histogram(famDCTForwardWait).Observe("", seconds)
 }
 
 // RecordRun folds one engine run's statistics into the metric families.
@@ -323,6 +352,12 @@ func (o *Observer) RecordRun(engine string, colors int, d time.Duration, st metr
 	r.Counter(famGatherMerged).Add("", st.Gather.MergedReads)
 	r.Counter(famGatherCold).Add("", st.Gather.ColdBlockLoads)
 	r.Counter(famGatherPruned).Add("", st.Gather.PrunedTail)
+	r.Counter(famDCTDeferred).Add("", st.Deferred)
+	r.Counter(famDCTRetries).Add("", st.DeferRetries)
+	r.Counter(famDCTSpinWaits).Add("", st.SpinWaits)
+	if st.Deferred > 0 || st.ForwardRingPeak > 0 {
+		r.Gauge(famDCTRingOccupancy).Set("", float64(st.ForwardRingPeak))
+	}
 	r.Histogram(famEngineSeconds).Observe(engine, d.Seconds())
 	r.Gauge(famLastColors).Set(engine, float64(colors))
 	r.Gauge(famLastWorkers).Set("", float64(st.Workers))

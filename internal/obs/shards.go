@@ -28,6 +28,15 @@ const (
 	// outcomes.
 	CtrConflictsFound
 	CtrConflictsRepaired
+	// CtrDeferred counts vertices parked on the DCT engine's forwarding
+	// ring because a lower-indexed neighbor's color was still pending;
+	// CtrDeferRetries counts coloring attempts replayed from the ring
+	// (>= CtrDeferred: a drained vertex can re-park on a different
+	// neighbor); CtrSpinWaits counts fallback busy-wait yields taken when
+	// the ring was full or the final drain found nothing resolvable.
+	CtrDeferred
+	CtrDeferRetries
+	CtrSpinWaits
 
 	// NumCounters is the shard width.
 	NumCounters

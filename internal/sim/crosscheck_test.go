@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"bitcolor/internal/coloring"
+	"bitcolor/internal/engine"
+)
+
+// The simulator's Data Conflict Table and the host DCT engine implement
+// the same discipline — defer on in-flight lower-indexed neighbors,
+// resolve in vertex order — through the shared engine.Defers rule. Both
+// must therefore land on the sequential-greedy coloring of the same
+// graph at any parallelism; a divergence means one side's defer decision
+// drifted from the other's.
+func TestSimAndHostDCTAgree(t *testing.T) {
+	cases := []struct {
+		n, m int
+		seed int64
+	}{
+		{400, 3000, 1},
+		{900, 12000, 7},
+		{1500, 9000, 42},
+	}
+	for _, c := range cases {
+		g := prepared(t, c.n, c.m, c.seed)
+		for _, p := range []int{1, 2, 4, 8} {
+			simRes, err := Run(g, smallConfig(p))
+			if err != nil {
+				t.Fatalf("n=%d seed=%d P=%d: sim: %v", c.n, c.seed, p, err)
+			}
+			hostRes, st, err := coloring.DCTOpts(context.Background(), g,
+				coloring.MaxColorsDefault, coloring.Options{Workers: p})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d P=%d: host: %v", c.n, c.seed, p, err)
+			}
+			if st.Rounds != 1 || st.ConflictsRepaired != 0 {
+				t.Fatalf("n=%d seed=%d P=%d: host DCT not single-pass: %+v", c.n, c.seed, p, st)
+			}
+			for v := range simRes.Colors {
+				if simRes.Colors[v] != hostRes.Colors[v] {
+					t.Fatalf("n=%d seed=%d P=%d vertex %d: sim %d, host %d",
+						c.n, c.seed, p, v, simRes.Colors[v], hostRes.Colors[v])
+				}
+			}
+			if simRes.NumColors != hostRes.NumColors {
+				t.Fatalf("n=%d seed=%d P=%d: sim %d colors, host %d",
+					c.n, c.seed, p, simRes.NumColors, hostRes.NumColors)
+			}
+		}
+	}
+}
+
+// TestDefersMatchesDCTConfigure pins the helper the simulator's table and
+// the host engine share: Configure must retain exactly the peers that
+// engine.Defers says the vertex waits on.
+func TestDefersMatchesDCTConfigure(t *testing.T) {
+	d := engine.NewDCT(4)
+	self := uint32(100)
+	peers := []engine.PeerTask{
+		{PEID: 0, Vertex: 3},
+		{PEID: 1, Vertex: 100},
+		{PEID: 2, Vertex: 99},
+		{PEID: 3, Vertex: 250},
+	}
+	d.Configure(self, peers)
+	rows := d.Rows()
+	want := map[int]bool{}
+	for _, p := range peers {
+		if engine.Defers(self, p.Vertex) {
+			want[p.PEID] = true
+		}
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Configure kept %d rows, Defers selects %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if !want[r.PEID] {
+			t.Fatalf("Configure kept PE%d (vertex %d), which Defers rejects", r.PEID, r.Vertex)
+		}
+		if !engine.Defers(self, r.Vertex) {
+			t.Fatalf("row vertex %d does not satisfy Defers(%d, ...)", r.Vertex, self)
+		}
+	}
+	// The rule itself: strictly lower index wins, no self-wait, and it is
+	// asymmetric — two vertices can never wait on each other.
+	for _, c := range []struct {
+		self, peer uint32
+		want       bool
+	}{{5, 4, true}, {5, 5, false}, {5, 6, false}, {0, 0, false}, {1, 0, true}} {
+		if got := engine.Defers(c.self, c.peer); got != c.want {
+			t.Fatalf("Defers(%d, %d) = %v, want %v", c.self, c.peer, got, c.want)
+		}
+	}
+	for a := uint32(0); a < 20; a++ {
+		for b := uint32(0); b < 20; b++ {
+			if engine.Defers(a, b) && engine.Defers(b, a) {
+				t.Fatalf("Defers is symmetric at (%d, %d): wait cycle possible", a, b)
+			}
+		}
+	}
+}
