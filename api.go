@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bitcolor/internal/coloring"
 	"bitcolor/internal/gen"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
+	"bitcolor/internal/obs"
 	"bitcolor/internal/reorder"
 	"bitcolor/internal/resources"
 	"bitcolor/internal/sim"
@@ -58,12 +60,37 @@ func NewGraphParallel(n int, edges []Edge, workers int) (*Graph, error) {
 	return graph.FromEdgeListParallel(n, edges, workers)
 }
 
+// On-disk graph format names, as sniffed by OpenGraphFile and used as
+// the "format" label on the bitcolor_graph_load_* metric families.
+const (
+	// FormatEdgeList is a SNAP-style whitespace edge list.
+	FormatEdgeList = graph.FormatEdgeList
+	// FormatBCSR1 is the copying binary CSR format (SaveGraph's output).
+	FormatBCSR1 = graph.FormatBCSR1
+	// FormatBCSR2 is the mmap-ready binary CSR v2 format: 64-byte-aligned
+	// little-endian sections behind a checksummed header, readable in
+	// place without parsing.
+	FormatBCSR2 = graph.FormatBCSR2
+	// FormatDIMACS is a DIMACS coloring instance (".col"), recognized by
+	// extension rather than content.
+	FormatDIMACS = "dimacs"
+)
+
 // LoadGraph reads a graph from disk: SNAP-style edge lists (any text
 // extension), DIMACS coloring instances (".col") or the binary CSR
-// format produced by SaveGraph (".bcsr").
+// formats produced by SaveGraph and SaveGraphV2 (".bcsr", v1 or v2 —
+// the version is sniffed from the header). LoadGraph always copies into
+// private memory; use OpenGraphFile to map a v2 file zero-copy.
 func LoadGraph(path string) (*Graph, error) {
 	switch {
 	case strings.HasSuffix(path, ".bcsr"):
+		format, err := graph.SniffFormat(path)
+		if err != nil {
+			return nil, err
+		}
+		if format == FormatBCSR2 {
+			return graph.LoadBinaryV2File(path)
+		}
 		return graph.LoadBinaryFile(path)
 	case strings.HasSuffix(path, ".col"):
 		f, err := os.Open(path)
@@ -77,9 +104,137 @@ func LoadGraph(path string) (*Graph, error) {
 	}
 }
 
-// SaveGraph writes the graph in binary CSR format.
+// SaveGraph writes the graph in binary CSR format (v1).
 func SaveGraph(path string, g *Graph) error {
 	return graph.SaveBinaryFile(path, g)
+}
+
+// SaveGraphV2 writes the graph in the mmap-ready binary CSR v2 format.
+// Both writers are atomic: the file appears complete or not at all.
+func SaveGraphV2(path string, g *Graph) error {
+	return graph.SaveBinaryV2File(path, g)
+}
+
+// GraphHandle is an opened on-disk graph together with whatever backs
+// it. For a mapped BCSR v2 file the CSR sections alias the page cache
+// and Close unmaps them — the Graph must not be used after Close (the
+// handle panics on Graph() to make that bug loud). For every other
+// format Close is a no-op and the Graph is ordinary heap memory.
+type GraphHandle struct {
+	g      *Graph
+	m      *graph.MappedCSR
+	format string
+}
+
+// Graph returns the loaded graph. It panics if the handle was mapped
+// and has been closed.
+func (h *GraphHandle) Graph() *Graph {
+	if h.m != nil {
+		return h.m.Graph()
+	}
+	return h.g
+}
+
+// Format reports the sniffed on-disk format (FormatEdgeList,
+// FormatBCSR1, FormatBCSR2 or FormatDIMACS).
+func (h *GraphHandle) Format() string { return h.format }
+
+// Mapped reports whether the graph's payload aliases an mmap'd region
+// (true only for BCSR v2 files on platforms where mapping succeeded).
+func (h *GraphHandle) Mapped() bool { return h.m != nil && h.m.Mapped() }
+
+// Close releases the handle's resources (unmapping the file when
+// mapped). Idempotent; safe on handles for unmapped formats.
+func (h *GraphHandle) Close() error {
+	if h == nil || h.m == nil {
+		return nil
+	}
+	return h.m.Close()
+}
+
+// OpenGraphFile opens a graph for reading, sniffing the on-disk format
+// from content: BCSR v2 files are mmap'd and used zero-copy (falling
+// back to a private copy on foreign byte order, misalignment or
+// platforms without mmap), BCSR v1 and edge lists go through the
+// copying readers, and ".col" files parse as DIMACS. Close the handle
+// when done with the graph.
+func OpenGraphFile(path string) (*GraphHandle, error) {
+	return OpenGraphFileContext(context.Background(), path)
+}
+
+// OpenGraphFileContext is OpenGraphFile under a context: an Observer
+// attached via WithObserver records a "graph/load" span and the
+// bitcolor_graph_load_* metric families (mapped v2 loads are labeled
+// "bcsr-v2-mapped" to separate them from copied ones).
+func OpenGraphFileContext(ctx context.Context, path string) (*GraphHandle, error) {
+	o := obs.FromContext(ctx)
+	sp := o.StartSpan("graph/load").Attr("path", path)
+	var bytes int64
+	if st, err := os.Stat(path); err == nil {
+		bytes = st.Size()
+	}
+	start := time.Now()
+	h, label, err := openGraphFile(path)
+	d := time.Since(start)
+	if h != nil && h.Mapped() {
+		label += "-mapped"
+	}
+	sp.Attr("format", label).Attr("bytes", bytes)
+	if err != nil {
+		sp.Attr("error", err.Error())
+	} else {
+		g := h.Graph()
+		sp.Attr("vertices", int64(g.NumVertices())).Attr("edges", g.NumEdges())
+	}
+	sp.End()
+	o.RecordGraphLoad(label, bytes, d, err)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// openGraphFile is the format dispatch behind OpenGraphFile. The
+// returned format names what the path sniffed as, for metric labeling —
+// it is meaningful even when the load itself failed ("unknown" only
+// when the sniff could not run at all).
+func openGraphFile(path string) (*GraphHandle, string, error) {
+	if strings.HasSuffix(path, ".col") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, FormatDIMACS, err
+		}
+		defer f.Close()
+		g, err := graph.ReadDIMACS(f)
+		if err != nil {
+			return nil, FormatDIMACS, err
+		}
+		return &GraphHandle{g: g, format: FormatDIMACS}, FormatDIMACS, nil
+	}
+	format, err := graph.SniffFormat(path)
+	if err != nil {
+		return nil, "unknown", err
+	}
+	switch format {
+	case FormatBCSR2:
+		m, err := graph.MapBinaryFile(path)
+		if err != nil {
+			return nil, format, err
+		}
+		return &GraphHandle{m: m, format: format}, format, nil
+	case FormatBCSR1:
+		g, err := graph.LoadBinaryFile(path)
+		if err != nil {
+			return nil, format, err
+		}
+		return &GraphHandle{g: g, format: format}, format, nil
+	default:
+		g, err := graph.LoadEdgeListFile(path)
+		if err != nil {
+			return nil, format, err
+		}
+		return &GraphHandle{g: g, format: format}, format, nil
+	}
 }
 
 // Generate builds one of the paper's datasets (Table 3 abbreviation:
@@ -253,6 +408,30 @@ type ColorOptions struct {
 	// WithObserver; nil falls back to the context (and then to no
 	// observation at all, at the cost of one branch per run).
 	Observer *Observer
+	// Scratch lends the engine pooled working state (from AcquireScratch)
+	// so repeated runs against a cached graph do zero steady-state heap
+	// allocation. A Scratch acquired for a different engine, worker count
+	// or graph size class is silently ignored; nil keeps the engines'
+	// allocate-per-run behavior. Results from a scratch-backed run are
+	// only valid until the Scratch's next run or Release.
+	Scratch *Scratch
+}
+
+// Scratch is a pooled arena of engine working state — color buffers,
+// bit sets, codecs, forwarding rings and counter shards — keyed by
+// (engine, workers, graph size class). Acquire one per serving loop,
+// pass it through ColorOptions.Scratch, and Release it when done; see
+// AcquireScratch.
+type Scratch = coloring.Scratch
+
+// AcquireScratch returns a pooled (or fresh) Scratch for repeated runs
+// of engine e at the given worker count on g. The worker count is
+// normalized the way the engine itself normalizes it (sequential
+// engines pin it to 1, parallel ones default to GOMAXPROCS and cap at
+// the vertex count), so the handle matches the run. A Scratch must not
+// back two runs concurrently.
+func AcquireScratch(e Engine, workers int, g *Graph) *Scratch {
+	return coloring.AcquireScratch(e.String(), workers, g.NumVertices())
 }
 
 // RunStats is the unified per-run statistics record every engine fills:
@@ -283,6 +462,7 @@ func (opts ColorOptions) engineOptions() coloring.Options {
 		ForceGather:   opts.ForceGather,
 		HotVertices:   opts.HotVertices,
 		Obs:           opts.Observer,
+		Scratch:       opts.Scratch,
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"context"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -30,6 +31,10 @@ type benchBaseline struct {
 	Note          string  `json:"note"`
 	GDRatio       float64 `json:"parallelbitwise_gd_vs_bitwise_ratio"`
 	DCTRatio      float64 `json:"dct_gd_vs_bitwise_ratio"`
+	// E2ERatio is (mapped BCSR v2 open + color) / (warm color on the
+	// resident graph) with the dct engine at one worker on GD — the
+	// zero-copy load path's end-to-end overhead.
+	E2ERatio float64 `json:"e2e_load_ratio"`
 }
 
 func loadBaseline(t *testing.T) benchBaseline {
@@ -42,7 +47,7 @@ func loadBaseline(t *testing.T) benchBaseline {
 	if err := json.Unmarshal(data, &b); err != nil {
 		t.Fatal(err)
 	}
-	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 {
+	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 || b.E2ERatio <= 0 {
 		t.Fatalf("implausible baseline %+v", b)
 	}
 	return b
@@ -160,6 +165,59 @@ func TestBenchGuardDCTRegression(t *testing.T) {
 	if ratio > limit {
 		t.Fatalf("DCT engine regressed: ratio %.4f exceeds baseline %.4f by more than 10%%",
 			ratio, base.DCTRatio)
+	}
+}
+
+// TestBenchGuardE2ELoadRatio pins the zero-copy load path: opening a
+// mapped BCSR v2 file and coloring it (dct, one worker) may cost at
+// most 10% more, relative to a warm color on the resident graph, than
+// the recorded baseline ratio. The same-process normalization cancels
+// machine speed, exactly like the engine-ratio guards.
+func TestBenchGuardE2ELoadRatio(t *testing.T) {
+	if os.Getenv(benchGuardEnv) == "" {
+		t.Skipf("set %s=1 to run the load-path regression guard", benchGuardEnv)
+	}
+	prepared := guardGraph(t, "GD")
+	base := loadBaseline(t)
+	path := filepath.Join(t.TempDir(), "gd.bcsr")
+	if err := SaveGraphV2(path, prepared); err != nil {
+		t.Fatal(err)
+	}
+	// The guard measures the mapped path; a fallback to the copying
+	// reader would silently inflate the ratio, so check once up front.
+	h, err := OpenGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Mapped() {
+		h.Close()
+		t.Skip("mmap unavailable on this platform — the guard pins the mapped path only")
+	}
+	h.Close()
+
+	color := func(g *Graph) {
+		if _, _, err := ColorParallel(g, ColorOptions{Engine: EngineDCT, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pure := minTime(7, func() { color(prepared) })
+	cold := minTime(7, func() {
+		h, err := OpenGraphFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		color(h.Graph())
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ratio := float64(cold) / float64(pure)
+	limit := base.E2ERatio * 1.10
+	t.Logf("mapped open+color %v / warm color %v = ratio %.4f (baseline %.4f, limit %.4f)",
+		cold, pure, ratio, base.E2ERatio, limit)
+	if ratio > limit {
+		t.Fatalf("mapped load path regressed: ratio %.4f exceeds baseline %.4f by more than 10%%",
+			ratio, base.E2ERatio)
 	}
 }
 

@@ -76,7 +76,7 @@ func (c runConfig) observing() bool { return c.listen != "" || c.traceOut != "" 
 func main() {
 	var cfg runConfig
 	engineUsage := "engine: " + strings.Join(bitcolor.EngineNames(), " | ") + " | accelerator"
-	flag.StringVar(&cfg.input, "input", "", "graph file (SNAP edge list, or .bcsr binary)")
+	flag.StringVar(&cfg.input, "input", "", "graph file (SNAP edge list, .col, or .bcsr binary v1/v2 — v2 files are mmap'd zero-copy)")
 	flag.StringVar(&cfg.dataset, "dataset", "", "synthetic dataset abbreviation (EF, GD, CD, CA, CL, RC, RP, RT, CO, CF)")
 	flag.StringVar(&cfg.engine, "engine", "bitwise", engineUsage)
 	flag.IntVar(&cfg.parallelism, "parallelism", 16, "BWPE count for the accelerator engine (power of two)")
@@ -144,7 +144,18 @@ func run(ctx context.Context, cfg runConfig) error {
 	case cfg.input != "" && cfg.dataset != "":
 		return fmt.Errorf("give either -input or -dataset, not both")
 	case cfg.input != "":
-		g, err = bitcolor.LoadGraph(cfg.input)
+		// The handle stays open for the whole run: with -no-preprocess a
+		// mapped BCSR v2 input is colored straight out of the page cache,
+		// zero-copy.
+		h, herr := bitcolor.OpenGraphFileContext(ctx, cfg.input)
+		if herr != nil {
+			return herr
+		}
+		defer h.Close()
+		g = h.Graph()
+		if cfg.verbose {
+			fmt.Printf("input format: %s (mapped: %v)\n", h.Format(), h.Mapped())
+		}
 	case cfg.dataset != "":
 		g, err = bitcolor.Generate(cfg.dataset, cfg.seed)
 	default:

@@ -76,6 +76,28 @@ func TestRunFromFile(t *testing.T) {
 	}
 }
 
+// TestRunFromV2File colors straight off a mapped BCSR v2 input — the
+// zero-copy load path — including with preprocessing disabled, where
+// the engine reads the page cache directly.
+func TestRunFromV2File(t *testing.T) {
+	g, err := bitcolor.Generate("EF", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bcsr")
+	if err := bitcolor.SaveGraphV2(path, g); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(func(c *runConfig) { c.input = path; c.verbose = true })
+	if err := run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	c = cfg(func(c *runConfig) { c.input = path; c.engine = "dct"; c.noPrep = true })
+	if err := run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunNoPreprocess(t *testing.T) {
 	c := cfg(func(c *runConfig) { c.dataset = "EF"; c.engine = "dsatur"; c.noPrep = true })
 	if err := run(context.Background(), c); err != nil {

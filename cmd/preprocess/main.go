@@ -6,8 +6,14 @@
 // Usage:
 //
 //	preprocess -input graph.txt -out graph-dbg.bcsr
+//	preprocess -input graph.txt -out graph-dbg.bcsr -obin-v2
+//	preprocess -input old.bcsr -convert -obin-v2 -out new.bcsr
 //	preprocess -dataset CO -time
 //	preprocess -input graph.txt -parallel 8
+//
+// -obin-v2 writes -out in the mmap-ready BCSR v2 format instead of v1;
+// -convert skips the preprocessing entirely and just rewrites the input
+// graph, which together give a v1 → v2 format conversion.
 package main
 
 import (
@@ -30,6 +36,8 @@ func main() {
 		input      = flag.String("input", "", "graph file (edge list, .col or .bcsr)")
 		dataset    = flag.String("dataset", "", "synthetic dataset abbreviation")
 		out        = flag.String("out", "", "write the reordered graph here (.bcsr)")
+		outV2      = flag.Bool("obin-v2", false, "write -out in the mmap-ready BCSR v2 format (default: v1)")
+		convert    = flag.Bool("convert", false, "skip preprocessing and write the input graph to -out unchanged (format conversion)")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		showTime   = flag.Bool("time", false, "report reordering vs coloring wall time (Table 2)")
 		parallel   = flag.Int("parallel", 0, "preprocessing workers (<=0: GOMAXPROCS)")
@@ -41,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "preprocess:", err)
 		os.Exit(1)
 	}
-	err = run(*input, *dataset, *out, *seed, *showTime, *parallel)
+	err = run(*input, *dataset, *out, *seed, *showTime, *parallel, *outV2, *convert)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -57,7 +65,23 @@ func isEdgeListPath(path string) bool {
 	return !strings.HasSuffix(path, ".bcsr") && !strings.HasSuffix(path, ".col")
 }
 
-func run(input, dataset, out string, seed int64, showTime bool, parallel int) error {
+// saveGraph writes g to path in the selected binary format and reports
+// what it wrote.
+func saveGraph(path string, g *bitcolor.Graph, v2 bool) error {
+	format := "bcsr v1"
+	save := graph.SaveBinaryFile
+	if v2 {
+		format = "bcsr v2"
+		save = graph.SaveBinaryV2File
+	}
+	if err := save(path, g); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s)\n", path, format)
+	return nil
+}
+
+func run(input, dataset, out string, seed int64, showTime bool, parallel int, outV2, convert bool) error {
 	// Stage 1+2: load (parse text / read binary / generate) and build
 	// (CSR construction). Text edge lists split the two so the parallel
 	// builder's share is visible; the other sources build internally.
@@ -94,6 +118,17 @@ func run(input, dataset, out string, seed int64, showTime bool, parallel int) er
 	}
 	if err != nil {
 		return err
+	}
+
+	// Conversion mode: rewrite the loaded graph as-is (typically a v1
+	// .bcsr into the mmap-ready v2 layout) and stop.
+	if convert {
+		if out == "" {
+			return fmt.Errorf("-convert needs -out FILE")
+		}
+		fmt.Printf("loaded %d vertices, %d edges in %v\n",
+			g.NumVertices(), g.UndirectedEdgeCount(), loadTime.Round(time.Microsecond))
+		return saveGraph(out, g, outV2)
 	}
 
 	// Stage 3: per-vertex edge sorting (a no-op when the source already
@@ -135,10 +170,7 @@ func run(input, dataset, out string, seed int64, showTime bool, parallel int) er
 	}
 
 	if out != "" {
-		if err := graph.SaveBinaryFile(out, prepared); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", out)
+		return saveGraph(out, prepared, outV2)
 	}
 	return nil
 }

@@ -10,14 +10,14 @@ import (
 )
 
 func TestRunDatasetWithTiming(t *testing.T) {
-	if err := run("", "EF", "", 1, true, 0); err != nil {
+	if err := run("", "EF", "", 1, true, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "dbg.bcsr")
-	if err := run("", "EF", out, 1, false, 2); err != nil {
+	if err := run("", "EF", out, 1, false, 2, false, false); err != nil {
 		t.Fatal(err)
 	}
 	g, err := bitcolor.LoadGraph(out)
@@ -44,7 +44,7 @@ func TestRunFromFile(t *testing.T) {
 	if err := bitcolor.SaveGraph(in, g); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", "", 1, false, 0); err != nil {
+	if err := run(in, "", "", 1, false, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +68,7 @@ func TestRunFromEdgeListText(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "dbg.bcsr")
-	if err := run(in, "", out, 1, false, 4); err != nil {
+	if err := run(in, "", out, 1, false, 4, false, false); err != nil {
 		t.Fatal(err)
 	}
 	got, err := bitcolor.LoadGraph(out)
@@ -83,11 +83,73 @@ func TestRunFromEdgeListText(t *testing.T) {
 	}
 }
 
+// TestRunWritesV2Output checks -obin-v2 produces a BCSR v2 file that
+// loads back (via the sniffing loader) with the DBG invariant intact.
+func TestRunWritesV2Output(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dbg.bcsr")
+	if err := run("", "EF", out, 1, false, 2, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if format, err := graph.SniffFormat(out); err != nil || format != graph.FormatBCSR2 {
+		t.Fatalf("sniff: %v %v, want %s", format, err, graph.FormatBCSR2)
+	}
+	g, err := bitcolor.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < g.NumVertices(); v++ {
+		if g.Degree(bitcolor.VertexID(v)) > g.Degree(bitcolor.VertexID(v-1)) {
+			t.Fatal("output not degree-descending")
+		}
+	}
+}
+
+// TestRunConvertV1ToV2 drives the pure conversion path: a v1 .bcsr in,
+// an identical graph out in v2 layout, no reordering applied.
+func TestRunConvertV1ToV2(t *testing.T) {
+	g, err := bitcolor.Generate("EF", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bcsr")
+	if err := bitcolor.SaveGraph(in, g); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.bcsr")
+	if err := run(in, "", out, 1, false, 0, true, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bitcolor.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("conversion changed the graph: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.Neighbors(bitcolor.VertexID(v)), got.Neighbors(bitcolor.VertexID(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d: adjacency differs", v)
+			}
+		}
+	}
+	// -convert without -out must refuse rather than silently discard.
+	if err := run(in, "", "", 1, false, 0, true, true); err == nil {
+		t.Fatal("-convert without -out accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 1, false, 0); err == nil {
+	if err := run("", "", "", 1, false, 0, false, false); err == nil {
 		t.Fatal("missing input accepted")
 	}
-	if err := run("/nope.txt", "", "", 1, false, 0); err == nil {
+	if err := run("/nope.txt", "", "", 1, false, 0, false, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

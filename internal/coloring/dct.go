@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"bitcolor/internal/bitops"
 	"bitcolor/internal/dispatch"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
@@ -77,12 +76,25 @@ func DCTOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*R
 	if workers > n && n > 0 {
 		workers = n
 	}
-	ss := obs.NewShardSet(workers)
+	sc := opts.Scratch
+	if !sc.fits("dct", workers) {
+		sc = nil
+	}
+	if workers == 1 && n > 0 {
+		// One worker owns every vertex and colors in ascending index
+		// order, so a lower-indexed neighbor is always already colored:
+		// deferral is impossible and the whole forwarding machinery —
+		// goroutines, rings, closures — would only add allocations. The
+		// inline pass below is behavior- and telemetry-identical (and is
+		// what makes the engine allocation-free on a pooled Scratch).
+		return dctSequential(ctx, g, maxColors, opts, sc)
+	}
+	ss := sc.shardSet(workers)
 	st := metrics.ParallelStats{Workers: workers}
 	useGather, gatherAuto := gatherDecision(g, opts)
 	rings := make([]*dispatch.ForwardRing, workers)
 	foldStats := func() {
-		st.VerticesPerWorker = ss.PerWorker(obs.CtrVertices)
+		st.VerticesPerWorker = ss.PerWorkerInto(obs.CtrVertices, sc.perWorkerBuf(0, workers))
 		st.Deferred = ss.Total(obs.CtrDeferred)
 		st.DeferRetries = ss.Total(obs.CtrDeferRetries)
 		st.SpinWaits = ss.Total(obs.CtrSpinWaits)
@@ -117,7 +129,7 @@ func DCTOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*R
 	// (atomic release store) and read by peers with acquire loads. 0 is
 	// "not yet published" — the same convention the hardware's valid bit
 	// encodes.
-	shared := make([]uint32, n)
+	shared := sc.sharedBuf(n)
 	sorted := g.EdgesSorted()
 
 	// abort lets a failed or cancelled worker unblock every peer's spin
@@ -126,25 +138,15 @@ func DCTOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*R
 	// forever.
 	var abort atomic.Bool
 
-	type scratch struct {
-		state *bitops.BitSet
-		codec *bitops.ColorCodec
-		ga    *gather
-		sh    *obs.Shard
-		ring  *dispatch.ForwardRing
-		err   error
-	}
-	ws := make([]*scratch, workers)
+	ws := make([]*workerScratch, workers)
 	for w := range ws {
+		s := sc.workerAt(w, maxColors)
 		sh := ss.Shard(w)
-		ws[w] = &scratch{
-			state: bitops.NewBitSet(maxColors),
-			codec: bitops.NewColorCodec(maxColors),
-			ga:    newGather(shared, opts.HotVertices, sh),
-			sh:    sh,
-			ring:  dispatch.NewForwardRing(ForwardRingCap),
-		}
-		rings[w] = ws[w].ring
+		s.sh = sh
+		s.ga.init(shared, opts.HotVertices, sh)
+		s.ensureRing(ForwardRingCap)
+		ws[w] = s
+		rings[w] = s.ring
 	}
 	if useGather {
 		st.HotThreshold = ws[0].ga.vt
@@ -156,7 +158,7 @@ func DCTOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*R
 	// discipline they defer on v. On a sorted adjacency list they form
 	// the tail and the scan breaks (the PUV break of §3.2.2). Returns
 	// the first pending neighbor on deferral.
-	attempt := func(s *scratch, v graph.VertexID) (graph.VertexID, int) {
+	attempt := func(s *workerScratch, v graph.VertexID) (graph.VertexID, int) {
 		s.state.Reset()
 		adj := g.Neighbors(v)
 		for i, u := range adj {
@@ -327,9 +329,91 @@ func DCTOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*R
 		Attr("conflicts_found", int64(0)).Attr("recolored", int64(0)).
 		Attr("deferred", st.Deferred).Attr("ring_peak", int64(st.ForwardRingPeak)).End()
 
-	colors := make([]uint16, n)
+	colors := sc.colorsBuf(n)
 	for i, c := range shared {
 		colors[i] = uint16(c)
 	}
-	return &Result{Colors: colors, NumColors: countColors(colors)}, st, nil
+	return sc.result(colors, sc.distinctColors(colors), OpStats{}), st, nil
+}
+
+// dctSequential is the one-worker fast path of DCTOpts: the same owned
+// pass (ascending index order, gather/PUV reads, identical counters and
+// round span) with no goroutines, rings or escaping closures. On a
+// fitting Scratch the entire run — including the returned Result — is
+// allocation-free in steady state.
+func dctSequential(ctx context.Context, g *graph.CSR, maxColors int, opts Options, sc *Scratch) (*Result, metrics.ParallelStats, error) {
+	n := g.NumVertices()
+	ss := sc.shardSet(1)
+	st := metrics.ParallelStats{Workers: 1}
+	useGather, gatherAuto := gatherDecision(g, opts)
+	shared := sc.sharedBuf(n)
+	sorted := g.EdgesSorted()
+	s := sc.workerAt(0, maxColors)
+	sh := ss.Shard(0)
+	s.sh = sh
+	s.ga.init(shared, opts.HotVertices, sh)
+	fold := func() {
+		st.VerticesPerWorker = ss.PerWorkerInto(obs.CtrVertices, sc.perWorkerBuf(0, 1))
+		st.Gather = metrics.GatherStats{
+			HotReads:       ss.Total(obs.CtrHotReads),
+			MergedReads:    ss.Total(obs.CtrMergedReads),
+			ColdBlockLoads: ss.Total(obs.CtrColdBlockLoads),
+			PrunedTail:     ss.Total(obs.CtrPrunedTail),
+			AutoDisabled:   gatherAuto,
+		}
+	}
+	if useGather {
+		st.HotThreshold = s.ga.vt
+	}
+	for v := 0; v < n; v++ {
+		if v&ctxStrideMask == 0 {
+			if err := ctx.Err(); err != nil {
+				fold()
+				return nil, st, err
+			}
+		}
+		s.state.Reset()
+		adj := g.Neighbors(graph.VertexID(v))
+		for i, u := range adj {
+			if int(u) > v {
+				// The higher-indexed tail defers on v under the DCT rule
+				// and is never read; on a sorted list it prunes as a break.
+				if !sorted {
+					continue
+				}
+				if useGather {
+					sh.Add(obs.CtrPrunedTail, int64(len(adj)-i))
+				}
+				break
+			}
+			var c uint32
+			if useGather {
+				c = s.ga.load(u)
+			} else {
+				c = shared[u]
+			}
+			s.state.OrColorNum(c)
+		}
+		pick, _ := s.codec.FirstFree(s.state)
+		if pick == 0 {
+			fold()
+			return nil, st, ErrPaletteExhausted
+		}
+		shared[v] = uint32(pick)
+		sh.Inc(obs.CtrVertices)
+	}
+	fold()
+	st.Rounds = 1
+	// Guarded rather than relying on nil-safe span methods: boxing the
+	// Attr values would allocate even when the span is nil.
+	if esp := opts.Span; esp != nil {
+		esp.Child("round").Attr("round", 1).Attr("pending", int64(n)).
+			Attr("conflicts_found", int64(0)).Attr("recolored", int64(0)).
+			Attr("deferred", int64(0)).Attr("ring_peak", int64(0)).End()
+	}
+	colors := sc.colorsBuf(n)
+	for i, c := range shared {
+		colors[i] = uint16(c)
+	}
+	return sc.result(colors, sc.distinctColors(colors), OpStats{}), st, nil
 }

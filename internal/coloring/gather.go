@@ -59,6 +59,11 @@ type Options struct {
 	// decorator alongside Obs); the speculative engines hang their
 	// per-round spans off it. All span methods are nil-safe.
 	Span *obs.Span
+	// Scratch, when it matches the run (engine name and effective worker
+	// count), supplies pooled buffers and per-worker state so repeated
+	// runs allocate nothing in steady state. A mismatched or nil Scratch
+	// is ignored and the engine allocates as before.
+	Scratch *Scratch
 }
 
 // maxColors resolves the palette bound, applying the default.
@@ -108,17 +113,26 @@ type gather struct {
 	sh        *obs.Shard
 }
 
-// newGather builds a worker gather over the live color array, counting
-// into shard sh. hotVertices <= 0 selects the automatic HVC-derived
-// threshold.
-func newGather(shared []uint32, hotVertices int, sh *obs.Shard) *gather {
+// init (re)points a gather at the live color array, counting into shard
+// sh. hotVertices <= 0 selects the automatic HVC-derived threshold.
+// Value-initialization keeps the gather embeddable in pooled per-worker
+// scratch without a per-run allocation.
+func (ga *gather) init(shared []uint32, hotVertices int, sh *obs.Shard) {
 	vt := uint32(hotVertices)
 	if hotVertices <= 0 {
 		vt = cache.HotThreshold(len(shared))
 	} else if hotVertices > len(shared) {
 		vt = uint32(len(shared))
 	}
-	return &gather{shared: shared, vt: vt, lastBlock: -1, sh: sh}
+	*ga = gather{shared: shared, vt: vt, lastBlock: -1, sh: sh}
+}
+
+// newGather is init on a fresh heap gather, for engines without pooled
+// per-worker scratch.
+func newGather(shared []uint32, hotVertices int, sh *obs.Shard) *gather {
+	ga := new(gather)
+	ga.init(shared, hotVertices, sh)
+	return ga
 }
 
 // load returns u's live color and classifies the access as hot-tier,

@@ -121,10 +121,21 @@ func GreedyLiteral(ctx context.Context, g *graph.CSR, maxColors int) (*Result, e
 // Pruning never changes the result, only the work done — a property the
 // tests assert.
 func BitwiseGreedy(ctx context.Context, g *graph.CSR, maxColors int, prune bool) (*Result, error) {
+	return BitwiseGreedyScratch(ctx, g, maxColors, prune, nil)
+}
+
+// BitwiseGreedyScratch is BitwiseGreedy drawing its color buffer, bit
+// set and codec from sc, so repeated runs on a cached graph allocate
+// nothing. A nil (or non-fitting) sc restores BitwiseGreedy's behavior
+// exactly; the colors are identical either way.
+func BitwiseGreedyScratch(ctx context.Context, g *graph.CSR, maxColors int, prune bool, sc *Scratch) (*Result, error) {
+	if !sc.fits("bitwise", 1) {
+		sc = nil
+	}
 	n := g.NumVertices()
-	colors := make([]uint16, n)
-	codec := bitops.NewColorCodec(maxColors)
-	state := bitops.NewBitSet(maxColors)
+	colors := sc.colorsBuf(n)
+	wsc := sc.workerAt(0, maxColors)
+	codec, state := wsc.codec, wsc.state
 	var st OpStats
 	for v := 0; v < n; v++ {
 		if v&ctxStrideMask == 0 {
@@ -153,7 +164,7 @@ func BitwiseGreedy(ctx context.Context, g *graph.CSR, maxColors int, prune bool)
 		st.Stage2Ops++
 		colors[v] = result
 	}
-	return &Result{Colors: colors, NumColors: countColors(colors), Stats: st}, nil
+	return sc.result(colors, sc.distinctColors(colors), st), nil
 }
 
 // GreedyOrdered colors vertices in the given order with the bit-wise

@@ -7,7 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"bitcolor/internal/bitops"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
 	"bitcolor/internal/obs"
@@ -77,14 +76,18 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	if workers > n && n > 0 {
 		workers = n
 	}
+	sc := opts.Scratch
+	if !sc.fits("parallelbitwise", workers) {
+		sc = nil
+	}
 	// Per-worker hot-path counters live in cache-line-padded shards; the
 	// fold into RunStats happens once, after the worker goroutines join.
-	ss := obs.NewShardSet(workers)
+	ss := sc.shardSet(workers)
 	st := metrics.ParallelStats{Workers: workers}
 	useGather, gatherAuto := gatherDecision(g, opts)
 	foldStats := func() {
-		st.VerticesPerWorker = ss.PerWorker(obs.CtrVertices)
-		st.BlocksPerWorker = ss.PerWorker(obs.CtrBlocks)
+		st.VerticesPerWorker = ss.PerWorkerInto(obs.CtrVertices, sc.perWorkerBuf(0, workers))
+		st.BlocksPerWorker = ss.PerWorkerInto(obs.CtrBlocks, sc.perWorkerBuf(1, workers))
 		st.ConflictsFound = ss.Total(obs.CtrConflictsFound)
 		st.ConflictsRepaired = ss.Total(obs.CtrConflictsRepaired)
 		st.Gather = metrics.GatherStats{
@@ -107,13 +110,13 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	// Colors live in 32-bit words accessed atomically: speculation reads
 	// neighbor colors mid-flight by design, and atomics keep those races
 	// well-defined under the Go memory model.
-	shared := make([]uint32, n)
+	shared := sc.sharedBuf(n)
 
 	// Descending-degree processing order: on a DBG-preprocessed graph this
 	// is the identity (detected in O(n) to skip the sort), on raw graphs
 	// it reproduces the paper's high-degree-first dispatch. Ties break by
 	// index so the order is deterministic.
-	order := make([]graph.VertexID, n)
+	order := sc.orderBuf(n)
 	sorted := true
 	for i := range order {
 		order[i] = graph.VertexID(i)
@@ -131,7 +134,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	// parallel setting): a neighbor scheduled after v is almost always
 	// still uncolored, so skipping it loses nothing in the common case —
 	// the rare racing exception surfaces as a conflict and is repaired.
-	rank := make([]int32, n)
+	rank := sc.rankBuf(n)
 	for i, v := range order {
 		rank[v] = int32(i)
 	}
@@ -144,26 +147,15 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	puv := useGather && sorted && g.EdgesSorted()
 
 	// Per-worker reusable scratch: one color-state BitSet + codec, one
-	// gather view, and one repair queue each. Nothing below allocates in
-	// steady state.
-	type scratch struct {
-		state *bitops.BitSet
-		codec *bitops.ColorCodec
-		ga    *gather
-		sh    *obs.Shard
-		next  []graph.VertexID // vertices this worker re-colored this sweep
-		err   error
-	}
-	ws := make([]*scratch, workers)
+	// gather view, and one repair queue each (pooled across runs when a
+	// Scratch backs the call). Nothing below allocates in steady state.
+	ws := make([]*workerScratch, workers)
 	for w := range ws {
+		s := sc.workerAt(w, maxColors)
 		sh := ss.Shard(w)
-		ws[w] = &scratch{
-			state: bitops.NewBitSet(maxColors),
-			codec: bitops.NewColorCodec(maxColors),
-			ga:    newGather(shared, opts.HotVertices, sh),
-			sh:    sh,
-			next:  make([]graph.VertexID, 0, 256),
-		}
+		s.sh = sh
+		s.ga.init(shared, opts.HotVertices, sh)
+		ws[w] = s
 	}
 	if useGather {
 		st.HotThreshold = ws[0].ga.vt
@@ -173,7 +165,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	// reading neighbor colors atomically. prune skips neighbors scheduled
 	// after v (speculation only — repair must see every neighbor).
 	// Returns false on palette exhaustion.
-	firstFit := func(s *scratch, v graph.VertexID, prune bool) bool {
+	firstFit := func(s *workerScratch, v graph.VertexID, prune bool) bool {
 		s.state.Reset()
 		adj := g.Neighbors(v)
 		switch {
@@ -276,9 +268,9 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 		esp.Child("round").Attr("round", 1).Attr("pending", int64(n)).
 			Attr("conflicts_found", int64(0)).Attr("recolored", int64(0)).End()
 	} else {
-		pending = make([]graph.VertexID, n)
+		pending = sc.pendingBuf(n)
 		copy(pending, order)
-		pendingEpoch = make([]uint32, n)
+		pendingEpoch = sc.epochBuf(n)
 	}
 	sweep := uint32(0)
 	for len(pending) > 0 {
@@ -391,11 +383,11 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	}
 	foldStats()
 
-	colors := make([]uint16, n)
+	colors := sc.colorsBuf(n)
 	for i, c := range shared {
 		colors[i] = uint16(c)
 	}
-	return &Result{Colors: colors, NumColors: countColors(colors)}, st, nil
+	return sc.result(colors, sc.distinctColors(colors), OpStats{}), st, nil
 }
 
 // dispatchBlock is the number of vertices a worker claims per cursor

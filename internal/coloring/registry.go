@@ -185,7 +185,7 @@ func init() {
 		Stats:       "-",
 		Description: "paper Algorithm 2: bit-vector state, (^s)&(s+1) first-fit, uncolored-vertex pruning",
 		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
-			res, err := BitwiseGreedy(ctx, g, opts.maxColors(), true)
+			res, err := BitwiseGreedyScratch(ctx, g, opts.maxColors(), true, opts.Scratch)
 			return res, metrics.RunStats{}, err
 		},
 	})

@@ -60,6 +60,13 @@ func NewForwardRing(capacity int) *ForwardRing {
 	return &ForwardRing{entries: make([]Parked, 0, capacity), cap: capacity}
 }
 
+// Reset empties the ring and clears its peak so a pooled ring can serve
+// a new run.
+func (r *ForwardRing) Reset() {
+	r.entries = r.entries[:0]
+	r.peak = 0
+}
+
 // Len returns the number of parked vertices.
 func (r *ForwardRing) Len() int { return len(r.entries) }
 

@@ -21,6 +21,14 @@ type BenchRecord struct {
 	Colors    int     `json:"colors"`
 	WallNanos int64   `json:"wall_ns"`
 	NsPerEdge float64 `json:"ns_per_edge"`
+
+	// End-to-end (first-byte-to-coloring) breakdown, filled only by the
+	// e2e experiment; additive omitempty fields, so the schema version
+	// stays 1 and old readers are unaffected.
+	LoadNanos     int64   `json:"load_ns,omitempty"`
+	ValidateNanos int64   `json:"validate_ns,omitempty"`
+	ColorNanos    int64   `json:"color_ns,omitempty"`
+	LoadRatio     float64 `json:"load_ratio,omitempty"`
 }
 
 // BenchSchemaVersion identifies the BENCH_<exp>.json envelope layout;

@@ -254,7 +254,7 @@ func TestRunnerRegistryComplete(t *testing.T) {
 	names := Names()
 	want := []string{
 		"cacheablation", "cachesweep", "conflicts", "dct", "dramsweep",
-		"fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
+		"e2e", "fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
 		"generality", "hostpar", "locality", "lruvshdc", "multicard",
 		"quality", "relaxed", "scorecard", "table2", "table3", "table4",
 	}
@@ -616,6 +616,57 @@ func TestDCTExperiment(t *testing.T) {
 	for _, rec := range recs {
 		if rec.NsPerEdge <= 0 || rec.WallNanos <= 0 {
 			t.Fatalf("empty measurement in record %+v", rec)
+		}
+	}
+}
+
+func TestE2EExperiment(t *testing.T) {
+	ctx, buf := smallCtx()
+	ctx.Datasets = ctx.Datasets[:2]
+	r, err := E2E(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(e2eFormats) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), 2*len(e2eFormats))
+	}
+	colorsBy := map[string]int{}
+	for _, row := range r.Rows {
+		if row.Colors <= 0 || row.Bytes <= 0 || row.LoadRatio <= 0 {
+			t.Fatalf("%s %s: empty measurement %+v", row.Dataset, row.Format, row)
+		}
+		// The binary formats reproduce the graph byte-exactly, so the
+		// deterministic dct coloring must agree between them. (The text
+		// edge-list loader relabels vertices in first-seen order — an
+		// isomorphic graph with a different coloring order — so it is
+		// excluded from the exact check.)
+		if row.Format != "edgelist" {
+			if want, seen := colorsBy[row.Dataset]; seen && want != row.Colors {
+				t.Fatalf("%s %s: %d colors, other binary format got %d",
+					row.Dataset, row.Format, row.Colors, want)
+			}
+			colorsBy[row.Dataset] = row.Colors
+		}
+		if row.Format == "bcsr-v2" && !row.Mapped {
+			t.Errorf("%s: v2 load did not map", row.Dataset)
+		}
+	}
+	for _, format := range e2eFormats {
+		if r.GeoRatio[format] <= 0 {
+			t.Fatalf("missing geomean for %s", format)
+		}
+	}
+	r.Print(ctx)
+	if !strings.Contains(buf.String(), "End-to-end load path") {
+		t.Fatal("print missing title")
+	}
+	recs := r.BenchRecords()
+	if len(recs) != len(r.Rows) {
+		t.Fatalf("got %d records for %d rows", len(recs), len(r.Rows))
+	}
+	for _, rec := range recs {
+		if rec.LoadNanos <= 0 || rec.ColorNanos <= 0 || rec.LoadRatio <= 0 {
+			t.Fatalf("missing e2e breakdown in record %+v", rec)
 		}
 	}
 }

@@ -25,7 +25,17 @@ type CSR struct {
 	Offsets []int64
 	// Edges stores destination vertex indices.
 	Edges []VertexID
+
+	// backing, when set, owns the storage Offsets/Edges alias (an mmap'd
+	// BCSR v2 file) — the graph is valid only until backing is closed.
+	// Engines never look at it; it exists so handle types can tell a
+	// mapped view from an owned copy.
+	backing interface{ Close() error }
 }
+
+// Backed reports whether the CSR's payload aliases externally owned
+// storage (an open mmap region) rather than process-owned slices.
+func (g *CSR) Backed() bool { return g.backing != nil }
 
 // NumVertices returns the number of vertices.
 func (g *CSR) NumVertices() int {

@@ -3,6 +3,8 @@ package graph
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -69,6 +71,82 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("binary reader returned invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzReadBinaryV2 exercises the v2 parser (the same code path the
+// mmap fallback uses) with both corrupted real images and fabricated
+// headers: bad checksums, truncated sections, misaligned section
+// offsets, flipped endianness flags, and v1/v2 magic confusion must all
+// fail with explicit errors — never a panic or a silent misparse.
+func FuzzReadBinaryV2(f *testing.F) {
+	g, _ := FromEdgeList(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	mut := func(edit func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		edit(b)
+		return b
+	}
+	f.Add(valid)
+	f.Add(mut(func(b []byte) { b[len(b)-1] ^= 0xff }))                                // payload checksum
+	f.Add(mut(func(b []byte) { b[57] ^= 0xff }))                                      // header checksum
+	f.Add(mut(func(b []byte) { b[12] ^= byte(binaryV2FlagBigEndian) }))               // flipped endianness flag
+	f.Add(mut(func(b []byte) { binary.LittleEndian.PutUint64(b[4:12], 1) }))          // v1 version in v2 image
+	f.Add(mut(func(b []byte) { binary.LittleEndian.PutUint64(b[32:40], 72) }))        // misaligned offsets section
+	f.Add(mut(func(b []byte) { binary.LittleEndian.PutUint64(b[40:48], 1<<40 | 64) }) /* far-away edges */)
+	f.Add(valid[:binaryV2HeaderSize])    // truncated: header only
+	f.Add(valid[:binaryV2HeaderSize+8])  // truncated offsets
+	f.Add(valid[:len(valid)-3])          // truncated edges
+	f.Add(valid[:40])                    // truncated header
+	// A v1 image fed to the v2 parser (magic confusion the other way).
+	var v1 bytes.Buffer
+	if err := WriteBinary(&v1, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	// Fabricated header with absurd counts.
+	lyingV2 := func(nv, ne uint64) []byte {
+		b := make([]byte, binaryV2HeaderSize)
+		copy(b[0:4], binaryMagic)
+		binary.LittleEndian.PutUint64(b[4:12], binaryV2Version)
+		binary.LittleEndian.PutUint64(b[16:24], nv)
+		binary.LittleEndian.PutUint64(b[24:32], ne)
+		off, eoff := v2Layout(nv)
+		binary.LittleEndian.PutUint64(b[32:40], off)
+		binary.LittleEndian.PutUint64(b[40:48], eoff)
+		binary.LittleEndian.PutUint64(b[56:64], fnv1a(fnvOffset64, b[:56]))
+		return b
+	}
+	f.Add(lyingV2(1<<60, 8))
+	f.Add(lyingV2(8, 1<<60))
+	f.Add(lyingV2(binaryMaxVertices, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinaryV2(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("v2 reader returned invalid graph: %v", err)
+		}
+		// Whatever the copying reader accepts, the mapped path must agree
+		// on (or cleanly fall back for) when handed the same bytes.
+		path := filepath.Join(t.TempDir(), "fuzz.bcsr")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := MapBinaryFile(path)
+		if err != nil {
+			t.Fatalf("MapBinaryFile rejected bytes ReadBinaryV2 accepted: %v", err)
+		}
+		defer m.Close()
+		mg := m.Graph()
+		if mg.NumVertices() != g.NumVertices() || mg.NumEdges() != g.NumEdges() {
+			t.Fatalf("mapped view disagrees with copying reader: %s vs %s", mg, g)
 		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -215,17 +216,38 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	return g, nil
 }
 
-// SaveBinaryFile writes the graph to path in binary CSR format.
-func SaveBinaryFile(path string, g *CSR) error {
-	f, err := os.Create(path)
+// saveAtomic writes via a temp file in the target directory, fsyncs,
+// and renames into place, so a crash mid-write never leaves a corrupt
+// file at path — the same idiom benchsuite uses for -json emission.
+func saveAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := WriteBinary(f, g); err != nil {
-		f.Close()
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
 		return err
 	}
-	return f.Close()
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// SaveBinaryFile atomically writes the graph to path in binary CSR
+// format (temp file + fsync + rename).
+func SaveBinaryFile(path string, g *CSR) error {
+	return saveAtomic(path, func(w io.Writer) error { return WriteBinary(w, g) })
 }
 
 // LoadBinaryFile reads a binary CSR file from disk.

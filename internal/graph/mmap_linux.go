@@ -1,0 +1,42 @@
+//go:build linux
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and privately.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+// munmap releases a mapping created by mmapFile.
+func munmap(data []byte) error { return syscall.Munmap(data) }
+
+// adviseMapping hints the kernel about the v2 access pattern: the
+// offsets section is scanned sequentially (validation, degree sweeps)
+// while the edges section is walked in vertex order but touched at
+// neighbor granularity. madvise requires page-aligned starts, so each
+// hint is rounded inward to page boundaries; all errors are ignored —
+// the hints are purely advisory.
+func adviseMapping(data []byte, offStart, offEnd, edgeStart, edgeEnd uint64) {
+	page := uint64(os.Getpagesize())
+	sub := func(start, end uint64, advice int) {
+		start = (start + page - 1) &^ (page - 1) // round up: never hint a neighboring section
+		end &^= page - 1                         // round down
+		if start >= end || end > uint64(len(data)) {
+			return
+		}
+		syscall.Madvise(data[start:end], advice)
+	}
+	// The whole file will be needed promptly (checksum already touched
+	// it, keep it resident for the coloring pass).
+	syscall.Madvise(data, syscall.MADV_WILLNEED)
+	sub(offStart, offEnd, syscall.MADV_SEQUENTIAL)
+	sub(edgeStart, edgeEnd, syscall.MADV_RANDOM)
+}

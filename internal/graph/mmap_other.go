@@ -1,0 +1,18 @@
+//go:build !linux
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// errMmapUnsupported routes MapBinaryFile to the copying fallback on
+// platforms where the mmap fast path is not wired up.
+var errMmapUnsupported = errors.New("mmap unsupported on this platform")
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmap(data []byte) error { return nil }
+
+func adviseMapping(data []byte, offStart, offEnd, edgeStart, edgeEnd uint64) {}

@@ -269,6 +269,10 @@ const (
 	famDCTSpinWaits      = "bitcolor_dct_spin_waits_total"
 	famDCTRingOccupancy  = "bitcolor_dct_ring_occupancy"
 	famDCTForwardWait    = "bitcolor_dct_forward_wait_seconds"
+	famGraphLoads        = "bitcolor_graph_loads_total"
+	famGraphLoadErrors   = "bitcolor_graph_load_errors_total"
+	famGraphLoadSeconds  = "bitcolor_graph_load_duration_seconds"
+	famGraphLoadBytes    = "bitcolor_graph_load_bytes_total"
 )
 
 // engineDurationBuckets covers 100µs .. ~100s exponentially.
@@ -282,6 +286,12 @@ var engineDurationBuckets = []float64{
 // reach milliseconds when a worker stalls on a long chain.
 var forwardWaitBuckets = []float64{
 	1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1,
+}
+
+// graphLoadBuckets covers 10µs (a small mapped file) .. ~30s (a
+// GD-scale edge-list parse on cold storage).
+var graphLoadBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 30,
 }
 
 func registerStandardFamilies(r *Registry) {
@@ -309,6 +319,10 @@ func registerStandardFamilies(r *Registry) {
 	r.RegisterCounter(famDCTSpinWaits, "Fallback spin-wait yields taken by the DCT engine (ring full or drain stalled).", "")
 	r.RegisterGauge(famDCTRingOccupancy, "Peak forwarding-ring occupancy of the last DCT run (max over workers).", "")
 	r.RegisterHistogram(famDCTForwardWait, "Time a parked vertex waited for the awaited color to be forwarded.", "", forwardWaitBuckets)
+	r.RegisterCounter(famGraphLoads, "Graph loads completed, by on-disk format.", "format")
+	r.RegisterCounter(famGraphLoadErrors, "Graph loads that returned an error, by on-disk format.", "format")
+	r.RegisterHistogram(famGraphLoadSeconds, "Graph load wall time (open through validated CSR), by on-disk format.", "format", graphLoadBuckets)
+	r.RegisterCounter(famGraphLoadBytes, "On-disk bytes behind completed graph loads, by format.", "format")
 }
 
 // ObserveForwardWait records one DCT forwarding-latency sample: the time
@@ -378,4 +392,26 @@ func (o *Observer) RecordStage(stage string, d time.Duration, cancelled bool) {
 		o.reg.Counter(famStageCancelled).Add(stage, 1)
 	}
 	o.Logger().Info("pipeline stage", "stage", stage, "duration", d, "cancelled", cancelled)
+}
+
+// RecordGraphLoad folds one graph load into the metric families. format
+// is the sniffed on-disk format label ("edgelist", "bcsr-v1", "bcsr-v2",
+// "bcsr-v2-mapped", "dimacs"), bytes the file size (<=0 when unknown or
+// the load failed before stat).
+func (o *Observer) RecordGraphLoad(format string, bytes int64, d time.Duration, err error) {
+	if o == nil {
+		return
+	}
+	r := o.reg
+	r.Counter(famGraphLoads).Add(format, 1)
+	if err != nil {
+		r.Counter(famGraphLoadErrors).Add(format, 1)
+		o.Logger().Info("graph load failed", "format", format, "duration", d, "error", err)
+		return
+	}
+	r.Histogram(famGraphLoadSeconds).Observe(format, d.Seconds())
+	if bytes > 0 {
+		r.Counter(famGraphLoadBytes).Add(format, bytes)
+	}
+	o.Logger().Info("graph load", "format", format, "bytes", bytes, "duration", d)
 }

@@ -80,9 +80,28 @@ func (s *ShardSet) Total(id int) int64 {
 	return sum
 }
 
+// Workers returns the number of shards.
+func (s *ShardSet) Workers() int { return len(s.shards) }
+
+// Reset zeroes every counter so a pooled ShardSet can serve a new run.
+// Call only between runs (no concurrent shard owners).
+func (s *ShardSet) Reset() {
+	for w := range s.shards {
+		s.shards[w].c = [NumCounters]int64{}
+	}
+}
+
 // PerWorker returns one counter's per-worker values as a fresh slice.
-func (s *ShardSet) PerWorker(id int) []int64 {
-	out := make([]int64, len(s.shards))
+func (s *ShardSet) PerWorker(id int) []int64 { return s.PerWorkerInto(id, nil) }
+
+// PerWorkerInto is PerWorker writing into out when it has the capacity
+// (allocation-free stat folding for pooled scratch); out == nil or too
+// small allocates.
+func (s *ShardSet) PerWorkerInto(id int, out []int64) []int64 {
+	if cap(out) < len(s.shards) {
+		out = make([]int64, len(s.shards))
+	}
+	out = out[:len(s.shards)]
 	for w := range s.shards {
 		out[w] = s.shards[w].c[id]
 	}

@@ -1,0 +1,155 @@
+package bitcolor
+
+// Root-level load-path tests: the mapped BCSR v2 view must be
+// indistinguishable, through the public API, from the copying readers —
+// same adjacency bytes on every Table 3 generator, same colorings at
+// every worker count — and the pooled-Scratch hot path must stay
+// allocation-free all the way through ColorContext.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"bitcolor/internal/gen"
+)
+
+// TestMappedV2MatchesV1AllDatasets saves each of the ten Table 3
+// generators (small variants — same generator code, reduced parameters)
+// in both binary formats and checks the mapped v2 graph is
+// element-identical to what the copying v1 reader produces.
+func TestMappedV2MatchesV1AllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, d := range gen.SmallRegistry() {
+		g, err := d.Build(1)
+		if err != nil {
+			t.Fatalf("%s: build: %v", d.Abbrev, err)
+		}
+		prepared, err := Preprocess(g)
+		if err != nil {
+			t.Fatalf("%s: preprocess: %v", d.Abbrev, err)
+		}
+		v1 := filepath.Join(dir, d.Abbrev+".v1.bcsr")
+		v2 := filepath.Join(dir, d.Abbrev+".v2.bcsr")
+		if err := SaveGraph(v1, prepared); err != nil {
+			t.Fatalf("%s: save v1: %v", d.Abbrev, err)
+		}
+		if err := SaveGraphV2(v2, prepared); err != nil {
+			t.Fatalf("%s: save v2: %v", d.Abbrev, err)
+		}
+		gv1, err := LoadGraph(v1)
+		if err != nil {
+			t.Fatalf("%s: load v1: %v", d.Abbrev, err)
+		}
+		h, err := OpenGraphFile(v2)
+		if err != nil {
+			t.Fatalf("%s: open v2: %v", d.Abbrev, err)
+		}
+		if h.Format() != FormatBCSR2 {
+			t.Fatalf("%s: sniffed %q, want %q", d.Abbrev, h.Format(), FormatBCSR2)
+		}
+		gv2 := h.Graph()
+		if len(gv2.Offsets) != len(gv1.Offsets) || len(gv2.Edges) != len(gv1.Edges) {
+			t.Fatalf("%s: shape mismatch: v2 %d/%d vs v1 %d/%d",
+				d.Abbrev, len(gv2.Offsets), len(gv2.Edges), len(gv1.Offsets), len(gv1.Edges))
+		}
+		for i, o := range gv1.Offsets {
+			if gv2.Offsets[i] != o {
+				t.Fatalf("%s: Offsets[%d] = %d, want %d", d.Abbrev, i, gv2.Offsets[i], o)
+			}
+		}
+		for i, e := range gv1.Edges {
+			if gv2.Edges[i] != e {
+				t.Fatalf("%s: Edges[%d] = %d, want %d", d.Abbrev, i, gv2.Edges[i], e)
+			}
+		}
+		if err := h.Close(); err != nil {
+			t.Fatalf("%s: close: %v", d.Abbrev, err)
+		}
+	}
+}
+
+// TestMappedColoringMatchesCopied colors the same file once through the
+// mapped handle and once through the copying loader, at several worker
+// counts, and requires byte-identical color assignments. The dct engine
+// guarantees determinism at any worker count, so any divergence here
+// means the mapped view presented different adjacency data.
+func TestMappedColoringMatchesCopied(t *testing.T) {
+	g, err := Generate("RC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rc.bcsr")
+	if err := SaveGraphV2(path, prepared); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := OpenGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	mapped := h.Graph()
+
+	color := func(g *Graph, e Engine, workers int) []uint16 {
+		res, err := Color(g, ColorOptions{Engine: e, Workers: workers})
+		if err != nil {
+			t.Fatalf("%v w=%d: %v", e, workers, err)
+		}
+		return res.Colors
+	}
+	check := func(e Engine, workers int) {
+		want := color(copied, e, workers)
+		got := color(mapped, e, workers)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%v w=%d: vertex %d colored %d on mapped graph, %d on copied",
+					e, workers, v, got[v], want[v])
+			}
+		}
+	}
+	check(EngineBitwise, 1)
+	for _, w := range []int{1, 2, 4} {
+		check(EngineDCT, w)
+	}
+}
+
+// TestColorContextZeroAllocScratch proves the public hot path — repeated
+// ColorContext calls with a pooled Scratch — does zero steady-state heap
+// allocations for the bitwise and dct engines at one worker. This is the
+// load-once, color-many service pattern the Scratch API exists for.
+func TestColorContextZeroAllocScratch(t *testing.T) {
+	g, err := Generate("RC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, e := range []Engine{EngineBitwise, EngineDCT} {
+		s := AcquireScratch(e, 1, prepared)
+		opts := ColorOptions{Engine: e, Workers: 1, Scratch: s}
+		// Warm run: the first call grows the arena to the graph's size.
+		if _, _, err := ColorContext(ctx, prepared, opts); err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			if _, _, err := ColorContext(ctx, prepared, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		s.Release()
+		if avg != 0 {
+			t.Errorf("%v w=1 via ColorContext on pooled Scratch: %.1f allocs/run, want 0", e, avg)
+		}
+	}
+}

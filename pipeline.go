@@ -16,7 +16,10 @@ import (
 // cancels or deadlines the whole flow, and a partial result with the
 // stages completed so far comes back even on error. An observer
 // attached to ctx (WithObserver) receives one span per stage plus the
-// engine's own span tree and per-stage metric families.
+// engine's own span tree and per-stage metric families. Loading the
+// input graph is deliberately outside the pipeline — use
+// OpenGraphFileContext under the same ctx and the load shows up next to
+// the stage spans as "graph/load" with its own metric families.
 type Pipeline struct {
 	// SkipPreprocess runs the coloring on g as-is. By default the
 	// pipeline applies DBG reordering + edge sorting first (what the
