@@ -330,6 +330,15 @@ const (
 	// pass with zero repairs and produces a coloring byte-identical to
 	// EngineGreedy at every worker count.
 	EngineDCT
+	// EngineSharded is the host rendering of the paper's multi-card
+	// scale-out: the graph is partitioned into ShardCount parts (contiguous
+	// ranges by default, label propagation via PartitionStrategy), every
+	// shard colors its interior concurrently with the DCT owner-computes
+	// loop, and the boundary frontier — vertices whose coloring depends on
+	// another shard — is resolved in one bounded second phase under the
+	// same lower-index-wins rule. Byte-identical to EngineGreedy at every
+	// (shards × workers) combination; one shard degenerates to EngineDCT.
+	EngineSharded
 )
 
 // Engines returns every implemented software engine, in registry
@@ -403,6 +412,14 @@ type ColorOptions struct {
 	// HotVertices overrides the gather's hot-tier threshold v_t (0:
 	// automatic sizing from the HVC capacity model).
 	HotVertices int
+	// ShardCount is EngineSharded's partition count (<=1: a single shard,
+	// which runs the plain DCT path). Other engines ignore it.
+	ShardCount int
+	// PartitionStrategy selects how EngineSharded partitions the graph:
+	// PartitionRanges ("" or "ranges", the zero-cost contiguous default)
+	// or PartitionLabelProp ("labelprop", balanced label propagation for
+	// a smaller edge cut at a preprocessing cost).
+	PartitionStrategy string
 	// Observer is an explicit run-scoped observability sink. It takes
 	// precedence over an Observer attached to the context via
 	// WithObserver; nil falls back to the context (and then to no
@@ -455,16 +472,28 @@ type GatherStats = metrics.GatherStats
 // engine-independent option set.
 func (opts ColorOptions) engineOptions() coloring.Options {
 	return coloring.Options{
-		MaxColors:     opts.MaxColors,
-		Seed:          opts.Seed,
-		Workers:       opts.Workers,
-		DisableGather: opts.DisableGather,
-		ForceGather:   opts.ForceGather,
-		HotVertices:   opts.HotVertices,
-		Obs:           opts.Observer,
-		Scratch:       opts.Scratch,
+		MaxColors:         opts.MaxColors,
+		Seed:              opts.Seed,
+		Workers:           opts.Workers,
+		DisableGather:     opts.DisableGather,
+		ForceGather:       opts.ForceGather,
+		HotVertices:       opts.HotVertices,
+		Shards:            opts.ShardCount,
+		PartitionStrategy: opts.PartitionStrategy,
+		Obs:               opts.Observer,
+		Scratch:           opts.Scratch,
 	}
 }
+
+// EngineSharded's partition strategies, as accepted by
+// ColorOptions.PartitionStrategy and the CLIs' -partition flag.
+const (
+	// PartitionRanges partitions by contiguous index ranges.
+	PartitionRanges = coloring.PartitionRanges
+	// PartitionLabelProp refines the range partition with balanced label
+	// propagation to shrink the edge cut.
+	PartitionLabelProp = coloring.PartitionLabelProp
+)
 
 // ColorContext runs a software coloring engine on g under ctx and returns
 // the verified proper coloring together with the engine's run statistics.

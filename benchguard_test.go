@@ -35,6 +35,10 @@ type benchBaseline struct {
 	// resident graph) with the dct engine at one worker on GD — the
 	// zero-copy load path's end-to-end overhead.
 	E2ERatio float64 `json:"e2e_load_ratio"`
+	// ShardRatio is sharded (shards=1, one worker) / dct (one worker) on
+	// GD — the sharded entry point's dispatch overhead over the DCT loop
+	// it delegates to at a single shard (should sit near 1.0).
+	ShardRatio float64 `json:"shard_gd_vs_dct_ratio"`
 }
 
 func loadBaseline(t *testing.T) benchBaseline {
@@ -47,7 +51,7 @@ func loadBaseline(t *testing.T) benchBaseline {
 	if err := json.Unmarshal(data, &b); err != nil {
 		t.Fatal(err)
 	}
-	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 || b.E2ERatio <= 0 {
+	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 || b.E2ERatio <= 0 || b.ShardRatio <= 0 {
 		t.Fatalf("implausible baseline %+v", b)
 	}
 	return b
@@ -165,6 +169,41 @@ func TestBenchGuardDCTRegression(t *testing.T) {
 	if ratio > limit {
 		t.Fatalf("DCT engine regressed: ratio %.4f exceeds baseline %.4f by more than 10%%",
 			ratio, base.DCTRatio)
+	}
+}
+
+// TestBenchGuardShardedRegression pins the sharded engine's single-shard
+// interior path against plain DCT at one worker: shards=1 delegates to
+// the same owner-computes loop, so the wall-time ratio should hold near
+// 1.0 and may not drift more than 10% above the recorded baseline. The
+// interleaved measurement cancels machine speed like the other guards.
+func TestBenchGuardShardedRegression(t *testing.T) {
+	if os.Getenv(benchGuardEnv) == "" {
+		t.Skipf("set %s=1 to run the sharded regression guard", benchGuardEnv)
+	}
+	prepared := guardGraph(t, "GD")
+	base := loadBaseline(t)
+
+	dct, sharded := minTimePair(9, func() {
+		if _, _, err := ColorParallel(prepared, ColorOptions{
+			Engine: EngineDCT, Workers: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}, func() {
+		if _, _, err := ColorParallel(prepared, ColorOptions{
+			Engine: EngineSharded, ShardCount: 1, Workers: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ratio := float64(sharded) / float64(dct)
+	limit := base.ShardRatio * 1.10
+	t.Logf("sharded(s=1) %v / dct %v = ratio %.4f (baseline %.4f, limit %.4f)",
+		sharded, dct, ratio, base.ShardRatio, limit)
+	if ratio > limit {
+		t.Fatalf("sharded single-shard path regressed: ratio %.4f exceeds baseline %.4f by more than 10%%",
+			ratio, base.ShardRatio)
 	}
 }
 

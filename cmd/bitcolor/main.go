@@ -58,6 +58,8 @@ type runConfig struct {
 	engine      string // engine name (registry) or "accelerator"
 	parallelism int    // accelerator BWPE count
 	workers     int    // host-parallel goroutines
+	shards      int    // sharded-engine partition count
+	partition   string // sharded-engine partition strategy
 	cacheSize   int    // HVC capacity override
 	maxColors   int    // palette size
 	seed        int64
@@ -80,7 +82,9 @@ func main() {
 	flag.StringVar(&cfg.dataset, "dataset", "", "synthetic dataset abbreviation (EF, GD, CD, CA, CL, RC, RP, RT, CO, CF)")
 	flag.StringVar(&cfg.engine, "engine", "bitwise", engineUsage)
 	flag.IntVar(&cfg.parallelism, "parallelism", 16, "BWPE count for the accelerator engine (power of two)")
-	flag.IntVar(&cfg.workers, "workers", 0, "goroutines for the host-parallel engines (jonesplassmann, speculative, parallelbitwise, dct; 0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.workers, "workers", 0, "goroutines for the host-parallel engines (jonesplassmann, speculative, parallelbitwise, dct, sharded; 0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.shards, "shards", 0, "partition count for the sharded engine (0/1 = single shard, plain DCT)")
+	flag.StringVar(&cfg.partition, "partition", "", "partition strategy for the sharded engine: ranges (default) | labelprop")
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "HVC capacity in vertices (0 = auto-scale to ~1/8 of the graph; paper hardware: 512K)")
 	flag.IntVar(&cfg.maxColors, "maxcolors", bitcolor.MaxColorsDefault, "palette size")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for generators and randomized engines")
@@ -182,6 +186,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		SkipPreprocess: cfg.noPrep,
 		Color: bitcolor.ColorOptions{
 			Engine: eng, MaxColors: cfg.maxColors, Seed: cfg.seed, Workers: cfg.workers,
+			ShardCount: cfg.shards, PartitionStrategy: cfg.partition,
 		},
 	}
 	stopProf, err := startProfiles(cfg.pprofDir)
@@ -213,6 +218,11 @@ func run(ctx context.Context, cfg runConfig) error {
 		fmt.Printf("deferred: %d parked / %d replays, ring peak: %d/%d, spin waits: %d\n",
 			pr.Stats.Deferred, pr.Stats.DeferRetries, pr.Stats.ForwardRingPeak,
 			bitcolor.ForwardRingCap, pr.Stats.SpinWaits)
+	}
+	if pr.Stats.Shards > 0 {
+		fmt.Printf("shards: %d, cut edges: %d, boundary vertices: %d, frontier: %d, cross-shard defers: %d\n",
+			pr.Stats.Shards, pr.Stats.CutEdges, pr.Stats.BoundaryVertices,
+			pr.Stats.FrontierVertices, pr.Stats.CrossShardDefers)
 	}
 	for _, s := range pr.Stages {
 		fmt.Printf("  %-10s %v\n", s.Name, s.Duration.Round(time.Microsecond))

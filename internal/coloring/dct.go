@@ -68,18 +68,21 @@ func DCTOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*R
 	if err := ctx.Err(); err != nil {
 		return nil, metrics.ParallelStats{}, err
 	}
-	n := g.NumVertices()
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n && n > 0 {
-		workers = n
-	}
+	workers := resolveWorkers(opts.Workers, g.NumVertices())
 	sc := opts.Scratch
 	if !sc.fits("dct", workers) {
 		sc = nil
 	}
+	return dctRun(ctx, g, maxColors, opts, sc, workers)
+}
+
+// dctRun is the engine body after option and scratch validation: the
+// worker count is already resolved and sc either fits the calling
+// engine or is nil. Split out so the sharded engine's degenerate
+// one-shard path can reuse the whole machinery under its own Scratch
+// key without re-checking it against "dct".
+func dctRun(ctx context.Context, g *graph.CSR, maxColors int, opts Options, sc *Scratch, workers int) (*Result, metrics.ParallelStats, error) {
+	n := g.NumVertices()
 	if workers == 1 && n > 0 {
 		// One worker owns every vertex and colors in ascending index
 		// order, so a lower-indexed neighbor is always already colored:

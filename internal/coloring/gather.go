@@ -51,6 +51,14 @@ type Options struct {
 	// HotVertices overrides the hot-tier threshold v_t (0: automatic via
 	// cache.HotThreshold).
 	HotVertices int
+	// Shards is the sharded engine's partition count (<=1: a single
+	// shard, which degenerates to the plain DCT path). Other engines
+	// ignore it.
+	Shards int
+	// PartitionStrategy selects how the sharded engine partitions the
+	// graph: "" or "ranges" for contiguous index ranges,
+	// "labelprop" for the balanced label-propagation refinement.
+	PartitionStrategy string
 	// Obs is the optional run-scoped observability sink. The registry's
 	// instrumentation decorator fills it (from the caller or the
 	// context); a nil observer is the zero-overhead default.

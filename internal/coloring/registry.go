@@ -274,4 +274,13 @@ func init() {
 			return DCTOpts(ctx, g, opts.maxColors(), opts)
 		},
 	})
+	Register(EngineInfo{
+		Name:        "sharded",
+		Parallel:    true,
+		Stats:       "workers, shards, boundary, deferred, work split, gather",
+		Description: "partitioned multi-card DCT: per-shard interior coloring plus one boundary-frontier phase — deterministic, identical to greedy at any shard and worker count",
+		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+			return ShardedOpts(ctx, g, opts.maxColors(), opts)
+		},
+	})
 }

@@ -33,11 +33,13 @@ type Scratch struct {
 	rank    []int32
 	pending []graph.VertexID
 	epoch   []uint32
+	parts   []int32 // partition assignment vector (sharded engine)
 	perWk   [2][]int64
 	seen    []uint64 // distinct-color bitmap: 65536 bits, lazily built
 	res     Result
 	shards  *obs.ShardSet
 	ws      []*workerScratch
+	rings   *dispatch.RingSet
 }
 
 // scratchKey identifies one pool slot.
@@ -177,6 +179,33 @@ func (s *Scratch) epochBuf(n int) []uint32 {
 	s.epoch = s.epoch[:n]
 	clear(s.epoch)
 	return s.epoch
+}
+
+// partsBuf returns a length-n int32 buffer for the sharded engine's
+// partition assignment. Nil Scratch → nil, letting RangesInto allocate.
+func (s *Scratch) partsBuf(n int) []int32 {
+	if s == nil {
+		return nil
+	}
+	if cap(s.parts) < n {
+		s.parts = make([]int32, n)
+	}
+	return s.parts[:n]
+}
+
+// ringSet returns a reset forwarding-ring set of the given per-ring
+// capacity — the sharded engine's per-(shard, worker) ring storage,
+// retained across runs so steady-state serving builds each ring once.
+func (s *Scratch) ringSet(capacity int) *dispatch.RingSet {
+	if s == nil {
+		return dispatch.NewRingSet(capacity)
+	}
+	if s.rings == nil || s.rings.Cap() != capacity {
+		s.rings = dispatch.NewRingSet(capacity)
+	} else {
+		s.rings.ResetAll()
+	}
+	return s.rings
 }
 
 // perWorkerBuf returns a length-`workers` int64 buffer for one of the

@@ -1,0 +1,552 @@
+package coloring
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bitcolor/internal/dispatch"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/metrics"
+	"bitcolor/internal/obs"
+	"bitcolor/internal/partition"
+)
+
+// ShardedColor is the host rendering of the paper's multi-card scale-out:
+// the graph is partitioned into `shards` parts (the per-FPGA subgraphs),
+// every shard colors its *interior* concurrently with the proven DCT
+// owner-computes loop over its own vertex list, and the vertices whose
+// coloring depends on another shard — the boundary frontier — are
+// resolved in one bounded second phase using the same lower-index-wins
+// engine.Defers orientation. Cross-shard edges therefore never force a
+// global round barrier: there is exactly one barrier in the whole run,
+// between the interior and frontier phases.
+//
+// Phase one publishes a mark sentinel instead of a color for any vertex
+// that cannot be finished shard-locally: a vertex with a lower-indexed
+// neighbor in another shard is marked outright (the structural cross
+// cause), and a vertex whose lower-indexed in-shard neighbor was marked
+// cascades onto the frontier behind it. A vertex is colored in phase one
+// only when *every* lower-indexed neighbor already has its final color,
+// and phase two colors the frontier in ascending index order under the
+// same rule — so the fixpoint is unique and the result is byte-identical
+// to sequential greedy at every (shards × workers) combination. Frontier
+// membership is structural (cross-shard adjacency plus its in-shard
+// cascade), not a race outcome, so RunStats.FrontierVertices and
+// CrossShardDefers are deterministic too.
+//
+// Within phase one, shards are fully independent: a worker never reads a
+// cross-shard color (the parts test precedes the load), so the only
+// cross-shard communication in the whole engine is the frontier phase
+// reading colors the barrier already ordered.
+const (
+	// PartitionRanges selects contiguous index-range partitioning (the
+	// zero-cost default, what a naive multi-card deployment gets).
+	PartitionRanges = "ranges"
+	// PartitionLabelProp selects the balanced label-propagation
+	// refinement, trading a preprocessing sweep for a smaller edge cut.
+	PartitionLabelProp = "labelprop"
+)
+
+// Label-propagation parameters of the sharded engine: enough sweeps to
+// converge on the Table 3 stand-ins, with the balance slack the
+// partition tests established.
+const (
+	shardLabelPropRounds = 10
+	shardLabelPropSlack  = 0.15
+)
+
+// shardMark is the "deferred to the boundary frontier" sentinel in the
+// shared color array. Real colors are uint16 (≤ 65535), so the sentinel
+// can never collide; like a real color it is non-zero, so the DCT-style
+// "published" checks (shared[u] != 0) treat a mark as progress and no
+// phase-one wait can hang on a vertex that went to the frontier.
+const shardMark = ^uint32(0)
+
+// shardedMarked extends the DCT attempt outcomes: the vertex was pushed
+// to the boundary frontier (sentinel published) rather than colored.
+const shardedMarked = dctFailed + 1
+
+// shardedPartition resolves the partition strategy and builds the
+// assignment, reusing the Scratch's parts buffer when one backs the run.
+func shardedPartition(g *graph.CSR, shards int, strategy string, sc *Scratch) (*partition.Assignment, error) {
+	parts := sc.partsBuf(g.NumVertices())
+	switch strategy {
+	case "", PartitionRanges:
+		return partition.RangesInto(g, shards, parts)
+	case PartitionLabelProp:
+		return partition.LabelPropagationInto(g, shards, shardLabelPropRounds, shardLabelPropSlack, parts)
+	}
+	return nil, fmt.Errorf("coloring: unknown partition strategy %q (have %q, %q)",
+		strategy, PartitionRanges, PartitionLabelProp)
+}
+
+// ShardedOpts runs the sharded engine: opts.Shards parts (<=1 degenerates
+// to the plain DCT path, so the sharding layer costs the single-shard
+// case nothing), opts.Workers goroutines per shard in the interior phase
+// and the same worker count over the frontier. Cancellation, palette
+// exhaustion and scratch reuse follow the DCT engine's contract.
+func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, metrics.ParallelStats{}, err
+	}
+	n := g.NumVertices()
+	workers := resolveWorkers(opts.Workers, n)
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if n > 0 && shards > n {
+		shards = n
+	}
+	sc := opts.Scratch
+	if !sc.fits("sharded", workers) {
+		sc = nil
+	}
+	if shards <= 1 || n == 0 {
+		// One shard has no boundary: the interior phase *is* the whole
+		// run, and running it through dctRun keeps the single-shard path
+		// exactly as fast (and, at one worker, exactly as allocation-free)
+		// as EngineDCT — the benchguard pins this.
+		res, st, err := dctRun(ctx, g, maxColors, opts, sc, workers)
+		st.Shards = 1
+		return res, st, err
+	}
+
+	a, err := shardedPartition(g, shards, opts.PartitionStrategy, sc)
+	if err != nil {
+		return nil, metrics.ParallelStats{}, err
+	}
+	parts := a.Parts
+	cl := partition.Classify(g, a)
+	lists := a.VertexLists(sc.orderBuf(n))
+
+	flat := shards * workers // interior goroutines, one counter shard each
+	ss := sc.shardSet(flat)
+	st := metrics.ParallelStats{
+		Workers:          workers,
+		Shards:           shards,
+		BoundaryVertices: cl.Boundary,
+		CutEdges:         cl.CutEdges,
+	}
+	useGather, gatherAuto := gatherDecision(g, opts)
+	shared := sc.sharedBuf(n)
+	sorted := g.EdgesSorted()
+	rings := sc.ringSet(ForwardRingCap)
+
+	esp := opts.Span
+	o := opts.Obs
+	var obsStart time.Time
+	if o != nil {
+		obsStart = time.Now()
+	}
+
+	var abort atomic.Bool
+
+	ws := make([]*workerScratch, flat)
+	for i := range ws {
+		s := sc.workerAt(i, maxColors)
+		s.sh = ss.Shard(i)
+		s.ga.init(shared, opts.HotVertices, s.sh)
+		s.ring = rings.Ring(i)
+		ws[i] = s
+	}
+	if useGather {
+		st.HotThreshold = ws[0].ga.vt
+	}
+
+	// attemptInterior colors v when every lower-indexed neighbor already
+	// has its final color, marks it onto the frontier when a lower
+	// neighbor is cross-shard (checked structurally, before any load, so
+	// shards never read each other's colors) or in-shard but marked, and
+	// defers on the first still-pending in-shard neighbor otherwise. The
+	// scan never stops early at a pending or marked neighbor — a later
+	// cross-shard neighbor must still win, or CrossShardDefers would
+	// depend on timing.
+	attemptInterior := func(s *workerScratch, v graph.VertexID, pv int32) (graph.VertexID, int) {
+		s.state.Reset()
+		adj := g.Neighbors(v)
+		var firstPending graph.VertexID
+		pending, cascade := false, false
+		for i, u := range adj {
+			if u > v {
+				if !sorted {
+					continue
+				}
+				if useGather {
+					s.sh.Add(obs.CtrPrunedTail, int64(len(adj)-i))
+				}
+				break
+			}
+			if parts[u] != pv {
+				atomic.StoreUint32(&shared[v], shardMark)
+				s.sh.Inc(obs.CtrCrossDefers)
+				return 0, shardedMarked
+			}
+			var c uint32
+			if useGather {
+				c = s.ga.load(u)
+			} else {
+				c = atomic.LoadUint32(&shared[u])
+			}
+			switch c {
+			case shardMark:
+				cascade = true
+			case 0:
+				if !pending {
+					firstPending, pending = u, true
+				}
+			default:
+				s.state.OrColorNum(c)
+			}
+		}
+		if cascade {
+			atomic.StoreUint32(&shared[v], shardMark)
+			return 0, shardedMarked
+		}
+		if pending {
+			return firstPending, dctDeferred
+		}
+		pick, _ := s.codec.FirstFree(s.state)
+		if pick == 0 {
+			return 0, dctFailed
+		}
+		atomic.StoreUint32(&shared[v], uint32(pick))
+		s.sh.Inc(obs.CtrVertices)
+		return 0, dctColored
+	}
+
+	// Interior phase: shards × workers goroutines; goroutine (s, w) owns
+	// positions w, w+P, … of shard s's ascending vertex list — the DCT
+	// owner-computes schedule applied per shard.
+	phaseStart := time.Now()
+	flatDur := make([]time.Duration, flat)
+	var wg sync.WaitGroup
+	for shard := 0; shard < shards; shard++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(idx, w int, list []graph.VertexID, pv int32) {
+				defer wg.Done()
+				defer func() { flatDur[idx] = time.Since(phaseStart) }()
+				s := ws[idx]
+				fail := func(err error) {
+					s.err = err
+					abort.Store(true)
+				}
+				spin := func() bool {
+					s.sh.Inc(obs.CtrSpinWaits)
+					if abort.Load() {
+						return false
+					}
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return false
+					}
+					runtime.Gosched()
+					return true
+				}
+				resolve := func(p dispatch.Parked) (dispatch.Parked, bool) {
+					// A mark is progress too: the awaited vertex went to
+					// the frontier, and the replay below cascades p.Vertex
+					// after it instead of waiting forever.
+					if atomic.LoadUint32(&shared[p.Awaited]) == 0 {
+						return p, false
+					}
+					s.sh.Inc(obs.CtrDeferRetries)
+					awaited, code := attemptInterior(s, graph.VertexID(p.Vertex), pv)
+					switch code {
+					case dctDeferred:
+						p.Awaited = uint32(awaited)
+						return p, false
+					case dctFailed:
+						fail(ErrPaletteExhausted)
+						return dispatch.Parked{}, true // drop; the run is over
+					}
+					if code == dctColored && p.ParkedAt != 0 {
+						o.ObserveForwardWait(float64(int64(time.Since(obsStart))-p.ParkedAt) / 1e9)
+					}
+					return dispatch.Parked{}, true
+				}
+				polled := 0
+				for i := w; i < len(list); i += workers {
+					v := list[i]
+					if polled++; polled&63 == 0 {
+						if abort.Load() {
+							return
+						}
+						if err := ctx.Err(); err != nil {
+							fail(err)
+							return
+						}
+					}
+					for {
+						awaited, code := attemptInterior(s, v, pv)
+						if code == dctColored || code == shardedMarked {
+							break
+						}
+						if code == dctFailed {
+							fail(ErrPaletteExhausted)
+							return
+						}
+						var at int64
+						if o != nil {
+							at = int64(time.Since(obsStart))
+						}
+						if s.ring.Push(dispatch.Parked{Vertex: uint32(v), Awaited: uint32(awaited), ParkedAt: at}) {
+							s.sh.Inc(obs.CtrDeferred)
+							break
+						}
+						// Ring full: wait inline for this dependency,
+						// draining between yields. The awaited vertex is
+						// in-shard, and the shard's smallest unresolved
+						// vertex is always colorable or markable, so the
+						// wait is finite.
+						for {
+							s.ring.Drain(resolve)
+							if s.err != nil {
+								return
+							}
+							if atomic.LoadUint32(&shared[awaited]) != 0 {
+								break
+							}
+							if !spin() {
+								return
+							}
+						}
+					}
+					if s.ring.Len() > 0 {
+						s.ring.Drain(resolve)
+						if s.err != nil {
+							return
+						}
+					}
+				}
+				for s.ring.Len() > 0 {
+					if s.ring.Drain(resolve) == 0 {
+						if !spin() {
+							return
+						}
+					}
+					if s.err != nil {
+						return
+					}
+				}
+			}(shard*workers+w, w, lists[shard], int32(shard))
+		}
+	}
+	wg.Wait()
+
+	foldStats := func() {
+		st.VerticesPerWorker = ss.PerWorkerInto(obs.CtrVertices, sc.perWorkerBuf(0, flat))
+		st.Deferred = ss.Total(obs.CtrDeferred)
+		st.DeferRetries = ss.Total(obs.CtrDeferRetries)
+		st.SpinWaits = ss.Total(obs.CtrSpinWaits)
+		st.CrossShardDefers = ss.Total(obs.CtrCrossDefers)
+		st.Gather = metrics.GatherStats{
+			HotReads:       ss.Total(obs.CtrHotReads),
+			MergedReads:    ss.Total(obs.CtrMergedReads),
+			ColdBlockLoads: ss.Total(obs.CtrColdBlockLoads),
+			PrunedTail:     ss.Total(obs.CtrPrunedTail),
+			AutoDisabled:   gatherAuto,
+		}
+		st.ForwardRingPeak = rings.Peak()
+	}
+
+	// Interior vertex counts are folded per shard before the frontier
+	// phase reuses the low counter shards.
+	st.ShardVertices = make([]int64, shards)
+	st.ShardDurations = make([]time.Duration, shards)
+	for shard := 0; shard < shards; shard++ {
+		for w := 0; w < workers; w++ {
+			st.ShardVertices[shard] += ss.Shard(shard*workers + w).Get(obs.CtrVertices)
+			if d := flatDur[shard*workers+w]; d > st.ShardDurations[shard] {
+				st.ShardDurations[shard] = d
+			}
+		}
+	}
+
+	for _, s := range ws {
+		if s.err != nil {
+			foldStats()
+			return nil, st, s.err
+		}
+	}
+
+	// The barrier: every vertex is now colored or marked. Collect the
+	// frontier in ascending index order — membership is structural, so
+	// this list (and its size) is identical across timings.
+	frontier := sc.pendingBuf(n)[:0]
+	for v := range shared {
+		if shared[v] == shardMark {
+			frontier = append(frontier, graph.VertexID(v))
+		}
+	}
+	st.FrontierVertices = len(frontier)
+
+	// Frontier phase: the DCT loop over the frontier list with the mark
+	// standing in for "pending". A zero color is impossible here, so the
+	// wait conditions test against the sentinel instead.
+	if len(frontier) > 0 {
+		fw := min(workers, len(frontier))
+		attemptFrontier := func(s *workerScratch, v graph.VertexID) (graph.VertexID, int) {
+			s.state.Reset()
+			adj := g.Neighbors(v)
+			for i, u := range adj {
+				if u > v {
+					if !sorted {
+						continue
+					}
+					if useGather {
+						s.sh.Add(obs.CtrPrunedTail, int64(len(adj)-i))
+					}
+					break
+				}
+				var c uint32
+				if useGather {
+					c = s.ga.load(u)
+				} else {
+					c = atomic.LoadUint32(&shared[u])
+				}
+				if c == shardMark {
+					return u, dctDeferred
+				}
+				s.state.OrColorNum(c)
+			}
+			pick, _ := s.codec.FirstFree(s.state)
+			if pick == 0 {
+				return 0, dctFailed
+			}
+			atomic.StoreUint32(&shared[v], uint32(pick))
+			s.sh.Inc(obs.CtrVertices)
+			return 0, dctColored
+		}
+		var wg2 sync.WaitGroup
+		for w := 0; w < fw; w++ {
+			wg2.Add(1)
+			go func(w int) {
+				defer wg2.Done()
+				s := ws[w] // reuses the flat scratch + ring, both drained
+				fail := func(err error) {
+					s.err = err
+					abort.Store(true)
+				}
+				spin := func() bool {
+					s.sh.Inc(obs.CtrSpinWaits)
+					if abort.Load() {
+						return false
+					}
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return false
+					}
+					runtime.Gosched()
+					return true
+				}
+				resolve := func(p dispatch.Parked) (dispatch.Parked, bool) {
+					if atomic.LoadUint32(&shared[p.Awaited]) == shardMark {
+						return p, false
+					}
+					s.sh.Inc(obs.CtrDeferRetries)
+					awaited, code := attemptFrontier(s, graph.VertexID(p.Vertex))
+					switch code {
+					case dctDeferred:
+						p.Awaited = uint32(awaited)
+						return p, false
+					case dctFailed:
+						fail(ErrPaletteExhausted)
+						return dispatch.Parked{}, true
+					}
+					if p.ParkedAt != 0 {
+						o.ObserveForwardWait(float64(int64(time.Since(obsStart))-p.ParkedAt) / 1e9)
+					}
+					return dispatch.Parked{}, true
+				}
+				polled := 0
+				for i := w; i < len(frontier); i += fw {
+					v := frontier[i]
+					if polled++; polled&63 == 0 {
+						if abort.Load() {
+							return
+						}
+						if err := ctx.Err(); err != nil {
+							fail(err)
+							return
+						}
+					}
+					for {
+						awaited, code := attemptFrontier(s, v)
+						if code == dctColored {
+							break
+						}
+						if code == dctFailed {
+							fail(ErrPaletteExhausted)
+							return
+						}
+						var at int64
+						if o != nil {
+							at = int64(time.Since(obsStart))
+						}
+						if s.ring.Push(dispatch.Parked{Vertex: uint32(v), Awaited: uint32(awaited), ParkedAt: at}) {
+							s.sh.Inc(obs.CtrDeferred)
+							break
+						}
+						for {
+							s.ring.Drain(resolve)
+							if s.err != nil {
+								return
+							}
+							if atomic.LoadUint32(&shared[awaited]) != shardMark {
+								break
+							}
+							if !spin() {
+								return
+							}
+						}
+					}
+					if s.ring.Len() > 0 {
+						s.ring.Drain(resolve)
+						if s.err != nil {
+							return
+						}
+					}
+				}
+				for s.ring.Len() > 0 {
+					if s.ring.Drain(resolve) == 0 {
+						if !spin() {
+							return
+						}
+					}
+					if s.err != nil {
+						return
+					}
+				}
+			}(w)
+		}
+		wg2.Wait()
+	}
+
+	foldStats()
+	for _, s := range ws {
+		if s.err != nil {
+			return nil, st, s.err
+		}
+	}
+	st.Rounds = 1
+	// One interior pass plus its bounded frontier resolution form the
+	// engine's single round, mirroring the DCT round-span convention.
+	esp.Child("round").Attr("round", 1).Attr("pending", int64(n)).
+		Attr("conflicts_found", int64(0)).Attr("recolored", int64(0)).
+		Attr("deferred", st.Deferred).Attr("ring_peak", int64(st.ForwardRingPeak)).
+		Attr("shards", int64(shards)).Attr("frontier", int64(st.FrontierVertices)).
+		Attr("cross_shard_defers", st.CrossShardDefers).
+		Attr("cut_edges", st.CutEdges).End()
+
+	colors := sc.colorsBuf(n)
+	for i, c := range shared {
+		colors[i] = uint16(c)
+	}
+	return sc.result(colors, sc.distinctColors(colors), OpStats{}), st, nil
+}

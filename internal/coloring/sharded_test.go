@@ -1,0 +1,317 @@
+package coloring
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/reorder"
+)
+
+// shardedSweep is the acceptance grid: every (shards × workers)
+// combination the issue pins, under both partition strategies.
+var (
+	shardedShardSweep  = []int{1, 2, 4}
+	shardedWorkerSweep = []int{1, 2, 4}
+	shardedStrategies  = []string{PartitionRanges, PartitionLabelProp}
+)
+
+// TestShardedMatchesGreedyEverySweepPoint pins the tentpole acceptance
+// criterion: the sharded engine's coloring is byte-identical to
+// sequential greedy for every shard count, worker count and partition
+// strategy, on random, path and DBG-reordered graphs — with exactly one
+// interior round and one bounded frontier phase (Rounds == 1, zero
+// conflicts).
+func TestShardedMatchesGreedyEverySweepPoint(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"random": randomGraph(t, 2000, 24000, 9),
+		"path":   pathGraph(t, 5000),
+	}
+	dbg, _ := reorder.DBG(randomGraph(t, 1500, 18000, 4))
+	graphs["dbg"] = dbg
+	for name, g := range graphs {
+		ref, err := Greedy(context.Background(), g, MaxColorsDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range shardedShardSweep {
+			for _, w := range shardedWorkerSweep {
+				for _, strat := range shardedStrategies {
+					opts := Options{Workers: w, Shards: s, PartitionStrategy: strat}
+					res, st, err := ShardedOpts(context.Background(), g, MaxColorsDefault, opts)
+					if err != nil {
+						t.Fatalf("%s s=%d w=%d %s: %v", name, s, w, strat, err)
+					}
+					if err := Verify(g, res.Colors); err != nil {
+						t.Fatalf("%s s=%d w=%d %s: %v", name, s, w, strat, err)
+					}
+					if st.Rounds != 1 || st.ConflictsFound != 0 || st.ConflictsRepaired != 0 {
+						t.Fatalf("%s s=%d w=%d %s: not a single clean pass: rounds=%d conflicts=%d/%d",
+							name, s, w, strat, st.Rounds, st.ConflictsFound, st.ConflictsRepaired)
+					}
+					if st.Shards != s {
+						t.Fatalf("%s s=%d w=%d %s: Shards = %d", name, s, w, strat, st.Shards)
+					}
+					for v := range ref.Colors {
+						if res.Colors[v] != ref.Colors[v] {
+							t.Fatalf("%s s=%d w=%d %s: vertex %d: sharded %d, greedy %d",
+								name, s, w, strat, v, res.Colors[v], ref.Colors[v])
+						}
+					}
+					if st.TotalVertices() != int64(g.NumVertices()) {
+						t.Fatalf("%s s=%d w=%d %s: colored %d of %d vertices",
+							name, s, w, strat, st.TotalVertices(), g.NumVertices())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedQualityOnTable3 runs the engine across every Table 3
+// stand-in at real shard and worker parallelism: always one round,
+// always exactly the sequential greedy coloring of the DBG order.
+func TestShardedQualityOnTable3(t *testing.T) {
+	for _, d := range gen.SmallRegistry() {
+		d := d
+		t.Run(d.Abbrev, func(t *testing.T) {
+			g, err := d.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, _ := reorder.DBG(g)
+			seq, err := BitwiseGreedy(context.Background(), h, MaxColorsDefault, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strat := range shardedStrategies {
+				res, st, err := ShardedOpts(context.Background(), h, MaxColorsDefault,
+					Options{Workers: 4, Shards: 4, PartitionStrategy: strat})
+				if err != nil {
+					t.Fatalf("%s: %v", strat, err)
+				}
+				if st.Rounds != 1 {
+					t.Fatalf("%s: rounds = %d", strat, st.Rounds)
+				}
+				for v := range seq.Colors {
+					if res.Colors[v] != seq.Colors[v] {
+						t.Fatalf("%s: vertex %d: sharded %d, sequential %d",
+							strat, v, res.Colors[v], seq.Colors[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedStatsDeterminism pins the structural guarantee on the
+// statistics: at a fixed (shards, strategy) the frontier size, cut
+// edges, boundary count and cross-shard defer total are identical
+// across worker counts — they are properties of the partition, not of
+// goroutine timing — and the interior-vertex shard counts plus the
+// frontier always account for the whole graph.
+func TestShardedStatsDeterminism(t *testing.T) {
+	g := randomGraph(t, 1500, 9000, 3)
+	for _, s := range []int{2, 4} {
+		for _, strat := range shardedStrategies {
+			type probe struct {
+				frontier, boundary int
+				cut, cross         int64
+			}
+			var want probe
+			for i, w := range shardedWorkerSweep {
+				_, st, err := ShardedOpts(context.Background(), g, MaxColorsDefault,
+					Options{Workers: w, Shards: s, PartitionStrategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := probe{st.FrontierVertices, st.BoundaryVertices, st.CutEdges, st.CrossShardDefers}
+				if i == 0 {
+					want = got
+				} else if got != want {
+					t.Fatalf("s=%d %s w=%d: stats %+v differ from w=%d's %+v",
+						s, strat, w, got, shardedWorkerSweep[0], want)
+				}
+				if len(st.ShardVertices) != s || len(st.ShardDurations) != s {
+					t.Fatalf("s=%d %s w=%d: per-shard slices sized %d/%d",
+						s, strat, w, len(st.ShardVertices), len(st.ShardDurations))
+				}
+				var interior int64
+				for _, v := range st.ShardVertices {
+					interior += v
+				}
+				if interior+int64(st.FrontierVertices) != int64(g.NumVertices()) {
+					t.Fatalf("s=%d %s w=%d: interior %d + frontier %d != %d vertices",
+						s, strat, w, interior, st.FrontierVertices, g.NumVertices())
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSingleShardDelegates: shards <= 1 (and the unset default)
+// must take the plain DCT path and still report Shards = 1 with no
+// partition statistics.
+func TestShardedSingleShardDelegates(t *testing.T) {
+	g := randomGraph(t, 800, 6400, 5)
+	for _, shards := range []int{0, 1} {
+		_, st, err := ShardedOpts(context.Background(), g, MaxColorsDefault, Options{Workers: 2, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Shards != 1 {
+			t.Fatalf("Shards = %d, want 1", st.Shards)
+		}
+		if st.FrontierVertices != 0 || st.CutEdges != 0 || st.BoundaryVertices != 0 || st.CrossShardDefers != 0 {
+			t.Fatalf("single-shard run reported partition stats: %+v", st)
+		}
+	}
+}
+
+// TestShardedUnknownStrategy pins the error path: an unrecognized
+// partition strategy fails up front, before any goroutine starts.
+func TestShardedUnknownStrategy(t *testing.T) {
+	g := randomGraph(t, 100, 400, 1)
+	res, _, err := ShardedOpts(context.Background(), g, MaxColorsDefault,
+		Options{Workers: 2, Shards: 2, PartitionStrategy: "metis"})
+	if err == nil || !strings.Contains(err.Error(), "unknown partition strategy") {
+		t.Fatalf("want unknown-strategy error, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("result returned alongside strategy error")
+	}
+}
+
+// TestShardedCancelBeforeRun: a context cancelled before the call must
+// return immediately with ctx.Err() and no result.
+func TestShardedCancelBeforeRun(t *testing.T) {
+	g := randomGraph(t, 200, 800, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _, err := ShardedOpts(ctx, g, MaxColorsDefault, Options{Workers: 2, Shards: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("result returned alongside cancellation")
+	}
+}
+
+// TestShardedCancelMidPass cancels a multi-shard run shortly after start
+// on a graph big enough that it cannot finish first: the engine must
+// notice at a polling checkpoint — including workers parked in frontier
+// spin waits — and return ctx.Err() with no result.
+func TestShardedCancelMidPass(t *testing.T) {
+	g := pathGraph(t, 2_000_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, _, err := ShardedOpts(ctx, g, MaxColorsDefault, Options{Workers: 2, Shards: 4})
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			t.Log("run finished before cancellation took effect")
+			return
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", o.err)
+		}
+		if o.res != nil {
+			t.Fatal("result returned alongside cancellation")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine did not return after cancellation")
+	}
+}
+
+// TestShardedPaletteExhausted: an 80-clique needs 80 colors; with a
+// 64-color palette the failure surfaces in the frontier phase (the
+// higher shard's vertices all defer on the lower shard), and every
+// worker must stop and agree on ErrPaletteExhausted rather than hang.
+func TestShardedPaletteExhausted(t *testing.T) {
+	const n = 80
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: graph.VertexID(i), V: graph.VertexID(j)})
+		}
+	}
+	g, err := graph.FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 4} {
+		for _, w := range []int{1, 4} {
+			res, _, err := ShardedOpts(context.Background(), g, 64,
+				Options{MaxColors: 64, Workers: w, Shards: s, ForceGather: true})
+			if !errors.Is(err, ErrPaletteExhausted) {
+				t.Fatalf("s=%d w=%d: want ErrPaletteExhausted, got %v", s, w, err)
+			}
+			if res != nil {
+				t.Fatalf("s=%d w=%d: result returned alongside palette exhaustion", s, w)
+			}
+		}
+	}
+}
+
+// TestShardedEmptyGraph pins the degenerate case (delegates to the DCT
+// path, which handles n == 0).
+func TestShardedEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdgeList(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := ShardedOpts(context.Background(), g, MaxColorsDefault, Options{Workers: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 0 || st.Rounds != 0 {
+		t.Fatalf("empty graph: colors=%d rounds=%d", res.NumColors, st.Rounds)
+	}
+}
+
+// TestShardedScratchReuse runs the engine repeatedly through one Scratch
+// across changing shard counts and strategies: the pooled buffers must
+// resize correctly and never leak one run's state into the next.
+func TestShardedScratchReuse(t *testing.T) {
+	g := randomGraph(t, 1200, 9600, 11)
+	ref, err := Greedy(context.Background(), g, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := AcquireScratch("sharded", 2, g.NumVertices())
+	defer sc.Release()
+	for i := 0; i < 3; i++ {
+		for _, s := range shardedShardSweep {
+			for _, strat := range shardedStrategies {
+				res, _, err := ShardedOpts(context.Background(), g, MaxColorsDefault,
+					Options{Workers: 2, Shards: s, PartitionStrategy: strat, Scratch: sc})
+				if err != nil {
+					t.Fatalf("iter %d s=%d %s: %v", i, s, strat, err)
+				}
+				// The result is backed by the Scratch, so it is checked
+				// before the next run reuses the buffers.
+				for v := range ref.Colors {
+					if res.Colors[v] != ref.Colors[v] {
+						t.Fatalf("iter %d s=%d %s: vertex %d: sharded %d, greedy %d",
+							i, s, strat, v, res.Colors[v], ref.Colors[v])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package dispatch
+
+// RingSet pools forwarding rings for the engines that run more worker
+// goroutines than a flat per-worker array anticipates — the sharded
+// engine drives shards × workers interior goroutines in phase one and
+// reuses the first `workers` rings for the boundary frontier in phase
+// two, all against one set. Rings are created lazily on first touch and
+// retained across runs (the set lives in the coloring Scratch), so a
+// steady-state serving loop builds each ring exactly once.
+type RingSet struct {
+	rings    []*ForwardRing
+	capacity int
+}
+
+// NewRingSet builds an empty set whose rings bound at most capacity
+// parked vertices each (<=0 selects the ForwardRing default).
+func NewRingSet(capacity int) *RingSet {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &RingSet{capacity: capacity}
+}
+
+// Cap returns the per-ring bound.
+func (s *RingSet) Cap() int { return s.capacity }
+
+// Len returns how many rings have been materialized.
+func (s *RingSet) Len() int { return len(s.rings) }
+
+// Ring returns ring i, creating it (and any gap below it) on first use.
+func (s *RingSet) Ring(i int) *ForwardRing {
+	for len(s.rings) <= i {
+		s.rings = append(s.rings, NewForwardRing(s.capacity))
+	}
+	return s.rings[i]
+}
+
+// ResetAll empties every materialized ring and clears its peak so a
+// pooled set can serve a new run.
+func (s *RingSet) ResetAll() {
+	for _, r := range s.rings {
+		r.Reset()
+	}
+}
+
+// Peak returns the maximum occupancy any ring reached since the last
+// ResetAll.
+func (s *RingSet) Peak() int {
+	peak := 0
+	for _, r := range s.rings {
+		peak = max(peak, r.Peak())
+	}
+	return peak
+}

@@ -1,0 +1,91 @@
+package dispatch
+
+import "testing"
+
+func TestRingSetLazyCreation(t *testing.T) {
+	s := NewRingSet(8)
+	if s.Len() != 0 {
+		t.Fatalf("fresh set has %d rings", s.Len())
+	}
+	if s.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", s.Cap())
+	}
+	// Touching ring 5 materializes the gap below it.
+	r5 := s.Ring(5)
+	if s.Len() != 6 {
+		t.Fatalf("after Ring(5): %d rings, want 6", s.Len())
+	}
+	if r5.Cap() != 8 {
+		t.Fatalf("ring cap %d, want 8", r5.Cap())
+	}
+	// Repeat access returns the same ring, no growth.
+	if s.Ring(5) != r5 || s.Len() != 6 {
+		t.Fatal("Ring(5) not stable")
+	}
+	if s.Ring(2) != s.Ring(2) {
+		t.Fatal("Ring(2) not stable")
+	}
+}
+
+func TestRingSetDefaultCapacity(t *testing.T) {
+	for _, c := range []int{0, -3} {
+		s := NewRingSet(c)
+		if s.Cap() != 64 {
+			t.Fatalf("NewRingSet(%d).Cap() = %d, want the 64 default", c, s.Cap())
+		}
+	}
+}
+
+func TestRingSetResetAllAndPeak(t *testing.T) {
+	s := NewRingSet(4)
+	if s.Peak() != 0 {
+		t.Fatalf("empty set peak %d", s.Peak())
+	}
+	// Fill ring 0 with two entries, ring 2 with three: peak is 3.
+	for i := 0; i < 2; i++ {
+		if !s.Ring(0).Push(Parked{Vertex: uint32(10 + i), Awaited: uint32(i)}) {
+			t.Fatal("push rejected below capacity")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !s.Ring(2).Push(Parked{Vertex: uint32(20 + i), Awaited: uint32(i)}) {
+			t.Fatal("push rejected below capacity")
+		}
+	}
+	if s.Peak() != 3 {
+		t.Fatalf("peak %d, want 3", s.Peak())
+	}
+	if s.Ring(0).Len() != 2 || s.Ring(2).Len() != 3 {
+		t.Fatalf("lens %d/%d, want 2/3", s.Ring(0).Len(), s.Ring(2).Len())
+	}
+	s.ResetAll()
+	if s.Peak() != 0 {
+		t.Fatalf("peak %d after ResetAll", s.Peak())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Ring(i).Len() != 0 {
+			t.Fatalf("ring %d holds %d entries after ResetAll", i, s.Ring(i).Len())
+		}
+	}
+	// The set stays usable after a reset.
+	if !s.Ring(1).Push(Parked{Vertex: 5, Awaited: 1}) {
+		t.Fatal("push rejected after ResetAll")
+	}
+	if s.Peak() != 1 {
+		t.Fatalf("peak %d after fresh push, want 1", s.Peak())
+	}
+}
+
+func TestRingSetCapacityBound(t *testing.T) {
+	s := NewRingSet(2)
+	r := s.Ring(0)
+	if !r.Push(Parked{Vertex: 3, Awaited: 1}) || !r.Push(Parked{Vertex: 4, Awaited: 2}) {
+		t.Fatal("pushes below capacity rejected")
+	}
+	if r.Push(Parked{Vertex: 5, Awaited: 1}) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	if r.Peak() != 2 {
+		t.Fatalf("peak %d, want the capacity 2", r.Peak())
+	}
+}

@@ -29,6 +29,12 @@ type BenchRecord struct {
 	ValidateNanos int64   `json:"validate_ns,omitempty"`
 	ColorNanos    int64   `json:"color_ns,omitempty"`
 	LoadRatio     float64 `json:"load_ratio,omitempty"`
+
+	// Partitioned-coloring shape, filled only by the shard experiment;
+	// additive omitempty fields again, so the schema version stays 1.
+	Shards           int   `json:"shards,omitempty"`
+	CutEdges         int64 `json:"cut_edges,omitempty"`
+	BoundaryVertices int   `json:"boundary_vertices,omitempty"`
 }
 
 // BenchSchemaVersion identifies the BENCH_<exp>.json envelope layout;

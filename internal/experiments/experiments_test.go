@@ -256,7 +256,8 @@ func TestRunnerRegistryComplete(t *testing.T) {
 		"cacheablation", "cachesweep", "conflicts", "dct", "dramsweep",
 		"e2e", "fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
 		"generality", "hostpar", "locality", "lruvshdc", "multicard",
-		"quality", "relaxed", "scorecard", "table2", "table3", "table4",
+		"quality", "relaxed", "scorecard", "shard", "table2", "table3",
+		"table4",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d experiments: %v", len(names), names)

@@ -61,6 +61,9 @@ func RunnerRegistry() map[string]Runner {
 		"dct": report(DCT, func(ctx *Context, r *DCTResult) error {
 			return ctx.EmitBench("dct", r.BenchRecords())
 		}),
+		"shard": report(Shard, func(ctx *Context, r *ShardResult) error {
+			return ctx.EmitBench("shard", r.BenchRecords())
+		}),
 		"e2e": report(E2E, func(ctx *Context, r *E2EResult) error {
 			return ctx.EmitBench("e2e", r.BenchRecords())
 		}),
@@ -85,7 +88,7 @@ func RunAll(ctx *Context) error {
 		"table3", "fig3a", "fig3b", "table2", "fig11", "fig12", "table4",
 		"fig13", "fig14", "cacheablation", "cachesweep", "dramsweep",
 		"conflicts", "generality", "relaxed", "quality", "hostpar",
-		"locality", "dct", "e2e", "multicard", "lruvshdc", "scorecard",
+		"locality", "dct", "shard", "e2e", "multicard", "lruvshdc", "scorecard",
 	}
 	reg := RunnerRegistry()
 	for _, name := range order {

@@ -185,6 +185,31 @@ type RunStats struct {
 	// reached — how deep the worst wait chain got relative to the bounded
 	// ring capacity.
 	ForwardRingPeak int
+	// Shards is the partition count of a sharded run (0 for the unsharded
+	// engines; 1 when the sharded engine degenerated to the plain DCT
+	// path). The fields below are filled only when Shards > 0.
+	Shards int
+	// BoundaryVertices counts vertices with at least one cross-shard
+	// neighbor (the undirected rule partition.Assignment.BoundaryVertices
+	// and the multi-card simulator use), regardless of edge orientation.
+	BoundaryVertices int
+	// CutEdges counts undirected edges whose endpoints land in different
+	// shards — the partition quality number the boundary phase pays for.
+	CutEdges int64
+	// CrossShardDefers counts vertices pushed to the boundary frontier
+	// because a lower-indexed neighbor lives in another shard (the direct
+	// cross-shard cause; structural, so identical across timings).
+	CrossShardDefers int64
+	// FrontierVertices is the boundary-frontier size the second phase
+	// colored: CrossShardDefers plus the in-shard cascade behind them.
+	FrontierVertices int
+	// ShardVertices[s] counts the vertices shard s colored during the
+	// interior phase (frontier vertices are excluded — they are colored
+	// in the boundary phase).
+	ShardVertices []int64
+	// ShardDurations[s] is the wall time of shard s's interior phase (the
+	// slowest of its workers).
+	ShardDurations []time.Duration
 }
 
 // ParallelStats is the former name of RunStats, kept as an alias for the

@@ -269,6 +269,10 @@ const (
 	famDCTSpinWaits      = "bitcolor_dct_spin_waits_total"
 	famDCTRingOccupancy  = "bitcolor_dct_ring_occupancy"
 	famDCTForwardWait    = "bitcolor_dct_forward_wait_seconds"
+	famShardVertices     = "bitcolor_shard_vertices_total"
+	famShardSeconds      = "bitcolor_shard_duration_seconds"
+	famShardFrontier     = "bitcolor_shard_frontier_vertices"
+	famShardCrossDefers  = "bitcolor_shard_cross_defers_total"
 	famGraphLoads        = "bitcolor_graph_loads_total"
 	famGraphLoadErrors   = "bitcolor_graph_load_errors_total"
 	famGraphLoadSeconds  = "bitcolor_graph_load_duration_seconds"
@@ -319,6 +323,10 @@ func registerStandardFamilies(r *Registry) {
 	r.RegisterCounter(famDCTSpinWaits, "Fallback spin-wait yields taken by the DCT engine (ring full or drain stalled).", "")
 	r.RegisterGauge(famDCTRingOccupancy, "Peak forwarding-ring occupancy of the last DCT run (max over workers).", "")
 	r.RegisterHistogram(famDCTForwardWait, "Time a parked vertex waited for the awaited color to be forwarded.", "", forwardWaitBuckets)
+	r.RegisterCounter(famShardVertices, "Interior vertices colored by the sharded engine, per shard.", "shard")
+	r.RegisterGauge(famShardSeconds, "Last sharded run's interior-phase wall time, per shard (slowest worker).", "shard")
+	r.RegisterGauge(famShardFrontier, "Boundary-frontier size of the last sharded run.", "")
+	r.RegisterCounter(famShardCrossDefers, "Vertices deferred to the boundary frontier because a lower-indexed neighbor lives in another shard.", "")
 	r.RegisterCounter(famGraphLoads, "Graph loads completed, by on-disk format.", "format")
 	r.RegisterCounter(famGraphLoadErrors, "Graph loads that returned an error, by on-disk format.", "format")
 	r.RegisterHistogram(famGraphLoadSeconds, "Graph load wall time (open through validated CSR), by on-disk format.", "format", graphLoadBuckets)
@@ -371,6 +379,16 @@ func (o *Observer) RecordRun(engine string, colors int, d time.Duration, st metr
 	r.Counter(famDCTSpinWaits).Add("", st.SpinWaits)
 	if st.Deferred > 0 || st.ForwardRingPeak > 0 {
 		r.Gauge(famDCTRingOccupancy).Set("", float64(st.ForwardRingPeak))
+	}
+	if st.Shards > 0 {
+		for s, v := range st.ShardVertices {
+			r.Counter(famShardVertices).Add(fmt.Sprint(s), v)
+		}
+		for s, d := range st.ShardDurations {
+			r.Gauge(famShardSeconds).Set(fmt.Sprint(s), d.Seconds())
+		}
+		r.Gauge(famShardFrontier).Set("", float64(st.FrontierVertices))
+		r.Counter(famShardCrossDefers).Add("", st.CrossShardDefers)
 	}
 	r.Histogram(famEngineSeconds).Observe(engine, d.Seconds())
 	r.Gauge(famLastColors).Set(engine, float64(colors))

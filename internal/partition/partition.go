@@ -68,13 +68,23 @@ func (a *Assignment) Sizes() []int {
 
 // Ranges partitions by contiguous index ranges — the zero-cost baseline.
 func Ranges(g *graph.CSR, k int) (*Assignment, error) {
+	return RangesInto(g, k, nil)
+}
+
+// RangesInto is Ranges writing the part vector into parts when it has
+// the capacity (nil or too small allocates) — the allocation-free entry
+// the sharded engine's pooled scratch uses.
+func RangesInto(g *graph.CSR, k int, parts []int32) (*Assignment, error) {
 	n := g.NumVertices()
 	if k <= 0 {
 		return nil, fmt.Errorf("partition: K=%d", k)
 	}
-	parts := make([]int32, n)
+	if cap(parts) < n {
+		parts = make([]int32, n)
+	}
+	parts = parts[:n]
 	for v := 0; v < n; v++ {
-		p := v * k / maxInt(n, 1)
+		p := v * k / max(n, 1)
 		if p >= k {
 			p = k - 1
 		}
@@ -89,7 +99,13 @@ func Ranges(g *graph.CSR, k int) (*Assignment, error) {
 // that part beyond (1+slack)·n/K vertices. Deterministic (ascending
 // sweeps) and O(rounds·E).
 func LabelPropagation(g *graph.CSR, k, rounds int, slack float64) (*Assignment, error) {
-	a, err := Ranges(g, k)
+	return LabelPropagationInto(g, k, rounds, slack, nil)
+}
+
+// LabelPropagationInto is LabelPropagation refining a range partition
+// written into parts (see RangesInto).
+func LabelPropagationInto(g *graph.CSR, k, rounds int, slack float64, parts []int32) (*Assignment, error) {
+	a, err := RangesInto(g, k, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -140,9 +156,75 @@ func LabelPropagation(g *graph.CSR, k, rounds int, slack float64) (*Assignment, 
 	return a, nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// Classification is the one-pass boundary analysis of an assignment: the
+// numbers the sharded engine and the multi-card simulator both report,
+// computed once instead of via the separate EdgeCut/BoundaryVertices
+// sweeps.
+type Classification struct {
+	// CutEdges counts undirected edges crossing parts (== EdgeCut).
+	CutEdges int64
+	// Boundary counts vertices with any cross-part neighbor
+	// (== BoundaryVertices).
+	Boundary int
+	// PerShardBoundary[p] counts part p's boundary vertices.
+	PerShardBoundary []int
+	// PerShardVertices[p] counts part p's vertices (== Sizes).
+	PerShardVertices []int
+}
+
+// Classify computes the boundary analysis in one adjacency sweep.
+func Classify(g *graph.CSR, a *Assignment) Classification {
+	c := Classification{
+		PerShardBoundary: make([]int, a.K),
+		PerShardVertices: make([]int, a.K),
 	}
-	return b
+	for v := 0; v < g.NumVertices(); v++ {
+		pv := a.Parts[v]
+		c.PerShardVertices[pv]++
+		cross := false
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			if a.Parts[w] != pv {
+				cross = true
+				if graph.VertexID(v) < w {
+					c.CutEdges++
+				}
+			}
+		}
+		if cross {
+			c.Boundary++
+			c.PerShardBoundary[pv]++
+		}
+	}
+	return c
+}
+
+// VertexLists returns, per part, the ascending list of its vertices as
+// sub-slices of one backing buffer (buf when it has capacity n, else a
+// fresh allocation) — the per-shard subrange views the sharded engine
+// iterates without copying the CSR. A counting sort over an already
+// index-sorted domain keeps each list ascending.
+func (a *Assignment) VertexLists(buf []graph.VertexID) [][]graph.VertexID {
+	n := len(a.Parts)
+	if cap(buf) < n {
+		buf = make([]graph.VertexID, n)
+	}
+	buf = buf[:n]
+	offsets := make([]int, a.K+1)
+	for _, p := range a.Parts {
+		offsets[p+1]++
+	}
+	for p := 1; p <= a.K; p++ {
+		offsets[p] += offsets[p-1]
+	}
+	next := make([]int, a.K)
+	copy(next, offsets[:a.K])
+	for v, p := range a.Parts {
+		buf[next[p]] = graph.VertexID(v)
+		next[p]++
+	}
+	lists := make([][]graph.VertexID, a.K)
+	for p := 0; p < a.K; p++ {
+		lists[p] = buf[offsets[p]:offsets[p+1]]
+	}
+	return lists
 }

@@ -104,6 +104,189 @@ func TestLabelPropagationK1(t *testing.T) {
 	}
 }
 
+// TestLabelPropagationDeterministic pins the property the sharded
+// engine's cross-checks rely on: the same graph and parameters always
+// produce the identical Assignment, including when two refinements run
+// concurrently over the shared read-only CSR (the concurrent arm gives
+// the race detector something to chew on).
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g := testGraph(t, 800, 6000, 9)
+	ref, err := LabelPropagation(g, 4, 10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Assignment, 4)
+	errs := make([]error, 4)
+	done := make(chan int, 4)
+	for i := range results {
+		go func(i int) {
+			results[i], errs[i] = LabelPropagation(g, 4, 10, 0.15)
+			done <- i
+		}(i)
+	}
+	for range results {
+		<-done
+	}
+	for i, a := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if a.K != ref.K || len(a.Parts) != len(ref.Parts) {
+			t.Fatalf("run %d: shape %d/%d differs from %d/%d", i, a.K, len(a.Parts), ref.K, len(ref.Parts))
+		}
+		for v := range a.Parts {
+			if a.Parts[v] != ref.Parts[v] {
+				t.Fatalf("run %d: vertex %d in part %d, reference says %d", i, v, a.Parts[v], ref.Parts[v])
+			}
+		}
+	}
+	// A rebuilt identical graph must land on the same assignment too.
+	h := testGraph(t, 800, 6000, 9)
+	b, err := LabelPropagation(h, 4, 10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range b.Parts {
+		if b.Parts[v] != ref.Parts[v] {
+			t.Fatalf("rebuilt graph: vertex %d in part %d, reference says %d", v, b.Parts[v], ref.Parts[v])
+		}
+	}
+}
+
+// TestRangesInto pins the buffer-reuse contract: a caller buffer with
+// capacity is written in place, one without is replaced.
+func TestRangesInto(t *testing.T) {
+	g := testGraph(t, 100, 300, 1)
+	buf := make([]int32, 100)
+	a, err := RangesInto(g, 4, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a.Parts[0] != &buf[0] {
+		t.Fatal("RangesInto did not reuse the caller buffer")
+	}
+	b, err := RangesInto(g, 4, make([]int32, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Parts) != 100 {
+		t.Fatalf("undersized buffer: parts len %d", len(b.Parts))
+	}
+	for v := range a.Parts {
+		if a.Parts[v] != b.Parts[v] {
+			t.Fatalf("vertex %d: reused %d, fresh %d", v, a.Parts[v], b.Parts[v])
+		}
+	}
+}
+
+// TestVertexLists pins the counting-sort views: every part's list is
+// ascending, matches the assignment, shares the caller's backing buffer,
+// and together the lists cover each vertex exactly once.
+func TestVertexLists(t *testing.T) {
+	g := testGraph(t, 500, 2000, 6)
+	a, err := LabelPropagation(g, 4, 10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]graph.VertexID, 500)
+	lists := a.VertexLists(buf)
+	if len(lists) != a.K {
+		t.Fatalf("%d lists for K=%d", len(lists), a.K)
+	}
+	seen := make([]bool, 500)
+	total := 0
+	for p, list := range lists {
+		for i, v := range list {
+			if i > 0 && list[i-1] >= v {
+				t.Fatalf("part %d not ascending at %d: %d >= %d", p, i, list[i-1], v)
+			}
+			if int(a.Parts[v]) != p {
+				t.Fatalf("vertex %d listed in part %d but assigned %d", v, p, a.Parts[v])
+			}
+			if seen[v] {
+				t.Fatalf("vertex %d listed twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != 500 {
+		t.Fatalf("lists cover %d of 500 vertices", total)
+	}
+	if len(lists[0]) > 0 && &lists[0][0] != &buf[0] {
+		t.Fatal("VertexLists did not use the caller buffer")
+	}
+}
+
+// FuzzAssignmentInvariants cross-checks the assignment statistics
+// against Validate on fuzzer-shaped graphs and part vectors: whenever
+// Validate accepts the assignment, EdgeCut, BoundaryVertices, Sizes and
+// the one-sweep Classify must agree with each other and with basic
+// counting bounds.
+func FuzzAssignmentInvariants(f *testing.F) {
+	f.Add(uint16(50), uint16(200), uint8(4), int64(1), []byte{0, 1, 2, 3})
+	f.Add(uint16(1), uint16(0), uint8(1), int64(2), []byte{0})
+	f.Add(uint16(120), uint16(500), uint8(7), int64(3), []byte{9, 200, 3})
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, kRaw uint8, seed int64, partsRaw []byte) {
+		n := int(nRaw)%300 + 1
+		m := int(mRaw) % 2000
+		k := int(kRaw)%8 + 1
+		g := testGraph(t, n, m, seed)
+		parts := make([]int32, n)
+		for v := range parts {
+			if len(partsRaw) > 0 {
+				parts[v] = int32(int8(partsRaw[v%len(partsRaw)]))
+			}
+		}
+		a := &Assignment{Parts: parts, K: k}
+		if err := a.Validate(); err != nil {
+			// Out-of-range parts: the stats functions carry no contract
+			// here, nothing further to check.
+			return
+		}
+		cut := a.EdgeCut(g)
+		boundary := a.BoundaryVertices(g)
+		sizes := a.Sizes()
+		cl := Classify(g, a)
+		if cut != cl.CutEdges {
+			t.Fatalf("EdgeCut %d != Classify %d", cut, cl.CutEdges)
+		}
+		if boundary != cl.Boundary {
+			t.Fatalf("BoundaryVertices %d != Classify %d", boundary, cl.Boundary)
+		}
+		if len(sizes) != k || len(cl.PerShardVertices) != k || len(cl.PerShardBoundary) != k {
+			t.Fatalf("per-part slices sized %d/%d/%d for K=%d",
+				len(sizes), len(cl.PerShardVertices), len(cl.PerShardBoundary), k)
+		}
+		sum, perBoundary := 0, 0
+		for p := range sizes {
+			if sizes[p] != cl.PerShardVertices[p] {
+				t.Fatalf("part %d: Sizes %d != Classify %d", p, sizes[p], cl.PerShardVertices[p])
+			}
+			if cl.PerShardBoundary[p] > cl.PerShardVertices[p] {
+				t.Fatalf("part %d: %d boundary > %d vertices", p, cl.PerShardBoundary[p], cl.PerShardVertices[p])
+			}
+			sum += sizes[p]
+			perBoundary += cl.PerShardBoundary[p]
+		}
+		if sum != n {
+			t.Fatalf("Sizes sum %d != %d vertices", sum, n)
+		}
+		if perBoundary != boundary {
+			t.Fatalf("per-shard boundary sum %d != total %d", perBoundary, boundary)
+		}
+		if boundary > n {
+			t.Fatalf("boundary %d > %d vertices", boundary, n)
+		}
+		if cut > g.NumEdges()/2 {
+			t.Fatalf("cut %d > %d undirected edges", cut, g.NumEdges()/2)
+		}
+		if k == 1 && (cut != 0 || boundary != 0) {
+			t.Fatalf("K=1 with cut %d boundary %d", cut, boundary)
+		}
+	})
+}
+
 func TestAssignmentStats(t *testing.T) {
 	g, _ := graph.FromEdgeList(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 1, V: 2}})
 	a := &Assignment{Parts: []int32{0, 0, 1, 1}, K: 2}

@@ -6,6 +6,8 @@ import (
 
 	"bitcolor/internal/coloring"
 	"bitcolor/internal/engine"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/partition"
 )
 
 // The simulator's Data Conflict Table and the host DCT engine implement
@@ -47,6 +49,96 @@ func TestSimAndHostDCTAgree(t *testing.T) {
 			if simRes.NumColors != hostRes.NumColors {
 				t.Fatalf("n=%d seed=%d P=%d: sim %d colors, host %d",
 					c.n, c.seed, p, simRes.NumColors, hostRes.NumColors)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesMultiCardSim cross-checks the host sharded engine
+// against the simulator's multi-card scale-out on the *same* partition
+// assignments. The two resolve boundary vertices differently (the sim
+// colors interiors on induced subgraphs and sweeps the boundary
+// sequentially; the host engine keeps global vertex order everywhere),
+// so per-vertex colors may differ — but the structural shape must agree
+// exactly: identical boundary classification per shard, identical cut,
+// and the same color count on these graphs (color-count equality is
+// empirical, not guaranteed in general; these cases were chosen to pin
+// it so a drift in either scheme's boundary handling shows up).
+func TestShardedMatchesMultiCardSim(t *testing.T) {
+	cases := []struct {
+		n, m int
+		seed int64
+	}{
+		{400, 3000, 1},
+		{900, 12000, 7},
+		{1500, 9000, 44},
+	}
+	for _, c := range cases {
+		g := prepared(t, c.n, c.m, c.seed)
+		for _, k := range []int{2, 4} {
+			for _, strat := range []string{coloring.PartitionRanges, coloring.PartitionLabelProp} {
+				var (
+					a   *partition.Assignment
+					err error
+				)
+				if strat == coloring.PartitionRanges {
+					a, err = partition.Ranges(g, k)
+				} else {
+					// Mirrors the sharded engine's label-propagation
+					// parameters (shardLabelPropRounds/Slack).
+					a, err = partition.LabelPropagation(g, k, 10, 0.15)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				simRes, err := RunMultiCardWith(g, smallConfig(4), a)
+				if err != nil {
+					t.Fatalf("n=%d seed=%d k=%d %s: sim: %v", c.n, c.seed, k, strat, err)
+				}
+				hostRes, st, err := coloring.ShardedOpts(context.Background(), g,
+					coloring.MaxColorsDefault, coloring.Options{Workers: 2, Shards: k, PartitionStrategy: strat})
+				if err != nil {
+					t.Fatalf("n=%d seed=%d k=%d %s: host: %v", c.n, c.seed, k, strat, err)
+				}
+				// Boundary classification: sim count, host count, Classify
+				// and a brute-force recount from the shared assignment must
+				// all agree.
+				cl := partition.Classify(g, a)
+				perShard := make([]int, k)
+				total := 0
+				for v := 0; v < g.NumVertices(); v++ {
+					for _, w := range g.Neighbors(graph.VertexID(v)) {
+						if a.Parts[w] != a.Parts[v] {
+							perShard[a.Parts[v]]++
+							total++
+							break
+						}
+					}
+				}
+				if simRes.BoundaryVertices != total || st.BoundaryVertices != total || cl.Boundary != total {
+					t.Fatalf("n=%d seed=%d k=%d %s: boundary tallies diverge: sim %d, host %d, classify %d, recount %d",
+						c.n, c.seed, k, strat, simRes.BoundaryVertices, st.BoundaryVertices, cl.Boundary, total)
+				}
+				for p := 0; p < k; p++ {
+					if cl.PerShardBoundary[p] != perShard[p] {
+						t.Fatalf("n=%d seed=%d k=%d %s: shard %d boundary: classify %d, recount %d",
+							c.n, c.seed, k, strat, p, cl.PerShardBoundary[p], perShard[p])
+					}
+				}
+				if st.CutEdges != a.EdgeCut(g) || st.CutEdges != cl.CutEdges {
+					t.Fatalf("n=%d seed=%d k=%d %s: cut edges diverge: host %d, EdgeCut %d, classify %d",
+						c.n, c.seed, k, strat, st.CutEdges, a.EdgeCut(g), cl.CutEdges)
+				}
+				if simRes.NumColors != hostRes.NumColors {
+					t.Fatalf("n=%d seed=%d k=%d %s: sim %d colors, host %d",
+						c.n, c.seed, k, strat, simRes.NumColors, hostRes.NumColors)
+				}
+				if err := coloring.Verify(g, simRes.Colors); err != nil {
+					t.Fatalf("n=%d seed=%d k=%d %s: sim coloring invalid: %v", c.n, c.seed, k, strat, err)
+				}
+				if err := coloring.Verify(g, hostRes.Colors); err != nil {
+					t.Fatalf("n=%d seed=%d k=%d %s: host coloring invalid: %v", c.n, c.seed, k, strat, err)
+				}
 			}
 		}
 	}

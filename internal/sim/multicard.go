@@ -149,10 +149,3 @@ func RunMultiCardWith(g *graph.CSR, cfg Config, assignment *partition.Assignment
 	res.NumColors = distinct(colors)
 	return res, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

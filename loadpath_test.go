@@ -98,26 +98,34 @@ func TestMappedColoringMatchesCopied(t *testing.T) {
 	defer h.Close()
 	mapped := h.Graph()
 
-	color := func(g *Graph, e Engine, workers int) []uint16 {
-		res, err := Color(g, ColorOptions{Engine: e, Workers: workers})
+	color := func(g *Graph, e Engine, workers, shards int) []uint16 {
+		res, err := Color(g, ColorOptions{Engine: e, Workers: workers, ShardCount: shards})
 		if err != nil {
-			t.Fatalf("%v w=%d: %v", e, workers, err)
+			t.Fatalf("%v w=%d s=%d: %v", e, workers, shards, err)
 		}
 		return res.Colors
 	}
-	check := func(e Engine, workers int) {
-		want := color(copied, e, workers)
-		got := color(mapped, e, workers)
+	check := func(e Engine, workers, shards int) {
+		want := color(copied, e, workers, shards)
+		got := color(mapped, e, workers, shards)
 		for v := range want {
 			if got[v] != want[v] {
-				t.Fatalf("%v w=%d: vertex %d colored %d on mapped graph, %d on copied",
-					e, workers, v, got[v], want[v])
+				t.Fatalf("%v w=%d s=%d: vertex %d colored %d on mapped graph, %d on copied",
+					e, workers, shards, v, got[v], want[v])
 			}
 		}
 	}
-	check(EngineBitwise, 1)
+	check(EngineBitwise, 1, 0)
 	for _, w := range []int{1, 2, 4} {
-		check(EngineDCT, w)
+		check(EngineDCT, w, 0)
+	}
+	// The sharded engine carries the same any-parallelism determinism
+	// guarantee, so the full (shards × workers) grid must agree between
+	// the mapped and copied views too.
+	for _, s := range []int{1, 2, 4} {
+		for _, w := range []int{1, 2, 4} {
+			check(EngineSharded, w, s)
+		}
 	}
 }
 
@@ -135,7 +143,9 @@ func TestColorContextZeroAllocScratch(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	for _, e := range []Engine{EngineBitwise, EngineDCT} {
+	// EngineSharded at its ShardCount default (single shard) delegates to
+	// the same sequential DCT loop, so it shares the zero-alloc contract.
+	for _, e := range []Engine{EngineBitwise, EngineDCT, EngineSharded} {
 		s := AcquireScratch(e, 1, prepared)
 		opts := ColorOptions{Engine: e, Workers: 1, Scratch: s}
 		// Warm run: the first call grows the arena to the graph's size.
