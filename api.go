@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bitcolor/internal/coloring"
+	"bitcolor/internal/exec"
 	"bitcolor/internal/gen"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
@@ -432,7 +433,26 @@ type ColorOptions struct {
 	// allocate-per-run behavior. Results from a scratch-backed run are
 	// only valid until the Scratch's next run or Release.
 	Scratch *Scratch
+	// Pool admits the run through a shared bounded worker pool (see
+	// NewPool): the run blocks — FIFO, respecting ctx — until its worker
+	// demand is free, so N concurrent ColorContext/Pipeline calls
+	// sharing one Pool never oversubscribe the host. When the pool is
+	// smaller than the demand the run gets the whole pool and shrinks
+	// its worker count to match. Nil runs unbounded, as before.
+	Pool *Pool
 }
+
+// Pool is a bounded pool of worker slots shared by concurrent coloring
+// runs — the admission layer a multi-tenant coloring service sits on.
+// Create one with NewPool, hand it to every run via ColorOptions.Pool
+// (Pipeline's Color step passes it through), and concurrent runs queue
+// FIFO for their goroutine budget instead of oversubscribing the host.
+// A nil *Pool is valid and admits everything immediately.
+type Pool = exec.Pool
+
+// NewPool builds a Pool admitting at most maxWorkers concurrently held
+// worker slots across all runs that share it (<=0: GOMAXPROCS).
+func NewPool(maxWorkers int) *Pool { return exec.NewPool(maxWorkers) }
 
 // Scratch is a pooled arena of engine working state — color buffers,
 // bit sets, codecs, forwarding rings and counter shards — keyed by
@@ -482,6 +502,7 @@ func (opts ColorOptions) engineOptions() coloring.Options {
 		PartitionStrategy: opts.PartitionStrategy,
 		Obs:               opts.Observer,
 		Scratch:           opts.Scratch,
+		Pool:              opts.Pool,
 	}
 }
 

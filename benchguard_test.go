@@ -20,8 +20,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"bitcolor/internal/exec"
 )
 
 const benchGuardEnv = "BITCOLOR_BENCHGUARD"
@@ -39,6 +43,11 @@ type benchBaseline struct {
 	// GD — the sharded entry point's dispatch overhead over the DCT loop
 	// it delegates to at a single shard (should sit near 1.0).
 	ShardRatio float64 `json:"shard_gd_vs_dct_ratio"`
+	// ExecRatio is exec.Blocks / pre-refactor inline cursor loop on the
+	// synthetic dispatch workload at one worker — the shared substrate's
+	// per-block overhead (should sit near 1.0). Guarded at a tight ×1.05
+	// because the workload is pure dispatch with no kernel noise.
+	ExecRatio float64 `json:"exec_dispatch_ratio"`
 }
 
 func loadBaseline(t *testing.T) benchBaseline {
@@ -51,7 +60,7 @@ func loadBaseline(t *testing.T) benchBaseline {
 	if err := json.Unmarshal(data, &b); err != nil {
 		t.Fatal(err)
 	}
-	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 || b.E2ERatio <= 0 || b.ShardRatio <= 0 {
+	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 || b.E2ERatio <= 0 || b.ShardRatio <= 0 || b.ExecRatio <= 0 {
 		t.Fatalf("implausible baseline %+v", b)
 	}
 	return b
@@ -204,6 +213,95 @@ func TestBenchGuardShardedRegression(t *testing.T) {
 	if ratio > limit {
 		t.Fatalf("sharded single-shard path regressed: ratio %.4f exceeds baseline %.4f by more than 10%%",
 			ratio, base.ShardRatio)
+	}
+}
+
+// TestBenchGuardExecDispatchOverhead pins the shared dispatch substrate
+// against the inline cursor loops it replaced: exec.Blocks on a
+// synthetic block workload at one worker may cost at most 5% more,
+// relative to the hand-rolled atomic-cursor goroutine loop measured in
+// the same process, than the recorded baseline ratio. The bound is
+// tighter than the engine guards' 10% because the workload is pure
+// dispatch — any drift here is substrate overhead, not kernel noise.
+func TestBenchGuardExecDispatchOverhead(t *testing.T) {
+	if os.Getenv(benchGuardEnv) == "" {
+		t.Skipf("set %s=1 to run the dispatch overhead guard", benchGuardEnv)
+	}
+	base := loadBaseline(t)
+	const items = 1 << 21
+	data := make([]uint64, items)
+	for i := range data {
+		data[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	work := func(lo, hi int) uint64 {
+		var acc uint64
+		for _, x := range data[lo:hi] {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			acc += x
+		}
+		return acc
+	}
+	// Both arms run one worker so the comparison isolates per-block
+	// dispatch cost from goroutine scheduling.
+	var inlineSum, execSum uint64
+	inline := func() {
+		var cursor atomic.Int64
+		var acc uint64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := cursor.Add(exec.DispatchBlock) - exec.DispatchBlock
+				if lo >= items {
+					break
+				}
+				hi := lo + exec.DispatchBlock
+				if hi > items {
+					hi = items
+				}
+				acc += work(int(lo), int(hi))
+			}
+		}()
+		wg.Wait()
+		inlineSum = acc
+	}
+	blocks := func() {
+		var cur exec.BlockCursor
+		cur.Reset(items)
+		var acc uint64
+		if err := exec.Blocks(context.Background(), 1, &cur, func(w, lo, hi int) error {
+			acc += work(lo, hi)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		execSum = acc
+	}
+	// The 5% bound is tight against a ~2ms workload, so like the observer
+	// guard this one retries: a single GC pause or scheduler hiccup
+	// landing in the exec arm fakes a regression once, a real regression
+	// fails every attempt.
+	limit := base.ExecRatio * 1.05
+	var ratio float64
+	for attempt := 1; ; attempt++ {
+		runtime.GC()
+		inlineT, execT := minTimePair(9, inline, blocks)
+		if inlineSum != execSum {
+			t.Fatalf("checksum mismatch: inline %#x vs exec.Blocks %#x — the arms did different work", inlineSum, execSum)
+		}
+		ratio = float64(execT) / float64(inlineT)
+		t.Logf("attempt %d: exec.Blocks %v / inline %v = ratio %.4f (baseline %.4f, limit %.4f)",
+			attempt, execT, inlineT, ratio, base.ExecRatio, limit)
+		if ratio <= limit || attempt == 3 {
+			break
+		}
+	}
+	if ratio > limit {
+		t.Fatalf("exec dispatch overhead regressed: ratio %.4f exceeds baseline %.4f by more than 5%% on every attempt",
+			ratio, base.ExecRatio)
 	}
 }
 

@@ -129,7 +129,21 @@ func run(exp string, small bool, datasets string, seed int64, csv bool, jsonDir 
 	}
 	runner, ok := experiments.RunnerRegistry()[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (have: %s)", exp, strings.Join(experiments.Names(), ", "))
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "unknown experiment %q; available experiments:\n", exp)
+		desc := experiments.Descriptions()
+		names := experiments.Names()
+		width := 0
+		for _, n := range names {
+			if len(n) > width {
+				width = len(n)
+			}
+		}
+		for _, n := range names {
+			fmt.Fprintf(&sb, "  %-*s  %s\n", width, n, desc[n])
+		}
+		fmt.Fprintf(&sb, "  %-*s  %s", width, "all", "every experiment, in paper order")
+		return fmt.Errorf("%s", sb.String())
 	}
 	return runner(ctx)
 }

@@ -12,6 +12,7 @@ package coloring
 import (
 	"fmt"
 
+	"bitcolor/internal/exec"
 	"bitcolor/internal/graph"
 )
 
@@ -22,8 +23,10 @@ const MaxColorsDefault = 1024
 // every 64K vertices (indices where v&mask == 0, so a pre-cancelled
 // context is caught before the first vertex). One atomic load per 2^16
 // vertices is unmeasurable next to the per-vertex work; the parallel
-// engines poll at block-claim and round boundaries instead.
-const ctxStrideMask = 1<<16 - 1
+// engines poll at block-claim and round boundaries instead. The stride
+// is shared with internal/exec so every scan loop in the tree — engine
+// or substrate — cancels on the same cadence.
+const ctxStrideMask = exec.CtxStrideMask
 
 // Result is the output of a coloring run.
 type Result struct {

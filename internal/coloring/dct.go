@@ -2,12 +2,11 @@ package coloring
 
 import (
 	"context"
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"bitcolor/internal/dispatch"
+	"bitcolor/internal/exec"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
 	"bitcolor/internal/obs"
@@ -42,13 +41,6 @@ func DCTColor(ctx context.Context, g *graph.CSR, maxColors int, workers int) (*R
 // enough that a drain pass stays cheap, large enough that a worker
 // rarely blocks inline on path-shaped dependency chains.
 const ForwardRingCap = 64
-
-// Outcomes of one coloring attempt.
-const (
-	dctColored  = iota // color published
-	dctDeferred        // a lower-indexed neighbor's color is pending
-	dctFailed          // palette exhausted
-)
 
 // DCTOpts is DCTColor with the full option set: worker count, the
 // blocked color-gather (with the adaptive average-degree heuristic,
@@ -161,7 +153,7 @@ func dctRun(ctx context.Context, g *graph.CSR, maxColors int, opts Options, sc *
 	// discipline they defer on v. On a sorted adjacency list they form
 	// the tail and the scan breaks (the PUV break of §3.2.2). Returns
 	// the first pending neighbor on deferral.
-	attempt := func(s *workerScratch, v graph.VertexID) (graph.VertexID, int) {
+	attempt := func(s *workerScratch, v graph.VertexID) (graph.VertexID, exec.Outcome) {
 		s.state.Reset()
 		adj := g.Neighbors(v)
 		for i, u := range adj {
@@ -181,144 +173,51 @@ func dctRun(ctx context.Context, g *graph.CSR, maxColors int, opts Options, sc *
 				c = atomic.LoadUint32(&shared[u])
 			}
 			if c == 0 {
-				return u, dctDeferred
+				return u, exec.Deferred
 			}
 			s.state.OrColorNum(c)
 		}
 		pick, _ := s.codec.FirstFree(s.state)
 		if pick == 0 {
-			return 0, dctFailed
+			return 0, exec.Failed
 		}
 		atomic.StoreUint32(&shared[v], uint32(pick))
 		s.sh.Inc(obs.CtrVertices)
-		return 0, dctColored
+		return 0, exec.Colored
 	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := ws[w]
-			fail := func(err error) {
-				s.err = err
-				abort.Store(true)
-			}
-			// spin is the deadlock-free fallback: yield, re-check abort
-			// and cancellation, and let the dependency's owner run.
-			// Returns false when the run is aborting.
-			spin := func() bool {
-				s.sh.Inc(obs.CtrSpinWaits)
-				if abort.Load() {
-					return false
-				}
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					return false
-				}
-				runtime.Gosched()
-				return true
-			}
-			// resolve replays one parked vertex: not yet if the awaited
-			// color still hasn't landed, re-park (with an updated key,
-			// keeping the original park time) if the replay hits another
-			// pending neighbor, otherwise colored.
-			resolve := func(p dispatch.Parked) (dispatch.Parked, bool) {
-				if atomic.LoadUint32(&shared[p.Awaited]) == 0 {
-					return p, false
-				}
-				s.sh.Inc(obs.CtrDeferRetries)
-				awaited, code := attempt(s, graph.VertexID(p.Vertex))
-				switch code {
-				case dctDeferred:
-					p.Awaited = uint32(awaited)
-					return p, false
-				case dctFailed:
-					fail(ErrPaletteExhausted)
-					return dispatch.Parked{}, true // drop; the run is over
-				}
-				if p.ParkedAt != 0 {
-					o.ObserveForwardWait(float64(int64(time.Since(obsStart))-p.ParkedAt) / 1e9)
-				}
-				return dispatch.Parked{}, true
-			}
-			// Owner-computes pass: the worker's HDV FIFO is the
-			// arithmetic sequence w, w+P, w+2P, … walked in index order.
-			polled := 0
-			for v := uint32(w); v < uint32(n); v += uint32(workers) {
-				if polled++; polled&63 == 0 {
-					if abort.Load() {
-						return
-					}
-					if err := ctx.Err(); err != nil {
-						fail(err)
-						return
-					}
-				}
-				for {
-					awaited, code := attempt(s, graph.VertexID(v))
-					if code == dctColored {
-						break
-					}
-					if code == dctFailed {
-						fail(ErrPaletteExhausted)
-						return
-					}
-					var at int64
-					if o != nil {
-						at = int64(time.Since(obsStart))
-					}
-					if s.ring.Push(dispatch.Parked{Vertex: uint32(v), Awaited: uint32(awaited), ParkedAt: at}) {
-						// Deferred counts parked vertices only; a ring-full
-						// inline wait shows up in SpinWaits instead, keeping
-						// DeferRetries >= Deferred (every park is replayed).
-						s.sh.Inc(obs.CtrDeferred)
-						break
-					}
-					// Ring full: the scan window is exhausted. Wait inline
-					// for this vertex's dependency, draining between
-					// yields — the dependency chain can run through this
-					// worker's own parked entries, so the wait loop must
-					// keep replaying them. The globally smallest uncolored
-					// vertex is always colorable, so somebody makes
-					// progress and the wait is finite.
-					for {
-						s.ring.Drain(resolve)
-						if s.err != nil {
-							return
-						}
-						if atomic.LoadUint32(&shared[awaited]) != 0 {
-							break
-						}
-						if !spin() {
-							return
-						}
-					}
-				}
-				// Opportunistic drain keeps forwarding latency low: any
-				// parked vertex whose color landed replays now.
-				if s.ring.Len() > 0 {
-					s.ring.Drain(resolve)
-					if s.err != nil {
-						return
-					}
-				}
-			}
-			// Final drain: everything owned is colored or parked; replay
-			// until the ring empties, yielding when a pass is dry.
-			for s.ring.Len() > 0 {
-				if s.ring.Drain(resolve) == 0 {
-					if !spin() {
-						return
-					}
-				}
-				if s.err != nil {
-					return
-				}
-			}
-		}(w)
+	// The forwarding-latency instrumentation is wired only when an
+	// observer is live; with clock == nil the loop never reads the clock
+	// and park timestamps stay zero.
+	var (
+		clock     func() int64
+		onForward func(parkedAt int64)
+	)
+	if o != nil {
+		clock = func() int64 { return int64(time.Since(obsStart)) }
+		onForward = func(parkedAt int64) {
+			o.ObserveForwardWait(float64(int64(time.Since(obsStart))-parkedAt) / 1e9)
+		}
 	}
-	wg.Wait()
+	// Owner-computes pass: worker w's HDV FIFO is the arithmetic sequence
+	// w, w+P, w+2P, … walked in index order by the shared loop.
+	exec.Go(workers, func(w int) {
+		s := ws[w]
+		loop := exec.OwnerLoop{
+			Ctx:   ctx,
+			Abort: &abort,
+			Ring:  s.ring,
+			Shard: s.sh,
+			Attempt: func(v graph.VertexID) (graph.VertexID, exec.Outcome) {
+				return attempt(s, v)
+			},
+			Published: func(u uint32) bool { return atomic.LoadUint32(&shared[u]) != 0 },
+			FailErr:   ErrPaletteExhausted,
+			Clock:     clock,
+			OnForward: onForward,
+		}
+		s.err = loop.RunRange(w, workers, n)
+	})
 	foldStats()
 	for _, s := range ws {
 		if s.err != nil {

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"bitcolor/internal/cache"
+	"bitcolor/internal/exec"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/obs"
 )
@@ -72,6 +73,12 @@ type Options struct {
 	// runs allocate nothing in steady state. A mismatched or nil Scratch
 	// is ignored and the engine allocates as before.
 	Scratch *Scratch
+	// Pool, when set, is the shared bounded worker pool this run admits
+	// through: the registry's admission decorator acquires the engine's
+	// worker demand before running (FIFO, blocking) and releases it
+	// after, shrinking Workers when the pool granted less. Nil runs
+	// unbounded, exactly as before the pool existed.
+	Pool *exec.Pool
 }
 
 // maxColors resolves the palette bound, applying the default.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"bitcolor/internal/bitops"
+	"bitcolor/internal/exec"
 	"bitcolor/internal/graph"
 )
 
@@ -42,63 +43,57 @@ func JonesPlassmann(ctx context.Context, g *graph.CSR, maxColors int, seed int64
 			return nil, rounds, err
 		}
 		rounds++
-		var wg sync.WaitGroup
 		chunk := (n + workers - 1) / workers
 		var colored int64
 		var mu sync.Mutex
 		failed := false
-		for w := 0; w < workers; w++ {
+		exec.Go(workers, func(w int) {
 			lo, hi := w*chunk, (w+1)*chunk
 			if hi > n {
 				hi = n
 			}
 			if lo >= hi {
-				continue
+				return
 			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				state := bitops.NewBitSet(maxColors)
-				codec := bitops.NewColorCodec(maxColors)
-				local := int64(0)
-				for v := lo; v < hi; v++ {
-					if colors[v] != 0 {
-						continue
-					}
-					win := true
-					for _, u := range g.Neighbors(graph.VertexID(v)) {
-						if colors[u] == 0 {
-							pu, pv := prio[u], prio[v]
-							if pu > pv || (pu == pv && u > graph.VertexID(v)) {
-								win = false
-								break
-							}
+			state := bitops.NewBitSet(maxColors)
+			codec := bitops.NewColorCodec(maxColors)
+			local := int64(0)
+			for v := lo; v < hi; v++ {
+				if colors[v] != 0 {
+					continue
+				}
+				win := true
+				for _, u := range g.Neighbors(graph.VertexID(v)) {
+					if colors[u] == 0 {
+						pu, pv := prio[u], prio[v]
+						if pu > pv || (pu == pv && u > graph.VertexID(v)) {
+							win = false
+							break
 						}
 					}
-					if !win {
-						winners[v] = 0
-						continue
-					}
-					state.Reset()
-					for _, u := range g.Neighbors(graph.VertexID(v)) {
-						codec.Decompress(colors[u], state)
-					}
-					c, _ := codec.FirstFree(state)
-					if c == 0 {
-						mu.Lock()
-						failed = true
-						mu.Unlock()
-						return
-					}
-					winners[v] = c
-					local++
 				}
-				mu.Lock()
-				colored += local
-				mu.Unlock()
-			}(lo, hi)
-		}
-		wg.Wait()
+				if !win {
+					winners[v] = 0
+					continue
+				}
+				state.Reset()
+				for _, u := range g.Neighbors(graph.VertexID(v)) {
+					codec.Decompress(colors[u], state)
+				}
+				c, _ := codec.FirstFree(state)
+				if c == 0 {
+					mu.Lock()
+					failed = true
+					mu.Unlock()
+					return
+				}
+				winners[v] = c
+				local++
+			}
+			mu.Lock()
+			colored += local
+			mu.Unlock()
+		})
 		if failed {
 			return nil, rounds, ErrPaletteExhausted
 		}

@@ -4,9 +4,9 @@ import (
 	"context"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
+	"bitcolor/internal/exec"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
 	"bitcolor/internal/obs"
@@ -60,7 +60,7 @@ func ParallelBitwise(ctx context.Context, g *graph.CSR, maxColors int, workers i
 // there. Repair sweeps always see every neighbor.
 //
 // Cancellation is polled at block-claim granularity (one ctx.Err() per
-// dispatchBlock vertices — the per-edge hot path never sees it) and at
+// exec.DispatchBlock vertices — the per-edge hot path never sees it) and at
 // sweep boundaries; on cancellation the call returns ctx.Err() and no
 // result. All mutable state is private to the call, so an abandoned run
 // poisons nothing.
@@ -210,40 +210,23 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	// Speculation: every vertex colored once, workers pulling
 	// degree-sorted blocks from the shared cursor.
 	ssp := esp.Child("speculate").Attr("vertices", int64(n))
-	var cur blockCursor
-	cur.reset(n)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := ws[w]
-			for {
-				lo, hi, ok := cur.next()
-				if !ok {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					s.err = err
-					return
-				}
-				s.sh.Inc(obs.CtrBlocks)
-				s.sh.Add(obs.CtrVertices, int64(hi-lo))
-				for _, v := range order[lo:hi] {
-					if !firstFit(s, v, true) {
-						return
-					}
-				}
+	var cur exec.BlockCursor
+	cur.Reset(n)
+	specErr := exec.Blocks(ctx, workers, &cur, func(w, lo, hi int) error {
+		s := ws[w]
+		s.sh.Inc(obs.CtrBlocks)
+		s.sh.Add(obs.CtrVertices, int64(hi-lo))
+		for _, v := range order[lo:hi] {
+			if !firstFit(s, v, true) {
+				return s.err
 			}
-		}(w)
-	}
-	wg.Wait()
-	ssp.Attr("blocks", ss.Total(obs.CtrBlocks)).End()
-	for _, s := range ws {
-		if s.err != nil {
-			foldStats()
-			return nil, st, s.err
 		}
+		return nil
+	})
+	ssp.Attr("blocks", ss.Total(obs.CtrBlocks)).End()
+	if specErr != nil {
+		foldStats()
+		return nil, st, specErr
 	}
 
 	// Detection + in-place repair sweeps. pendingEpoch[v] == sweep marks v
@@ -298,58 +281,45 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 		for _, v := range pending {
 			pendingEpoch[v] = sweep
 		}
-		cur.reset(len(pending))
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				s := ws[w]
-				s.next = s.next[:0]
-				for {
-					lo, hi, ok := cur.next()
-					if !ok {
-						return
-					}
-					if err := ctx.Err(); err != nil {
-						s.err = err
-						return
-					}
-					s.sh.Inc(obs.CtrBlocks)
-					for _, v := range pending[lo:hi] {
-						cv := atomic.LoadUint32(&shared[v])
-						lost := false
-						for _, u := range g.Neighbors(v) {
-							if atomic.LoadUint32(&shared[u]) != cv {
-								continue
-							}
-							if pendingEpoch[u] == sweep && u > v {
-								continue // u is pending and loses; its worker repairs it
-							}
-							lost = true
-							s.sh.Inc(obs.CtrConflictsFound)
-						}
-						if !lost {
-							continue
-						}
-						s.sh.Inc(obs.CtrConflictsRepaired)
-						if !firstFit(s, v, false) {
-							return
-						}
-						s.next = append(s.next, v)
-					}
-				}
-			}(w)
+		cur.Reset(len(pending))
+		// The repair queues are per-sweep and a worker can run many blocks
+		// per sweep, so the reset happens here, not inside the block body.
+		for _, s := range ws {
+			s.next = s.next[:0]
 		}
-		wg.Wait()
+		sweepErr := exec.Blocks(ctx, workers, &cur, func(w, lo, hi int) error {
+			s := ws[w]
+			s.sh.Inc(obs.CtrBlocks)
+			for _, v := range pending[lo:hi] {
+				cv := atomic.LoadUint32(&shared[v])
+				lost := false
+				for _, u := range g.Neighbors(v) {
+					if atomic.LoadUint32(&shared[u]) != cv {
+						continue
+					}
+					if pendingEpoch[u] == sweep && u > v {
+						continue // u is pending and loses; its worker repairs it
+					}
+					lost = true
+					s.sh.Inc(obs.CtrConflictsFound)
+				}
+				if !lost {
+					continue
+				}
+				s.sh.Inc(obs.CtrConflictsRepaired)
+				if !firstFit(s, v, false) {
+					return s.err
+				}
+				s.next = append(s.next, v)
+			}
+			return nil
+		})
 		// Collect the re-colored vertices as the next sweep's pending set.
 		pending = pending[:0]
-		var sweepErr error
-		for _, s := range ws {
-			if s.err != nil {
-				sweepErr = s.err
-				break
+		if sweepErr == nil {
+			for _, s := range ws {
+				pending = append(pending, s.next...)
 			}
-			pending = append(pending, s.next...)
 		}
 		if rsp != nil {
 			claims := ss.PerWorker(obs.CtrBlocks)
@@ -388,37 +358,4 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 		colors[i] = uint16(c)
 	}
 	return sc.result(colors, sc.distinctColors(colors), OpStats{}), st, nil
-}
-
-// dispatchBlock is the number of vertices a worker claims per cursor
-// fetch. Small enough that a run of mega-degree vertices spreads across
-// workers, large enough that the atomic add amortizes.
-const dispatchBlock = 64
-
-// blockCursor hands out index blocks [lo, hi) over a shared atomic
-// cursor — the software analogue of the dispatcher popping per-PE FIFOs:
-// whichever engine is free takes the next work unit, so no static
-// assignment can strand a slow tail on one worker.
-type blockCursor struct {
-	cursor atomic.Int64
-	limit  int64
-}
-
-// reset re-arms the cursor for a range of length n.
-func (c *blockCursor) reset(n int) {
-	c.cursor.Store(0)
-	c.limit = int64(n)
-}
-
-// next claims the next block; ok is false once the range is exhausted.
-func (c *blockCursor) next() (lo, hi int, ok bool) {
-	start := c.cursor.Add(dispatchBlock) - dispatchBlock
-	if start >= c.limit {
-		return 0, 0, false
-	}
-	end := start + dispatchBlock
-	if end > c.limit {
-		end = c.limit
-	}
-	return int(start), int(end), true
 }

@@ -128,29 +128,6 @@ func TestParallelBitwiseRaceStress(t *testing.T) {
 	}
 }
 
-func TestBlockCursor(t *testing.T) {
-	var c blockCursor
-	c.reset(dispatchBlock*2 + 5)
-	seen := 0
-	for {
-		lo, hi, ok := c.next()
-		if !ok {
-			break
-		}
-		if hi <= lo {
-			t.Fatalf("empty block [%d,%d)", lo, hi)
-		}
-		seen += hi - lo
-	}
-	if seen != dispatchBlock*2+5 {
-		t.Fatalf("cursor covered %d of %d", seen, dispatchBlock*2+5)
-	}
-	c.reset(0)
-	if _, _, ok := c.next(); ok {
-		t.Fatal("empty range yielded a block")
-	}
-}
-
 func BenchmarkParallelBitwiseInternal(b *testing.B) {
 	g, _ := gen.RMAT(14, 8, 0.57, 0.19, 0.19, 1)
 	h, _ := reorder.DBG(g)

@@ -46,6 +46,16 @@ type EngineInfo struct {
 	Description string
 	// Run executes the engine.
 	Run EngineFunc
+	// Demand reports how many pool slots a run with these options will
+	// occupy (its goroutine count). Nil defaults to the resolved worker
+	// count for parallel engines and 1 otherwise — only engines whose
+	// concurrency is not Workers (the sharded engine runs shards ×
+	// workers goroutines) need to set it.
+	Demand func(g *graph.CSR, opts Options) int
+	// Grant adapts the options when the pool granted fewer slots than
+	// Demand asked for (the pool cap is smaller than the request). Nil
+	// defaults to Workers = granted for parallel engines.
+	Grant func(opts Options, granted int) Options
 }
 
 // registry holds engines in registration order; the order is part of the
@@ -69,9 +79,46 @@ func Register(info EngineInfo) {
 	if _, dup := registryIndex[info.Name]; dup {
 		panic(fmt.Sprintf("coloring: engine %q registered twice", info.Name))
 	}
-	info.Run = instrument(info.Name, info.Run)
+	// Admission wraps instrumentation so pool queue time is never billed
+	// to the engine span or its duration metrics — a queued run has not
+	// started yet.
+	info.Run = admitted(info, instrument(info.Name, info.Run))
 	registryIndex[info.Name] = len(registry)
 	registry = append(registry, info)
+}
+
+// admitted is the pool-admission decorator: with Options.Pool set, the
+// run blocks (FIFO) until the engine's slot demand is free, runs, and
+// releases. A pool smaller than the demand grants what it has and the
+// run shrinks its worker count to match, so no request ever deadlocks
+// on an oversized ask. Without a pool the only cost is one nil check.
+func admitted(info EngineInfo, run EngineFunc) EngineFunc {
+	return func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+		p := opts.Pool
+		if p == nil {
+			return run(ctx, g, opts)
+		}
+		want := 1
+		switch {
+		case info.Demand != nil:
+			want = info.Demand(g, opts)
+		case info.Parallel:
+			want = resolveWorkers(opts.Workers, g.NumVertices())
+		}
+		granted, err := p.Acquire(ctx, want)
+		if err != nil {
+			return nil, metrics.RunStats{}, err
+		}
+		defer p.Release(granted)
+		if granted < want {
+			if info.Grant != nil {
+				opts = info.Grant(opts, granted)
+			} else if info.Parallel {
+				opts.Workers = granted
+			}
+		}
+		return run(ctx, g, opts)
+	}
 }
 
 // instrument is the uniform EngineFunc decorator: it resolves the
@@ -281,6 +328,29 @@ func init() {
 		Description: "partitioned multi-card DCT: per-shard interior coloring plus one boundary-frontier phase — deterministic, identical to greedy at any shard and worker count",
 		Run: func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
 			return ShardedOpts(ctx, g, opts.maxColors(), opts)
+		},
+		// The interior phase runs shards × workers goroutines, so the
+		// pool demand is the product, and a short grant shrinks the
+		// per-shard worker count (never the shard count — partitioning
+		// is part of the result's identity).
+		Demand: func(g *graph.CSR, opts Options) int {
+			n := g.NumVertices()
+			shards := opts.Shards
+			if shards <= 0 {
+				shards = 1
+			}
+			if n > 0 && shards > n {
+				shards = n
+			}
+			return resolveWorkers(opts.Workers, n) * shards
+		},
+		Grant: func(opts Options, granted int) Options {
+			shards := opts.Shards
+			if shards <= 0 {
+				shards = 1
+			}
+			opts.Workers = max(1, granted/shards)
+			return opts
 		},
 	})
 }

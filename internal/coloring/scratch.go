@@ -3,6 +3,7 @@ package coloring
 import (
 	"math/bits"
 	"sync"
+	"time"
 
 	"bitcolor/internal/bitops"
 	"bitcolor/internal/dispatch"
@@ -23,7 +24,10 @@ import (
 // (fits fails → the engine allocates as before), so a stale handle can
 // never corrupt a run. A Scratch must not be used by two runs
 // concurrently, and the *Result returned from a run backed by a Scratch
-// is only valid until that Scratch's next run or Release.
+// is only valid until that Scratch's next run or Release — and the same
+// holds for the RunStats per-worker/per-shard slices
+// (VerticesPerWorker, BlocksPerWorker, ShardVertices, ShardDurations),
+// which alias pooled buffers when a Scratch backs the run.
 type Scratch struct {
 	key scratchKey
 
@@ -34,7 +38,8 @@ type Scratch struct {
 	pending []graph.VertexID
 	epoch   []uint32
 	parts   []int32 // partition assignment vector (sharded engine)
-	perWk   [2][]int64
+	perWk   [3][]int64
+	durs    [2][]time.Duration
 	seen    []uint64 // distinct-color bitmap: 65536 bits, lazily built
 	res     Result
 	shards  *obs.ShardSet
@@ -209,7 +214,8 @@ func (s *Scratch) ringSet(capacity int) *dispatch.RingSet {
 }
 
 // perWorkerBuf returns a length-`workers` int64 buffer for one of the
-// two per-worker stat exports (slot 0/1). Nil Scratch → nil, letting
+// per-worker stat exports (slot 0/1: vertex/block counters; slot 2: the
+// sharded engine's per-shard vertex fold). Nil Scratch → nil, letting
 // obs.ShardSet.PerWorkerInto allocate.
 func (s *Scratch) perWorkerBuf(slot, workers int) []int64 {
 	if s == nil {
@@ -219,6 +225,22 @@ func (s *Scratch) perWorkerBuf(slot, workers int) []int64 {
 		s.perWk[slot] = make([]int64, workers)
 	}
 	return s.perWk[slot][:workers]
+}
+
+// durBuf returns a zeroed length-n duration buffer (slot 0: the sharded
+// engine's flat per-goroutine phase timings; slot 1: its per-shard
+// RunStats.ShardDurations export). Nil Scratch → nil; callers fall back
+// to make, exactly the pre-pooling behavior.
+func (s *Scratch) durBuf(slot, n int) []time.Duration {
+	if s == nil {
+		return nil
+	}
+	if cap(s.durs[slot]) < n {
+		s.durs[slot] = make([]time.Duration, n)
+	}
+	b := s.durs[slot][:n]
+	clear(b)
+	return b
 }
 
 // shardSet returns a reset ShardSet for the worker count.

@@ -3,12 +3,10 @@ package coloring
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
-	"bitcolor/internal/dispatch"
+	"bitcolor/internal/exec"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
 	"bitcolor/internal/obs"
@@ -65,10 +63,6 @@ const (
 // "published" checks (shared[u] != 0) treat a mark as progress and no
 // phase-one wait can hang on a vertex that went to the frontier.
 const shardMark = ^uint32(0)
-
-// shardedMarked extends the DCT attempt outcomes: the vertex was pushed
-// to the boundary frontier (sentinel published) rather than colored.
-const shardedMarked = dctFailed + 1
 
 // shardedPartition resolves the partition strategy and builds the
 // assignment, reusing the Scratch's parts buffer when one backs the run.
@@ -166,7 +160,7 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 	// scan never stops early at a pending or marked neighbor — a later
 	// cross-shard neighbor must still win, or CrossShardDefers would
 	// depend on timing.
-	attemptInterior := func(s *workerScratch, v graph.VertexID, pv int32) (graph.VertexID, int) {
+	attemptInterior := func(s *workerScratch, v graph.VertexID, pv int32) (graph.VertexID, exec.Outcome) {
 		s.state.Reset()
 		adj := g.Neighbors(v)
 		var firstPending graph.VertexID
@@ -184,7 +178,7 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 			if parts[u] != pv {
 				atomic.StoreUint32(&shared[v], shardMark)
 				s.sh.Inc(obs.CtrCrossDefers)
-				return 0, shardedMarked
+				return 0, exec.Handed
 			}
 			var c uint32
 			if useGather {
@@ -205,139 +199,65 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 		}
 		if cascade {
 			atomic.StoreUint32(&shared[v], shardMark)
-			return 0, shardedMarked
+			return 0, exec.Handed
 		}
 		if pending {
-			return firstPending, dctDeferred
+			return firstPending, exec.Deferred
 		}
 		pick, _ := s.codec.FirstFree(s.state)
 		if pick == 0 {
-			return 0, dctFailed
+			return 0, exec.Failed
 		}
 		atomic.StoreUint32(&shared[v], uint32(pick))
 		s.sh.Inc(obs.CtrVertices)
-		return 0, dctColored
+		return 0, exec.Colored
+	}
+
+	// Forwarding-latency instrumentation, wired only under a live
+	// observer; both phases share the two closures.
+	var (
+		clock     func() int64
+		onForward func(parkedAt int64)
+	)
+	if o != nil {
+		clock = func() int64 { return int64(time.Since(obsStart)) }
+		onForward = func(parkedAt int64) {
+			o.ObserveForwardWait(float64(int64(time.Since(obsStart))-parkedAt) / 1e9)
+		}
 	}
 
 	// Interior phase: shards × workers goroutines; goroutine (s, w) owns
 	// positions w, w+P, … of shard s's ascending vertex list — the DCT
-	// owner-computes schedule applied per shard.
+	// owner-computes schedule applied per shard. The per-goroutine phase
+	// timings land in a pooled buffer (fresh only without a Scratch).
 	phaseStart := time.Now()
-	flatDur := make([]time.Duration, flat)
-	var wg sync.WaitGroup
-	for shard := 0; shard < shards; shard++ {
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(idx, w int, list []graph.VertexID, pv int32) {
-				defer wg.Done()
-				defer func() { flatDur[idx] = time.Since(phaseStart) }()
-				s := ws[idx]
-				fail := func(err error) {
-					s.err = err
-					abort.Store(true)
-				}
-				spin := func() bool {
-					s.sh.Inc(obs.CtrSpinWaits)
-					if abort.Load() {
-						return false
-					}
-					if err := ctx.Err(); err != nil {
-						fail(err)
-						return false
-					}
-					runtime.Gosched()
-					return true
-				}
-				resolve := func(p dispatch.Parked) (dispatch.Parked, bool) {
-					// A mark is progress too: the awaited vertex went to
-					// the frontier, and the replay below cascades p.Vertex
-					// after it instead of waiting forever.
-					if atomic.LoadUint32(&shared[p.Awaited]) == 0 {
-						return p, false
-					}
-					s.sh.Inc(obs.CtrDeferRetries)
-					awaited, code := attemptInterior(s, graph.VertexID(p.Vertex), pv)
-					switch code {
-					case dctDeferred:
-						p.Awaited = uint32(awaited)
-						return p, false
-					case dctFailed:
-						fail(ErrPaletteExhausted)
-						return dispatch.Parked{}, true // drop; the run is over
-					}
-					if code == dctColored && p.ParkedAt != 0 {
-						o.ObserveForwardWait(float64(int64(time.Since(obsStart))-p.ParkedAt) / 1e9)
-					}
-					return dispatch.Parked{}, true
-				}
-				polled := 0
-				for i := w; i < len(list); i += workers {
-					v := list[i]
-					if polled++; polled&63 == 0 {
-						if abort.Load() {
-							return
-						}
-						if err := ctx.Err(); err != nil {
-							fail(err)
-							return
-						}
-					}
-					for {
-						awaited, code := attemptInterior(s, v, pv)
-						if code == dctColored || code == shardedMarked {
-							break
-						}
-						if code == dctFailed {
-							fail(ErrPaletteExhausted)
-							return
-						}
-						var at int64
-						if o != nil {
-							at = int64(time.Since(obsStart))
-						}
-						if s.ring.Push(dispatch.Parked{Vertex: uint32(v), Awaited: uint32(awaited), ParkedAt: at}) {
-							s.sh.Inc(obs.CtrDeferred)
-							break
-						}
-						// Ring full: wait inline for this dependency,
-						// draining between yields. The awaited vertex is
-						// in-shard, and the shard's smallest unresolved
-						// vertex is always colorable or markable, so the
-						// wait is finite.
-						for {
-							s.ring.Drain(resolve)
-							if s.err != nil {
-								return
-							}
-							if atomic.LoadUint32(&shared[awaited]) != 0 {
-								break
-							}
-							if !spin() {
-								return
-							}
-						}
-					}
-					if s.ring.Len() > 0 {
-						s.ring.Drain(resolve)
-						if s.err != nil {
-							return
-						}
-					}
-				}
-				for s.ring.Len() > 0 {
-					if s.ring.Drain(resolve) == 0 {
-						if !spin() {
-							return
-						}
-					}
-					if s.err != nil {
-						return
-					}
-				}
-			}(shard*workers+w, w, lists[shard], int32(shard))
-		}
+	flatDur := sc.durBuf(0, flat)
+	if flatDur == nil {
+		flatDur = make([]time.Duration, flat)
 	}
-	wg.Wait()
+	exec.Go(flat, func(idx int) {
+		defer func() { flatDur[idx] = time.Since(phaseStart) }()
+		shard, w := idx/workers, idx%workers
+		pv := int32(shard)
+		s := ws[idx]
+		loop := exec.OwnerLoop{
+			Ctx:   ctx,
+			Abort: &abort,
+			Ring:  s.ring,
+			Shard: s.sh,
+			Attempt: func(v graph.VertexID) (graph.VertexID, exec.Outcome) {
+				return attemptInterior(s, v, pv)
+			},
+			// A mark is progress too: the awaited vertex went to the
+			// frontier, and the replay cascades the parked vertex after
+			// it instead of waiting forever.
+			Published: func(u uint32) bool { return atomic.LoadUint32(&shared[u]) != 0 },
+			FailErr:   ErrPaletteExhausted,
+			Clock:     clock,
+			OnForward: onForward,
+		}
+		s.err = loop.RunList(lists[shard], w, workers)
+	})
 
 	foldStats := func() {
 		st.VerticesPerWorker = ss.PerWorkerInto(obs.CtrVertices, sc.perWorkerBuf(0, flat))
@@ -356,9 +276,19 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 	}
 
 	// Interior vertex counts are folded per shard before the frontier
-	// phase reuses the low counter shards.
-	st.ShardVertices = make([]int64, shards)
-	st.ShardDurations = make([]time.Duration, shards)
+	// phase reuses the low counter shards. Both exports draw on the
+	// pooled arena when a Scratch backs the run (they alias it — see the
+	// Scratch doc), so colord-style repeated runs stop churning them.
+	st.ShardVertices = sc.perWorkerBuf(2, shards)
+	if st.ShardVertices == nil {
+		st.ShardVertices = make([]int64, shards)
+	} else {
+		clear(st.ShardVertices)
+	}
+	st.ShardDurations = sc.durBuf(1, shards)
+	if st.ShardDurations == nil {
+		st.ShardDurations = make([]time.Duration, shards)
+	}
 	for shard := 0; shard < shards; shard++ {
 		for w := 0; w < workers; w++ {
 			st.ShardVertices[shard] += ss.Shard(shard*workers + w).Get(obs.CtrVertices)
@@ -391,7 +321,7 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 	// wait conditions test against the sentinel instead.
 	if len(frontier) > 0 {
 		fw := min(workers, len(frontier))
-		attemptFrontier := func(s *workerScratch, v graph.VertexID) (graph.VertexID, int) {
+		attemptFrontier := func(s *workerScratch, v graph.VertexID) (graph.VertexID, exec.Outcome) {
 			s.state.Reset()
 			adj := g.Neighbors(v)
 			for i, u := range adj {
@@ -411,121 +341,37 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 					c = atomic.LoadUint32(&shared[u])
 				}
 				if c == shardMark {
-					return u, dctDeferred
+					return u, exec.Deferred
 				}
 				s.state.OrColorNum(c)
 			}
 			pick, _ := s.codec.FirstFree(s.state)
 			if pick == 0 {
-				return 0, dctFailed
+				return 0, exec.Failed
 			}
 			atomic.StoreUint32(&shared[v], uint32(pick))
 			s.sh.Inc(obs.CtrVertices)
-			return 0, dctColored
+			return 0, exec.Colored
 		}
-		var wg2 sync.WaitGroup
-		for w := 0; w < fw; w++ {
-			wg2.Add(1)
-			go func(w int) {
-				defer wg2.Done()
-				s := ws[w] // reuses the flat scratch + ring, both drained
-				fail := func(err error) {
-					s.err = err
-					abort.Store(true)
-				}
-				spin := func() bool {
-					s.sh.Inc(obs.CtrSpinWaits)
-					if abort.Load() {
-						return false
-					}
-					if err := ctx.Err(); err != nil {
-						fail(err)
-						return false
-					}
-					runtime.Gosched()
-					return true
-				}
-				resolve := func(p dispatch.Parked) (dispatch.Parked, bool) {
-					if atomic.LoadUint32(&shared[p.Awaited]) == shardMark {
-						return p, false
-					}
-					s.sh.Inc(obs.CtrDeferRetries)
-					awaited, code := attemptFrontier(s, graph.VertexID(p.Vertex))
-					switch code {
-					case dctDeferred:
-						p.Awaited = uint32(awaited)
-						return p, false
-					case dctFailed:
-						fail(ErrPaletteExhausted)
-						return dispatch.Parked{}, true
-					}
-					if p.ParkedAt != 0 {
-						o.ObserveForwardWait(float64(int64(time.Since(obsStart))-p.ParkedAt) / 1e9)
-					}
-					return dispatch.Parked{}, true
-				}
-				polled := 0
-				for i := w; i < len(frontier); i += fw {
-					v := frontier[i]
-					if polled++; polled&63 == 0 {
-						if abort.Load() {
-							return
-						}
-						if err := ctx.Err(); err != nil {
-							fail(err)
-							return
-						}
-					}
-					for {
-						awaited, code := attemptFrontier(s, v)
-						if code == dctColored {
-							break
-						}
-						if code == dctFailed {
-							fail(ErrPaletteExhausted)
-							return
-						}
-						var at int64
-						if o != nil {
-							at = int64(time.Since(obsStart))
-						}
-						if s.ring.Push(dispatch.Parked{Vertex: uint32(v), Awaited: uint32(awaited), ParkedAt: at}) {
-							s.sh.Inc(obs.CtrDeferred)
-							break
-						}
-						for {
-							s.ring.Drain(resolve)
-							if s.err != nil {
-								return
-							}
-							if atomic.LoadUint32(&shared[awaited]) != shardMark {
-								break
-							}
-							if !spin() {
-								return
-							}
-						}
-					}
-					if s.ring.Len() > 0 {
-						s.ring.Drain(resolve)
-						if s.err != nil {
-							return
-						}
-					}
-				}
-				for s.ring.Len() > 0 {
-					if s.ring.Drain(resolve) == 0 {
-						if !spin() {
-							return
-						}
-					}
-					if s.err != nil {
-						return
-					}
-				}
-			}(w)
-		}
-		wg2.Wait()
+		exec.Go(fw, func(w int) {
+			s := ws[w] // reuses the flat scratch + ring, both drained
+			loop := exec.OwnerLoop{
+				Ctx:   ctx,
+				Abort: &abort,
+				Ring:  s.ring,
+				Shard: s.sh,
+				Attempt: func(v graph.VertexID) (graph.VertexID, exec.Outcome) {
+					return attemptFrontier(s, v)
+				},
+				// A zero color is impossible on the frontier, so "published"
+				// tests against the mark sentinel instead.
+				Published: func(u uint32) bool { return atomic.LoadUint32(&shared[u]) != shardMark },
+				FailErr:   ErrPaletteExhausted,
+				Clock:     clock,
+				OnForward: onForward,
+			}
+			s.err = loop.RunList(frontier, w, fw)
+		})
 	}
 
 	foldStats()

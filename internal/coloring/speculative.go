@@ -3,10 +3,9 @@ package coloring
 import (
 	"context"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
-	"bitcolor/internal/bitops"
+	"bitcolor/internal/exec"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
 	"bitcolor/internal/obs"
@@ -24,11 +23,11 @@ import (
 // classic re-round semantics as the literature baseline.
 //
 // Work is distributed by the same shared atomic block cursor as
-// ParallelBitwise rather than a static per-worker chunk split, so a few
-// mega-degree vertices cannot serialize a whole round's tail. All
-// buffers (pending/next queues, per-worker color-state scratch) are
-// allocated once and reused across rounds; the per-vertex loop is
-// allocation-free.
+// ParallelBitwise (exec.BlockCursor) rather than a static per-worker
+// chunk split, so a few mega-degree vertices cannot serialize a whole
+// round's tail. All buffers (pending/next queues, per-worker color-state
+// scratch) are allocated once — or drawn from Options.Scratch — and
+// reused across rounds; the per-vertex loop is allocation-free.
 //
 // Returns the result and the number of rounds (1 = no conflicts ever).
 func Speculative(ctx context.Context, g *graph.CSR, maxColors int, workers int) (*Result, int, error) {
@@ -54,10 +53,10 @@ func SpeculativeStats(ctx context.Context, g *graph.CSR, maxColors int, workers 
 // the prune stays off there.
 //
 // Cancellation is polled at block-claim granularity inside the
-// speculation workers (one ctx.Err() per dispatchBlock vertices — off the
-// per-edge hot path) and between rounds. On cancellation the engine
-// returns ctx.Err() with no result; all intermediate state is private to
-// the call, so nothing shared is poisoned.
+// speculation workers (one ctx.Err() per exec.DispatchBlock vertices —
+// off the per-edge hot path) and between rounds. On cancellation the
+// engine returns ctx.Err() with no result; all intermediate state is
+// private to the call, so nothing shared is poisoned.
 func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, metrics.ParallelStats{}, err
@@ -70,14 +69,18 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 	if workers > n && n > 0 {
 		workers = n
 	}
+	sc := opts.Scratch
+	if !sc.fits("speculative", workers) {
+		sc = nil
+	}
 	// Per-worker hot-path counters live in cache-line-padded shards; the
 	// fold into RunStats happens after the worker goroutines join.
-	ss := obs.NewShardSet(workers)
+	ss := sc.shardSet(workers)
 	st := metrics.ParallelStats{Workers: workers}
 	useGather, gatherAuto := gatherDecision(g, opts)
 	foldStats := func() {
-		st.VerticesPerWorker = ss.PerWorker(obs.CtrVertices)
-		st.BlocksPerWorker = ss.PerWorker(obs.CtrBlocks)
+		st.VerticesPerWorker = ss.PerWorkerInto(obs.CtrVertices, sc.perWorkerBuf(0, workers))
+		st.BlocksPerWorker = ss.PerWorkerInto(obs.CtrBlocks, sc.perWorkerBuf(1, workers))
 		st.Gather = metrics.GatherStats{
 			HotReads:       ss.Total(obs.CtrHotReads),
 			MergedReads:    ss.Total(obs.CtrMergedReads),
@@ -97,39 +100,28 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 	// Shared state uses 32-bit words with atomic access: the algorithm
 	// is speculative by design (workers read neighbors mid-flight), and
 	// atomics keep that well-defined under the Go memory model.
-	shared := make([]uint32, n)
+	shared := sc.sharedBuf(n)
 	// Round 1 colors everything; later rounds only the conflicted set.
-	// pending and next swap roles each round; both are allocated once.
-	pending := make([]graph.VertexID, n)
+	// pending and next swap roles each round; both are sized once.
+	pending := sc.pendingBuf(n)
 	for i := range pending {
 		pending[i] = graph.VertexID(i)
 	}
-	next := make([]graph.VertexID, 0, n)
-	// Per-worker scratch, allocated once and reused every round.
-	type scratch struct {
-		state *bitops.BitSet
-		codec *bitops.ColorCodec
-		ga    *gather
-		sh    *obs.Shard
-		err   error
-	}
-	ws := make([]*scratch, workers)
+	next := sc.orderBuf(n)[:0]
+	// Per-worker scratch (one color-state BitSet + codec + gather view
+	// each), pooled across runs when a Scratch backs the call.
+	ws := make([]*workerScratch, workers)
 	for w := range ws {
+		s := sc.workerAt(w, maxColors)
 		sh := ss.Shard(w)
-		ws[w] = &scratch{
-			state: bitops.NewBitSet(maxColors),
-			codec: bitops.NewColorCodec(maxColors),
-			ga:    newGather(shared, opts.HotVertices, sh),
-			sh:    sh,
-		}
+		s.sh = sh
+		s.ga.init(shared, opts.HotVertices, sh)
+		ws[w] = s
 	}
 	if useGather {
 		st.HotThreshold = ws[0].ga.vt
 	}
-	var (
-		cur blockCursor
-		wg  sync.WaitGroup
-	)
+	var cur exec.BlockCursor
 	for len(pending) > 0 {
 		st.Rounds++
 		if st.Rounds > n+1 {
@@ -154,57 +146,42 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 		// Speculation: workers pull blocks of the pending set from the
 		// shared cursor, racing on neighbor reads.
 		puvRound := puv && st.Rounds == 1
-		cur.reset(len(pending))
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				s := ws[w]
-				for {
-					lo, hi, ok := cur.next()
-					if !ok {
-						return
-					}
-					if err := ctx.Err(); err != nil {
-						s.err = err
-						return
-					}
-					s.sh.Inc(obs.CtrBlocks)
-					s.sh.Add(obs.CtrVertices, int64(hi-lo))
-					for _, v := range pending[lo:hi] {
-						s.state.Reset()
-						adj := g.Neighbors(v)
-						switch {
-						case puvRound:
-							// Round 1, sorted adjacency: break at the start
-							// of the still-uncolored tail (PUV).
-							for i, u := range adj {
-								if u > v {
-									s.sh.Add(obs.CtrPrunedTail, int64(len(adj)-i))
-									break
-								}
-								s.state.OrColorNum(s.ga.load(u))
-							}
-						case useGather:
-							for _, u := range adj {
-								s.state.OrColorNum(s.ga.load(u))
-							}
-						default:
-							for _, u := range adj {
-								s.codec.Decompress(uint16(atomic.LoadUint32(&shared[u])), s.state)
-							}
+		cur.Reset(len(pending))
+		roundErr := exec.Blocks(ctx, workers, &cur, func(w, lo, hi int) error {
+			s := ws[w]
+			s.sh.Inc(obs.CtrBlocks)
+			s.sh.Add(obs.CtrVertices, int64(hi-lo))
+			for _, v := range pending[lo:hi] {
+				s.state.Reset()
+				adj := g.Neighbors(v)
+				switch {
+				case puvRound:
+					// Round 1, sorted adjacency: break at the start
+					// of the still-uncolored tail (PUV).
+					for i, u := range adj {
+						if u > v {
+							s.sh.Add(obs.CtrPrunedTail, int64(len(adj)-i))
+							break
 						}
-						pick, _ := s.codec.FirstFree(s.state)
-						if pick == 0 {
-							s.err = ErrPaletteExhausted
-							return
-						}
-						atomic.StoreUint32(&shared[v], uint32(pick))
+						s.state.OrColorNum(s.ga.load(u))
+					}
+				case useGather:
+					for _, u := range adj {
+						s.state.OrColorNum(s.ga.load(u))
+					}
+				default:
+					for _, u := range adj {
+						s.codec.Decompress(uint16(atomic.LoadUint32(&shared[u])), s.state)
 					}
 				}
-			}(w)
-		}
-		wg.Wait()
+				pick, _ := s.codec.FirstFree(s.state)
+				if pick == 0 {
+					return ErrPaletteExhausted
+				}
+				atomic.StoreUint32(&shared[v], uint32(pick))
+			}
+			return nil
+		})
 		// endRound closes the round span with this round's outcomes and
 		// dispatch split; abort marks a cancelled round.
 		endRound := func(abort bool) {
@@ -233,12 +210,10 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 			}
 			rsp.End()
 		}
-		for _, s := range ws {
-			if s.err != nil {
-				endRound(true)
-				foldStats()
-				return nil, st, s.err
-			}
+		if roundErr != nil {
+			endRound(true)
+			foldStats()
+			return nil, st, roundErr
 		}
 		// Detection: the smaller-indexed endpoint of an equal-colored
 		// edge keeps its color, the larger re-queues. pending holds each
@@ -270,11 +245,11 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 		sortVertexIDs(pending)
 	}
 	foldStats()
-	colors := make([]uint16, n)
+	colors := sc.colorsBuf(n)
 	for i, c := range shared {
 		colors[i] = uint16(c)
 	}
-	return &Result{Colors: colors, NumColors: countColors(colors)}, st, nil
+	return sc.result(colors, sc.distinctColors(colors), OpStats{}), st, nil
 }
 
 // sortVertexIDs is a small insertion/shell sort to avoid pulling sort

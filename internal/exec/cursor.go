@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// DispatchBlock is the number of indices a worker claims per cursor
+// fetch. Small enough that a run of mega-degree vertices spreads across
+// workers, large enough that the atomic add amortizes.
+const DispatchBlock = 64
+
+// BlockCursor hands out index blocks [lo, hi) over a shared atomic
+// cursor — the software analogue of the dispatcher popping per-PE
+// FIFOs: whichever engine is free takes the next work unit, so no
+// static assignment can strand a slow tail on one worker.
+type BlockCursor struct {
+	cursor atomic.Int64
+	limit  int64
+}
+
+// Reset re-arms the cursor for a range of length n.
+func (c *BlockCursor) Reset(n int) {
+	c.cursor.Store(0)
+	c.limit = int64(n)
+}
+
+// Next claims the next block; ok is false once the range is exhausted.
+func (c *BlockCursor) Next() (lo, hi int, ok bool) {
+	start := c.cursor.Add(DispatchBlock) - DispatchBlock
+	if start >= c.limit {
+		return 0, 0, false
+	}
+	end := start + DispatchBlock
+	if end > c.limit {
+		end = c.limit
+	}
+	return int(start), int(end), true
+}
+
+// Go runs fn(w) for every w in [0, workers) on its own goroutine and
+// waits for all of them — the bare spawn-and-join shared by every
+// parallel engine phase.
+func Go(workers int, fn func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Blocks drives `workers` goroutines over the cursor: each repeatedly
+// claims a block and runs body(w, lo, hi) on it. Cancellation is polled
+// once per claim — after the claim, before the body, so the per-item
+// hot path never sees it. A body error stops that worker only; the
+// remaining workers drain the cursor (the engines' contract: a palette
+// failure on one worker does not truncate its peers' telemetry).
+// Returns the lowest-indexed worker's error, matching the order the
+// engines used when they scanned their private per-worker error slots.
+func Blocks(ctx context.Context, workers int, cur *BlockCursor, body func(w, lo, hi int) error) error {
+	var e firstErr
+	Go(workers, func(w int) {
+		for {
+			lo, hi, ok := cur.Next()
+			if !ok {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				e.report(w, err)
+				return
+			}
+			if err := body(w, lo, hi); err != nil {
+				e.report(w, err)
+				return
+			}
+		}
+	})
+	return e.err
+}
+
+// firstErr keeps the error of the lowest-indexed reporting worker —
+// deterministic error selection despite racy completion order.
+type firstErr struct {
+	mu  sync.Mutex
+	w   int
+	err error
+}
+
+func (e *firstErr) report(w int, err error) {
+	e.mu.Lock()
+	if e.err == nil || w < e.w {
+		e.w, e.err = w, err
+	}
+	e.mu.Unlock()
+}

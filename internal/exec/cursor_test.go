@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBlockCursorSingleWorkerCoversRange(t *testing.T) {
+	var cur BlockCursor
+	for _, n := range []int{0, 1, DispatchBlock - 1, DispatchBlock, DispatchBlock + 1, 5*DispatchBlock + 7} {
+		cur.Reset(n)
+		covered := 0
+		prevHi := 0
+		for {
+			lo, hi, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if lo != prevHi {
+				t.Fatalf("n=%d: block [%d,%d) does not continue from %d", n, lo, hi, prevHi)
+			}
+			if hi-lo > DispatchBlock || hi <= lo {
+				t.Fatalf("n=%d: bad block [%d,%d)", n, lo, hi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != n {
+			t.Fatalf("n=%d: covered %d indices", n, covered)
+		}
+		if _, _, ok := cur.Next(); ok {
+			t.Fatalf("n=%d: Next after exhaustion claimed a block", n)
+		}
+	}
+}
+
+func TestBlockCursorConcurrentClaimsExactlyOnce(t *testing.T) {
+	const n = 10*DispatchBlock + 13
+	var cur BlockCursor
+	cur.Reset(n)
+	hits := make([]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi, ok := cur.Next()
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d claimed %d times", i, h)
+		}
+	}
+}
+
+func TestBlocksCoversAllIndices(t *testing.T) {
+	const n = 7*DispatchBlock + 31
+	var cur BlockCursor
+	cur.Reset(n)
+	hits := make([]int32, n)
+	err := Blocks(context.Background(), 4, &cur, func(w, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Blocks: %v", err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestBlocksCancelStopsWorkers(t *testing.T) {
+	var cur BlockCursor
+	cur.Reset(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	var claims atomic.Int64
+	err := Blocks(ctx, 4, &cur, func(w, lo, hi int) error {
+		if claims.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := claims.Load(); c >= 1<<20/DispatchBlock {
+		t.Fatalf("cancellation did not stop the workers (%d claims)", c)
+	}
+}
+
+func TestBlocksReportsLowestWorkerError(t *testing.T) {
+	// Every worker fails on its first claim, so the lowest worker index
+	// must win regardless of completion order. (Cannot key failures to a
+	// subset of workers: on a small box one worker can drain the whole
+	// cursor before its peers ever claim.)
+	workerErrs := []error{
+		errors.New("w0"), errors.New("w1"), errors.New("w2"), errors.New("w3"),
+	}
+	for trial := 0; trial < 50; trial++ {
+		var cur BlockCursor
+		cur.Reset(64 * DispatchBlock)
+		err := Blocks(context.Background(), 4, &cur, func(w, lo, hi int) error {
+			return workerErrs[w]
+		})
+		if !errors.Is(err, workerErrs[0]) {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, workerErrs[0])
+		}
+	}
+}
+
+func TestBlocksErrorStopsOnlyThatWorker(t *testing.T) {
+	boom := errors.New("boom")
+	var cur BlockCursor
+	const n = 32 * DispatchBlock
+	cur.Reset(n)
+	var covered atomic.Int64
+	// Worker 1 holds off until worker 0 has claimed a block and failed,
+	// so the split below is deterministic on any scheduler.
+	failed := make(chan struct{})
+	err := Blocks(context.Background(), 2, &cur, func(w, lo, hi int) error {
+		if w == 0 {
+			close(failed)
+			return boom // worker 0 dies on its first claim
+		}
+		<-failed
+		covered.Add(int64(hi - lo))
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Worker 1 must have drained everything worker 0 abandoned: all blocks
+	// except the single one worker 0 claimed before failing.
+	if got := covered.Load(); got != n-DispatchBlock {
+		t.Fatalf("surviving worker covered %d of %d indices", got, n-DispatchBlock)
+	}
+}

@@ -1,0 +1,40 @@
+// Package exec is the shared parallel-execution substrate under every
+// host-parallel coloring engine: the software rendering of the paper's
+// dispatcher/PE split. The hardware separates *what* a processing
+// engine computes (the bit-wise coloring kernel) from *how* work reaches
+// it (per-PE HDV FIFOs fed by the dispatcher); this package is that
+// second half for goroutines, so the engines in internal/coloring are
+// reduced to their kernels.
+//
+// Three dispatch policies cover the engines in the tree:
+//
+//   - BlockCursor + Blocks: a shared atomic cursor handing out
+//     fixed-size index blocks to whichever worker is free — the
+//     dispatcher popping per-PE FIFOs, used by the speculative engines
+//     (ParallelBitwise, Speculative) whose work lists shrink each round.
+//
+//   - OwnerLoop.RunRange: owner-computes pattern-p dispatch (worker w
+//     owns vertices w, w+P, …) with park/replay forwarding through a
+//     dispatch.ForwardRing — the DCT engine's schedule.
+//
+//   - OwnerLoop.RunList: the same owner-computes loop over an explicit
+//     vertex list — the sharded engine's per-shard interior lists and
+//     its boundary frontier.
+//
+// All three poll ctx on a stride that stays off the per-edge hot path
+// (per block claim, or every 64 owned vertices), count into per-worker
+// obs.Shard lanes, and report the lowest-indexed worker's error — the
+// exact cancellation and error-selection semantics the engines had when
+// each carried its own private copy of this scaffolding.
+//
+// Pool is the request-granularity layer above: a bounded worker-slot
+// pool with FIFO admission that N concurrent ColorContext/Pipeline runs
+// share, and the scheduler a multi-tenant coloring service (colord)
+// sits on.
+package exec
+
+// CtxStrideMask sets how often sequential scan loops poll ctx.Err():
+// every 64 Ki iterations. One modular test plus a branch per vertex is
+// free next to an adjacency scan, and even degenerate graphs cancel
+// within a few hundred microseconds.
+const CtxStrideMask = 1<<16 - 1

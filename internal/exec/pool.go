@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded pool of worker slots shared by concurrent engine
+// runs: each run acquires as many slots as it will spawn goroutines,
+// runs, and releases them. Admission is strictly FIFO — a large request
+// at the head is never bypassed by smaller ones behind it, so no
+// request starves — which is the backpressure contract a multi-tenant
+// coloring service needs at request granularity.
+//
+// The uncontended Acquire/Release pair is allocation-free (one mutex
+// hold each), so a pooled run costs a zero-alloc hot path nothing; a
+// waiter is materialized only when the pool is actually contended.
+//
+// A nil *Pool is valid everywhere and grants every request immediately
+// — unbounded, exactly the behavior of a run without a pool.
+type Pool struct {
+	mu    sync.Mutex
+	cap   int
+	inUse int
+	head  *waiter
+	tail  *waiter
+}
+
+// waiter is one blocked Acquire in the FIFO queue.
+type waiter struct {
+	want  int
+	ready chan int
+	next  *waiter
+}
+
+// NewPool builds a pool admitting at most maxWorkers concurrently held
+// slots (<=0: GOMAXPROCS).
+func NewPool(maxWorkers int) *Pool {
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{cap: maxWorkers}
+}
+
+// Cap returns the pool's slot bound (0 for a nil pool: unbounded).
+func (p *Pool) Cap() int {
+	if p == nil {
+		return 0
+	}
+	return p.cap
+}
+
+// InUse returns the currently held slot count.
+func (p *Pool) InUse() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
+
+// Waiting returns the number of Acquire calls blocked in the queue.
+func (p *Pool) Waiting() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for w := p.head; w != nil; w = w.next {
+		n++
+	}
+	return n
+}
+
+// Acquire blocks until `want` slots are free (want is clamped to
+// [1, Cap], so a request larger than the pool is granted the whole
+// pool rather than deadlocking) and returns the granted count. Grants
+// are strictly FIFO. On cancellation the request leaves the queue and
+// ctx.Err() is returned; a grant that raced the cancellation is
+// returned to the pool. A nil pool grants want immediately.
+func (p *Pool) Acquire(ctx context.Context, want int) (int, error) {
+	if want < 1 {
+		want = 1
+	}
+	if p == nil {
+		return want, nil
+	}
+	if want > p.cap {
+		want = p.cap
+	}
+	p.mu.Lock()
+	if p.head == nil && p.cap-p.inUse >= want {
+		p.inUse += want
+		p.mu.Unlock()
+		return want, nil
+	}
+	w := &waiter{want: want, ready: make(chan int, 1)}
+	if p.tail == nil {
+		p.head, p.tail = w, w
+	} else {
+		p.tail.next = w
+		p.tail = w
+	}
+	p.mu.Unlock()
+	select {
+	case granted := <-w.ready:
+		return granted, nil
+	case <-ctx.Done():
+		if !p.remove(w) {
+			// The grant raced the cancellation: it is already committed,
+			// so hand the slots back (which wakes the next waiter).
+			p.Release(<-w.ready)
+		}
+		return 0, ctx.Err()
+	}
+}
+
+// remove unlinks w from the queue; false means w was already granted.
+func (p *Pool) remove(w *waiter) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var prev *waiter
+	for cur := p.head; cur != nil; cur = cur.next {
+		if cur != w {
+			prev = cur
+			continue
+		}
+		if prev == nil {
+			p.head = cur.next
+		} else {
+			prev.next = cur.next
+		}
+		if p.tail == cur {
+			p.tail = prev
+		}
+		return true
+	}
+	return false
+}
+
+// Release returns n slots to the pool and wakes queued waiters in FIFO
+// order for as long as the head request fits. Safe on a nil pool.
+func (p *Pool) Release(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.inUse -= n
+	if p.inUse < 0 {
+		p.mu.Unlock()
+		panic("exec: Pool.Release of more slots than acquired")
+	}
+	for p.head != nil && p.cap-p.inUse >= p.head.want {
+		w := p.head
+		p.head = w.next
+		if p.head == nil {
+			p.tail = nil
+		}
+		p.inUse += w.want
+		w.ready <- w.want
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,227 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolNilGrantsEverything(t *testing.T) {
+	var p *Pool
+	got, err := p.Acquire(context.Background(), 17)
+	if err != nil || got != 17 {
+		t.Fatalf("nil pool Acquire = (%d, %v), want (17, nil)", got, err)
+	}
+	p.Release(17) // must not panic
+	if p.Cap() != 0 || p.InUse() != 0 || p.Waiting() != 0 {
+		t.Fatalf("nil pool introspection not zero")
+	}
+}
+
+func TestPoolClampsWantToCap(t *testing.T) {
+	p := NewPool(4)
+	got, err := p.Acquire(context.Background(), 99)
+	if err != nil || got != 4 {
+		t.Fatalf("Acquire(99) on cap-4 pool = (%d, %v), want (4, nil)", got, err)
+	}
+	if p.InUse() != 4 {
+		t.Fatalf("InUse = %d", p.InUse())
+	}
+	p.Release(got)
+	got, err = p.Acquire(context.Background(), 0)
+	if err != nil || got != 1 {
+		t.Fatalf("Acquire(0) = (%d, %v), want (1, nil)", got, err)
+	}
+	p.Release(got)
+	if p.InUse() != 0 {
+		t.Fatalf("InUse after releases = %d", p.InUse())
+	}
+}
+
+func TestPoolFIFOAdmission(t *testing.T) {
+	p := NewPool(4)
+	first, err := p.Acquire(context.Background(), 4)
+	if err != nil || first != 4 {
+		t.Fatalf("priming Acquire = (%d, %v)", first, err)
+	}
+
+	// Queue a large request, then a small one behind it. FIFO means the
+	// small request must NOT sneak past the large head even when enough
+	// slots for it alone are free.
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	ready := make(chan struct{}, 2)
+	go func() {
+		defer wg.Done()
+		ready <- struct{}{}
+		n, err := p.Acquire(context.Background(), 3)
+		if err != nil || n != 3 {
+			t.Errorf("large Acquire = (%d, %v)", n, err)
+		}
+		order <- 3
+	}()
+	// Wait until the large request is queued before issuing the small one.
+	<-ready
+	waitFor(t, func() bool { return p.Waiting() == 1 })
+	go func() {
+		defer wg.Done()
+		n, err := p.Acquire(context.Background(), 1)
+		if err != nil || n != 1 {
+			t.Errorf("small Acquire = (%d, %v)", n, err)
+		}
+		order <- 1
+	}()
+	waitFor(t, func() bool { return p.Waiting() == 2 })
+
+	// Free 2 slots: enough for the small request, not the large head —
+	// nobody may be admitted.
+	p.Release(2)
+	time.Sleep(10 * time.Millisecond)
+	if got := p.Waiting(); got != 2 {
+		t.Fatalf("small request bypassed the FIFO head (waiting=%d)", got)
+	}
+
+	// Free one more: the head (3) is admitted; the small request still
+	// waits because the head consumed every free slot.
+	p.Release(1)
+	if a := <-order; a != 3 {
+		t.Fatalf("first admission = %d, want 3", a)
+	}
+	waitFor(t, func() bool { return p.Waiting() == 1 })
+
+	// Free the last held slot: now the small request goes through.
+	p.Release(1)
+	if b := <-order; b != 1 {
+		t.Fatalf("second admission = %d, want 1", b)
+	}
+	wg.Wait()
+	p.Release(4)
+	if p.InUse() != 0 || p.Waiting() != 0 {
+		t.Fatalf("pool not drained: inUse=%d waiting=%d", p.InUse(), p.Waiting())
+	}
+}
+
+func TestPoolAcquireCancelWhileWaiting(t *testing.T) {
+	p := NewPool(2)
+	if _, err := p.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(ctx, 1)
+		done <- err
+	}()
+	waitFor(t, func() bool { return p.Waiting() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire after cancel = %v", err)
+	}
+	if p.Waiting() != 0 {
+		t.Fatalf("cancelled waiter still queued")
+	}
+	// The pool must still be fully usable.
+	p.Release(2)
+	if got, err := p.Acquire(context.Background(), 2); err != nil || got != 2 {
+		t.Fatalf("post-cancel Acquire = (%d, %v)", got, err)
+	}
+	p.Release(2)
+}
+
+func TestPoolCancelGrantRaceReturnsSlots(t *testing.T) {
+	// Hammer the cancel-vs-grant race: a waiter whose grant lands at the
+	// same instant its ctx is cancelled must hand the slots back, never
+	// leak them. After every iteration the pool must be empty again.
+	p := NewPool(1)
+	for i := 0; i < 200; i++ {
+		if _, err := p.Acquire(context.Background(), 1); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			if n, err := p.Acquire(ctx, 1); err == nil {
+				p.Release(n)
+			}
+			close(done)
+		}()
+		waitFor(t, func() bool { return p.Waiting() == 1 })
+		go cancel()
+		p.Release(1) // may race the cancel — both orders must be safe
+		<-done
+		waitFor(t, func() bool { return p.InUse() == 0 })
+		cancel()
+	}
+	if got, err := p.Acquire(context.Background(), 1); err != nil || got != 1 {
+		t.Fatalf("pool leaked slots: Acquire = (%d, %v)", got, err)
+	}
+	p.Release(1)
+}
+
+func TestPoolUncontendedAcquireZeroAlloc(t *testing.T) {
+	p := NewPool(4)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		n, err := p.Acquire(ctx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release(n)
+	})
+	if allocs != 0 {
+		t.Fatalf("uncontended Acquire/Release allocated %.1f times per run", allocs)
+	}
+}
+
+func TestPoolStressNeverExceedsCap(t *testing.T) {
+	const cap = 3
+	p := NewPool(cap)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				want := 1 + (g+i)%cap
+				n, err := p.Acquire(context.Background(), want)
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				cur := inUse.Add(int64(n))
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				inUse.Add(-int64(n))
+				p.Release(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if peak.Load() > cap {
+		t.Fatalf("concurrent holds peaked at %d > cap %d", peak.Load(), cap)
+	}
+	if p.InUse() != 0 || p.Waiting() != 0 {
+		t.Fatalf("pool not drained: inUse=%d waiting=%d", p.InUse(), p.Waiting())
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

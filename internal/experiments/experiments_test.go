@@ -250,14 +250,46 @@ func TestLocalityAblation(t *testing.T) {
 	}
 }
 
+func TestExecDispatchExperiment(t *testing.T) {
+	ctx, buf := smallCtx()
+	r, err := ExecDispatch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (workers 1, 2, 4)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Ratio <= 0 || row.InlineTime <= 0 || row.ExecTime <= 0 {
+			t.Fatalf("degenerate measurement: %+v", row)
+		}
+	}
+	r.Print(ctx)
+	if !strings.Contains(buf.String(), "dispatch overhead") {
+		t.Fatal("print missing title")
+	}
+	if recs := r.BenchRecords(); len(recs) != 2*len(r.Rows) {
+		t.Fatalf("got %d records for %d rows", len(recs), len(r.Rows))
+	}
+}
+
 func TestRunnerRegistryComplete(t *testing.T) {
 	names := Names()
 	want := []string{
 		"cacheablation", "cachesweep", "conflicts", "dct", "dramsweep",
-		"e2e", "fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
+		"e2e", "exec", "fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
 		"generality", "hostpar", "locality", "lruvshdc", "multicard",
 		"quality", "relaxed", "scorecard", "shard", "table2", "table3",
 		"table4",
+	}
+	desc := Descriptions()
+	for _, n := range names {
+		if desc[n] == "" {
+			t.Errorf("experiment %q has no description for the -exp listing", n)
+		}
+	}
+	if len(desc) != len(names) {
+		t.Errorf("Descriptions has %d entries for %d experiments", len(desc), len(names))
 	}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d experiments: %v", len(names), names)

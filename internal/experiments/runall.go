@@ -67,6 +67,41 @@ func RunnerRegistry() map[string]Runner {
 		"e2e": report(E2E, func(ctx *Context, r *E2EResult) error {
 			return ctx.EmitBench("e2e", r.BenchRecords())
 		}),
+		"exec": report(ExecDispatch, func(ctx *Context, r *ExecResult) error {
+			return ctx.EmitBench("exec", r.BenchRecords())
+		}),
+	}
+}
+
+// Descriptions maps experiment IDs to the one-line summaries benchsuite
+// prints when an unknown -exp name is given.
+func Descriptions() map[string]string {
+	return map[string]string{
+		"fig3a":         "greedy Stage 1 cost distribution (Fig 3a)",
+		"fig3b":         "bit-wise vs flag-array Stage 1 ops (Fig 3b)",
+		"table2":        "preprocessing cost and effect (Table 2)",
+		"fig11":         "memory-path locality ablation (Fig 11)",
+		"fig12":         "HVC hit rate across datasets (Fig 12)",
+		"table4":        "color quality vs baselines (Table 4)",
+		"fig13":         "speedup over CPU/GPU baselines (Fig 13)",
+		"fig14":         "PE scaling sweep (Fig 14)",
+		"cacheablation": "HVC on/off ablation",
+		"cachesweep":    "HVC capacity sweep",
+		"dramsweep":     "DRAM burst-size sweep",
+		"conflicts":     "speculation conflict analysis",
+		"generality":    "engine generality across graph families",
+		"relaxed":       "relaxed-consistency variants",
+		"table3":        "dataset registry statistics (Table 3)",
+		"quality":       "color count vs sequential greedy",
+		"multicard":     "partitioned multi-card coloring",
+		"lruvshdc":      "LRU vs degree-pinned HVC policy",
+		"scorecard":     "paper-claims scorecard",
+		"hostpar":       "host-parallel engines: GM vs fused bit-wise",
+		"locality":      "blocked color-gather locality study",
+		"dct":           "single-pass DCT engine study",
+		"shard":         "sharded engine partition study",
+		"e2e":           "end-to-end load+color breakdown",
+		"exec":          "exec.Blocks dispatch overhead vs inline loops",
 	}
 }
 
@@ -88,7 +123,8 @@ func RunAll(ctx *Context) error {
 		"table3", "fig3a", "fig3b", "table2", "fig11", "fig12", "table4",
 		"fig13", "fig14", "cacheablation", "cachesweep", "dramsweep",
 		"conflicts", "generality", "relaxed", "quality", "hostpar",
-		"locality", "dct", "shard", "e2e", "multicard", "lruvshdc", "scorecard",
+		"locality", "dct", "shard", "e2e", "exec", "multicard", "lruvshdc",
+		"scorecard",
 	}
 	reg := RunnerRegistry()
 	for _, name := range order {

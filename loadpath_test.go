@@ -143,11 +143,15 @@ func TestColorContextZeroAllocScratch(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
+	// A shared Pool is part of the serving hot path, so the zero-alloc
+	// contract must hold through admission too (the uncontended
+	// Acquire/Release pair is allocation-free by design).
+	pool := NewPool(2)
 	// EngineSharded at its ShardCount default (single shard) delegates to
 	// the same sequential DCT loop, so it shares the zero-alloc contract.
 	for _, e := range []Engine{EngineBitwise, EngineDCT, EngineSharded} {
 		s := AcquireScratch(e, 1, prepared)
-		opts := ColorOptions{Engine: e, Workers: 1, Scratch: s}
+		opts := ColorOptions{Engine: e, Workers: 1, Scratch: s, Pool: pool}
 		// Warm run: the first call grows the arena to the graph's size.
 		if _, _, err := ColorContext(ctx, prepared, opts); err != nil {
 			t.Fatal(err)
@@ -161,5 +165,60 @@ func TestColorContextZeroAllocScratch(t *testing.T) {
 		if avg != 0 {
 			t.Errorf("%v w=1 via ColorContext on pooled Scratch: %.1f allocs/run, want 0", e, avg)
 		}
+	}
+}
+
+// TestRegistryZeroAllocSweep walks the whole engine registry through the
+// pooled path (Scratch + shared Pool, one worker). Every engine must
+// accept the combination; the engines with a steady-state zero-alloc
+// contract (bitwise, dct, sharded) must additionally stay at zero heap
+// allocations per run, so a new engine registration cannot silently
+// regress the serving hot path.
+func TestRegistryZeroAllocSweep(t *testing.T) {
+	// The sweep covers every engine, including the slow MIS family, so it
+	// uses the small RC variant (a few thousand vertices) rather than the
+	// full generator the focused zero-alloc test above exercises.
+	var g *Graph
+	for _, d := range gen.SmallRegistry() {
+		if d.Abbrev == "RC" {
+			small, err := d.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g = small
+		}
+	}
+	if g == nil {
+		t.Fatal("small RC dataset missing from gen.SmallRegistry")
+	}
+	prepared, err := Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pool := NewPool(1)
+	zeroAlloc := map[Engine]bool{EngineBitwise: true, EngineDCT: true, EngineSharded: true}
+	for _, e := range Engines() {
+		s := AcquireScratch(e, 1, prepared)
+		opts := ColorOptions{Engine: e, Workers: 1, Scratch: s, Pool: pool}
+		if _, _, err := ColorContext(ctx, prepared, opts); err != nil {
+			t.Errorf("%v through shared pool: %v", e, err)
+			s.Release()
+			continue
+		}
+		if zeroAlloc[e] {
+			avg := testing.AllocsPerRun(10, func() {
+				if _, _, err := ColorContext(ctx, prepared, opts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%v w=1 pooled: %.1f allocs/run, want 0", e, avg)
+			}
+		}
+		s.Release()
+	}
+	if pool.InUse() != 0 || pool.Waiting() != 0 {
+		t.Errorf("pool not idle after sweep: in use %d, waiting %d", pool.InUse(), pool.Waiting())
 	}
 }

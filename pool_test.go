@@ -1,0 +1,182 @@
+package bitcolor
+
+// Root-level shared-pool tests: the colord serving pattern is N
+// independent requests (each with its own graph and Observer) admitted
+// through one bounded Pool. Under the race detector these tests pin
+// down the two properties that pattern needs: every run stays
+// deterministic no matter how admission interleaves the requests, and
+// each request's observability lane (metrics registry, run ID) sees
+// exactly its own runs and nothing from its neighbors.
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// poolTestGraphs builds one distinct prepared graph per concurrent
+// client, plus its single-worker DCT reference coloring (the engine's
+// determinism contract makes that the expected output at every worker
+// count and through any pool).
+func poolTestGraphs(t *testing.T) ([]*Graph, [][]uint16) {
+	t.Helper()
+	abbrevs := []string{"RC", "GD", "CA", "CL"}
+	graphs := make([]*Graph, len(abbrevs))
+	refs := make([][]uint16, len(abbrevs))
+	for i, a := range abbrevs {
+		g, err := Generate(a, int64(i+1))
+		if err != nil {
+			t.Fatalf("%s: generate: %v", a, err)
+		}
+		prepared, err := Preprocess(g)
+		if err != nil {
+			t.Fatalf("%s: preprocess: %v", a, err)
+		}
+		ref, err := Color(prepared, ColorOptions{Engine: EngineDCT, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: reference run: %v", a, err)
+		}
+		graphs[i] = prepared
+		refs[i] = ref.Colors
+	}
+	return graphs, refs
+}
+
+// TestSharedPoolConcurrentRuns drives four goroutines, each coloring
+// its own graph repeatedly through one shared 4-slot Pool with its own
+// Observer, and then checks (a) every run produced the per-graph
+// reference coloring, (b) each observer counted exactly its own runs
+// and its own vertices — counter lanes never bleed across concurrent
+// clients of a shared pool — and (c) the pool drained back to idle.
+func TestSharedPoolConcurrentRuns(t *testing.T) {
+	graphs, refs := poolTestGraphs(t)
+	// Cap below the aggregate demand (4 clients x 2 workers = 8) so
+	// runs genuinely queue against each other.
+	pool := NewPool(4)
+	const reps = 5
+	ctx := context.Background()
+	observers := make([]*Observer, len(graphs))
+	var wg sync.WaitGroup
+	for i := range graphs {
+		o := NewObserver()
+		observers[i] = o
+		wg.Add(1)
+		go func(i int, o *Observer) {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				res, _, err := ColorContext(ctx, graphs[i], ColorOptions{
+					Engine:   EngineDCT,
+					Workers:  2,
+					Pool:     pool,
+					Observer: o,
+				})
+				if err != nil {
+					t.Errorf("graph %d rep %d: %v", i, r, err)
+					return
+				}
+				for v := range refs[i] {
+					if res.Colors[v] != refs[i][v] {
+						t.Errorf("graph %d rep %d: vertex %d colored %d, want %d",
+							i, r, v, res.Colors[v], refs[i][v])
+						return
+					}
+				}
+			}
+		}(i, o)
+	}
+	wg.Wait()
+	seen := make(map[string]int, len(observers))
+	for i, o := range observers {
+		m := o.Metrics()
+		if got := m.Counter("bitcolor_engine_runs_total").Value("dct"); got != reps {
+			t.Errorf("observer %d: %d dct runs recorded, want %d (lane cross-contamination?)", i, got, reps)
+		}
+		var vertices int64
+		for w := 0; w < 2; w++ {
+			vertices += m.Counter("bitcolor_worker_vertices_total").Value(strconv.Itoa(w))
+		}
+		want := int64(reps) * int64(graphs[i].NumVertices())
+		if vertices != want {
+			t.Errorf("observer %d: %d worker vertices recorded, want %d (lane cross-contamination?)", i, vertices, want)
+		}
+		if prev, dup := seen[o.RunID()]; dup {
+			t.Errorf("observers %d and %d share run ID %q", prev, i, o.RunID())
+		}
+		seen[o.RunID()] = i
+	}
+	if pool.InUse() != 0 || pool.Waiting() != 0 {
+		t.Errorf("pool not idle after all runs: in use %d, waiting %d", pool.InUse(), pool.Waiting())
+	}
+}
+
+// TestSharedPoolShrinksWorkersDeterministically runs the DCT engine
+// asking for more workers than a 1-slot pool can ever grant. Admission
+// must shrink the run to the granted slot count — not block forever,
+// not run unbounded — and the engine's any-worker-count determinism
+// means the shrunken run still yields the reference coloring.
+func TestSharedPoolShrinksWorkersDeterministically(t *testing.T) {
+	graphs, refs := poolTestGraphs(t)
+	pool := NewPool(1)
+	res, _, err := ColorContext(context.Background(), graphs[0], ColorOptions{
+		Engine:  EngineDCT,
+		Workers: 4,
+		Pool:    pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range refs[0] {
+		if res.Colors[v] != refs[0][v] {
+			t.Fatalf("vertex %d colored %d under 1-slot pool, want %d", v, res.Colors[v], refs[0][v])
+		}
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool holds %d slots after the run", pool.InUse())
+	}
+}
+
+// TestSharedPoolCancelWhileQueued cancels a run that is parked in the
+// pool's admission queue behind a slot the test never releases. The
+// cancellation must surface as ctx.Err() without the engine running at
+// all (no run counted on the observer) and without leaking the waiter.
+func TestSharedPoolCancelWhileQueued(t *testing.T) {
+	graphs, _ := poolTestGraphs(t)
+	pool := NewPool(2)
+	// Occupy every slot so the run below cannot be admitted.
+	held, err := pool.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	o := NewObserver()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := ColorContext(ctx, graphs[0], ColorOptions{
+			Engine:   EngineDCT,
+			Workers:  2,
+			Pool:     pool,
+			Observer: o,
+		})
+		done <- err
+	}()
+	// Wait until the run is queued, then cancel it.
+	for pool.Waiting() == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("queued run returned %v, want context.Canceled", err)
+	}
+	if got := o.Metrics().Counter("bitcolor_engine_runs_total").Value("dct"); got != 0 {
+		t.Errorf("engine ran %d times despite cancellation before admission", got)
+	}
+	if pool.Waiting() != 0 {
+		t.Errorf("cancelled waiter leaked: %d still waiting", pool.Waiting())
+	}
+	pool.Release(held)
+	if pool.InUse() != 0 {
+		t.Errorf("pool holds %d slots after release", pool.InUse())
+	}
+}
