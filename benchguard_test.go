@@ -407,3 +407,88 @@ func TestBenchGuardObserverOverhead(t *testing.T) {
 		t.Fatal("observer arm recorded no spans — the comparison measured nothing")
 	}
 }
+
+// TestBenchGuardIntrospectionOverhead pins the run-registry plane's two
+// cost contracts on top of the observer guard above:
+//
+//  1. An UNOBSERVED run through a pool pays only the admission
+//     telemetry (a handful of counter bumps under the mutex the
+//     admission path already holds) — bounded at 2% against the bare
+//     nil-observer run, and in practice ≈0%.
+//  2. An OBSERVED run — registry registration, armed live mirrors,
+//     per-block atomic publishes, flight-recorder deregistration — may
+//     cost at most 2% over the nil-observer run.
+//
+// Both arms of each pair are interleaved in-process so machine speed
+// cancels; the guard retries so a one-off GC pause doesn't fake a
+// regression. The observed arm must actually land in the flight
+// recorder — otherwise the guard would be measuring a path that never
+// engaged the registry.
+func TestBenchGuardIntrospectionOverhead(t *testing.T) {
+	if os.Getenv(benchGuardEnv) == "" {
+		t.Skipf("set %s=1 to run the introspection overhead guard", benchGuardEnv)
+	}
+	prepared := guardGraph(t, "CO")
+	pool := NewPool(1)
+	o := NewObserver()
+	ctx := WithObserver(context.Background(), o)
+
+	nilRun := func() {
+		if _, _, err := ColorParallel(prepared, ColorOptions{
+			Engine: EngineParallelBitwise, Workers: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pooledRun := func() {
+		if _, _, err := ColorParallel(prepared, ColorOptions{
+			Engine: EngineParallelBitwise, Workers: 1, Pool: pool,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveRun := func() {
+		if _, _, err := ColorContext(ctx, prepared, ColorOptions{
+			Engine: EngineParallelBitwise, Workers: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recordedBefore := 0
+	for _, s := range RecentRuns() {
+		if s.RunID == o.RunID() {
+			recordedBefore++
+		}
+	}
+
+	check := func(name string, arm func(), bound float64) {
+		var overhead float64
+		for attempt := 1; ; attempt++ {
+			runtime.GC()
+			bare, instrumented := minTimePair(9, nilRun, arm)
+			overhead = float64(instrumented)/float64(bare) - 1
+			t.Logf("%s attempt %d: nil %v, %s %v, overhead %.2f%%",
+				name, attempt, bare, name, instrumented, 100*overhead)
+			if overhead <= bound || attempt == 3 {
+				break
+			}
+		}
+		if overhead > bound {
+			t.Fatalf("%s overhead %.2f%% exceeds the %.0f%% bound on every attempt",
+				name, 100*overhead, 100*bound)
+		}
+	}
+	check("pooled-unobserved", pooledRun, 0.02)
+	check("live-registry", liveRun, 0.02)
+
+	recordedAfter := 0
+	for _, s := range RecentRuns() {
+		if s.RunID == o.RunID() {
+			recordedAfter++
+		}
+	}
+	if recordedAfter <= recordedBefore {
+		t.Fatal("observed arm never reached the flight recorder — the guard measured nothing")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,15 +28,25 @@ import (
 )
 
 // obsConfig carries the observability flags shared with cmd/bitcolor:
-// a metrics/expvar endpoint, CPU+heap profile capture, and a Chrome
-// trace of the whole suite's engine-run span tree.
+// a metrics/expvar endpoint, CPU+heap profile capture, a Chrome trace
+// of the whole suite's engine-run span tree, a structured run log, and
+// the slow-run watchdog knobs.
 type obsConfig struct {
 	listen   string
 	pprofDir string
 	traceOut string
+	runlog   string
+
+	wdInterval     time.Duration
+	wdDeadlineFrac float64
+	wdStall        time.Duration
 }
 
-func (c obsConfig) observing() bool { return c.listen != "" || c.traceOut != "" }
+func (c obsConfig) observing() bool {
+	return c.listen != "" || c.traceOut != "" || c.runlog != ""
+}
+
+func (c obsConfig) watchdogOn() bool { return c.wdDeadlineFrac > 0 || c.wdStall > 0 }
 
 func main() {
 	var (
@@ -49,6 +61,10 @@ func main() {
 	flag.StringVar(&oc.listen, "listen", "", "serve Prometheus /metrics and expvar /debug/vars on this address (e.g. :9090) while the suite runs")
 	flag.StringVar(&oc.pprofDir, "pprof", "", "write cpu.pprof and heap.pprof for the suite into this directory, and mount /debug/pprof on -listen")
 	flag.StringVar(&oc.traceOut, "trace-out", "", "write the suite's engine-run span tree as Chrome trace_event JSON to this file")
+	flag.StringVar(&oc.runlog, "runlog", "", "append the suite's structured JSON log records (run_id-stamped slog) to this file (\"-\" = stderr)")
+	flag.DurationVar(&oc.wdInterval, "watchdog-interval", 500*time.Millisecond, "slow-run watchdog scan interval (active when -watchdog-deadline-frac or -watchdog-stall is set)")
+	flag.Float64Var(&oc.wdDeadlineFrac, "watchdog-deadline-frac", 0, "warn through the run log when an engine run has consumed this fraction of its deadline budget (0 = off)")
+	flag.DurationVar(&oc.wdStall, "watchdog-stall", 0, "warn through the run log when an engine run's vertex progress stalls for this long (0 = off)")
 	flag.Parse()
 	if err := run(*exp, *small, *datasets, *seed, *csv, *jsonDir, oc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
@@ -65,7 +81,16 @@ func run(exp string, small bool, datasets string, seed int64, csv bool, jsonDir 
 	ctx.CSV = csv
 	ctx.JSONDir = jsonDir
 	if oc.observing() {
-		o := obs.New()
+		var oopts []obs.Option
+		if oc.runlog != "" {
+			w, closeLog, err := openRunLog(oc.runlog)
+			if err != nil {
+				return err
+			}
+			defer closeLog()
+			oopts = append(oopts, obs.WithLogHandler(slog.NewJSONHandler(w, nil)))
+		}
+		o := obs.New(oopts...)
 		ctx.BaseCtx = obs.NewContext(context.Background(), o)
 		if oc.listen != "" {
 			srv, err := obs.Serve(oc.listen, o, oc.pprofDir != "")
@@ -84,6 +109,14 @@ func run(exp string, small bool, datasets string, seed int64, csv bool, jsonDir 
 				}
 			}()
 		}
+	}
+	if oc.watchdogOn() {
+		stopWD := obs.Runs().StartWatchdog(obs.WatchdogConfig{
+			Interval:         oc.wdInterval,
+			DeadlineFraction: oc.wdDeadlineFrac,
+			Stall:            oc.wdStall,
+		})
+		defer stopWD()
 	}
 	if oc.pprofDir != "" {
 		if err := os.MkdirAll(oc.pprofDir, 0o755); err != nil {
@@ -127,6 +160,24 @@ func run(exp string, small bool, datasets string, seed int64, csv bool, jsonDir 
 	if exp == "all" {
 		return experiments.RunAll(ctx)
 	}
+	return runOne(ctx, exp)
+}
+
+// openRunLog opens the structured-log sink: stderr for "-", otherwise
+// the file in append mode so repeated suite invocations accumulate one
+// run_id-separable log stream.
+func openRunLog(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stderr, func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func runOne(ctx *experiments.Context, exp string) error {
 	runner, ok := experiments.RunnerRegistry()[exp]
 	if !ok {
 		var sb strings.Builder

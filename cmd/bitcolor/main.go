@@ -19,6 +19,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -70,10 +72,20 @@ type runConfig struct {
 	listen      string // observability HTTP endpoint address
 	pprofDir    string // CPU/heap profile output directory
 	traceOut    string // Chrome trace_event JSON output path
+	runlog      string // structured JSON run-log path ("-" = stderr)
+
+	wdInterval     time.Duration // watchdog scan interval
+	wdDeadlineFrac float64       // watchdog deadline-budget fraction (0 = off)
+	wdStall        time.Duration // watchdog progress-stall bound (0 = off)
 }
 
 // observing reports whether the run needs a live Observer.
-func (c runConfig) observing() bool { return c.listen != "" || c.traceOut != "" }
+func (c runConfig) observing() bool {
+	return c.listen != "" || c.traceOut != "" || c.runlog != ""
+}
+
+// watchdogOn reports whether any watchdog condition is armed.
+func (c runConfig) watchdogOn() bool { return c.wdDeadlineFrac > 0 || c.wdStall > 0 }
 
 func main() {
 	var cfg runConfig
@@ -95,6 +107,10 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "", "serve Prometheus /metrics and expvar /debug/vars on this address (e.g. :9090) for the duration of the run")
 	flag.StringVar(&cfg.pprofDir, "pprof", "", "write cpu.pprof and heap.pprof for the run into this directory, and mount /debug/pprof on -listen")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write the run's span tree as Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
+	flag.StringVar(&cfg.runlog, "runlog", "", "append the run's structured JSON log records (run_id-stamped slog) to this file (\"-\" = stderr)")
+	flag.DurationVar(&cfg.wdInterval, "watchdog-interval", 500*time.Millisecond, "slow-run watchdog scan interval (active when -watchdog-deadline-frac or -watchdog-stall is set)")
+	flag.Float64Var(&cfg.wdDeadlineFrac, "watchdog-deadline-frac", 0, "warn through the run log when the run has consumed this fraction of its -timeout budget (0 = off)")
+	flag.DurationVar(&cfg.wdStall, "watchdog-stall", 0, "warn through the run log when the run's vertex progress stalls for this long (0 = off)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
 
@@ -118,7 +134,16 @@ func main() {
 func run(ctx context.Context, cfg runConfig) error {
 	var o *bitcolor.Observer
 	if cfg.observing() {
-		o = bitcolor.NewObserver()
+		var oopts []bitcolor.ObserverOption
+		if cfg.runlog != "" {
+			w, closeLog, err := openRunLog(cfg.runlog)
+			if err != nil {
+				return err
+			}
+			defer closeLog()
+			oopts = append(oopts, bitcolor.WithLogHandler(slog.NewJSONHandler(w, nil)))
+		}
+		o = bitcolor.NewObserver(oopts...)
 		ctx = bitcolor.WithObserver(ctx, o)
 		if cfg.listen != "" {
 			srv, err := bitcolor.ServeObserver(cfg.listen, o, cfg.pprofDir != "")
@@ -129,16 +154,17 @@ func run(ctx context.Context, cfg runConfig) error {
 			fmt.Printf("observability endpoint on http://%s (run %s)\n", srv.Addr, o.RunID())
 		}
 		if cfg.traceOut != "" {
-			// Written on the way out so cancelled runs still leave a
-			// trace of the stages that did execute.
-			defer func() {
-				if err := o.WriteTraceFile(cfg.traceOut); err != nil {
-					fmt.Fprintln(os.Stderr, "bitcolor: trace:", err)
-				} else {
-					fmt.Printf("trace written to %s\n", cfg.traceOut)
-				}
-			}()
+			finish := startTraceFlusher(ctx, o, cfg.traceOut)
+			defer finish()
 		}
+	}
+	if cfg.watchdogOn() {
+		stopWD := bitcolor.StartRunWatchdog(bitcolor.RunWatchdogConfig{
+			Interval:         cfg.wdInterval,
+			DeadlineFraction: cfg.wdDeadlineFrac,
+			Stall:            cfg.wdStall,
+		})
+		defer stopWD()
 	}
 	var (
 		g   *bitcolor.Graph
@@ -229,6 +255,55 @@ func run(ctx context.Context, cfg runConfig) error {
 	}
 	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Microsecond))
 	return writeColors(cfg.colorsOut, pr.Result.Colors)
+}
+
+// openRunLog opens the structured-log sink: stderr for "-", otherwise
+// the file in append mode so repeated invocations accumulate one
+// run_id-separable log stream.
+func openRunLog(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stderr, func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// startTraceFlusher arranges for the Chrome trace to reach disk no
+// matter how the run ends. The returned finish func (deferred by the
+// caller) writes the complete trace on the way out; a background
+// goroutine additionally flushes a partial trace the moment the context
+// is cancelled — stamped with a cancelled=true attribute in the trace's
+// otherData — so a run killed before its defers execute (a second
+// Ctrl-C lands while the partial-progress report is printing) still
+// leaves the stages that did run on disk. WriteTraceFile is atomic
+// (temp file + rename), so the final complete write cleanly replaces
+// the partial one and readers never observe a torn file.
+func startTraceFlusher(ctx context.Context, o *bitcolor.Observer, path string) (finish func()) {
+	runDone := make(chan struct{})
+	flusherDone := make(chan struct{})
+	go func() {
+		defer close(flusherDone)
+		select {
+		case <-runDone:
+		case <-ctx.Done():
+			o.Annotate("cancelled", true)
+			if err := o.WriteTraceFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "bitcolor: trace:", err)
+			}
+		}
+	}()
+	return func() {
+		close(runDone)
+		<-flusherDone // serialize with any in-flight partial write
+		if err := o.WriteTraceFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "bitcolor: trace:", err)
+		} else {
+			fmt.Printf("trace written to %s\n", path)
+		}
+	}
 }
 
 // printPartial reports how far a cancelled or deadlined run got.

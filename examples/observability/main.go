@@ -1,7 +1,8 @@
 // Observability: attach a run-scoped Observer to a pipeline run, scrape
-// the live Prometheus endpoint mid-run, correlate structured logs by
-// run ID, and export the span tree as a Chrome trace — the whole
-// telemetry surface in one program.
+// the live Prometheus endpoint mid-run, watch the run registry's
+// /debug/runs view of an IN-FLIGHT run (live progress + an on-demand
+// trace pull), correlate structured logs by run ID, and export the span
+// tree as a Chrome trace — the whole telemetry surface in one program.
 //
 //	go run ./examples/observability
 //
@@ -12,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -19,9 +21,63 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"bitcolor"
 )
+
+// watchLiveRun polls /debug/runs while the coloring below executes and
+// prints the first few live-progress snapshots it catches, then pulls
+// the in-flight run's Chrome trace straight off the registry — the
+// introspection a colord operator gets for free on any observed run.
+func watchLiveRun(base, runID string, done <-chan struct{}) {
+	var lastVertices int64 = -1
+	printed := 0
+	var tracePulled bool
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		resp, err := http.Get(base + "/debug/runs")
+		if err != nil {
+			return
+		}
+		var payload struct {
+			Live []bitcolor.LiveRun `json:"live"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+		if err != nil {
+			return
+		}
+		for _, lr := range payload.Live {
+			if lr.RunID != runID {
+				continue
+			}
+			if lr.Progress.Vertices > lastVertices && printed < 5 {
+				fmt.Printf("  live: run %s engine=%s state=%s round=%d vertices=%d lanes=%d\n",
+					lr.ID, lr.Engine, lr.Progress.State, lr.Progress.Round,
+					lr.Progress.Vertices, len(lr.Progress.Lanes))
+				lastVertices = lr.Progress.Vertices
+				printed++
+			}
+			if !tracePulled && lr.Progress.Vertices > 0 {
+				// The trace of a run that is STILL RUNNING: spans closed so
+				// far, served on demand.
+				resp, err := http.Get(base + "/debug/runs/" + lr.ID + "/trace")
+				if err == nil {
+					n, _ := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					fmt.Printf("  pulled in-flight trace of %s: %d bytes\n", lr.ID, n)
+					tracePulled = true
+				}
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
 
 func main() {
 	// An Observer scopes one logical run: it collects spans, folds the
@@ -39,13 +95,24 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("serving /metrics and /debug/vars on http://%s\n", srv.Addr)
+	fmt.Printf("serving /metrics, /debug/vars and /debug/runs on http://%s\n", srv.Addr)
 
-	// A gemsec-Deezer-like social network stand-in (~24K vertices).
-	g, err := bitcolor.Generate("GD", 1)
+	// The largest stand-in (~262K vertices) so the engine runs long
+	// enough for the live scrapes below to catch it mid-flight.
+	g, err := bitcolor.Generate("CF", 1)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Watch the run registry WHILE the run executes: every observed
+	// engine invocation auto-registers in /debug/runs with live progress
+	// read from the workers' counter lanes.
+	watchDone := make(chan struct{})
+	watchStopped := make(chan struct{})
+	go func() {
+		defer close(watchStopped)
+		watchLiveRun("http://"+srv.Addr, o.RunID(), watchDone)
+	}()
 
 	// WithObserver threads o through the context; the pipeline and the
 	// engine registry's decorator pick it up from there — no signature
@@ -55,11 +122,23 @@ func main() {
 		Color: bitcolor.ColorOptions{Engine: bitcolor.EngineParallelBitwise},
 	}
 	pr, err := pipe.Run(ctx, g)
+	close(watchDone)
+	<-watchStopped
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("colored with %d colors in %d round(s), %v total\n",
 		pr.Result.NumColors, pr.Stats.Rounds, pr.Total.Round(10_000))
+
+	// The finished run is now in the flight recorder (the last 64
+	// completed runs, newest first) — same data as /debug/runs "recent".
+	for _, s := range bitcolor.RecentRuns() {
+		if s.RunID == o.RunID() {
+			fmt.Printf("flight recorder: %s %s status=%s colors=%d rounds=%d %.1fms\n",
+				s.ID, s.Engine, s.Status, s.Colors, s.Rounds, s.DurationMS)
+			break
+		}
+	}
 
 	// Scrape the endpoint the way Prometheus would. Counters persist for
 	// the observer's lifetime, so the scrape reflects the finished run.

@@ -85,6 +85,9 @@ func dctRun(ctx context.Context, g *graph.CSR, maxColors int, opts Options, sc *
 		return dctSequential(ctx, g, maxColors, opts, sc)
 	}
 	ss := sc.shardSet(workers)
+	// Arm the shards' live mirrors for mid-run /debug/runs progress; the
+	// OwnerLoop refreshes them at its 64-vertex poll checkpoint.
+	opts.Run.AttachShards(ss)
 	st := metrics.ParallelStats{Workers: workers}
 	useGather, gatherAuto := gatherDecision(g, opts)
 	rings := make([]*dispatch.ForwardRing, workers)
@@ -225,6 +228,7 @@ func dctRun(ctx context.Context, g *graph.CSR, maxColors int, opts Options, sc *
 		}
 	}
 	st.Rounds = 1
+	opts.Run.SetRound(1)
 	// The single pass is the engine's one round; the span keeps the
 	// round-record count equal to RunStats.Rounds across all engines.
 	esp.Child("round").Attr("round", 1).Attr("pending", int64(n)).
@@ -246,6 +250,7 @@ func dctRun(ctx context.Context, g *graph.CSR, maxColors int, opts Options, sc *
 func dctSequential(ctx context.Context, g *graph.CSR, maxColors int, opts Options, sc *Scratch) (*Result, metrics.ParallelStats, error) {
 	n := g.NumVertices()
 	ss := sc.shardSet(1)
+	opts.Run.AttachShards(ss)
 	st := metrics.ParallelStats{Workers: 1}
 	useGather, gatherAuto := gatherDecision(g, opts)
 	shared := sc.sharedBuf(n)
@@ -269,6 +274,7 @@ func dctSequential(ctx context.Context, g *graph.CSR, maxColors int, opts Option
 	}
 	for v := 0; v < n; v++ {
 		if v&ctxStrideMask == 0 {
+			sh.PublishAll() // live-progress checkpoint at the poll stride
 			if err := ctx.Err(); err != nil {
 				fold()
 				return nil, st, err
@@ -306,6 +312,7 @@ func dctSequential(ctx context.Context, g *graph.CSR, maxColors int, opts Option
 	}
 	fold()
 	st.Rounds = 1
+	opts.Run.SetRound(1)
 	// Guarded rather than relying on nil-safe span methods: boxing the
 	// Attr values would allocate even when the span is nil.
 	if esp := opts.Span; esp != nil {

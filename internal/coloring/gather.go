@@ -79,6 +79,13 @@ type Options struct {
 	// after, shrinking Workers when the pool granted less. Nil runs
 	// unbounded, exactly as before the pool existed.
 	Pool *exec.Pool
+	// Run is this invocation's record in the live run registry (set by
+	// the admission decorator when an observer is present, nil
+	// otherwise). Engines attach their counter ShardSet to it before
+	// spawning workers and publish the current round at sweep
+	// boundaries; every method is nil-safe, so unobserved runs pay only
+	// nil checks.
+	Run *obs.RunRecord
 }
 
 // maxColors resolves the palette bound, applying the default.

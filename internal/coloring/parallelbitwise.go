@@ -82,7 +82,10 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	}
 	// Per-worker hot-path counters live in cache-line-padded shards; the
 	// fold into RunStats happens once, after the worker goroutines join.
+	// Handing them to the run record arms their atomic live mirrors so
+	// /debug/runs can read mid-run progress (nil-safe no-op otherwise).
 	ss := sc.shardSet(workers)
+	opts.Run.AttachShards(ss)
 	st := metrics.ParallelStats{Workers: workers}
 	useGather, gatherAuto := gatherDecision(g, opts)
 	foldStats := func() {
@@ -221,6 +224,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 				return s.err
 			}
 		}
+		s.sh.PublishAll() // live-progress checkpoint, once per block
 		return nil
 	})
 	ssp.Attr("blocks", ss.Total(obs.CtrBlocks)).End()
@@ -246,6 +250,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	)
 	if workers == 1 {
 		st.Rounds = 1
+		opts.Run.SetRound(1)
 		// The single conflict-free round still gets its span so the
 		// per-round record count always matches RunStats.Rounds.
 		esp.Child("round").Attr("round", 1).Attr("pending", int64(n)).
@@ -259,6 +264,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 	for len(pending) > 0 {
 		sweep++
 		st.Rounds++
+		opts.Run.SetRound(st.Rounds)
 		if st.Rounds > n+1 {
 			// Each sweep finalizes at least the lowest-indexed vertex of
 			// every conflicting cluster; this guards future regressions.
@@ -312,6 +318,7 @@ func ParallelBitwiseOpts(ctx context.Context, g *graph.CSR, maxColors int, opts 
 				}
 				s.next = append(s.next, v)
 			}
+			s.sh.PublishAll() // live-progress checkpoint, once per block
 			return nil
 		})
 		// Collect the re-colored vertices as the next sweep's pending set.

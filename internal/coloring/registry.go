@@ -87,16 +87,37 @@ func Register(info EngineInfo) {
 	registry = append(registry, info)
 }
 
-// admitted is the pool-admission decorator: with Options.Pool set, the
-// run blocks (FIFO) until the engine's slot demand is free, runs, and
-// releases. A pool smaller than the demand grants what it has and the
-// run shrinks its worker count to match, so no request ever deadlocks
-// on an oversized ask. Without a pool the only cost is one nil check.
+// admitted is the pool-admission and run-registration decorator: with
+// Options.Pool set, the run blocks (FIFO) until the engine's slot
+// demand is free, runs, and releases. A pool smaller than the demand
+// grants what it has and the run shrinks its worker count to match, so
+// no request ever deadlocks on an oversized ask.
+//
+// When an observer is present (Options.Obs or the context) the run is
+// additionally registered in the live run registry for the whole
+// admit→run lifecycle: /debug/runs shows it as "queued" while it waits
+// for slots and "running" with live progress after, and Finish
+// deregisters it into the flight-recorder ring — strictly before the
+// pool slots are released, so a recycled Scratch can never be scraped
+// under the old run's identity. Observer-less runs skip registration
+// entirely; without a pool either, the only cost is two nil checks.
 func admitted(info EngineInfo, run EngineFunc) EngineFunc {
 	return func(ctx context.Context, g *graph.CSR, opts Options) (*Result, metrics.RunStats, error) {
+		o := opts.Obs
+		if o == nil {
+			o = obs.FromContext(ctx)
+		}
 		p := opts.Pool
-		if p == nil {
+		if o == nil && p == nil {
 			return run(ctx, g, opts)
+		}
+		opts.Obs = o // instrument reuses the resolution
+		rec := obs.Runs().Begin(ctx, o, info.Name, int64(g.NumVertices()), g.NumEdges())
+		opts.Run = rec
+		if p == nil {
+			res, st, err := run(ctx, g, opts)
+			rec.Finish(numColors(res), st, err)
+			return res, st, err
 		}
 		want := 1
 		switch {
@@ -105,11 +126,20 @@ func admitted(info EngineInfo, run EngineFunc) EngineFunc {
 		case info.Parallel:
 			want = resolveWorkers(opts.Workers, g.NumVertices())
 		}
-		granted, err := p.Acquire(ctx, want)
+		rec.Queued(want)
+		var queuedAt time.Time
+		if rec != nil {
+			queuedAt = time.Now()
+		}
+		granted, err := p.AcquireTagged(ctx, want, info.Name)
 		if err != nil {
+			rec.Finish(0, metrics.RunStats{}, err)
 			return nil, metrics.RunStats{}, err
 		}
 		defer p.Release(granted)
+		if rec != nil {
+			rec.Admitted(want, granted, time.Since(queuedAt), p.Stats)
+		}
 		if granted < want {
 			if info.Grant != nil {
 				opts = info.Grant(opts, granted)
@@ -117,8 +147,18 @@ func admitted(info EngineInfo, run EngineFunc) EngineFunc {
 				opts.Workers = granted
 			}
 		}
-		return run(ctx, g, opts)
+		res, st, err := run(ctx, g, opts)
+		rec.Finish(numColors(res), st, err)
+		return res, st, err
 	}
+}
+
+// numColors extracts the color count from a possibly-nil result.
+func numColors(res *Result) int {
+	if res == nil {
+		return 0
+	}
+	return res.NumColors
 }
 
 // instrument is the uniform EngineFunc decorator: it resolves the

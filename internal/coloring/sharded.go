@@ -120,6 +120,10 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 
 	flat := shards * workers // interior goroutines, one counter shard each
 	ss := sc.shardSet(flat)
+	// Arm the live mirrors: the interior and frontier OwnerLoops refresh
+	// them at their poll checkpoints, so /debug/runs sees per-lane
+	// progress across all shards × workers (nil-safe no-op otherwise).
+	opts.Run.AttachShards(ss)
 	st := metrics.ParallelStats{
 		Workers:          workers,
 		Shards:           shards,
@@ -381,6 +385,7 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 		}
 	}
 	st.Rounds = 1
+	opts.Run.SetRound(1)
 	// One interior pass plus its bounded frontier resolution form the
 	// engine's single round, mirroring the DCT round-span convention.
 	esp.Child("round").Attr("round", 1).Attr("pending", int64(n)).

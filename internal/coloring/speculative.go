@@ -75,7 +75,10 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 	}
 	// Per-worker hot-path counters live in cache-line-padded shards; the
 	// fold into RunStats happens after the worker goroutines join.
+	// Handing them to the run record arms their atomic live mirrors so
+	// /debug/runs can read mid-run progress (nil-safe no-op otherwise).
 	ss := sc.shardSet(workers)
+	opts.Run.AttachShards(ss)
 	st := metrics.ParallelStats{Workers: workers}
 	useGather, gatherAuto := gatherDecision(g, opts)
 	foldStats := func() {
@@ -124,6 +127,7 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 	var cur exec.BlockCursor
 	for len(pending) > 0 {
 		st.Rounds++
+		opts.Run.SetRound(st.Rounds)
 		if st.Rounds > n+1 {
 			// Each round permanently finalizes at least the highest-
 			// priority pending vertex, so this cannot trigger; it guards
@@ -180,6 +184,7 @@ func SpeculativeOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Opti
 				}
 				atomic.StoreUint32(&shared[v], uint32(pick))
 			}
+			s.sh.PublishAll() // live-progress checkpoint, once per block
 			return nil
 		})
 		// endRound closes the round span with this round's outcomes and

@@ -78,6 +78,10 @@ func (l *OwnerLoop) RunRange(start, stride, limit int) error {
 	polled := 0
 	for v := start; v < limit; v += stride {
 		if polled++; polled&63 == 0 {
+			// The poll is also the live-progress checkpoint: refresh the
+			// shard's atomic mirrors so a scraper sees mid-run counters
+			// (one branch when no run record armed them).
+			l.Shard.PublishAll()
 			if l.Abort.Load() {
 				return l.err
 			}
@@ -107,6 +111,7 @@ func (l *OwnerLoop) RunList(list []graph.VertexID, start, stride int) error {
 	polled := 0
 	for i := start; i < len(list); i += stride {
 		if polled++; polled&63 == 0 {
+			l.Shard.PublishAll() // live-progress checkpoint, see RunRange
 			if l.Abort.Load() {
 				return l.err
 			}

@@ -2,8 +2,13 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"bitcolor/internal/obs"
 )
 
 // Pool is a bounded pool of worker slots shared by concurrent engine
@@ -19,12 +24,20 @@ import (
 //
 // A nil *Pool is valid everywhere and grants every request immediately
 // — unbounded, exactly the behavior of a run without a pool.
+//
+// Every pool feeds the process-wide telemetry plane (obs.Plane):
+// cap/in-use/queue-depth gauges per pool and admission counters plus a
+// wait histogram per engine tag — the bitcolor_pool_* families. The
+// updates ride the mutex the admission path already holds, so the
+// uncontended path stays allocation-free.
 type Pool struct {
-	mu    sync.Mutex
-	cap   int
-	inUse int
-	head  *waiter
-	tail  *waiter
+	mu      sync.Mutex
+	name    string
+	cap     int
+	inUse   int
+	waiting int
+	head    *waiter
+	tail    *waiter
 }
 
 // waiter is one blocked Acquire in the FIFO queue.
@@ -34,13 +47,43 @@ type waiter struct {
 	next  *waiter
 }
 
+// poolSeq numbers pools for the telemetry "pool" label.
+var poolSeq atomic.Int64
+
 // NewPool builds a pool admitting at most maxWorkers concurrently held
 // slots (<=0: GOMAXPROCS).
 func NewPool(maxWorkers int) *Pool {
 	if maxWorkers <= 0 {
 		maxWorkers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{cap: maxWorkers}
+	p := &Pool{cap: maxWorkers, name: fmt.Sprintf("pool-%d", poolSeq.Add(1))}
+	obs.PoolGauges(p.statusLocked())
+	return p
+}
+
+// Name returns the pool's telemetry label ("" for a nil pool).
+func (p *Pool) Name() string {
+	if p == nil {
+		return ""
+	}
+	return p.name
+}
+
+// statusLocked snapshots the pool state; callers hold p.mu (or, in
+// NewPool, exclusive access).
+func (p *Pool) statusLocked() obs.PoolStatus {
+	return obs.PoolStatus{Name: p.name, Cap: p.cap, InUse: p.inUse, QueueDepth: p.waiting}
+}
+
+// Stats snapshots the pool's instantaneous state. Safe on a nil pool
+// (an unbounded pseudo-pool with zero occupancy).
+func (p *Pool) Stats() obs.PoolStatus {
+	if p == nil {
+		return obs.PoolStatus{Name: "unbounded"}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.statusLocked()
 }
 
 // Cap returns the pool's slot bound (0 for a nil pool: unbounded).
@@ -68,11 +111,7 @@ func (p *Pool) Waiting() int {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	n := 0
-	for w := p.head; w != nil; w = w.next {
-		n++
-	}
-	return n
+	return p.waiting
 }
 
 // Acquire blocks until `want` slots are free (want is clamped to
@@ -82,19 +121,31 @@ func (p *Pool) Waiting() int {
 // ctx.Err() is returned; a grant that raced the cancellation is
 // returned to the pool. A nil pool grants want immediately.
 func (p *Pool) Acquire(ctx context.Context, want int) (int, error) {
+	return p.AcquireTagged(ctx, want, "")
+}
+
+// AcquireTagged is Acquire with a telemetry tag — the engine name the
+// admission is billed to in the per-engine bitcolor_pool_* counters.
+// The engine dispatch decorator uses it; untagged callers land on the
+// "" series.
+func (p *Pool) AcquireTagged(ctx context.Context, want int, tag string) (int, error) {
 	if want < 1 {
 		want = 1
 	}
 	if p == nil {
 		return want, nil
 	}
+	demand := want
 	if want > p.cap {
 		want = p.cap
 	}
 	p.mu.Lock()
 	if p.head == nil && p.cap-p.inUse >= want {
 		p.inUse += want
+		st := p.statusLocked()
 		p.mu.Unlock()
+		obs.PoolGauges(st)
+		obs.PoolAcquired(tag, demand, want, false, 0)
 		return want, nil
 	}
 	w := &waiter{want: want, ready: make(chan int, 1)}
@@ -104,9 +155,14 @@ func (p *Pool) Acquire(ctx context.Context, want int) (int, error) {
 		p.tail.next = w
 		p.tail = w
 	}
+	p.waiting++
+	st := p.statusLocked()
 	p.mu.Unlock()
+	obs.PoolGauges(st)
+	queuedAt := time.Now()
 	select {
 	case granted := <-w.ready:
+		obs.PoolAcquired(tag, demand, granted, true, time.Since(queuedAt).Seconds())
 		return granted, nil
 	case <-ctx.Done():
 		if !p.remove(w) {
@@ -114,6 +170,7 @@ func (p *Pool) Acquire(ctx context.Context, want int) (int, error) {
 			// so hand the slots back (which wakes the next waiter).
 			p.Release(<-w.ready)
 		}
+		obs.PoolCancelled(tag)
 		return 0, ctx.Err()
 	}
 }
@@ -121,7 +178,6 @@ func (p *Pool) Acquire(ctx context.Context, want int) (int, error) {
 // remove unlinks w from the queue; false means w was already granted.
 func (p *Pool) remove(w *waiter) bool {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	var prev *waiter
 	for cur := p.head; cur != nil; cur = cur.next {
 		if cur != w {
@@ -136,8 +192,13 @@ func (p *Pool) remove(w *waiter) bool {
 		if p.tail == cur {
 			p.tail = prev
 		}
+		p.waiting--
+		st := p.statusLocked()
+		p.mu.Unlock()
+		obs.PoolGauges(st)
 		return true
 	}
+	p.mu.Unlock()
 	return false
 }
 
@@ -159,8 +220,11 @@ func (p *Pool) Release(n int) {
 		if p.head == nil {
 			p.tail = nil
 		}
+		p.waiting--
 		p.inUse += w.want
 		w.ready <- w.want
 	}
+	st := p.statusLocked()
 	p.mu.Unlock()
+	obs.PoolGauges(st)
 }

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"bitcolor/internal/obs"
+)
+
+// waitUntil polls cond for up to two seconds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolStatsSnapshot(t *testing.T) {
+	p := NewPool(4)
+	st := p.Stats()
+	if !strings.HasPrefix(st.Name, "pool-") || st.Cap != 4 || st.InUse != 0 || st.QueueDepth != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+	got, err := p.Acquire(context.Background(), 3)
+	if err != nil || got != 3 {
+		t.Fatalf("acquire: %d, %v", got, err)
+	}
+	if st = p.Stats(); st.InUse != 3 {
+		t.Fatalf("in-use stats = %+v", st)
+	}
+
+	// A blocked acquire surfaces as queue depth.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n, err := p.Acquire(context.Background(), 2)
+		if err == nil {
+			p.Release(n)
+		}
+	}()
+	waitUntil(t, "queue depth 1", func() bool { return p.Stats().QueueDepth == 1 })
+	p.Release(3)
+	<-done
+	if st = p.Stats(); st.InUse != 0 || st.QueueDepth != 0 {
+		t.Fatalf("drained stats = %+v", st)
+	}
+
+	var nilPool *Pool
+	if st = nilPool.Stats(); st.Name != "unbounded" || st.Cap != 0 {
+		t.Fatalf("nil pool stats = %+v", st)
+	}
+}
+
+func TestPoolPlaneTelemetry(t *testing.T) {
+	r := obs.Plane()
+	acquires := r.Counter("bitcolor_pool_acquires_total")
+	queueWaits := r.Counter("bitcolor_pool_queue_waits_total")
+	cancelled := r.Counter("bitcolor_pool_cancelled_waits_total")
+	demand := r.Counter("bitcolor_pool_demand_slots_total")
+	granted := r.Counter("bitcolor_pool_granted_slots_total")
+	shrinks := r.Counter("bitcolor_pool_shrinks_total")
+
+	const tag = "telemetry-test-engine"
+	p := NewPool(2)
+
+	// The plane is process-global and cumulative (think -count=2), so
+	// every assertion is a delta against this baseline.
+	base := map[*obs.Family]int64{}
+	for _, f := range []*obs.Family{acquires, queueWaits, cancelled, demand, granted, shrinks} {
+		base[f] = f.Value(tag)
+	}
+	delta := func(f *obs.Family) int64 { return f.Value(tag) - base[f] }
+
+	// Uncontended, demand above cap: counted as one acquire, demand 5,
+	// granted 2, one shrink, no queue wait.
+	n, err := p.AcquireTagged(context.Background(), 5, tag)
+	if err != nil || n != 2 {
+		t.Fatalf("acquire: %d, %v", n, err)
+	}
+	if delta(acquires) != 1 || delta(demand) != 5 || delta(granted) != 2 ||
+		delta(shrinks) != 1 || delta(queueWaits) != 0 {
+		t.Fatalf("fast-path counters: acquires=%d demand=%d granted=%d shrinks=%d waits=%d",
+			delta(acquires), delta(demand), delta(granted),
+			delta(shrinks), delta(queueWaits))
+	}
+
+	// Contended: the second acquire queues, then is granted on release.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m, err := p.AcquireTagged(context.Background(), 1, tag)
+		if err == nil {
+			p.Release(m)
+		}
+	}()
+	waitUntil(t, "waiter queued", func() bool { return p.Waiting() == 1 })
+	p.Release(2)
+	<-done
+	if delta(acquires) != 2 || delta(queueWaits) != 1 {
+		t.Fatalf("queued-path counters: acquires=%d waits=%d",
+			delta(acquires), delta(queueWaits))
+	}
+
+	// Cancelled while queued: billed to the cancelled counter, not the
+	// acquired one.
+	n, err = p.AcquireTagged(context.Background(), 2, tag)
+	if err != nil || n != 2 {
+		t.Fatalf("refill: %d, %v", n, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.AcquireTagged(ctx, 1, tag)
+		errc <- err
+	}()
+	waitUntil(t, "cancellable waiter queued", func() bool { return p.Waiting() == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire err = %v", err)
+	}
+	// acquires stays at 3 (the refill was the third) — the abandoned
+	// wait is billed only to the cancelled counter.
+	if delta(cancelled) != 1 || delta(acquires) != 3 {
+		t.Fatalf("cancel counters: cancelled=%d acquires=%d",
+			delta(cancelled), delta(acquires))
+	}
+	p.Release(2)
+
+	// Gauges track this pool's occupancy under its own label.
+	st := p.Stats()
+	if got := r.Gauge("bitcolor_pool_cap").GaugeValue(st.Name); got != 2 {
+		t.Fatalf("cap gauge = %v", got)
+	}
+	if got := r.Gauge("bitcolor_pool_in_use").GaugeValue(st.Name); got != 0 {
+		t.Fatalf("in-use gauge = %v", got)
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
-	"runtime/debug"
-	"sync"
+
+	"bitcolor/internal/obs"
 )
 
 // BenchRecord is one machine-readable benchmark measurement, the JSON
@@ -52,29 +52,18 @@ type BenchFile struct {
 	Records       []BenchRecord `json:"records"`
 }
 
-var gitRevisionOnce = sync.OnceValue(func() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	var rev, dirty string
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			if s.Value == "true" {
-				dirty = "+dirty"
-			}
-		}
-	}
-	return rev + dirty
-})
-
 // GitRevision returns the vcs.revision the running binary was built
 // from (with a "+dirty" suffix for modified trees), or "" when the
-// build info carries no VCS stamp (e.g. `go test` binaries).
-func GitRevision() string { return gitRevisionOnce() }
+// build info carries no VCS stamp (e.g. `go test` binaries). It reads
+// the same obs.BuildInfo stamp the bitcolor_build_info family and the
+// /debug/runs envelope expose, so a BenchFile always correlates with
+// the metrics surface on one revision string.
+func GitRevision() string {
+	if r := obs.Revision(); r != "unknown" {
+		return r
+	}
+	return ""
+}
 
 // EmitBench writes recs as BENCH_<exp>.json under the context's JSON
 // directory; a no-op when no directory is configured. Records missing an

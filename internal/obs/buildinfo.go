@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build identity, read once from the binary's embedded build metadata.
+// The same revision string is stamped everywhere a run is identified —
+// the bitcolor_build_info family, the /debug/runs JSON envelope and the
+// benchsuite BenchFile envelope — so results from different surfaces
+// always correlate on one value.
+
+var (
+	buildInfoOnce sync.Once
+	buildInfoMap  map[string]string
+)
+
+// BuildInfo returns the process's build identity: go_version, revision
+// (VCS commit, "+dirty" when the working tree was modified, "unknown"
+// outside a VCS build), and module_version. The map is computed once
+// and shared — treat it as read-only.
+func BuildInfo() map[string]string {
+	buildInfoOnce.Do(func() {
+		m := map[string]string{
+			"go_version":     runtime.Version(),
+			"revision":       "unknown",
+			"module_version": "(devel)",
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			if bi.Main.Version != "" {
+				m["module_version"] = bi.Main.Version
+			}
+			rev, dirty := "", false
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					rev = s.Value
+				case "vcs.modified":
+					dirty = s.Value == "true"
+				}
+			}
+			if rev != "" {
+				if dirty {
+					rev += "+dirty"
+				}
+				m["revision"] = rev
+			}
+		}
+		buildInfoMap = m
+	})
+	return buildInfoMap
+}
+
+// Revision returns the VCS revision from BuildInfo ("unknown" outside a
+// VCS build). CLI envelopes (benchsuite's BenchFile) use this so their
+// stamp matches the metrics exporter's bitcolor_build_info exactly.
+func Revision() string { return BuildInfo()["revision"] }

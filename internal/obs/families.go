@@ -59,7 +59,8 @@ type Family struct {
 	Label string
 	Kind  Kind
 
-	buckets []float64 // histogram upper bounds, ascending
+	constLabels string    // pre-rendered `k="v",...` pairs stamped on every series
+	buckets     []float64 // histogram upper bounds, ascending
 
 	mu     sync.Mutex
 	series map[string]*series
@@ -103,6 +104,27 @@ func (r *Registry) RegisterGauge(name, help, label string) *Family {
 // given ascending bucket upper bounds (+Inf is implicit).
 func (r *Registry) RegisterHistogram(name, help, label string, buckets []float64) *Family {
 	return r.register(name, help, label, KindHistogram, buckets)
+}
+
+// RegisterInfo registers (idempotently) a Prometheus info-style gauge:
+// one series pinned at 1 whose constant labels carry the metadata
+// (the `bitcolor_build_info{go_version=...,revision=...} 1` idiom).
+// Multi-label, unlike regular families, because the labels are fixed at
+// registration and never fan out into series.
+func (r *Registry) RegisterInfo(name, help string, labels map[string]string) *Family {
+	f := r.register(name, help, "", KindGauge, nil)
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf(`%s=%q`, k, escapeLabel(labels[k]))
+	}
+	f.constLabels = strings.Join(parts, ",")
+	f.Set("", 1)
+	return f
 }
 
 func (r *Registry) lookup(name string, kind Kind) *Family {
@@ -162,6 +184,18 @@ func (f *Family) Value(labelValue string) int64 {
 	return s.count.Load()
 }
 
+// GaugeValue reads a gauge series (0 if the label value never
+// appeared).
+func (f *Family) GaugeValue(labelValue string) float64 {
+	f.mu.Lock()
+	s := f.series[labelValue]
+	f.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.gauge.Load())
+}
+
 // Set stores a gauge series value.
 func (f *Family) Set(labelValue string, v float64) {
 	f.at(labelValue).gauge.Store(math.Float64bits(v))
@@ -192,6 +226,9 @@ func (f *Family) labelled(value string, extra string) string {
 	var parts []string
 	if f.Label != "" {
 		parts = append(parts, fmt.Sprintf(`%s=%q`, f.Label, escapeLabel(value)))
+	}
+	if f.constLabels != "" {
+		parts = append(parts, f.constLabels)
 	}
 	if extra != "" {
 		parts = append(parts, extra)

@@ -11,8 +11,11 @@ import (
 )
 
 // HTTP exposition: one mux serving the Prometheus text format on
-// /metrics, the expvar JSON dump on /debug/vars, and (opt-in) the
-// net/http/pprof profiler endpoints. The CLIs mount it via -listen.
+// /metrics (run-scoped families followed by the process-wide plane
+// families), the expvar JSON dump on /debug/vars, the run-registry
+// introspection surface on /debug/runs (+ per-run trace pulls), and
+// (opt-in) the net/http/pprof profiler endpoints. The CLIs mount it
+// via -listen.
 
 // currentObserver backs the process-wide expvar publication: expvar
 // names are global and can only be published once, so the expvar Func
@@ -27,14 +30,15 @@ func publishExpvar(o *Observer) {
 	currentObserver.Store(o)
 	if publishOnce.CompareAndSwap(false, true) {
 		expvar.Publish("bitcolor", expvar.Func(func() any {
-			cur := currentObserver.Load()
-			if cur == nil {
-				return nil
+			out := map[string]any{
+				"build": BuildInfo(),
+				"plane": Plane().Snapshot(),
 			}
-			return map[string]any{
-				"run_id":  cur.RunID(),
-				"metrics": cur.Metrics().Snapshot(),
+			if cur := currentObserver.Load(); cur != nil {
+				out["run_id"] = cur.RunID()
+				out["metrics"] = cur.Metrics().Snapshot()
 			}
+			return out
 		}))
 	}
 }
@@ -47,19 +51,22 @@ func Handler(o *Observer, pprofEnabled bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		cur := currentObserver.Load()
-		if cur == nil {
-			return
+		if cur := currentObserver.Load(); cur != nil {
+			if err := cur.Metrics().WritePrometheus(w); err != nil {
+				return
+			}
 		}
-		_ = cur.Metrics().WritePrometheus(w)
+		_ = Plane().WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/runs", handleRuns(Runs()))
+	mux.HandleFunc("/debug/runs/", handleRunTrace(Runs()))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "bitcolor observability: /metrics /debug/vars")
+		fmt.Fprintf(w, "bitcolor observability: /metrics /debug/vars /debug/runs")
 		if pprofEnabled {
 			fmt.Fprintf(w, " /debug/pprof/")
 		}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// /debug/runs — the run registry's HTTP surface. JSON by default; a
+// minimal HTML table when the client asks for text/html. The trace
+// endpoint serves a Chrome trace of a live or completed run on demand.
+
+// runsPayload is the /debug/runs JSON envelope.
+type runsPayload struct {
+	Build  map[string]string `json:"build"`
+	Pools  []PoolStatus      `json:"pools,omitempty"`
+	Live   []LiveRun         `json:"live"`
+	Recent []RunSummary      `json:"recent"`
+}
+
+// runsSnapshot assembles the full introspection payload. Pool statuses
+// are collected from the live runs' admission snapshots, deduplicated
+// by pool name.
+func runsSnapshot(rr *RunRegistry) runsPayload {
+	live := rr.LiveRuns()
+	var pools []PoolStatus
+	seen := map[string]bool{}
+	for _, lr := range live {
+		if lr.Pool != nil && !seen[lr.Pool.Name] {
+			seen[lr.Pool.Name] = true
+			pools = append(pools, *lr.Pool)
+		}
+	}
+	return runsPayload{
+		Build:  BuildInfo(),
+		Pools:  pools,
+		Live:   live,
+		Recent: rr.Recent(),
+	}
+}
+
+// handleRuns serves GET /debug/runs.
+func handleRuns(rr *RunRegistry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p := runsSnapshot(rr)
+		if strings.Contains(r.Header.Get("Accept"), "text/html") {
+			writeRunsHTML(w, p)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	}
+}
+
+// writeRunsHTML renders the payload as a minimal two-table page.
+func writeRunsHTML(w http.ResponseWriter, p runsPayload) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>bitcolor runs</title></head><body>")
+	fmt.Fprintf(w, "<h1>bitcolor runs</h1><p>revision %s · %s</p>",
+		html.EscapeString(p.Build["revision"]), html.EscapeString(p.Build["go_version"]))
+	for _, ps := range p.Pools {
+		fmt.Fprintf(w, "<p>pool %s: cap %d, in use %d, queue depth %d</p>",
+			html.EscapeString(ps.Name), ps.Cap, ps.InUse, ps.QueueDepth)
+	}
+	fmt.Fprintf(w, "<h2>in flight (%d)</h2><table border=1 cellpadding=4>", len(p.Live))
+	fmt.Fprintf(w, "<tr><th>id</th><th>engine</th><th>state</th><th>vertices</th><th>progress</th><th>round</th><th>elapsed ms</th><th>grant</th><th>trace</th></tr>")
+	for _, lr := range p.Live {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.1f</td><td>%d/%d</td><td><a href=\"/debug/runs/%s/trace\">trace</a></td></tr>",
+			html.EscapeString(lr.ID), html.EscapeString(lr.Engine),
+			html.EscapeString(lr.Progress.State), lr.Vertices,
+			lr.Progress.Vertices, lr.Progress.Round, lr.ElapsedMS,
+			lr.Granted, lr.Demand, html.EscapeString(lr.ID))
+	}
+	fmt.Fprintf(w, "</table><h2>recent (%d)</h2><table border=1 cellpadding=4>", len(p.Recent))
+	fmt.Fprintf(w, "<tr><th>id</th><th>engine</th><th>status</th><th>colors</th><th>rounds</th><th>duration ms</th><th>trace</th></tr>")
+	for _, s := range p.Recent {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%.2f</td><td><a href=\"/debug/runs/%s/trace\">trace</a></td></tr>",
+			html.EscapeString(s.ID), html.EscapeString(s.Engine),
+			html.EscapeString(s.Status), s.Colors, s.Rounds, s.DurationMS,
+			html.EscapeString(s.ID))
+	}
+	fmt.Fprintf(w, "</table></body></html>\n")
+}
+
+// handleRunTrace serves GET /debug/runs/<id>/trace: the Chrome trace of
+// a live (spans finished so far) or completed run.
+func handleRunTrace(rr *RunRegistry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/debug/runs/")
+		id, ok := strings.CutSuffix(rest, "/trace")
+		if !ok || id == "" || strings.Contains(id, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		o := rr.Observer(id)
+		if o == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "trace-"+id+".json"))
+		_ = o.WriteTrace(w)
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bitcolor/internal/metrics"
+)
+
+func getWithAccept(t *testing.T, url, accept string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestDebugRunsEndpoint(t *testing.T) {
+	o := New(WithRunID("httpruns"))
+	srv, err := Serve("127.0.0.1:0", o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	// A live run with published lane progress, registered in the default
+	// registry — exactly what the engine decorator does.
+	rec := Runs().Begin(context.Background(), o, "parallelbitwise", 5000, 20000)
+	id := rec.ID()
+	ss := NewShardSet(2)
+	rec.AttachShards(ss)
+	ss.Shard(0).Add(CtrVertices, 123)
+	ss.Shard(0).PublishAll()
+	rec.SetRound(1)
+	sp := o.StartSpan("engine")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	code, body, hdr := getWithAccept(t, base+"/debug/runs", "")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/runs status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var payload struct {
+		Build  map[string]string `json:"build"`
+		Live   []LiveRun         `json:"live"`
+		Recent []RunSummary      `json:"recent"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/debug/runs not JSON: %v\n%s", err, body)
+	}
+	if payload.Build["revision"] == "" || payload.Build["go_version"] == "" {
+		t.Fatalf("build stamp missing: %+v", payload.Build)
+	}
+	var found *LiveRun
+	for i := range payload.Live {
+		if payload.Live[i].ID == id {
+			found = &payload.Live[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("live run %s not in payload:\n%s", id, body)
+	}
+	if found.Progress.Vertices != 123 || found.Progress.Round != 1 {
+		t.Fatalf("live progress = %+v", found.Progress)
+	}
+
+	// HTML rendering for browsers.
+	code, body, hdr = getWithAccept(t, base+"/debug/runs", "text/html,application/xhtml+xml")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "text/html") {
+		t.Fatalf("HTML variant: %d %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "<table") || !strings.Contains(body, id) {
+		t.Fatalf("HTML table missing the live run:\n%s", body)
+	}
+
+	// On-demand trace of the LIVE run.
+	code, body, hdr = getWithAccept(t, base+"/debug/runs/"+id+"/trace", "")
+	if code != http.StatusOK {
+		t.Fatalf("live trace status %d", code)
+	}
+	if !strings.Contains(hdr.Get("Content-Disposition"), "trace-"+id) {
+		t.Fatalf("trace disposition %q", hdr.Get("Content-Disposition"))
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		OtherData   map[string]any    `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(body), &tf); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if tf.OtherData["run_id"] != "httpruns" || len(tf.TraceEvents) == 0 {
+		t.Fatalf("trace payload = otherData %+v, %d events", tf.OtherData, len(tf.TraceEvents))
+	}
+
+	// After Finish the run moves to "recent" and the trace stays pullable.
+	rec.Finish(9, metrics.RunStats{Workers: 2, Rounds: 1}, nil)
+	_, body, _ = getWithAccept(t, base+"/debug/runs", "")
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	var summary *RunSummary
+	for i := range payload.Recent {
+		if payload.Recent[i].ID == id {
+			summary = &payload.Recent[i]
+		}
+	}
+	if summary == nil || summary.Status != "ok" || summary.Colors != 9 {
+		t.Fatalf("completed run not in recent: %+v\n%s", summary, body)
+	}
+	if code, _, _ = getWithAccept(t, base+"/debug/runs/"+id+"/trace", ""); code != http.StatusOK {
+		t.Fatalf("completed-run trace status %d", code)
+	}
+
+	// Unknown and malformed IDs 404.
+	for _, p := range []string{"/debug/runs/nope/trace", "/debug/runs/" + id, "/debug/runs/a/b/trace"} {
+		if code, _, _ = getWithAccept(t, base+p, ""); code != http.StatusNotFound {
+			t.Fatalf("%s status %d, want 404", p, code)
+		}
+	}
+
+	// The index page advertises the runs endpoint.
+	if _, body, _ = getWithAccept(t, base+"/", ""); !strings.Contains(body, "/debug/runs") {
+		t.Fatalf("index missing /debug/runs: %q", body)
+	}
+}

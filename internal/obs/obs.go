@@ -36,6 +36,7 @@ type Observer struct {
 
 	mu     sync.Mutex
 	spans  []SpanRecord
+	notes  map[string]any
 	nextID atomic.Int64
 
 	reg *Registry
@@ -196,6 +197,40 @@ func (s *Span) End() {
 	s.o.spans = append(s.o.spans, rec)
 	s.o.mu.Unlock()
 	s.o.reg.Counter(famSpans).Add("", 1)
+}
+
+// Annotate attaches a run-level key/value annotation, exported in the
+// Chrome trace's otherData (e.g. "cancelled": true on a partial trace
+// flushed by a SIGINT handler). Nil-safe and concurrent-safe; the last
+// write per key wins.
+func (o *Observer) Annotate(key string, value any) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.notes == nil {
+		o.notes = map[string]any{}
+	}
+	o.notes[key] = value
+	o.mu.Unlock()
+}
+
+// Annotations returns a copy of the run-level annotations (nil when
+// none).
+func (o *Observer) Annotations() map[string]any {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.notes) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(o.notes))
+	for k, v := range o.notes {
+		out[k] = v
+	}
+	return out
 }
 
 // Spans returns a copy of the finished spans in end order.

@@ -1,0 +1,105 @@
+package obs
+
+import "sync"
+
+// The plane registry is the process-wide (not run-scoped) metric
+// surface: pool admission telemetry, the run registry's in-flight and
+// completed counts, and the build-info stamp. Run-scoped registries
+// reset with every observer; the plane outlives them all and is
+// appended to every /metrics scrape and expvar snapshot.
+
+// Plane metric family names.
+const (
+	famBuildInfo     = "bitcolor_build_info"
+	famRunsInflight  = "bitcolor_runs_inflight"
+	famRunsCompleted = "bitcolor_runs_completed_total"
+
+	famPoolCap        = "bitcolor_pool_cap"
+	famPoolInUse      = "bitcolor_pool_in_use"
+	famPoolQueueDepth = "bitcolor_pool_queue_depth"
+	famPoolAcquires   = "bitcolor_pool_acquires_total"
+	famPoolQueueWaits = "bitcolor_pool_queue_waits_total"
+	famPoolCancelled  = "bitcolor_pool_cancelled_waits_total"
+	famPoolDemand     = "bitcolor_pool_demand_slots_total"
+	famPoolGranted    = "bitcolor_pool_granted_slots_total"
+	famPoolShrinks    = "bitcolor_pool_shrinks_total"
+	famPoolWait       = "bitcolor_pool_admission_wait_seconds"
+)
+
+// admissionWaitBuckets covers an uncontended grant (sub-microsecond,
+// recorded only for queued acquires so the floor is scheduler latency)
+// through a long backpressure stall.
+var admissionWaitBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10,
+}
+
+var (
+	planeOnce sync.Once
+	planeReg  *Registry
+)
+
+// Plane returns the process-global metric registry, creating and
+// populating it with the standard plane families on first use.
+func Plane() *Registry {
+	planeOnce.Do(func() {
+		r := NewRegistry()
+		r.RegisterInfo(famBuildInfo, "Build identity of this binary (constant 1).", BuildInfo())
+		r.RegisterGauge(famRunsInflight, "Coloring runs currently registered as in flight (queued or running).", "")
+		r.RegisterCounter(famRunsCompleted, "Coloring runs deregistered into the flight recorder, by final status.", "status")
+		r.RegisterGauge(famPoolCap, "Worker-slot bound of each live pool.", "pool")
+		r.RegisterGauge(famPoolInUse, "Worker slots currently held, per pool.", "pool")
+		r.RegisterGauge(famPoolQueueDepth, "Acquire calls blocked in the FIFO admission queue, per pool.", "pool")
+		r.RegisterCounter(famPoolAcquires, "Pool slot acquisitions granted, by engine.", "engine")
+		r.RegisterCounter(famPoolQueueWaits, "Acquisitions that had to queue before being granted, by engine.", "engine")
+		r.RegisterCounter(famPoolCancelled, "Queued acquisitions abandoned by context cancellation, by engine.", "engine")
+		r.RegisterCounter(famPoolDemand, "Worker slots requested by admitted runs (pre-clamp demand), by engine.", "engine")
+		r.RegisterCounter(famPoolGranted, "Worker slots actually granted to admitted runs, by engine.", "engine")
+		r.RegisterCounter(famPoolShrinks, "Admissions granted fewer slots than demanded (run shrank to fit), by engine.", "engine")
+		r.RegisterHistogram(famPoolWait, "Time queued acquisitions spent waiting for admission.", "", admissionWaitBuckets)
+		planeReg = r
+	})
+	return planeReg
+}
+
+// PoolStatus is one pool's instantaneous state — the shape both the
+// exec.Pool Stats snapshot and the /debug/runs JSON use. Defined here
+// (not in exec) because exec already imports obs and the HTTP surface
+// lives on this side.
+type PoolStatus struct {
+	Name       string `json:"name"`
+	Cap        int    `json:"cap"`
+	InUse      int    `json:"in_use"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// PoolAcquired folds one granted admission into the plane families.
+// exec.Pool calls it after every successful Acquire; engine is the
+// admission tag ("" for untagged callers).
+func PoolAcquired(engine string, demand, granted int, queued bool, waitSeconds float64) {
+	r := Plane()
+	r.Counter(famPoolAcquires).Add(engine, 1)
+	r.Counter(famPoolDemand).Add(engine, int64(demand))
+	r.Counter(famPoolGranted).Add(engine, int64(granted))
+	if granted < demand {
+		r.Counter(famPoolShrinks).Add(engine, 1)
+	}
+	if queued {
+		r.Counter(famPoolQueueWaits).Add(engine, 1)
+		r.Histogram(famPoolWait).Observe("", waitSeconds)
+	}
+}
+
+// PoolCancelled folds one abandoned (context-cancelled) queued
+// admission into the plane families.
+func PoolCancelled(engine string) {
+	Plane().Counter(famPoolCancelled).Add(engine, 1)
+}
+
+// PoolGauges refreshes one pool's gauges from a status snapshot.
+// exec.Pool calls it whenever slot or queue occupancy changes.
+func PoolGauges(s PoolStatus) {
+	r := Plane()
+	r.Gauge(famPoolCap).Set(s.Name, float64(s.Cap))
+	r.Gauge(famPoolInUse).Set(s.Name, float64(s.InUse))
+	r.Gauge(famPoolQueueDepth).Set(s.Name, float64(s.QueueDepth))
+}

@@ -9,6 +9,8 @@ package obs
 // only the owning worker writes its shard, and the fold happens after
 // the worker goroutines join.
 
+import "sync/atomic"
+
 // Counter indices within a shard.
 const (
 	// CtrVertices counts speculation-phase vertices claimed from the
@@ -46,11 +48,22 @@ const (
 	NumCounters
 )
 
-// Shard is one worker's private counter block, padded to 128 bytes so
-// adjacent workers' shards never share a cache line.
+// shardBytes is the payload size of a Shard: the plain counters, their
+// atomic live mirrors, and the liveOn flag.
+const shardBytes = NumCounters*8*2 + 1
+
+// Shard is one worker's private counter block, padded to a cache-line
+// multiple so adjacent workers' shards never share a line. The plain
+// counters c are owner-only (see package comment); the live mirrors are
+// atomic cells the owner refreshes at coarse checkpoints (Publish) so a
+// scraper goroutine can read mid-run progress race-free. Mirrors are
+// armed per run (liveOn) before the workers spawn; unobserved runs pay
+// one predictable branch per checkpoint and no atomics.
 type Shard struct {
-	c [NumCounters]int64
-	_ [128 - (NumCounters*8)%128]byte
+	c      [NumCounters]int64
+	live   [NumCounters]atomic.Int64
+	liveOn bool
+	_      [(128 - shardBytes%128) % 128]byte
 }
 
 // Inc bumps one counter.
@@ -61,6 +74,31 @@ func (s *Shard) Add(id int, delta int64) { s.c[id] += delta }
 
 // Get reads one counter (owner or post-join only).
 func (s *Shard) Get(id int) int64 { return s.c[id] }
+
+// Publish refreshes one counter's live mirror from its plain value.
+// Owner-only; call at coarse checkpoints (block claims, ctx polls), not
+// per element. No-op unless the mirrors are armed.
+func (s *Shard) Publish(id int) {
+	if s.liveOn {
+		s.live[id].Store(s.c[id])
+	}
+}
+
+// PublishAll refreshes every live mirror. Owner-only; same checkpoint
+// discipline as Publish.
+func (s *Shard) PublishAll() {
+	if !s.liveOn {
+		return
+	}
+	for i := range s.c {
+		s.live[i].Store(s.c[i])
+	}
+}
+
+// Live reads one counter's mirror. Safe from any goroutine at any time;
+// the value trails the owner's plain counter by at most one checkpoint
+// and never decreases within a run.
+func (s *Shard) Live(id int) int64 { return s.live[id].Load() }
 
 // ShardSet is the per-run collection of worker shards.
 type ShardSet struct {
@@ -87,12 +125,49 @@ func (s *ShardSet) Total(id int) int64 {
 // Workers returns the number of shards.
 func (s *ShardSet) Workers() int { return len(s.shards) }
 
-// Reset zeroes every counter so a pooled ShardSet can serve a new run.
-// Call only between runs (no concurrent shard owners).
+// Reset zeroes every counter so a pooled ShardSet can serve a new run,
+// disarms the live mirrors and clears them. Call only between runs (no
+// concurrent shard owners; the run registry detaches readers first).
 func (s *ShardSet) Reset() {
 	for w := range s.shards {
-		s.shards[w].c = [NumCounters]int64{}
+		sh := &s.shards[w]
+		sh.c = [NumCounters]int64{}
+		if sh.liveOn {
+			sh.liveOn = false
+			for i := range sh.live {
+				sh.live[i].Store(0)
+			}
+		}
 	}
+}
+
+// EnableLive arms every shard's live mirror for the coming run. Call
+// before the worker goroutines spawn (goroutine creation publishes the
+// flag to the owners).
+func (s *ShardSet) EnableLive() {
+	for w := range s.shards {
+		s.shards[w].liveOn = true
+	}
+}
+
+// LiveTotal folds one counter's live mirrors across workers. Safe
+// mid-run from any goroutine.
+func (s *ShardSet) LiveTotal(id int) int64 {
+	var sum int64
+	for w := range s.shards {
+		sum += s.shards[w].live[id].Load()
+	}
+	return sum
+}
+
+// LivePerWorker returns one counter's per-worker live mirrors as a
+// fresh slice. Scrape path only — allocates.
+func (s *ShardSet) LivePerWorker(id int) []int64 {
+	out := make([]int64, len(s.shards))
+	for w := range s.shards {
+		out[w] = s.shards[w].live[id].Load()
+	}
+	return out
 }
 
 // PerWorker returns one counter's per-worker values as a fresh slice.

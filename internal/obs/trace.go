@@ -42,6 +42,9 @@ func (o *Observer) WriteTrace(w io.Writer) error {
 	}
 	if o != nil {
 		tf.OtherData = map[string]any{"run_id": o.runID}
+		for k, v := range o.Annotations() {
+			tf.OtherData[k] = v
+		}
 		spans := o.Spans()
 		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
 		tids := map[int]bool{}

@@ -1,0 +1,413 @@
+package bitcolor
+
+// Root-level introspection-plane tests: the acceptance path for the
+// multi-run observability plane. One bounded pool, several concurrent
+// observed runs, and the /debug/runs + /metrics + /debug/vars surfaces
+// scraped WHILE the runs execute — under the race detector this is the
+// proof that mid-run progress reads never touch engine hot-path state
+// unsafely, that per-run progress is monotonically non-decreasing, and
+// that a run's lanes never show another run's counters.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"context"
+)
+
+// waitFor spins (bounded) until cond holds. Callers only wait on
+// absorbing states — conditions that, once true, stay true until the
+// test itself acts — so the deadline is a loud failure mode for a
+// broken invariant, never a timing race.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		runtime.Gosched()
+	}
+}
+
+// scrapeRuns fetches and decodes /debug/runs.
+func scrapeRuns(t *testing.T, base string) (struct {
+	Build  map[string]string `json:"build"`
+	Pools  []RunPoolStatus   `json:"pools"`
+	Live   []LiveRun         `json:"live"`
+	Recent []RunSummary      `json:"recent"`
+}, error) {
+	t.Helper()
+	var payload struct {
+		Build  map[string]string `json:"build"`
+		Pools  []RunPoolStatus   `json:"pools"`
+		Live   []LiveRun         `json:"live"`
+		Recent []RunSummary      `json:"recent"`
+	}
+	resp, err := http.Get(base + "/debug/runs")
+	if err != nil {
+		return payload, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return payload, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return payload, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return payload, json.Unmarshal(body, &payload)
+}
+
+// TestIntrospectionLiveRunWithQueuedRun is the acceptance scenario:
+// while run A executes with every pool slot it could get, run B waits
+// for admission — and /debug/runs must show A in flight with live,
+// increasing progress, B in state "queued", and the pool's nonzero
+// queue depth, all observed by a real HTTP scraper mid-run.
+func TestIntrospectionLiveRunWithQueuedRun(t *testing.T) {
+	// On a single-P box the scraper's HTTP hops each wait out the busy
+	// engine workers' preemption quantum and the run can end before two
+	// scrapes land; a few extra Ps let the scraper run alongside them.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	g, err := Generate("CF", 1) // the largest stand-in: a long engine run
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = Preprocess(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oA := NewObserver()
+	srv, err := ServeObserver("127.0.0.1:0", oA, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	// The test starts by holding EVERY slot, so both runs park in the
+	// admission queue — an absorbing state: nothing can admit them until
+	// the test releases. Releasing 2 slots then admits exactly run A
+	// (FIFO head, want 2) and leaves run B queued with zero slots free,
+	// so the live-A + queued-B window is A's entire runtime, entered
+	// deterministically rather than raced against the engine.
+	pool := NewPool(3)
+	held, err := pool.Acquire(context.Background(), 3)
+	if err != nil || held != 3 {
+		t.Fatalf("hold all slots: granted %d, err %v", held, err)
+	}
+	released := 0
+	defer func() { pool.Release(held - released) }()
+
+	runEngine := func(o *Observer, errc chan<- error) {
+		_, _, err := ColorContext(context.Background(), g, ColorOptions{
+			Engine: EngineParallelBitwise, Workers: 2, Pool: pool, Observer: o,
+		})
+		errc <- err
+	}
+
+	oB := NewObserver()
+	errA := make(chan error, 1)
+	errB := make(chan error, 1)
+	go runEngine(oA, errA)
+	waitFor(t, "run A queued", func() bool { return pool.Waiting() == 1 })
+	go runEngine(oB, errB)
+	waitFor(t, "run B queued behind A", func() bool { return pool.Waiting() == 2 })
+	pool.Release(2) // admits A; B stays queued until A finishes
+	released = 2
+
+	// Scrape until A's live progress has visibly advanced at least twice
+	// while B is queued. A holds the pool the whole time, so every
+	// sample until A finishes must show B queued and queue depth 1.
+	type sample struct{ vertices, queueDepth int64 }
+	var (
+		samples     []sample
+		sawQueuedB  bool
+		tracePulled bool
+	)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		p, err := scrapeRuns(t, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b *LiveRun
+		for i := range p.Live {
+			switch p.Live[i].RunID {
+			case oA.RunID():
+				a = &p.Live[i]
+			case oB.RunID():
+				b = &p.Live[i]
+			}
+		}
+		if a == nil {
+			break // A finished; judge what we collected
+		}
+		if a.Progress.State == "queued" {
+			continue // grant committed but not yet observed by A's goroutine
+		}
+		if a.Progress.State != "running" || a.Granted != 2 {
+			t.Fatalf("run A mid-run view = %+v", a)
+		}
+		if b != nil {
+			if b.Progress.State != "queued" {
+				t.Fatalf("run B state = %q, want queued", b.Progress.State)
+			}
+			sawQueuedB = true
+		}
+		var depth int64
+		for _, ps := range p.Pools {
+			if ps.Name == pool.Name() {
+				depth = int64(ps.QueueDepth)
+			}
+		}
+		samples = append(samples, sample{a.Progress.Vertices, depth})
+
+		// On-demand trace of the IN-FLIGHT run must serve immediately.
+		if !tracePulled && a.Progress.Vertices > 0 {
+			resp, err := http.Get(base + "/debug/runs/" + a.ID + "/trace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tf struct {
+				OtherData map[string]any `json:"otherData"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&tf)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("live trace: status %d, err %v", resp.StatusCode, err)
+			}
+			if tf.OtherData["run_id"] != oA.RunID() {
+				t.Fatalf("live trace run_id = %v", tf.OtherData["run_id"])
+			}
+			tracePulled = true
+		}
+	}
+	if err := <-errA; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errB; err != nil {
+		t.Fatal(err)
+	}
+
+	// Judge the collected mid-run evidence.
+	if !sawQueuedB {
+		t.Error("never observed run B in state queued")
+	}
+	if !tracePulled {
+		t.Error("never pulled the in-flight run's trace")
+	}
+	var increases int
+	var sawDepth bool
+	for i := 1; i < len(samples); i++ {
+		if samples[i].vertices < samples[i-1].vertices {
+			t.Fatalf("live progress went backwards: %d then %d (sample %d)",
+				samples[i-1].vertices, samples[i].vertices, i)
+		}
+		if samples[i].vertices > samples[i-1].vertices {
+			increases++
+		}
+	}
+	for _, s := range samples {
+		if s.queueDepth >= 1 {
+			sawDepth = true
+		}
+	}
+	if increases < 2 {
+		t.Errorf("live progress advanced %d times across %d scrapes, want >= 2", increases, len(samples))
+	}
+	if !sawDepth {
+		t.Error("never observed nonzero pool queue depth while B waited")
+	}
+
+	// Both runs land in the flight recorder with the pool negotiation.
+	p, err := scrapeRuns(t, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, s := range p.Recent {
+		if s.RunID == oA.RunID() || s.RunID == oB.RunID() {
+			found++
+			if s.Status != "ok" || s.Colors == 0 || s.Granted != 2 {
+				t.Errorf("flight-recorder summary = %+v", s)
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("flight recorder holds %d of the 2 runs", found)
+	}
+	if p.Build["revision"] == "" {
+		t.Error("/debug/runs missing build revision")
+	}
+}
+
+// TestIntrospectionConcurrentScrapes hammers /metrics, /debug/vars and
+// /debug/runs from parallel scraper goroutines while four clients run
+// engines through one shared pool — the concurrent-scrape-safety
+// contract, meaningful chiefly under -race. Each /debug/runs scraper
+// additionally checks per-run monotonicity and lane isolation.
+func TestIntrospectionConcurrentScrapes(t *testing.T) {
+	abbrevs := []string{"RC", "GD", "CA", "CL"}
+	graphs := make([]*Graph, len(abbrevs))
+	for i, a := range abbrevs {
+		g, err := Generate(a, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if graphs[i], err = Preprocess(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	o := NewObserver()
+	srv, err := ServeObserver("127.0.0.1:0", o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	pool := NewPool(2) // below aggregate demand: admissions genuinely queue
+	const reps = 3
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	observers := make([]*Observer, len(graphs))
+	for i := range graphs {
+		observers[i] = NewObserver()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				_, _, err := ColorContext(context.Background(), graphs[i], ColorOptions{
+					Engine: EngineParallelBitwise, Workers: 2,
+					Pool: pool, Observer: observers[i],
+				})
+				if err != nil {
+					t.Errorf("client %d rep %d: %v", i, r, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Plain-text scrapers: liveness of /metrics and /debug/vars under
+	// concurrent runs.
+	var scrapeWG sync.WaitGroup
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		scrapeWG.Add(1)
+		go func(path string) {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(base + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	// Structured /debug/runs scrapers with per-run invariants. Each
+	// scraper's observations are sequential, so its own per-ID history
+	// must be monotonically non-decreasing.
+	runIDs := map[string]int{}
+	for i, obsv := range observers {
+		runIDs[obsv.RunID()] = i
+	}
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			last := map[string]int64{} // registry run ID -> last vertices
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p, err := scrapeRuns(t, base)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, lr := range p.Live {
+					if prev, ok := last[lr.ID]; ok && lr.Progress.Vertices < prev {
+						t.Errorf("run %s progress went backwards: %d -> %d",
+							lr.ID, prev, lr.Progress.Vertices)
+						return
+					}
+					last[lr.ID] = lr.Progress.Vertices
+					// Lane isolation: a run's lanes are its own 2 workers;
+					// a recycled or foreign ShardSet would show up as extra
+					// lanes or over-range worker indices.
+					if len(lr.Progress.Lanes) > 2 {
+						t.Errorf("run %s shows %d lanes for 2 workers", lr.ID, len(lr.Progress.Lanes))
+						return
+					}
+					for _, lane := range lr.Progress.Lanes {
+						if lane.Worker < 0 || lane.Worker >= 2 {
+							t.Errorf("run %s lane worker index %d", lr.ID, lane.Worker)
+							return
+						}
+					}
+					if _, ours := runIDs[lr.RunID]; !ours && lr.RunID != o.RunID() {
+						continue // other tests' runs in the shared registry
+					}
+					if lr.Engine != "parallelbitwise" {
+						t.Errorf("run %s engine %q crossed into our lane", lr.ID, lr.Engine)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	// Every client's runs reached the flight recorder with its own run
+	// ID — completion bookkeeping survived the concurrency.
+	counts := map[string]int{}
+	p, err := scrapeRuns(t, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Recent {
+		if _, ours := runIDs[s.RunID]; ours {
+			counts[s.RunID]++
+			if s.Status != "ok" {
+				t.Errorf("run %s status %q", s.ID, s.Status)
+			}
+		}
+	}
+	for id, i := range runIDs {
+		if counts[id] != reps {
+			t.Errorf("client %d: %d runs in flight recorder, want %d", i, counts[id], reps)
+		}
+	}
+	if pool.InUse() != 0 || pool.Waiting() != 0 {
+		t.Errorf("pool not idle: in use %d, waiting %d", pool.InUse(), pool.Waiting())
+	}
+}

@@ -52,8 +52,12 @@ func ObserverFromContext(ctx context.Context) *Observer {
 }
 
 // ObserverServer is the observability HTTP server: Prometheus text
-// exposition on /metrics, the expvar JSON snapshot on /debug/vars, and
-// (when enabled) the net/http/pprof handlers under /debug/pprof/.
+// exposition on /metrics (run-scoped families plus the process-wide
+// bitcolor_pool_* / bitcolor_runs_* / bitcolor_build_info plane), the
+// expvar JSON snapshot on /debug/vars, the live run registry on
+// /debug/runs (JSON, or a minimal HTML table for browsers) with
+// per-run Chrome traces on /debug/runs/<id>/trace, and (when enabled)
+// the net/http/pprof handlers under /debug/pprof/.
 type ObserverServer = obs.Server
 
 // ServeObserver starts an ObserverServer for o on addr (":0" picks a
@@ -62,3 +66,59 @@ type ObserverServer = obs.Server
 func ServeObserver(addr string, o *Observer, enablePprof bool) (*ObserverServer, error) {
 	return obs.Serve(addr, o, enablePprof)
 }
+
+// LiveRun is one in-flight run's introspection view: identity (engine,
+// graph size, registry-unique ID), pool negotiation (demand, grant,
+// queue wait) and a live Progress snapshot — the element type of the
+// /debug/runs "live" array and of LiveRuns.
+type LiveRun = obs.LiveRun
+
+// RunProgress is a point-in-time snapshot of one run's advancement —
+// vertices colored, blocks claimed, current round, conflicts, and
+// per-worker lane activity — read race-free from the engines' atomic
+// live-mirror counters mid-run. Every field is cumulative, so
+// consecutive snapshots of one run are monotonically non-decreasing.
+type RunProgress = obs.Progress
+
+// RunSummary is one completed run in the flight recorder: final
+// status (ok | cancelled | error), duration, colors, rounds,
+// conflicts, and the pool negotiation it ran under.
+type RunSummary = obs.RunSummary
+
+// RunPoolStatus is a pool's instantaneous state (capacity, slots in
+// use, admission queue depth), as returned by Pool.Stats and embedded
+// in /debug/runs.
+type RunPoolStatus = obs.PoolStatus
+
+// RunWatchdogConfig tunes StartRunWatchdog: scan interval, the
+// deadline-budget fraction past which a run is reported slow, and the
+// progress-stall duration past which it is reported stalled.
+type RunWatchdogConfig = obs.WatchdogConfig
+
+// LiveRuns snapshots every in-flight run registered with an Observer —
+// the programmatic equivalent of scraping /debug/runs.
+func LiveRuns() []LiveRun { return obs.Runs().LiveRuns() }
+
+// RecentRuns returns the flight recorder — the last completed runs,
+// most recent first, bounded to the last 64.
+func RecentRuns() []RunSummary { return obs.Runs().Recent() }
+
+// RunProgressByID returns a live run's progress snapshot by its
+// registry ID (false when the run is no longer in flight).
+func RunProgressByID(id string) (RunProgress, bool) { return obs.Runs().ProgressOf(id) }
+
+// StartRunWatchdog starts the slow-run watchdog over the live run
+// registry: every Interval it scans the in-flight runs and logs a
+// run_id-stamped warning through each slow run's own observer logger
+// when the run has consumed more than DeadlineFraction of its context
+// deadline budget or its vertex progress has stalled for longer than
+// Stall. Returns a stop function (idempotent).
+func StartRunWatchdog(cfg RunWatchdogConfig) (stop func()) {
+	return obs.Runs().StartWatchdog(cfg)
+}
+
+// BuildInfo returns the binary's build identity (go_version, revision,
+// module_version) — the same values exported as bitcolor_build_info,
+// stamped into /debug/runs, and (as the revision) into benchsuite
+// BenchFile envelopes.
+func BuildInfo() map[string]string { return obs.BuildInfo() }
