@@ -13,6 +13,7 @@ import (
 	"bitcolor/internal/graph"
 	"bitcolor/internal/metrics"
 	"bitcolor/internal/obs"
+	"bitcolor/internal/partition"
 	"bitcolor/internal/reorder"
 	"bitcolor/internal/resources"
 	"bitcolor/internal/sim"
@@ -72,6 +73,10 @@ const (
 	// little-endian sections behind a checksummed header, readable in
 	// place without parsing.
 	FormatBCSR2 = graph.FormatBCSR2
+	// FormatBCSR3 is the shard-major binary CSR v3 format (SaveGraphV3's
+	// output): per-shard sections behind a persisted partition assignment,
+	// openable for bounded-residency out-of-core coloring.
+	FormatBCSR3 = graph.FormatBCSR3
 	// FormatDIMACS is a DIMACS coloring instance (".col"), recognized by
 	// extension rather than content.
 	FormatDIMACS = "dimacs"
@@ -89,8 +94,12 @@ func LoadGraph(path string) (*Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		if format == FormatBCSR2 {
+		switch format {
+		case FormatBCSR2:
 			return graph.LoadBinaryV2File(path)
+		case FormatBCSR3:
+			g, _, err := graph.LoadBinaryV3File(path)
+			return g, err
 		}
 		return graph.LoadBinaryFile(path)
 	case strings.HasSuffix(path, ".col"):
@@ -116,6 +125,24 @@ func SaveGraphV2(path string, g *Graph) error {
 	return graph.SaveBinaryV2File(path, g)
 }
 
+// SaveGraphV3 writes the graph in the shard-major binary CSR v3 format:
+// it partitions g into `shards` parts with the given EngineSharded
+// strategy (PartitionRanges or PartitionLabelProp; "" defaults to
+// ranges), and persists the assignment alongside per-shard sections so
+// a later open — in core or out of core — skips partitioning entirely
+// (the content-hash partition cache). Atomic like the other writers.
+func SaveGraphV3(path string, g *Graph, shards int, strategy string) error {
+	a, err := coloring.BuildPartition(g, shards, strategy)
+	if err != nil {
+		return err
+	}
+	code, err := partition.StrategyCode(strategy)
+	if err != nil {
+		return err
+	}
+	return graph.SaveBinaryV3File(path, g, a.Parts, a.K, code)
+}
+
 // GraphHandle is an opened on-disk graph together with whatever backs
 // it. For a mapped BCSR v2 file the CSR sections alias the page cache
 // and Close unmaps them — the Graph must not be used after Close (the
@@ -124,14 +151,19 @@ func SaveGraphV2(path string, g *Graph) error {
 type GraphHandle struct {
 	g      *Graph
 	m      *graph.MappedCSR
+	sf     *graph.ShardedFile
 	format string
 }
 
 // Graph returns the loaded graph. It panics if the handle was mapped
-// and has been closed.
+// and has been closed, or if the handle was opened out of core (no
+// materialized CSR exists — color through ColorHandle instead).
 func (h *GraphHandle) Graph() *Graph {
 	if h.m != nil {
 		return h.m.Graph()
+	}
+	if h.g == nil && h.sf != nil {
+		panic("bitcolor: out-of-core handle has no materialized graph; color it with ColorHandle or open it with OpenGraphFile")
 	}
 	return h.g
 }
@@ -144,13 +176,64 @@ func (h *GraphHandle) Format() string { return h.format }
 // (true only for BCSR v2 files on platforms where mapping succeeded).
 func (h *GraphHandle) Mapped() bool { return h.m != nil && h.m.Mapped() }
 
+// OutOfCore reports whether the handle streams from a BCSR v3 file
+// without a materialized CSR (opened via OpenGraphFileOutOfCore).
+func (h *GraphHandle) OutOfCore() bool { return h.sf != nil && h.g == nil && h.m == nil }
+
+// NumShards returns the partition count persisted in the handle's BCSR
+// v3 file (0 for every other format).
+func (h *GraphHandle) NumShards() int {
+	if h.sf == nil {
+		return 0
+	}
+	return h.sf.Shards()
+}
+
+// PartitionStrategy returns the partition strategy persisted in the
+// handle's BCSR v3 file (PartitionRanges or PartitionLabelProp; "" for
+// every other format).
+func (h *GraphHandle) PartitionStrategy() string {
+	if h.sf == nil {
+		return ""
+	}
+	name, err := partition.StrategyName(h.sf.Strategy())
+	if err != nil {
+		return ""
+	}
+	return name
+}
+
+// ShardMapStats snapshots a BCSR v3 handle's shard-mapping activity:
+// sections mapped and retired, current and peak resident payload bytes.
+type ShardMapStats = graph.ShardMapStats
+
+// ShardStats snapshots the handle's shard-mapping counters (zero for
+// non-v3 formats) — the residency telemetry behind the out-of-core
+// invariant.
+func (h *GraphHandle) ShardStats() ShardMapStats {
+	if h.sf == nil {
+		return ShardMapStats{}
+	}
+	return h.sf.Stats()
+}
+
 // Close releases the handle's resources (unmapping the file when
-// mapped). Idempotent; safe on handles for unmapped formats.
+// mapped, closing the shard file when one backs the handle).
+// Idempotent; safe on handles for unmapped formats.
 func (h *GraphHandle) Close() error {
-	if h == nil || h.m == nil {
+	if h == nil {
 		return nil
 	}
-	return h.m.Close()
+	var err error
+	if h.m != nil {
+		err = h.m.Close()
+	}
+	if h.sf != nil {
+		if cerr := h.sf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // OpenGraphFile opens a graph for reading, sniffing the on-disk format
@@ -223,6 +306,20 @@ func openGraphFile(path string) (*GraphHandle, string, error) {
 			return nil, format, err
 		}
 		return &GraphHandle{m: m, format: format}, format, nil
+	case FormatBCSR3:
+		// Eager path: materialize the CSR (full re-verification through
+		// the copying reader) and keep the shard handle alongside it, so
+		// EngineSharded runs reuse the persisted partition.
+		sf, err := graph.OpenShardedFile(path)
+		if err != nil {
+			return nil, format, err
+		}
+		g, err := sf.Materialize()
+		if err != nil {
+			sf.Close()
+			return nil, format, err
+		}
+		return &GraphHandle{g: g, sf: sf, format: format}, format, nil
 	case FormatBCSR1:
 		g, err := graph.LoadBinaryFile(path)
 		if err != nil {
@@ -236,6 +333,59 @@ func openGraphFile(path string) (*GraphHandle, string, error) {
 		}
 		return &GraphHandle{g: g, format: format}, format, nil
 	}
+}
+
+// OpenGraphFileOutOfCore opens a BCSR v3 shard-major file for
+// bounded-residency streaming: only the header, partition assignment
+// and shard directory become resident — the O(E) adjacency stays on
+// disk until an out-of-core EngineSharded run maps it shard by shard.
+// The handle has no materialized graph (Graph() panics); color it with
+// ColorHandle, and Close it when done.
+func OpenGraphFileOutOfCore(path string) (*GraphHandle, error) {
+	return OpenGraphFileOutOfCoreContext(context.Background(), path)
+}
+
+// OpenGraphFileOutOfCoreContext is OpenGraphFileOutOfCore under a
+// context: an Observer attached via WithObserver records the load span
+// and the bitcolor_graph_load_* families, exactly like the eager open.
+func OpenGraphFileOutOfCoreContext(ctx context.Context, path string) (*GraphHandle, error) {
+	o := obs.FromContext(ctx)
+	sp := o.StartSpan("graph/load").Attr("path", path).Attr("mode", "outofcore")
+	var bytes int64
+	if st, err := os.Stat(path); err == nil {
+		bytes = st.Size()
+	}
+	start := time.Now()
+	h, label, err := openGraphFileOutOfCore(path)
+	d := time.Since(start)
+	sp.Attr("format", label).Attr("bytes", bytes)
+	if err != nil {
+		sp.Attr("error", err.Error())
+	} else {
+		sp.Attr("vertices", int64(h.sf.NumVertices())).Attr("edges", h.sf.NumEdges()).
+			Attr("shards", int64(h.sf.Shards()))
+	}
+	sp.End()
+	o.RecordGraphLoad(label, bytes, d, err)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func openGraphFileOutOfCore(path string) (*GraphHandle, string, error) {
+	format, err := graph.SniffFormat(path)
+	if err != nil {
+		return nil, "unknown", err
+	}
+	if format != FormatBCSR3 {
+		return nil, format, fmt.Errorf("bitcolor: out-of-core open needs a BCSR v3 shard-major file (write one with SaveGraphV3 or `preprocess -obin-v3`); %s sniffed as %s", path, format)
+	}
+	sf, err := graph.OpenShardedFile(path)
+	if err != nil {
+		return nil, format, err
+	}
+	return &GraphHandle{sf: sf, format: format}, format, nil
 }
 
 // Generate builds one of the paper's datasets (Table 3 abbreviation:
@@ -421,6 +571,15 @@ type ColorOptions struct {
 	// or PartitionLabelProp ("labelprop", balanced label propagation for
 	// a smaller edge cut at a preprocessing cost).
 	PartitionStrategy string
+	// OutOfCore streams an EngineSharded run from the handle's BCSR v3
+	// file instead of a materialized CSR — only ColorHandle honors it,
+	// and only on a v3-backed handle. Implied by an
+	// OpenGraphFileOutOfCore handle.
+	OutOfCore bool
+	// MaxResidentShards bounds how many shard payloads an out-of-core
+	// run keeps mapped at once (<=0: one — strictest residency; clamped
+	// to the file's shard count).
+	MaxResidentShards int
 	// Observer is an explicit run-scoped observability sink. It takes
 	// precedence over an Observer attached to the context via
 	// WithObserver; nil falls back to the context (and then to no
@@ -500,6 +659,7 @@ func (opts ColorOptions) engineOptions() coloring.Options {
 		HotVertices:       opts.HotVertices,
 		Shards:            opts.ShardCount,
 		PartitionStrategy: opts.PartitionStrategy,
+		MaxResidentShards: opts.MaxResidentShards,
 		Obs:               opts.Observer,
 		Scratch:           opts.Scratch,
 		Pool:              opts.Pool,
@@ -534,6 +694,105 @@ func ColorContext(ctx context.Context, g *Graph, opts ColorOptions) (*Result, Ru
 		return nil, st, fmt.Errorf("bitcolor: engine %v produced an invalid coloring: %w", opts.Engine, err)
 	}
 	return res, st, nil
+}
+
+// ColorHandle runs a software coloring engine against an opened graph
+// handle. It is ColorHandleContext without cancellation.
+func ColorHandle(h *GraphHandle, opts ColorOptions) (*Result, RunStats, error) {
+	return ColorHandleContext(context.Background(), h, opts)
+}
+
+// ColorHandleContext is the handle-aware dispatch: on a BCSR v3 handle
+// it reuses the persisted partition for EngineSharded runs (the
+// content-hash partition cache — partitioning time drops to zero and
+// bitcolor_partition_cache_hits_total counts the hit), and with
+// OutOfCore set (or a handle opened via OpenGraphFileOutOfCore) it
+// streams the run under the bounded-residency executor, verifying the
+// result shard by shard without ever materializing the CSR. Handles of
+// every other format run exactly as ColorContext.
+func ColorHandleContext(ctx context.Context, h *GraphHandle, opts ColorOptions) (*Result, RunStats, error) {
+	info, ok := coloring.LookupIndex(int(opts.Engine))
+	if !ok {
+		return nil, RunStats{}, fmt.Errorf("bitcolor: unknown engine %v", opts.Engine)
+	}
+	sharded := int(opts.Engine) == int(EngineSharded)
+	if opts.OutOfCore || h.OutOfCore() {
+		if h.sf == nil {
+			return nil, RunStats{}, fmt.Errorf("bitcolor: out-of-core coloring needs a BCSR v3 handle (this one is %s)", h.Format())
+		}
+		if !sharded {
+			return nil, RunStats{}, fmt.Errorf("bitcolor: out-of-core coloring requires EngineSharded, not %v", opts.Engine)
+		}
+		o := opts.Observer
+		if o == nil {
+			o = obs.FromContext(ctx)
+		}
+		eopts := opts.engineOptions()
+		eopts.OutOfCore = true
+		eopts.ShardFile = h.sf
+		// The engine reads adjacency exclusively through the shard file;
+		// the offsets-only skeleton exists for the registry's admission
+		// and instrumentation decorators, which size by vertex count.
+		skel := &graph.CSR{Offsets: make([]int64, h.sf.NumVertices()+1)}
+		before := h.sf.Stats()
+		res, st, err := info.Run(ctx, skel, eopts)
+		after := h.sf.Stats()
+		o.RecordShardMap(after.Maps-before.Maps, after.Unmaps-before.Unmaps, after.PeakResidentBytes)
+		if err != nil {
+			return nil, st, err
+		}
+		if err := coloring.VerifySharded(h.sf, res.Colors); err != nil {
+			return nil, st, fmt.Errorf("bitcolor: engine %v produced an invalid coloring: %w", opts.Engine, err)
+		}
+		return res, st, nil
+	}
+	g := h.Graph()
+	if sharded && h.sf != nil {
+		if a, name, ok := cachedPartition(h.sf, &opts); ok {
+			o := opts.Observer
+			if o == nil {
+				o = obs.FromContext(ctx)
+			}
+			o.RecordPartitionCache(name)
+			eopts := opts.engineOptions()
+			eopts.Partition = a
+			res, st, err := info.Run(ctx, g, eopts)
+			if err != nil {
+				return nil, st, err
+			}
+			if err := coloring.Verify(g, res.Colors); err != nil {
+				return nil, st, fmt.Errorf("bitcolor: engine %v produced an invalid coloring: %w", opts.Engine, err)
+			}
+			return res, st, nil
+		}
+	}
+	return ColorContext(ctx, g, opts)
+}
+
+// cachedPartition decides whether the handle's persisted assignment can
+// stand in for partitioning this run: the requested shard count and
+// strategy must match the file (unset values adopt the file's). opts is
+// updated in place so the engine sees the effective configuration.
+func cachedPartition(sf *graph.ShardedFile, opts *ColorOptions) (*partition.Assignment, string, bool) {
+	name, err := partition.StrategyName(sf.Strategy())
+	if err != nil {
+		return nil, "", false
+	}
+	switch opts.ShardCount {
+	case 0:
+		opts.ShardCount = sf.Shards()
+	case sf.Shards():
+	default:
+		return nil, "", false
+	}
+	switch opts.PartitionStrategy {
+	case "":
+		opts.PartitionStrategy = name
+	case name:
+	default:
+		return nil, "", false
+	}
+	return &partition.Assignment{Parts: sf.Parts(), K: sf.Shards()}, name, true
 }
 
 // Color runs a software coloring engine on g and returns a verified

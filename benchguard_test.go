@@ -48,6 +48,12 @@ type benchBaseline struct {
 	// per-block overhead (should sit near 1.0). Guarded at a tight ×1.05
 	// because the workload is pure dispatch with no kernel noise.
 	ExecRatio float64 `json:"exec_dispatch_ratio"`
+	// OutOfCoreRatio is streamed sharded coloring (BCSR v3 handle,
+	// shards=4, residency 2, one worker, cached partition) / in-core
+	// sharded (same shape, partition rebuilt per run) on GD — what the
+	// bounded residency window plus shard mapping costs over keeping the
+	// whole graph resident.
+	OutOfCoreRatio float64 `json:"outofcore_stream_vs_sharded_ratio"`
 }
 
 func loadBaseline(t *testing.T) benchBaseline {
@@ -60,7 +66,7 @@ func loadBaseline(t *testing.T) benchBaseline {
 	if err := json.Unmarshal(data, &b); err != nil {
 		t.Fatal(err)
 	}
-	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 || b.E2ERatio <= 0 || b.ShardRatio <= 0 || b.ExecRatio <= 0 {
+	if b.SchemaVersion != 1 || b.GDRatio <= 0 || b.DCTRatio <= 0 || b.E2ERatio <= 0 || b.ShardRatio <= 0 || b.ExecRatio <= 0 || b.OutOfCoreRatio <= 0 {
 		t.Fatalf("implausible baseline %+v", b)
 	}
 	return b
@@ -355,6 +361,60 @@ func TestBenchGuardE2ELoadRatio(t *testing.T) {
 	if ratio > limit {
 		t.Fatalf("mapped load path regressed: ratio %.4f exceeds baseline %.4f by more than 10%%",
 			ratio, base.E2ERatio)
+	}
+}
+
+// TestBenchGuardOutOfCoreOverhead pins the streaming executor against
+// the in-core sharded engine at the same shape (shards=4, one worker)
+// on GD: the streamed arm colors through a 2-shard residency window off
+// a BCSR v3 handle with the cached partition, the in-core arm holds the
+// whole graph resident and rebuilds the partition per run. The ratio
+// may not drift more than 10% above the recorded baseline; like the
+// observer guard it retries, since a GC pause landing in the mmap-heavy
+// streamed arm fakes a regression once but not three times.
+func TestBenchGuardOutOfCoreOverhead(t *testing.T) {
+	if os.Getenv(benchGuardEnv) == "" {
+		t.Skipf("set %s=1 to run the out-of-core overhead guard", benchGuardEnv)
+	}
+	prepared := guardGraph(t, "GD")
+	base := loadBaseline(t)
+	path := filepath.Join(t.TempDir(), "gd.v3.bcsr")
+	if err := SaveGraphV3(path, prepared, 4, PartitionRanges); err != nil {
+		t.Fatal(err)
+	}
+	h, err := OpenGraphFileOutOfCore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	limit := base.OutOfCoreRatio * 1.10
+	var ratio float64
+	for attempt := 1; ; attempt++ {
+		runtime.GC()
+		incore, streamed := minTimePair(9, func() {
+			if _, _, err := ColorParallel(prepared, ColorOptions{
+				Engine: EngineSharded, ShardCount: 4, Workers: 1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}, func() {
+			if _, _, err := ColorHandle(h, ColorOptions{
+				Engine: EngineSharded, Workers: 1, MaxResidentShards: 2,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		ratio = float64(streamed) / float64(incore)
+		t.Logf("attempt %d: streamed %v / in-core sharded %v = ratio %.4f (baseline %.4f, limit %.4f)",
+			attempt, streamed, incore, ratio, base.OutOfCoreRatio, limit)
+		if ratio <= limit || attempt == 3 {
+			break
+		}
+	}
+	if ratio > limit {
+		t.Fatalf("out-of-core streaming regressed: ratio %.4f exceeds baseline %.4f by more than 10%% on every attempt",
+			ratio, base.OutOfCoreRatio)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	bitcolor -input graph.txt -engine accelerator -parallelism 16
 //	bitcolor -input graph.bcsr -engine dsatur -maxcolors 256
 //	bitcolor -dataset CL -engine parallelbitwise -timeout 30s
+//	bitcolor -input graph.bcsr -engine sharded -outofcore -resident 2
 //
 // Software-engine runs are cancellable: Ctrl-C (SIGINT) or -timeout
 // aborts the run promptly and prints the stages that completed instead
@@ -62,6 +63,8 @@ type runConfig struct {
 	workers     int    // host-parallel goroutines
 	shards      int    // sharded-engine partition count
 	partition   string // sharded-engine partition strategy
+	outOfCore   bool   // stream a BCSR v3 input shard by shard
+	resident    int    // out-of-core resident-shard bound
 	cacheSize   int    // HVC capacity override
 	maxColors   int    // palette size
 	seed        int64
@@ -97,6 +100,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "goroutines for the host-parallel engines (jonesplassmann, speculative, parallelbitwise, dct, sharded; 0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.shards, "shards", 0, "partition count for the sharded engine (0/1 = single shard, plain DCT)")
 	flag.StringVar(&cfg.partition, "partition", "", "partition strategy for the sharded engine: ranges (default) | labelprop")
+	flag.BoolVar(&cfg.outOfCore, "outofcore", false, "stream a BCSR v3 -input shard by shard instead of materializing it (sharded engine only)")
+	flag.IntVar(&cfg.resident, "resident", 0, "out-of-core resident-shard bound (0 = min(workers, shards))")
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "HVC capacity in vertices (0 = auto-scale to ~1/8 of the graph; paper hardware: 512K)")
 	flag.IntVar(&cfg.maxColors, "maxcolors", bitcolor.MaxColorsDefault, "palette size")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for generators and randomized engines")
@@ -165,6 +170,9 @@ func run(ctx context.Context, cfg runConfig) error {
 			Stall:            cfg.wdStall,
 		})
 		defer stopWD()
+	}
+	if cfg.outOfCore {
+		return runOutOfCore(ctx, cfg)
 	}
 	var (
 		g   *bitcolor.Graph
@@ -255,6 +263,57 @@ func run(ctx context.Context, cfg runConfig) error {
 	}
 	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Microsecond))
 	return writeColors(cfg.colorsOut, pr.Result.Colors)
+}
+
+// runOutOfCore colors a shard-major BCSR v3 file with the streaming
+// executor: shards are mapped and released one residency window at a
+// time, so the whole adjacency never sits in memory at once. The graph
+// is colored exactly as the preprocessed file laid it out — there is no
+// in-memory preprocessing stage to skip or apply.
+func runOutOfCore(ctx context.Context, cfg runConfig) error {
+	if cfg.input == "" {
+		return fmt.Errorf("-outofcore needs -input FILE (a BCSR v3 file from `preprocess -obin-v3`)")
+	}
+	if cfg.dataset != "" {
+		return fmt.Errorf("-outofcore streams from disk; give -input, not -dataset")
+	}
+	eng, err := bitcolor.ParseEngine(cfg.engine)
+	if err != nil {
+		return err
+	}
+	h, err := bitcolor.OpenGraphFileOutOfCoreContext(ctx, cfg.input)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	if cfg.verbose {
+		fmt.Printf("input format: %s (%d shards, %s partition)\n",
+			h.Format(), h.NumShards(), h.PartitionStrategy())
+	}
+	stopProf, err := startProfiles(cfg.pprofDir)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, st, err := bitcolor.ColorHandleContext(ctx, h, bitcolor.ColorOptions{
+		Engine: eng, MaxColors: cfg.maxColors, Seed: cfg.seed, Workers: cfg.workers,
+		ShardCount: cfg.shards, PartitionStrategy: cfg.partition,
+		OutOfCore: true, MaxResidentShards: cfg.resident,
+	})
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine: %v (%d workers, out-of-core)\n", eng, st.Workers)
+	fmt.Printf("colors used: %d\n", res.NumColors)
+	fmt.Printf("shards: %d, cut edges: %d, boundary vertices: %d, frontier: %d, cross-shard defers: %d\n",
+		st.Shards, st.CutEdges, st.BoundaryVertices, st.FrontierVertices, st.CrossShardDefers)
+	fmt.Printf("residency: %d shards mapped at once, peak mapped %.2f MiB\n",
+		st.ResidentShards, float64(st.PeakMappedBytes)/(1<<20))
+	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Microsecond))
+	return writeColors(cfg.colorsOut, res.Colors)
 }
 
 // openRunLog opens the structured-log sink: stderr for "-", otherwise

@@ -8,12 +8,17 @@
 //	preprocess -input graph.txt -out graph-dbg.bcsr
 //	preprocess -input graph.txt -out graph-dbg.bcsr -obin-v2
 //	preprocess -input old.bcsr -convert -obin-v2 -out new.bcsr
+//	preprocess -input graph.txt -out graph-dbg.bcsr -obin-v3 -shards 8
+//	preprocess -input old.bcsr -convert -obin-v3 -shards 4 -out new.bcsr
 //	preprocess -dataset CO -time
 //	preprocess -input graph.txt -parallel 8
 //
 // -obin-v2 writes -out in the mmap-ready BCSR v2 format instead of v1;
-// -convert skips the preprocessing entirely and just rewrites the input
-// graph, which together give a v1 → v2 format conversion.
+// -obin-v3 writes the shard-major BCSR v3 format, partitioning into
+// -shards parts with the -partition strategy and persisting the
+// assignment for the out-of-core engine's partition cache. -convert
+// skips the preprocessing entirely and just rewrites the input graph,
+// which together give v1 → v2 → v3 format conversions.
 package main
 
 import (
@@ -37,6 +42,9 @@ func main() {
 		dataset    = flag.String("dataset", "", "synthetic dataset abbreviation")
 		out        = flag.String("out", "", "write the reordered graph here (.bcsr)")
 		outV2      = flag.Bool("obin-v2", false, "write -out in the mmap-ready BCSR v2 format (default: v1)")
+		outV3      = flag.Bool("obin-v3", false, "write -out in the shard-major BCSR v3 format (persisted partition for out-of-core coloring)")
+		shards     = flag.Int("shards", 4, "partition count persisted by -obin-v3")
+		strategy   = flag.String("partition", bitcolor.PartitionRanges, "partition strategy persisted by -obin-v3: ranges|labelprop")
 		convert    = flag.Bool("convert", false, "skip preprocessing and write the input graph to -out unchanged (format conversion)")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		showTime   = flag.Bool("time", false, "report reordering vs coloring wall time (Table 2)")
@@ -49,7 +57,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "preprocess:", err)
 		os.Exit(1)
 	}
-	err = run(*input, *dataset, *out, *seed, *showTime, *parallel, *outV2, *convert)
+	err = run(*input, *dataset, *out, *seed, *showTime, *parallel,
+		saveConfig{v2: *outV2, v3: *outV3, shards: *shards, strategy: *strategy}, *convert)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -65,23 +74,44 @@ func isEdgeListPath(path string) bool {
 	return !strings.HasSuffix(path, ".bcsr") && !strings.HasSuffix(path, ".col")
 }
 
-// saveGraph writes g to path in the selected binary format and reports
-// what it wrote.
-func saveGraph(path string, g *bitcolor.Graph, v2 bool) error {
-	format := "bcsr v1"
-	save := graph.SaveBinaryFile
-	if v2 {
-		format = "bcsr v2"
-		save = graph.SaveBinaryV2File
-	}
-	if err := save(path, g); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%s)\n", path, format)
-	return nil
+// saveConfig selects the output binary format (v1 default; v3 carries
+// its partition parameters).
+type saveConfig struct {
+	v2, v3   bool
+	shards   int
+	strategy string
 }
 
-func run(input, dataset, out string, seed int64, showTime bool, parallel int, outV2, convert bool) error {
+// saveGraph writes g to path in the selected binary format and reports
+// what it wrote.
+func saveGraph(path string, g *bitcolor.Graph, cfg saveConfig) error {
+	switch {
+	case cfg.v3 && cfg.v2:
+		return fmt.Errorf("-obin-v2 and -obin-v3 are mutually exclusive")
+	case cfg.v3:
+		start := time.Now()
+		if err := bitcolor.SaveGraphV3(path, g, cfg.shards, cfg.strategy); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (bcsr v3, %d shards, %s partition, %v)\n",
+			path, cfg.shards, cfg.strategy, time.Since(start).Round(time.Microsecond))
+		return nil
+	case cfg.v2:
+		if err := graph.SaveBinaryV2File(path, g); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (bcsr v2)\n", path)
+		return nil
+	default:
+		if err := graph.SaveBinaryFile(path, g); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (bcsr v1)\n", path)
+		return nil
+	}
+}
+
+func run(input, dataset, out string, seed int64, showTime bool, parallel int, save saveConfig, convert bool) error {
 	// Stage 1+2: load (parse text / read binary / generate) and build
 	// (CSR construction). Text edge lists split the two so the parallel
 	// builder's share is visible; the other sources build internally.
@@ -128,7 +158,7 @@ func run(input, dataset, out string, seed int64, showTime bool, parallel int, ou
 		}
 		fmt.Printf("loaded %d vertices, %d edges in %v\n",
 			g.NumVertices(), g.UndirectedEdgeCount(), loadTime.Round(time.Microsecond))
-		return saveGraph(out, g, outV2)
+		return saveGraph(out, g, save)
 	}
 
 	// Stage 3: per-vertex edge sorting (a no-op when the source already
@@ -170,7 +200,7 @@ func run(input, dataset, out string, seed int64, showTime bool, parallel int, ou
 	}
 
 	if out != "" {
-		return saveGraph(out, prepared, outV2)
+		return saveGraph(out, prepared, save)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"bitcolor/internal/exec"
 	"bitcolor/internal/graph"
 	"bitcolor/internal/obs"
+	"bitcolor/internal/partition"
 )
 
 // The blocked color-gather is the host-side analog of the paper's memory
@@ -60,6 +61,24 @@ type Options struct {
 	// graph: "" or "ranges" for contiguous index ranges,
 	// "labelprop" for the balanced label-propagation refinement.
 	PartitionStrategy string
+	// Partition, when set, is a precomputed assignment the sharded
+	// engine uses instead of partitioning — the cache path a BCSR v3
+	// file feeds. It is honored only when its K equals the effective
+	// shard count and it covers the graph; otherwise the engine
+	// partitions as usual.
+	Partition *partition.Assignment
+	// OutOfCore routes the sharded engine to the bounded-residency
+	// streaming executor; requires ShardFile. Other engines ignore it.
+	OutOfCore bool
+	// MaxResidentShards bounds how many shard payloads the streaming
+	// executor keeps mapped at once (<=0: 1; clamped to the file's shard
+	// count).
+	MaxResidentShards int
+	// ShardFile is the open BCSR v3 handle an out-of-core run streams
+	// from. The graph argument of such a run is a skeleton (offsets
+	// only) used for admission accounting; all payload reads go through
+	// the handle.
+	ShardFile *graph.ShardedFile
 	// Obs is the optional run-scoped observability sink. The registry's
 	// instrumentation decorator fills it (from the caller or the
 	// context); a nil observer is the zero-overhead default.

@@ -375,6 +375,12 @@ func init() {
 		// is part of the result's identity).
 		Demand: func(g *graph.CSR, opts Options) int {
 			n := g.NumVertices()
+			if opts.OutOfCore && opts.ShardFile != nil {
+				// A streamed run never has more than its residency bound
+				// of shards active, so that — not the shard count — is
+				// the concurrency it asks the pool for.
+				return resolveWorkers(opts.Workers, n) * streamResidency(opts)
+			}
 			shards := opts.Shards
 			if shards <= 0 {
 				shards = 1
@@ -385,6 +391,10 @@ func init() {
 			return resolveWorkers(opts.Workers, n) * shards
 		},
 		Grant: func(opts Options, granted int) Options {
+			if opts.OutOfCore && opts.ShardFile != nil {
+				opts.Workers = max(1, granted/streamResidency(opts))
+				return opts
+			}
 			shards := opts.Shards
 			if shards <= 0 {
 				shards = 1

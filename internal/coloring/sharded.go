@@ -64,6 +64,22 @@ const (
 // phase-one wait can hang on a vertex that went to the frontier.
 const shardMark = ^uint32(0)
 
+// BuildPartition builds the sharded engine's partition for a graph
+// without running it — the entry the BCSR v3 writer uses so a persisted
+// assignment matches what ShardedOpts would have computed for the same
+// (shards, strategy). Shards are clamped exactly as ShardedOpts clamps
+// them.
+func BuildPartition(g *graph.CSR, shards int, strategy string) (*partition.Assignment, error) {
+	n := g.NumVertices()
+	if shards <= 0 {
+		shards = 1
+	}
+	if n > 0 && shards > n {
+		shards = n
+	}
+	return shardedPartition(g, shards, strategy, nil)
+}
+
 // shardedPartition resolves the partition strategy and builds the
 // assignment, reusing the Scratch's parts buffer when one backs the run.
 func shardedPartition(g *graph.CSR, shards int, strategy string, sc *Scratch) (*partition.Assignment, error) {
@@ -86,6 +102,9 @@ func shardedPartition(g *graph.CSR, shards int, strategy string, sc *Scratch) (*
 func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options) (*Result, metrics.ParallelStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, metrics.ParallelStats{}, err
+	}
+	if opts.OutOfCore && opts.ShardFile != nil {
+		return shardedStream(ctx, maxColors, opts)
 	}
 	n := g.NumVertices()
 	workers := resolveWorkers(opts.Workers, n)
@@ -110,9 +129,16 @@ func ShardedOpts(ctx context.Context, g *graph.CSR, maxColors int, opts Options)
 		return res, st, err
 	}
 
-	a, err := shardedPartition(g, shards, opts.PartitionStrategy, sc)
-	if err != nil {
-		return nil, metrics.ParallelStats{}, err
+	// A precomputed assignment (the BCSR v3 partition-cache path) replaces
+	// the partitioning sweep when it matches this run's shape; anything
+	// else falls through to partitioning as usual.
+	a := opts.Partition
+	if a == nil || a.K != shards || len(a.Parts) != n {
+		var err error
+		a, err = shardedPartition(g, shards, opts.PartitionStrategy, sc)
+		if err != nil {
+			return nil, metrics.ParallelStats{}, err
+		}
 	}
 	parts := a.Parts
 	cl := partition.Classify(g, a)

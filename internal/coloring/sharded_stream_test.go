@@ -1,0 +1,454 @@
+package coloring
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bitcolor/internal/gen"
+	"bitcolor/internal/graph"
+	"bitcolor/internal/partition"
+	"bitcolor/internal/reorder"
+)
+
+// writeV3ForTest persists g as a BCSR v3 file partitioned the way
+// ShardedOpts would partition it, and returns the path.
+func writeV3ForTest(t *testing.T, g *graph.CSR, shards int, strategy string) string {
+	t.Helper()
+	a, err := BuildPartition(g, shards, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := partition.StrategyCode(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bcsr3")
+	if err := graph.SaveBinaryV3File(path, g, a.Parts, a.K, code); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// openV3ForTest opens a freshly written v3 file and registers cleanup.
+func openV3ForTest(t *testing.T, g *graph.CSR, shards int, strategy string) *graph.ShardedFile {
+	t.Helper()
+	sf, err := graph.OpenShardedFile(writeV3ForTest(t, g, shards, strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sf.Close() })
+	return sf
+}
+
+// skeletonFor returns the offsets-only stand-in CSR an out-of-core run
+// receives: passing it (instead of g) proves the streamed executor
+// reads adjacency exclusively through the shard file.
+func skeletonFor(sf *graph.ShardedFile) *graph.CSR {
+	return &graph.CSR{Offsets: make([]int64, sf.NumVertices()+1)}
+}
+
+// TestStreamedMatchesShardedEverySweepPoint pins the tentpole acceptance
+// criterion: the out-of-core executor's coloring is byte-identical to
+// the in-core sharded engine — and hence to sequential greedy — at
+// every (shards × workers × residency × strategy) grid point, on
+// random, path and DBG-reordered graphs, while the partition-derived
+// statistics agree with the in-core run exactly.
+func TestStreamedMatchesShardedEverySweepPoint(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"random": randomGraph(t, 2000, 24000, 9),
+		"path":   pathGraph(t, 5000),
+	}
+	dbg, _ := reorder.DBG(randomGraph(t, 1500, 18000, 4))
+	graphs["dbg"] = dbg
+	for name, g := range graphs {
+		for _, s := range shardedShardSweep {
+			for _, strat := range shardedStrategies {
+				sf := openV3ForTest(t, g, s, strat)
+				skel := skeletonFor(sf)
+				for _, w := range shardedWorkerSweep {
+					ref, ist, err := ShardedOpts(context.Background(), g, MaxColorsDefault,
+						Options{Workers: w, Shards: s, PartitionStrategy: strat})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range []int{1, 2} {
+						res, st, err := ShardedOpts(context.Background(), skel, MaxColorsDefault,
+							Options{Workers: w, OutOfCore: true, MaxResidentShards: r, ShardFile: sf})
+						if err != nil {
+							t.Fatalf("%s s=%d w=%d r=%d %s: %v", name, s, w, r, strat, err)
+						}
+						for v := range ref.Colors {
+							if res.Colors[v] != ref.Colors[v] {
+								t.Fatalf("%s s=%d w=%d r=%d %s: vertex %d: streamed %d, in-core %d",
+									name, s, w, r, strat, v, res.Colors[v], ref.Colors[v])
+							}
+						}
+						if err := VerifySharded(sf, res.Colors); err != nil {
+							t.Fatalf("%s s=%d w=%d r=%d %s: %v", name, s, w, r, strat, err)
+						}
+						if st.Rounds != 1 || st.Shards != s || st.Workers != ist.Workers {
+							t.Fatalf("%s s=%d w=%d r=%d %s: rounds=%d shards=%d workers=%d",
+								name, s, w, r, strat, st.Rounds, st.Shards, st.Workers)
+						}
+						if st.FrontierVertices != ist.FrontierVertices ||
+							st.CutEdges != ist.CutEdges ||
+							st.BoundaryVertices != ist.BoundaryVertices ||
+							st.CrossShardDefers != ist.CrossShardDefers {
+							t.Fatalf("%s s=%d w=%d r=%d %s: partition stats diverge: streamed %d/%d/%d/%d, in-core %d/%d/%d/%d",
+								name, s, w, r, strat,
+								st.FrontierVertices, st.CutEdges, st.BoundaryVertices, st.CrossShardDefers,
+								ist.FrontierVertices, ist.CutEdges, ist.BoundaryVertices, ist.CrossShardDefers)
+						}
+						if st.TotalVertices() != int64(g.NumVertices()) {
+							t.Fatalf("%s s=%d w=%d r=%d %s: colored %d of %d",
+								name, s, w, r, strat, st.TotalVertices(), g.NumVertices())
+						}
+						want := r
+						if want > s {
+							want = s
+						}
+						if st.ResidentShards != want || st.PeakMappedBytes <= 0 {
+							t.Fatalf("%s s=%d w=%d r=%d %s: resident=%d peak=%d",
+								name, s, w, r, strat, st.ResidentShards, st.PeakMappedBytes)
+						}
+					}
+				}
+				if got := sf.Stats(); got.Maps != got.Unmaps || got.ResidentBytes != 0 {
+					t.Fatalf("%s s=%d %s: leaked mappings: %+v", name, s, strat, got)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedTable3StandIns runs the out-of-core executor across every
+// Table 3 stand-in at real shard and residency parallelism: always the
+// sequential greedy coloring of the DBG order.
+func TestStreamedTable3StandIns(t *testing.T) {
+	for _, d := range gen.SmallRegistry() {
+		d := d
+		t.Run(d.Abbrev, func(t *testing.T) {
+			g, err := d.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, _ := reorder.DBG(g)
+			seq, err := BitwiseGreedy(context.Background(), h, MaxColorsDefault, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strat := range shardedStrategies {
+				sf := openV3ForTest(t, h, 4, strat)
+				res, st, err := ShardedOpts(context.Background(), skeletonFor(sf), MaxColorsDefault,
+					Options{Workers: 4, OutOfCore: true, MaxResidentShards: 2, ShardFile: sf})
+				if err != nil {
+					t.Fatalf("%s: %v", strat, err)
+				}
+				if st.Rounds != 1 {
+					t.Fatalf("%s: rounds = %d", strat, st.Rounds)
+				}
+				for v := range seq.Colors {
+					if res.Colors[v] != seq.Colors[v] {
+						t.Fatalf("%s: vertex %d: streamed %d, sequential %d",
+							strat, v, res.Colors[v], seq.Colors[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// streamShardPayload mirrors the v3 section layout: one shard's mapped
+// main-section footprint, inter-section alignment included.
+func streamShardPayload(nvLocal int, neLocal int64) int64 {
+	align := func(x int64) int64 { return (x + 63) &^ 63 }
+	edgesOff := align(int64(nvLocal+1) * 8)
+	vmapOff := align(edgesOff + neLocal*4)
+	return vmapOff + int64(nvLocal)*4
+}
+
+// TestStreamedBoundedResidency pins the out-of-core invariant on a
+// 4-shard graph: with MaxResidentShards=1 the peak mapped bytes stay
+// below the full CSR footprint and within one (largest) shard payload
+// plus the boundary blocks — the graph never resides in memory whole.
+func TestStreamedBoundedResidency(t *testing.T) {
+	g := randomGraph(t, 4000, 48000, 21)
+	const shards = 4
+	sf := openV3ForTest(t, g, shards, PartitionRanges)
+	_, st, err := ShardedOpts(context.Background(), skeletonFor(sf), MaxColorsDefault,
+		Options{Workers: 2, OutOfCore: true, MaxResidentShards: 1, ShardFile: sf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCSR := int64(g.NumVertices()+1)*8 + g.NumEdges()*4
+	if st.PeakMappedBytes <= 0 || st.PeakMappedBytes >= fullCSR {
+		t.Fatalf("peak mapped %d bytes not below the %d-byte full CSR", st.PeakMappedBytes, fullCSR)
+	}
+	var maxShard int64
+	for s := 0; s < shards; s++ {
+		nv, ne := sf.ShardSize(s)
+		if p := streamShardPayload(nv, ne); p > maxShard {
+			maxShard = p
+		}
+	}
+	// Boundary-block footprint from the frontier mask: offsets, vertex
+	// list and the u<v adjacency of every frontier vertex.
+	mask := graph.FrontierMask(g, sf.Parts())
+	var bndBytes int64
+	perShardB := make([]int64, shards)
+	for v, m := range mask {
+		if !m {
+			continue
+		}
+		perShardB[sf.Parts()[v]]++
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if u < graph.VertexID(v) {
+				bndBytes += 4
+			}
+		}
+	}
+	for _, nb := range perShardB {
+		if nb > 0 {
+			bndBytes += (nb+1)*8 + nb*4
+		}
+	}
+	if limit := maxShard + bndBytes; st.PeakMappedBytes > limit {
+		t.Fatalf("peak mapped %d bytes exceeds one shard payload + boundary blocks (%d)",
+			st.PeakMappedBytes, limit)
+	}
+	if got := sf.Stats(); got.ResidentBytes != 0 {
+		t.Fatalf("resident bytes %d after run", got.ResidentBytes)
+	}
+}
+
+// TestStreamedScratchReuse runs the streamed executor repeatedly through
+// one Scratch, interleaved with in-core runs, across residency limits:
+// pooled buffers must never leak one run's state into the next.
+func TestStreamedScratchReuse(t *testing.T) {
+	g := randomGraph(t, 1200, 9600, 11)
+	ref, err := Greedy(context.Background(), g, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := openV3ForTest(t, g, 4, PartitionRanges)
+	skel := skeletonFor(sf)
+	sc := AcquireScratch("sharded", 2, g.NumVertices())
+	defer sc.Release()
+	for i := 0; i < 3; i++ {
+		for _, r := range []int{1, 2, 4} {
+			res, _, err := ShardedOpts(context.Background(), skel, MaxColorsDefault,
+				Options{Workers: 2, OutOfCore: true, MaxResidentShards: r, ShardFile: sf, Scratch: sc})
+			if err != nil {
+				t.Fatalf("iter %d r=%d: %v", i, r, err)
+			}
+			for v := range ref.Colors {
+				if res.Colors[v] != ref.Colors[v] {
+					t.Fatalf("iter %d r=%d: vertex %d: streamed %d, greedy %d",
+						i, r, v, res.Colors[v], ref.Colors[v])
+				}
+			}
+		}
+		if res, _, err := ShardedOpts(context.Background(), g, MaxColorsDefault,
+			Options{Workers: 2, Shards: 4, Scratch: sc}); err != nil {
+			t.Fatalf("iter %d in-core: %v", i, err)
+		} else {
+			for v := range ref.Colors {
+				if res.Colors[v] != ref.Colors[v] {
+					t.Fatalf("iter %d in-core: vertex %d differs", i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedPartitionReuse pins the cached-partition fast path of the
+// in-core engine: a precomputed assignment matching the run's shape is
+// used verbatim (identical colors and partition stats), while a
+// mismatched one is ignored rather than trusted.
+func TestStreamedPartitionReuse(t *testing.T) {
+	g := randomGraph(t, 1500, 12000, 7)
+	a, err := BuildPartition(g, 4, PartitionLabelProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ist, err := ShardedOpts(context.Background(), g, MaxColorsDefault,
+		Options{Workers: 2, Shards: 4, PartitionStrategy: PartitionLabelProp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := ShardedOpts(context.Background(), g, MaxColorsDefault,
+		Options{Workers: 2, Shards: 4, Partition: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CutEdges != ist.CutEdges || st.FrontierVertices != ist.FrontierVertices {
+		t.Fatalf("cached partition not used: cut %d vs %d, frontier %d vs %d",
+			st.CutEdges, ist.CutEdges, st.FrontierVertices, ist.FrontierVertices)
+	}
+	for v := range ref.Colors {
+		if res.Colors[v] != ref.Colors[v] {
+			t.Fatalf("vertex %d: cached-partition %d, fresh %d", v, res.Colors[v], ref.Colors[v])
+		}
+	}
+	// A K-mismatched assignment must be ignored (run still succeeds and
+	// reports the stats of a freshly built 2-shard partition).
+	_, st2, err := ShardedOpts(context.Background(), g, MaxColorsDefault,
+		Options{Workers: 2, Shards: 2, Partition: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Shards != 2 {
+		t.Fatalf("mismatched cached partition changed the run: %+v", st2)
+	}
+}
+
+// TestStreamedPaletteExhausted: the 80-clique under a 64-color palette
+// must fail with ErrPaletteExhausted out of core too — the failure
+// surfaces in the frontier phase, and every worker stops.
+func TestStreamedPaletteExhausted(t *testing.T) {
+	const n = 80
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: graph.VertexID(i), V: graph.VertexID(j)})
+		}
+	}
+	g, err := graph.FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := openV3ForTest(t, g, 2, PartitionRanges)
+	for _, w := range []int{1, 4} {
+		res, _, err := ShardedOpts(context.Background(), skeletonFor(sf), 64,
+			Options{MaxColors: 64, Workers: w, OutOfCore: true, MaxResidentShards: 2, ShardFile: sf})
+		if !errors.Is(err, ErrPaletteExhausted) {
+			t.Fatalf("w=%d: want ErrPaletteExhausted, got %v", w, err)
+		}
+		if res != nil {
+			t.Fatalf("w=%d: result returned alongside palette exhaustion", w)
+		}
+	}
+	if got := sf.Stats(); got.ResidentBytes != 0 {
+		t.Fatalf("resident bytes %d after failed run", got.ResidentBytes)
+	}
+}
+
+// TestStreamedCancel covers both cancellation points: before the call
+// (immediate ctx.Err) and mid-pass on a graph too big to finish first
+// (the runner loop and OwnerLoop checkpoints must both notice).
+func TestStreamedCancel(t *testing.T) {
+	small := openV3ForTest(t, randomGraph(t, 200, 800, 2), 2, PartitionRanges)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _, err := ShardedOpts(ctx, skeletonFor(small), MaxColorsDefault,
+		Options{Workers: 2, OutOfCore: true, ShardFile: small})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("result returned alongside cancellation")
+	}
+
+	big := openV3ForTest(t, pathGraph(t, 1_000_000), 4, PartitionRanges)
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := ShardedOpts(ctx, skeletonFor(big), MaxColorsDefault,
+			Options{Workers: 2, OutOfCore: true, MaxResidentShards: 1, ShardFile: big})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("streamed engine did not return after cancellation")
+	}
+}
+
+// TestStreamedEmptyAndSingleShard pins the degenerate shapes: an empty
+// graph and a one-shard file both stream to the correct (trivial or
+// greedy-identical) coloring without a frontier phase.
+func TestStreamedEmptyAndSingleShard(t *testing.T) {
+	empty, err := graph.FromEdgeList(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfe := openV3ForTest(t, empty, 1, PartitionRanges)
+	res, st, err := ShardedOpts(context.Background(), skeletonFor(sfe), MaxColorsDefault,
+		Options{Workers: 4, OutOfCore: true, ShardFile: sfe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 0 || st.FrontierVertices != 0 {
+		t.Fatalf("empty graph: colors=%d frontier=%d", res.NumColors, st.FrontierVertices)
+	}
+
+	g := randomGraph(t, 800, 6400, 5)
+	ref, err := Greedy(context.Background(), g, MaxColorsDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf1 := openV3ForTest(t, g, 1, PartitionRanges)
+	res, st, err = ShardedOpts(context.Background(), skeletonFor(sf1), MaxColorsDefault,
+		Options{Workers: 2, OutOfCore: true, ShardFile: sf1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 1 || st.FrontierVertices != 0 || st.CutEdges != 0 {
+		t.Fatalf("single-shard stream: %+v", st)
+	}
+	for v := range ref.Colors {
+		if res.Colors[v] != ref.Colors[v] {
+			t.Fatalf("vertex %d: streamed %d, greedy %d", v, res.Colors[v], ref.Colors[v])
+		}
+	}
+}
+
+// TestVerifySharded pins the streamed verifier: it accepts a proper
+// coloring and rejects a conflicted, uncolored or mis-sized one.
+func TestVerifySharded(t *testing.T) {
+	g := randomGraph(t, 600, 4800, 13)
+	sf := openV3ForTest(t, g, 3, PartitionRanges)
+	res, _, err := ShardedOpts(context.Background(), g, MaxColorsDefault, Options{Workers: 2, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := append([]uint16(nil), res.Colors...)
+	if err := VerifySharded(sf, colors); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySharded(sf, colors[:10]); err == nil {
+		t.Fatal("mis-sized colors accepted")
+	}
+	// Force a conflict on the first edge.
+	var u, v graph.VertexID = 0, 0
+	for x := 0; x < g.NumVertices(); x++ {
+		if adj := g.Neighbors(graph.VertexID(x)); len(adj) > 0 {
+			u, v = graph.VertexID(x), adj[0]
+			break
+		}
+	}
+	if u != v {
+		bad := append([]uint16(nil), colors...)
+		bad[u] = bad[v]
+		if err := VerifySharded(sf, bad); err == nil {
+			t.Fatal("conflicting coloring accepted")
+		}
+		bad[u] = 0
+		if err := VerifySharded(sf, bad); err == nil {
+			t.Fatal("uncolored vertex accepted")
+		}
+	}
+	if got := sf.Stats(); got.ResidentBytes != 0 {
+		t.Fatalf("verifier leaked %d resident bytes", got.ResidentBytes)
+	}
+}

@@ -35,6 +35,12 @@ type BenchRecord struct {
 	Shards           int   `json:"shards,omitempty"`
 	CutEdges         int64 `json:"cut_edges,omitempty"`
 	BoundaryVertices int   `json:"boundary_vertices,omitempty"`
+
+	// Out-of-core streaming shape, filled only by the outofcore
+	// experiment; additive omitempty fields, schema version stays 1.
+	PartitionNanos    int64 `json:"partition_ns,omitempty"`
+	ResidentPeakBytes int64 `json:"resident_peak_bytes,omitempty"`
+	CacheHit          bool  `json:"partition_cache_hit,omitempty"`
 }
 
 // BenchSchemaVersion identifies the BENCH_<exp>.json envelope layout;

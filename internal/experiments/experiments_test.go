@@ -273,14 +273,73 @@ func TestExecDispatchExperiment(t *testing.T) {
 	}
 }
 
+func TestOutOfCoreExperiment(t *testing.T) {
+	ctx, buf := smallCtx()
+	ctx.Datasets = ctx.Datasets[:2]
+	r, err := OutOfCore(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*3 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	colorsBy := map[string]int{}
+	for _, row := range r.Rows {
+		if row.Colors <= 0 || row.Bytes <= 0 || row.Total() <= 0 || row.PeakResident <= 0 {
+			t.Fatalf("%s %s: empty measurement %+v", row.Dataset, row.Arm, row)
+		}
+		// All three arms run the same deterministic sharded fixpoint.
+		if want, seen := colorsBy[row.Dataset]; seen && want != row.Colors {
+			t.Fatalf("%s %s: %d colors, other arm got %d", row.Dataset, row.Arm, row.Colors, want)
+		}
+		colorsBy[row.Dataset] = row.Colors
+		switch row.Arm {
+		case "bcsr-v2-incore":
+			if row.CacheHit || row.ResidentShards != 0 {
+				t.Fatalf("in-core arm carries streaming fields: %+v", row)
+			}
+		case "bcsr-v3-cold":
+			if row.CacheHit || row.Partition <= 0 || row.Write <= 0 {
+				t.Fatalf("cold arm shape off: %+v", row)
+			}
+		case "bcsr-v3-warm":
+			if !row.CacheHit || row.Partition != 0 || row.Write != 0 {
+				t.Fatalf("warm arm shape off: %+v", row)
+			}
+		default:
+			t.Fatalf("unknown arm %q", row.Arm)
+		}
+	}
+	if r.GeoStreamRatio <= 0 || r.GeoWarmRatio <= 0 || r.GeoResidencyRatio <= 0 {
+		t.Fatalf("missing geomeans: %+v", r)
+	}
+	// The streamed arms must actually hold less than the full adjacency.
+	if r.GeoResidencyRatio >= 1 {
+		t.Fatalf("streamed peak residency %.2fx not below the in-core footprint", r.GeoResidencyRatio)
+	}
+	r.Print(ctx)
+	if !strings.Contains(buf.String(), "Out-of-core streaming") {
+		t.Fatal("print missing title")
+	}
+	recs := r.BenchRecords()
+	if len(recs) != len(r.Rows) {
+		t.Fatalf("got %d records for %d rows", len(recs), len(r.Rows))
+	}
+	for _, rec := range recs {
+		if rec.NsPerEdge <= 0 || rec.WallNanos <= 0 || rec.ResidentPeakBytes <= 0 || rec.Shards != outOfCoreShards {
+			t.Fatalf("empty measurement in record %+v", rec)
+		}
+	}
+}
+
 func TestRunnerRegistryComplete(t *testing.T) {
 	names := Names()
 	want := []string{
 		"cacheablation", "cachesweep", "conflicts", "dct", "dramsweep",
 		"e2e", "exec", "fig11", "fig12", "fig13", "fig14", "fig3a", "fig3b",
 		"generality", "hostpar", "locality", "lruvshdc", "multicard",
-		"quality", "relaxed", "scorecard", "shard", "table2", "table3",
-		"table4",
+		"outofcore", "quality", "relaxed", "scorecard", "shard", "table2",
+		"table3", "table4",
 	}
 	desc := Descriptions()
 	for _, n := range names {

@@ -67,6 +67,9 @@ func RunnerRegistry() map[string]Runner {
 		"e2e": report(E2E, func(ctx *Context, r *E2EResult) error {
 			return ctx.EmitBench("e2e", r.BenchRecords())
 		}),
+		"outofcore": report(OutOfCore, func(ctx *Context, r *OutOfCoreResult) error {
+			return ctx.EmitBench("outofcore", r.BenchRecords())
+		}),
 		"exec": report(ExecDispatch, func(ctx *Context, r *ExecResult) error {
 			return ctx.EmitBench("exec", r.BenchRecords())
 		}),
@@ -101,6 +104,7 @@ func Descriptions() map[string]string {
 		"dct":           "single-pass DCT engine study",
 		"shard":         "sharded engine partition study",
 		"e2e":           "end-to-end load+color breakdown",
+		"outofcore":     "out-of-core v3 streaming vs in-core sharded",
 		"exec":          "exec.Blocks dispatch overhead vs inline loops",
 	}
 }
@@ -123,8 +127,8 @@ func RunAll(ctx *Context) error {
 		"table3", "fig3a", "fig3b", "table2", "fig11", "fig12", "table4",
 		"fig13", "fig14", "cacheablation", "cachesweep", "dramsweep",
 		"conflicts", "generality", "relaxed", "quality", "hostpar",
-		"locality", "dct", "shard", "e2e", "exec", "multicard", "lruvshdc",
-		"scorecard",
+		"locality", "dct", "shard", "e2e", "outofcore", "exec", "multicard",
+		"lruvshdc", "scorecard",
 	}
 	reg := RunnerRegistry()
 	for _, name := range order {

@@ -151,6 +151,109 @@ func FuzzReadBinaryV2(f *testing.F) {
 	})
 }
 
+// FuzzReadBinaryV3 mirrors the v2 fuzz matrix for the shard-major
+// format: corrupted real images (header/meta/directory/section bit
+// flips, bad strategy codes, flipped flags), truncations at every
+// layer, cross-version confusion, and fabricated headers with absurd
+// counts must all fail with explicit errors — never a panic, a memory
+// balloon, or a silent misparse. Whatever the copying reader accepts,
+// the random-access OpenShardedFile path must accept too and agree on
+// the shape.
+func FuzzReadBinaryV3(f *testing.F) {
+	g, _ := FromEdgeList(6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 4, V: 5}, {U: 0, V: 5}})
+	parts := []int32{0, 0, 0, 1, 1, 1}
+	var buf bytes.Buffer
+	if err := WriteBinaryV3(&buf, g, parts, 2, V3PartitionRanges); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	mut := func(edit func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		edit(b)
+		return b
+	}
+	f.Add(valid)
+	f.Add(mut(func(b []byte) { b[57] ^= 0xff }))                                 // header checksum
+	f.Add(mut(func(b []byte) { b[12] ^= byte(binaryV3FlagBigEndian) }))          // flipped endianness flag
+	f.Add(mut(func(b []byte) { b[13] ^= 0x01 }))                                 // unknown flag bit
+	f.Add(mut(func(b []byte) { binary.LittleEndian.PutUint64(b[4:12], 2) }))     // v2 version in v3 image
+	f.Add(mut(func(b []byte) { binary.LittleEndian.PutUint32(b[32:36], 0) }))    // zero shards
+	f.Add(mut(func(b []byte) { binary.LittleEndian.PutUint32(b[36:40], 99) }))   // unknown strategy
+	f.Add(mut(func(b []byte) { b[44] ^= 0xff }))                                 // source hash
+	f.Add(mut(func(b []byte) { b[binaryV3HeaderSize+2] ^= 0xff }))               // parts array (meta CRC)
+	f.Add(mut(func(b []byte) { b[binaryV3HeaderSize+6*4+16+8] ^= 0xff }))        // directory record
+	f.Add(mut(func(b []byte) { b[128+8] ^= 0xff }))                              // section payload
+	f.Add(mut(func(b []byte) { b[len(b)-65] ^= 0xff }))                          // last section
+	f.Add(valid[:binaryV3HeaderSize])     // truncated: header only
+	f.Add(valid[:binaryV3HeaderSize+4])   // truncated parts
+	f.Add(valid[:binaryV3HeaderSize+40])  // truncated directory
+	f.Add(valid[:len(valid)/2])           // truncated sections
+	f.Add(valid[:40])                     // truncated header
+	// A v2 image fed to the v3 parser (version confusion the other way).
+	var v2 bytes.Buffer
+	if err := WriteBinaryV2(&v2, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	// Fabricated headers with valid FNV sums and absurd counts: the
+	// chunked meta read must hit EOF before any count-sized allocation.
+	lyingV3 := func(nv, ne uint64, shards, strategy uint32) []byte {
+		b := make([]byte, binaryV3HeaderSize)
+		copy(b[0:4], binaryMagic)
+		binary.LittleEndian.PutUint64(b[4:12], binaryV3Version)
+		binary.LittleEndian.PutUint64(b[16:24], nv)
+		binary.LittleEndian.PutUint64(b[24:32], ne)
+		binary.LittleEndian.PutUint32(b[32:36], shards)
+		binary.LittleEndian.PutUint32(b[36:40], strategy)
+		binary.LittleEndian.PutUint64(b[56:64], fnv1a(fnvOffset64, b[:56]))
+		return b
+	}
+	f.Add(lyingV3(1<<60, 8, 2, 0))
+	f.Add(lyingV3(8, 1<<60, 2, 0))
+	f.Add(lyingV3(binaryMaxVertices, 0, 1<<19, 1))
+	f.Add(lyingV3(6, 10, 1<<30, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, meta, err := ReadBinaryV3(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("v3 reader returned invalid graph: %v", err)
+		}
+		if len(meta.Parts) != g.NumVertices() {
+			t.Fatalf("v3 reader returned %d parts for %d vertices", len(meta.Parts), g.NumVertices())
+		}
+		// Whatever the copying reader accepts, the random-access path
+		// must accept too and agree on the shape.
+		path := filepath.Join(t.TempDir(), "fuzz.bcsr")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sf, err := OpenShardedFile(path)
+		if err != nil {
+			t.Fatalf("OpenShardedFile rejected bytes ReadBinaryV3 accepted: %v", err)
+		}
+		defer sf.Close()
+		if sf.NumVertices() != g.NumVertices() || sf.NumEdges() != g.NumEdges() ||
+			sf.Shards() != meta.Shards || sf.SourceHash() != meta.SourceHash {
+			t.Fatal("sharded handle disagrees with copying reader")
+		}
+		for s := 0; s < sf.Shards(); s++ {
+			sm, err := sf.MapShard(s)
+			if err != nil {
+				t.Fatalf("MapShard(%d) rejected a file ReadBinaryV3 accepted: %v", s, err)
+			}
+			bm, err := sf.MapBoundary(s)
+			if err != nil {
+				sm.Close()
+				t.Fatalf("MapBoundary(%d) rejected a file ReadBinaryV3 accepted: %v", s, err)
+			}
+			bm.Close()
+			sm.Close()
+		}
+	})
+}
+
 // FuzzBinaryRoundTrip builds a graph from fuzzed edge bytes and requires
 // the binary encode/decode cycle to reproduce it exactly.
 func FuzzBinaryRoundTrip(f *testing.F) {

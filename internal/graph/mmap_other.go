@@ -15,4 +15,10 @@ func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errMmapUnsuppo
 
 func munmap(data []byte) error { return nil }
 
+func mmapRange(f *os.File, off, n uint64) (mapping, view []byte, err error) {
+	return nil, nil, errMmapUnsupported
+}
+
+func releaseMapping(mapping []byte) error { return nil }
+
 func adviseMapping(data []byte, offStart, offEnd, edgeStart, edgeEnd uint64) {}

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -329,21 +330,37 @@ func LoadBinaryV2File(path string) (*CSR, error) {
 	return ReadBinaryV2(f)
 }
 
+// closeOnce arbitrates exactly-once teardown for handles whose Close
+// releases an mmap: the first caller wins and performs the munmap, every
+// later (possibly concurrent) call is a no-op. A plain bool is not
+// enough — two goroutines racing Close could both observe it unset and
+// issue a second munmap over an address range the kernel may already
+// have reused.
+type closeOnce struct {
+	closed atomic.Bool
+}
+
+// first reports whether this call is the one that should tear down.
+func (c *closeOnce) first() bool { return !c.closed.Swap(true) }
+
+// done reports whether Close already ran (or is running).
+func (c *closeOnce) done() bool { return c.closed.Load() }
+
 // MappedCSR owns a graph whose payload may alias an mmap'd file. Close
 // releases the mapping; using the graph after Close is a use-after-free,
 // so Graph panics once closed. A MappedCSR whose construction fell back
 // to the copying reader behaves identically but holds no mapping
 // (Mapped reports false) and Close only bars further use.
 type MappedCSR struct {
-	g      CSR
-	data   []byte // the mmap'd region; nil on the copying fallback
-	closed bool
+	g     CSR
+	data  []byte // the mmap'd region; nil on the copying fallback
+	close closeOnce
 }
 
 // Graph returns the graph view. The returned *CSR aliases the mapping
 // (when Mapped) and is valid only until Close.
 func (m *MappedCSR) Graph() *CSR {
-	if m.closed {
+	if m.close.done() {
 		panic("graph: MappedCSR used after Close")
 	}
 	return &m.g
@@ -354,12 +371,12 @@ func (m *MappedCSR) Graph() *CSR {
 func (m *MappedCSR) Mapped() bool { return m.data != nil }
 
 // Close unmaps the backing region (if any) and invalidates the graph
-// view. Idempotent.
+// view. Idempotent, including under concurrent double-Close: only the
+// first caller performs the munmap.
 func (m *MappedCSR) Close() error {
-	if m.closed {
+	if !m.close.first() {
 		return nil
 	}
-	m.closed = true
 	data := m.data
 	m.data = nil
 	m.g = CSR{}
@@ -375,6 +392,7 @@ const (
 	FormatEdgeList = "edgelist"
 	FormatBCSR1    = "bcsr-v1"
 	FormatBCSR2    = "bcsr-v2"
+	FormatBCSR3    = "bcsr-v3"
 )
 
 // SniffFormat identifies a graph file by content: the BCSR magic plus
@@ -396,6 +414,8 @@ func SniffFormat(path string) (string, error) {
 		return FormatBCSR1, nil
 	case binaryV2Version:
 		return FormatBCSR2, nil
+	case binaryV3Version:
+		return FormatBCSR3, nil
 	default:
 		return "", fmt.Errorf("graph: %s: BCSR magic with unsupported version %d", path, v)
 	}

@@ -210,6 +210,14 @@ type RunStats struct {
 	// ShardDurations[s] is the wall time of shard s's interior phase (the
 	// slowest of its workers).
 	ShardDurations []time.Duration
+	// ResidentShards is the bounded-residency limit of an out-of-core
+	// streamed run (0 for in-core runs): at most this many shard payloads
+	// were mapped at once during the interior phase.
+	ResidentShards int
+	// PeakMappedBytes is the high-water mark of mapped shard-section
+	// bytes during an out-of-core streamed run (0 for in-core runs) —
+	// the number the bounded-residency invariant is asserted on.
+	PeakMappedBytes int64
 }
 
 // ParallelStats is the former name of RunStats, kept as an alias for the

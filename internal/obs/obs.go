@@ -312,6 +312,10 @@ const (
 	famGraphLoadErrors   = "bitcolor_graph_load_errors_total"
 	famGraphLoadSeconds  = "bitcolor_graph_load_duration_seconds"
 	famGraphLoadBytes    = "bitcolor_graph_load_bytes_total"
+	famShardMapMaps      = "bitcolor_shard_map_maps_total"
+	famShardMapUnmaps    = "bitcolor_shard_map_unmaps_total"
+	famShardMapResident  = "bitcolor_shard_map_resident_bytes"
+	famPartitionCacheHit = "bitcolor_partition_cache_hits_total"
 )
 
 // engineDurationBuckets covers 100µs .. ~100s exponentially.
@@ -366,6 +370,10 @@ func registerStandardFamilies(r *Registry) {
 	r.RegisterCounter(famGraphLoadErrors, "Graph loads that returned an error, by on-disk format.", "format")
 	r.RegisterHistogram(famGraphLoadSeconds, "Graph load wall time (open through validated CSR), by on-disk format.", "format", graphLoadBuckets)
 	r.RegisterCounter(famGraphLoadBytes, "On-disk bytes behind completed graph loads, by format.", "format")
+	r.RegisterCounter(famShardMapMaps, "BCSR v3 shard/boundary sections mapped by out-of-core runs.", "")
+	r.RegisterCounter(famShardMapUnmaps, "BCSR v3 shard/boundary sections retired (MADV_DONTNEED + unmap).", "")
+	r.RegisterGauge(famShardMapResident, "Peak mapped shard-section bytes of the last out-of-core run.", "")
+	r.RegisterCounter(famPartitionCacheHit, "Sharded runs that reused a BCSR v3 file's persisted partition instead of partitioning, by strategy.", "strategy")
 }
 
 // ObserveForwardWait records one DCT forwarding-latency sample: the time
@@ -433,6 +441,30 @@ func (o *Observer) RecordRun(engine string, colors int, d time.Duration, st metr
 		"engine", engine, "colors", colors, "duration", d,
 		"rounds", st.Rounds, "workers", st.Workers,
 		"conflicts_found", st.ConflictsFound, "conflicts_repaired", st.ConflictsRepaired)
+}
+
+// RecordShardMap folds one out-of-core run's shard-mapping activity into
+// the metric families: sections mapped and retired during the run, and
+// the run's peak mapped bytes (the bounded-residency high-water mark).
+func (o *Observer) RecordShardMap(maps, unmaps, peakBytes int64) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(famShardMapMaps).Add("", maps)
+	o.reg.Counter(famShardMapUnmaps).Add("", unmaps)
+	if peakBytes > 0 {
+		o.reg.Gauge(famShardMapResident).Set("", float64(peakBytes))
+	}
+}
+
+// RecordPartitionCache counts one sharded run that skipped partitioning
+// because a BCSR v3 file supplied the assignment (the content-hash
+// partition cache hitting).
+func (o *Observer) RecordPartitionCache(strategy string) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(famPartitionCacheHit).Add(strategy, 1)
 }
 
 // RecordStage folds one pipeline stage timing into the metric families.

@@ -11,10 +11,47 @@ import (
 	"bitcolor/internal/graph"
 )
 
+// Strategy names, matching the coloring package's option strings.
+const (
+	StrategyRanges    = "ranges"
+	StrategyLabelProp = "labelprop"
+)
+
+// StrategyCode maps a strategy name ("" defaults to ranges) to the
+// graph.V3Partition* code a BCSR v3 header persists.
+func StrategyCode(name string) (uint32, error) {
+	switch name {
+	case "", StrategyRanges:
+		return graph.V3PartitionRanges, nil
+	case StrategyLabelProp:
+		return graph.V3PartitionLabelProp, nil
+	}
+	return 0, fmt.Errorf("partition: unknown strategy %q (have %q, %q)",
+		name, StrategyRanges, StrategyLabelProp)
+}
+
+// StrategyName maps a persisted V3Partition* code back to its name.
+func StrategyName(code uint32) (string, error) {
+	switch code {
+	case graph.V3PartitionRanges:
+		return StrategyRanges, nil
+	case graph.V3PartitionLabelProp:
+		return StrategyLabelProp, nil
+	}
+	return "", fmt.Errorf("partition: unknown strategy code %d", code)
+}
+
 // Assignment maps each vertex to a part in [0, K).
 type Assignment struct {
 	Parts []int32
 	K     int
+}
+
+// FrontierMask returns the sharded engine's frontier mask for this
+// assignment (see graph.FrontierMask): the vertices the interior pass
+// defers to the bounded second phase.
+func (a *Assignment) FrontierMask(g *graph.CSR) []bool {
+	return graph.FrontierMask(g, a.Parts)
 }
 
 // Validate checks ranges.
